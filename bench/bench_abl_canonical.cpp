@@ -1,0 +1,101 @@
+// Ablation: what canonicalization (Sec. 3.2) buys.
+//
+// Deeply nested constructions of the same object translate to deep IR
+// chains. Without simplification, the StridedBlock inherits one dimension
+// per IR level — including singleton dimensions and a tiny contiguous
+// innermost block (the named type's 4 bytes) — so the selected kernel does
+// 4-byte gathers. Canonicalization folds the chain to the true
+// 3-dimensional structure with a 400-byte dense row.
+#include "bench_common.hpp"
+#include "interpose/table.hpp"
+#include "tempi/canonicalize.hpp"
+#include "tempi/packer.hpp"
+#include "tempi/translate.hpp"
+
+#include <cstdio>
+
+namespace {
+
+constexpr int kA0 = 512, kA1 = 512, kA2 = 64;
+constexpr int kE0 = 100, kE1 = 13, kE2 = 47;
+
+MPI_Datatype deep_construction() {
+  MPI_Datatype row = nullptr, plane = nullptr, cuboid = nullptr;
+  MPI_Type_vector(1, kE0, 1, MPI_FLOAT, &row);
+  MPI_Type_create_hvector(kE1, 1, kA0, row, &plane);
+  MPI_Type_create_hvector(kE2, 1, static_cast<MPI_Aint>(kA0) * kA1, plane,
+                          &cuboid);
+  MPI_Type_free(&plane);
+  MPI_Type_free(&row);
+  MPI_Type_commit(&cuboid);
+  return cuboid;
+}
+
+double pack_us(const tempi::Packer &packer) {
+  void *src = nullptr, *dst = nullptr;
+  vcuda::Malloc(&src, static_cast<std::size_t>(kA0) * kA1 * kA2);
+  vcuda::Malloc(&dst, packer.packed_bytes(1));
+  support::Sampler s;
+  for (int i = 0; i < 5; ++i) {
+    const vcuda::VirtualNs t0 = vcuda::virtual_now();
+    packer.pack(dst, src, 1, vcuda::default_stream());
+    s.add(vcuda::ns_to_us(vcuda::virtual_now() - t0));
+  }
+  vcuda::Free(dst);
+  vcuda::Free(src);
+  return s.trimean();
+}
+
+void report(const char *label, const tempi::Type &ir) {
+  const auto sb = tempi::to_strided_block(ir);
+  if (!sb) {
+    std::printf("%-22s IR depth %zu -> not strided-block convertible "
+                "(falls back to baseline)\n", label, ir.depth());
+    return;
+  }
+  MPI_Aint extent = static_cast<MPI_Aint>(kA0) * kA1 * kA2;
+  const tempi::Packer packer(*sb, extent, sb->size());
+  std::printf("%-22s IR depth %zu, %d dims, block %lld B, W=%d -> pack "
+              "%8.1f us\n", label, ir.depth(), sb->ndims(),
+              sb->block_bytes(), packer.word_size(), pack_us(packer));
+}
+
+} // namespace
+
+int main() {
+  sysmpi::ensure_self_context();
+  std::printf("Ablation — canonicalization passes (hv(hv(vec)) "
+              "construction of a %dx%dx%d-float object)\n\n", kE0, kE1,
+              kE2);
+
+  MPI_Datatype t = deep_construction();
+  const auto raw = tempi::translate(t, interpose::system_table());
+  if (!raw) {
+    std::printf("translation failed\n");
+    return 1;
+  }
+
+  report("no canonicalization", *raw);
+
+  tempi::Type folded = *raw;
+  tempi::dense_folding(folded);
+  report("+ dense folding", folded);
+
+  tempi::Type elided = folded;
+  tempi::stream_elision(elided);
+  report("+ stream elision", elided);
+
+  tempi::Type flat = elided;
+  tempi::stream_flatten(flat);
+  tempi::sort_streams(flat);
+  report("+ flatten & sort", flat);
+
+  tempi::Type full = *raw;
+  tempi::simplify(full);
+  report("full fixed-point", full);
+
+  MPI_Type_free(&t);
+  std::printf("\nThe canonical form exposes the 400 B dense rows; the raw "
+              "IR packs 4 B words at ~1/32 the effective bandwidth.\n");
+  return 0;
+}

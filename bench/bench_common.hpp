@@ -1,0 +1,132 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// All latencies are *virtual* microseconds from the calibrated cost model
+// (see DESIGN.md §2): the shapes are the reproduction target, not wall
+// time. Phases that are pure host work (type creation/commit, Fig. 7) use
+// wall time instead, since the virtual clock does not model host compute.
+#pragma once
+
+#include "support/stats.hpp"
+#include "sysmpi/mpi.hpp"
+#include "sysmpi/world.hpp"
+#include "tempi/tempi.hpp"
+#include "vcuda/runtime.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace bench {
+
+/// A committed 2-D strided datatype over MPI_BYTE: `blocks` runs of
+/// `block_bytes`, `pitch_bytes` apart.
+inline MPI_Datatype make_vector_2d(long long blocks, long long block_bytes,
+                                   long long pitch_bytes) {
+  MPI_Datatype t = nullptr;
+  MPI_Type_vector(static_cast<int>(blocks), static_cast<int>(block_bytes),
+                  static_cast<int>(pitch_bytes), MPI_BYTE, &t);
+  MPI_Type_commit(&t);
+  return t;
+}
+
+/// Same object described as a 2-D subarray over MPI_BYTE.
+inline MPI_Datatype make_subarray_2d(long long blocks, long long block_bytes,
+                                     long long pitch_bytes) {
+  const int sizes[2] = {static_cast<int>(blocks),
+                        static_cast<int>(pitch_bytes)};
+  const int subsizes[2] = {static_cast<int>(blocks),
+                           static_cast<int>(block_bytes)};
+  const int starts[2] = {0, 0};
+  MPI_Datatype t = nullptr;
+  MPI_Type_create_subarray(2, sizes, subsizes, starts, MPI_ORDER_C, MPI_BYTE,
+                           &t);
+  MPI_Type_commit(&t);
+  return t;
+}
+
+/// Virtual-time MPI_Pack latency (us) of `count` objects of `t` on device
+/// buffers, trimean of `iters` (first iteration discarded as warm-up).
+inline double pack_latency_us(MPI_Datatype t, int count, int iters = 5) {
+  sysmpi::ensure_self_context();
+  MPI_Aint lb = 0, extent = 0;
+  MPI_Type_get_extent(t, &lb, &extent);
+  int size = 0;
+  MPI_Type_size(t, &size);
+
+  void *src = nullptr, *dst = nullptr;
+  vcuda::Malloc(&src, static_cast<std::size_t>(extent) * count + 64);
+  vcuda::Malloc(&dst, static_cast<std::size_t>(size) * count);
+
+  support::Sampler sampler;
+  for (int i = 0; i <= iters; ++i) {
+    int position = 0;
+    const vcuda::VirtualNs t0 = vcuda::virtual_now();
+    MPI_Pack(src, count, t, dst, size * count, &position, MPI_COMM_WORLD);
+    if (i > 0) {
+      sampler.add(vcuda::ns_to_us(vcuda::virtual_now() - t0));
+    }
+  }
+  vcuda::Free(src);
+  vcuda::Free(dst);
+  return sampler.trimean();
+}
+
+/// Receiver-side Send/Recv latency (virtual us) for a 2-D device object,
+/// with one warm-up round, two ranks on distinct virtual nodes.
+inline double send_latency_us(tempi::SendMode mode, long long blocks,
+                              long long block_bytes, long long pitch_bytes,
+                              int rounds = 3) {
+  tempi::set_send_mode(mode);
+  double result = 0.0;
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1;
+  sysmpi::run_ranks(cfg, [&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = make_vector_2d(blocks, block_bytes, pitch_bytes);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    void *buf = nullptr;
+    vcuda::Malloc(&buf, static_cast<std::size_t>(extent) + 64);
+    support::Sampler sampler;
+    for (int round = 0; round <= rounds; ++round) {
+      if (rank == 0) {
+        MPI_Send(buf, 1, t, 1, round, MPI_COMM_WORLD);
+        int ack = 0;
+        MPI_Recv(&ack, 1, MPI_INT, 1, 999, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+      } else {
+        const vcuda::VirtualNs t0 = vcuda::virtual_now();
+        MPI_Recv(buf, 1, t, 0, round, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        if (round > 0) { // discard the cache-cold warm-up round
+          sampler.add(vcuda::ns_to_us(vcuda::virtual_now() - t0));
+        }
+        const int ack = 1;
+        MPI_Send(&ack, 1, MPI_INT, 0, 999, MPI_COMM_WORLD);
+      }
+    }
+    if (rank == 1) {
+      result = sampler.trimean();
+    }
+    vcuda::Free(buf);
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+  tempi::set_send_mode(tempi::SendMode::Auto);
+  return result;
+}
+
+/// Pretty-print helpers.
+inline std::string human_bytes(double b) {
+  char buf[32];
+  if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.0fMiB", b / (1024.0 * 1024.0));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.0fKiB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fB", b);
+  }
+  return buf;
+}
+
+} // namespace bench

@@ -1,0 +1,84 @@
+// A 3-D stencil halo-exchange mini-app replicating the communication
+// pattern of the Astaroth stellar simulation as described in the paper's
+// Sec. 6.4:
+//   * each rank owns a brick of gridpoints, `vals` doubles per point,
+//     stencil radius r, with ghost shells on all sides;
+//   * 26 logical neighbors with periodic boundaries;
+//   * each halo region is described by an MPI subarray datatype;
+//   * regions are packed into a single buffer with MPI_Pack, exchanged
+//     with MPI_Neighbor_alltoallv on a distributed-graph communicator, and
+//     unpacked with MPI_Unpack.
+//
+// Correctness subtlety: with periodic dimensions of width <= 2, several
+// directions alias to the same peer rank, and neighbor collectives pair
+// the j-th message between two processes by order. The exchanger
+// enumerates send slots in ascending direction order and receive slots in
+// *descending* order, which pairs each face with the opposite ghost under
+// any aliasing (including self-neighbors when a dimension has width 1).
+#pragma once
+
+#include "sysmpi/mpi.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace halo {
+
+struct Config {
+  int nx = 16, ny = 16, nz = 16; ///< interior gridpoints per rank
+  int vals = 8;                  ///< doubles per gridpoint (Astaroth: 8)
+  int radius = 3;                ///< stencil radius (Astaroth: 3)
+  int px = 1, py = 1, pz = 1;    ///< rank grid (periodic)
+
+  [[nodiscard]] int ranks() const { return px * py * pz; }
+  /// Bytes of one rank's local array including ghost shells.
+  [[nodiscard]] std::size_t grid_bytes() const {
+    const int r = radius;
+    return static_cast<std::size_t>(nx + 2 * r) * (ny + 2 * r) *
+           (nz + 2 * r) * vals * sizeof(double);
+  }
+};
+
+/// Wall/virtual time of one exchange, split by phase as in Fig. 12a.
+struct PhaseTimes {
+  double pack_us = 0.0;
+  double comm_us = 0.0;
+  double unpack_us = 0.0;
+  [[nodiscard]] double total_us() const {
+    return pack_us + comm_us + unpack_us;
+  }
+};
+
+/// Per-rank exchanger; owns the datatypes, graph communicator, and packed
+/// buffers. Construct once, call exchange() per iteration (the resource
+/// reuse TEMPI's caching layer is designed for).
+class Exchanger {
+public:
+  Exchanger(const Config &cfg, MPI_Comm comm);
+  ~Exchanger();
+  Exchanger(const Exchanger &) = delete;
+  Exchanger &operator=(const Exchanger &) = delete;
+
+  /// One full halo exchange on the device-resident local array `grid`.
+  PhaseTimes exchange(void *grid);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int neighbor_count() const {
+    return static_cast<int>(send_peers_.size());
+  }
+  /// Total packed bytes each rank ships per exchange.
+  [[nodiscard]] std::size_t halo_bytes() const { return total_bytes_; }
+
+private:
+  Config cfg_;
+  int rank_ = 0;
+  MPI_Comm graph_ = MPI_COMM_NULL;
+  std::vector<int> send_peers_, recv_peers_;
+  std::vector<MPI_Datatype> send_types_, recv_types_;
+  std::vector<int> counts_, sdispls_, rdispls_;
+  std::size_t total_bytes_ = 0;
+  void *sendbuf_ = nullptr; ///< device intermediate
+  void *recvbuf_ = nullptr;
+};
+
+} // namespace halo

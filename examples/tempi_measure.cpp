@@ -1,0 +1,42 @@
+// The paper's system-measurement binary (Sec. 6.3): "TEMPI provides a
+// binary that records system performance parameters to the file system.
+// This binary should be run once before TEMPI is used in an application."
+//
+// Usage: ./examples/tempi_measure [output-path]
+//   default output: $TEMPI_PERF_FILE or ./tempi_perf.txt
+#include "tempi/measure.hpp"
+#include "tempi/perf_model.hpp"
+
+#include <cstdio>
+
+int main(int argc, char **argv) {
+  const std::string path = argc > 1 ? argv[1] : tempi::perf_file_path();
+
+  std::printf("measuring transfer and pack/unpack latencies...\n");
+  const tempi::SystemPerf perf = tempi::measure_system();
+
+  if (!tempi::save_perf(perf, path)) {
+    std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n\n", path.c_str());
+
+  std::printf("selected measurements:\n");
+  std::printf("  %-22s %10s %10s %10s\n", "", "8 B", "64 KiB", "4 MiB");
+  const auto row = [](const char *name, const tempi::Table1D &t) {
+    std::printf("  %-22s %9.1fus %9.1fus %9.1fus\n", name, t.query(8.0),
+                t.query(65536.0), t.query(4194304.0));
+  };
+  row("cpu-cpu ping-pong/2", perf.cpu_cpu);
+  row("gpu-gpu ping-pong/2", perf.gpu_gpu);
+  row("d2h copy+sync", perf.d2h);
+  row("h2d copy+sync", perf.h2d);
+  std::printf("  %-22s %10s %10s\n", "", "1 B blk", "128 B blk");
+  std::printf("  %-22s %9.1fus %9.1fus  (4 MiB object)\n", "device pack",
+              perf.device_pack.query(1.0, 4194304.0),
+              perf.device_pack.query(128.0, 4194304.0));
+  std::printf("  %-22s %9.1fus %9.1fus  (4 MiB object)\n", "one-shot pack",
+              perf.oneshot_pack.query(1.0, 4194304.0),
+              perf.oneshot_pack.query(128.0, 4194304.0));
+  return 0;
+}

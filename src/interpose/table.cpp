@@ -1,0 +1,44 @@
+#include "interpose/table.hpp"
+
+#include "sysmpi/registration.hpp"
+
+namespace interpose {
+
+namespace {
+
+MpiTable &mutable_active() {
+  // Initialized on first use with the system implementation, i.e. the
+  // "binary linked only against system MPI" configuration.
+  static MpiTable table = sysmpi::make_system_table();
+  return table;
+}
+
+bool &interposed_flag() {
+  static bool flag = false;
+  return flag;
+}
+
+} // namespace
+
+const MpiTable &active_table() { return mutable_active(); }
+
+const MpiTable &system_table() {
+  static const MpiTable table = sysmpi::make_system_table();
+  return table;
+}
+
+MpiTable install(const MpiTable &table) {
+  MpiTable previous = mutable_active();
+  mutable_active() = table;
+  interposed_flag() = true;
+  return previous;
+}
+
+void uninstall() {
+  mutable_active() = system_table();
+  interposed_flag() = false;
+}
+
+bool interposed() { return interposed_flag(); }
+
+} // namespace interpose

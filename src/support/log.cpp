@@ -1,0 +1,51 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace support {
+
+namespace {
+
+LogLevel parse_threshold() {
+  const char *env = std::getenv("TEMPI_LOG");
+  if (env == nullptr) {
+    return LogLevel::Warn;
+  }
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  return LogLevel::Warn;
+}
+
+const char *level_name(LogLevel level) {
+  switch (level) {
+  case LogLevel::Debug: return "DEBUG";
+  case LogLevel::Info: return "INFO";
+  case LogLevel::Warn: return "WARN";
+  case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex &log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+} // namespace
+
+LogLevel log_threshold() {
+  static const LogLevel threshold = parse_threshold();
+  return threshold;
+}
+
+void log_line(LogLevel level, const std::string &msg) {
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[tempi %s] %s\n", level_name(level), msg.c_str());
+}
+
+} // namespace support

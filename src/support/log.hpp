@@ -1,0 +1,48 @@
+// Minimal leveled logging. Controlled by the TEMPI_LOG environment variable
+// ("debug", "info", "warn", "error"; default "warn") so library users can
+// diagnose interposition and method-selection decisions without a rebuild.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace support {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Current threshold (parsed once from TEMPI_LOG).
+LogLevel log_threshold();
+
+/// Emit one line to stderr if `level` passes the threshold. Thread-safe.
+void log_line(LogLevel level, const std::string &msg);
+
+namespace detail {
+template <typename... Args> std::string format_parts(Args &&...args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+} // namespace detail
+
+template <typename... Args> void log_debug(Args &&...args) {
+  if (log_threshold() <= LogLevel::Debug) {
+    log_line(LogLevel::Debug, detail::format_parts(std::forward<Args>(args)...));
+  }
+}
+template <typename... Args> void log_info(Args &&...args) {
+  if (log_threshold() <= LogLevel::Info) {
+    log_line(LogLevel::Info, detail::format_parts(std::forward<Args>(args)...));
+  }
+}
+template <typename... Args> void log_warn(Args &&...args) {
+  if (log_threshold() <= LogLevel::Warn) {
+    log_line(LogLevel::Warn, detail::format_parts(std::forward<Args>(args)...));
+  }
+}
+template <typename... Args> void log_error(Args &&...args) {
+  if (log_threshold() <= LogLevel::Error) {
+    log_line(LogLevel::Error, detail::format_parts(std::forward<Args>(args)...));
+  }
+}
+
+} // namespace support

@@ -1,0 +1,56 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace support {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  assert(!sorted.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double trimean(std::span<const double> samples) {
+  assert(!samples.empty());
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double q1 = quantile_sorted(sorted, 0.25);
+  const double q2 = quantile_sorted(sorted, 0.50);
+  const double q3 = quantile_sorted(sorted, 0.75);
+  return (q1 + 2.0 * q2 + q3) / 4.0;
+}
+
+double mean(std::span<const double> samples) {
+  assert(!samples.empty());
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+double median(std::span<const double> samples) {
+  assert(!samples.empty());
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, 0.5);
+}
+
+double min(std::span<const double> samples) {
+  assert(!samples.empty());
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+double Sampler::trimean() const { return support::trimean(samples_); }
+double Sampler::mean() const { return support::mean(samples_); }
+double Sampler::median() const { return support::median(samples_); }
+double Sampler::min() const { return support::min(samples_); }
+
+} // namespace support

@@ -1,0 +1,46 @@
+// Small statistics helpers used by the measurement binary and benchmarks.
+//
+// The paper reports the *trimean* of repeated timings (Fig. 7 caption):
+//   TM = (Q1 + 2*Q2 + Q3) / 4
+// which is robust to the long right tail typical of latency samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace support {
+
+/// Linear-interpolated quantile of `sorted` (must be ascending, non-empty).
+/// q in [0,1]; q=0 -> min, q=1 -> max.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Tukey's trimean of an arbitrary (unsorted, non-empty) sample.
+double trimean(std::span<const double> samples);
+
+/// Arithmetic mean of a non-empty sample.
+double mean(std::span<const double> samples);
+
+/// Median of a non-empty sample.
+double median(std::span<const double> samples);
+
+/// Minimum of a non-empty sample.
+double min(std::span<const double> samples);
+
+/// Accumulates timing samples and reports robust summaries.
+class Sampler {
+public:
+  void add(double v) { samples_.push_back(v); }
+  void clear() { samples_.clear(); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double trimean() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const;
+  [[nodiscard]] double min() const;
+
+private:
+  std::vector<double> samples_;
+};
+
+} // namespace support

@@ -1,0 +1,729 @@
+// System MPI entry points (the functions a real libmpi.so would export).
+//
+// Each function validates arguments, then defers to the datatype engine
+// (types.cpp), the point-to-point engine (transport.cpp), or the
+// collectives (collectives.cpp). TEMPI reaches these through
+// interpose::system_table().
+#include "sysmpi/collectives.hpp"
+#include "sysmpi/netmodel.hpp"
+#include "sysmpi/pack_baseline.hpp"
+#include "sysmpi/registration.hpp"
+#include "sysmpi/transport.hpp"
+#include "sysmpi/types.hpp"
+#include "sysmpi/world.hpp"
+#include "vcuda/clock.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sysmpi {
+
+namespace {
+
+// --- environment -------------------------------------------------------------
+
+int sys_Init(int *argc, char ***argv) {
+  (void)argc;
+  (void)argv;
+  ensure_self_context();
+  this_rank().initialized = true;
+  return MPI_SUCCESS;
+}
+
+int sys_Finalize() {
+  this_rank().finalized = true;
+  return MPI_SUCCESS;
+}
+
+int sys_Initialized(int *flag) {
+  if (flag == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *flag = this_rank().initialized ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int sys_Comm_rank(MPI_Comm comm, int *rank) {
+  if (comm == nullptr || rank == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *rank = comm->my_rank;
+  return MPI_SUCCESS;
+}
+
+int sys_Comm_size(MPI_Comm comm, int *size) {
+  if (comm == nullptr || size == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *size = comm->size();
+  return MPI_SUCCESS;
+}
+
+int sys_Comm_free(MPI_Comm *comm) {
+  if (comm == nullptr || *comm == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (*comm == this_rank().world_comm) {
+    return MPI_ERR_ARG; // the world communicator cannot be freed
+  }
+  delete *comm;
+  *comm = MPI_COMM_NULL;
+  return MPI_SUCCESS;
+}
+
+int sys_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm *newcomm) {
+  return comm_split_impl(comm, color, key, newcomm);
+}
+
+int sys_Comm_dup(MPI_Comm comm, MPI_Comm *newcomm) {
+  if (comm == nullptr || newcomm == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  // Collective; every rank consumes the same ordinal so the duplicated
+  // communicator's id (and therefore its message space) matches.
+  auto *c = new Comm(*comm);
+  c->id = comm->id * 1000003ull + comm->next_child_ordinal++ * 7919ull;
+  c->next_child_ordinal = 1;
+  c->collective_seq = 0;
+  *newcomm = c;
+  return MPI_SUCCESS;
+}
+
+// --- datatype constructors ---------------------------------------------------
+
+int sys_Type_contiguous(int count, MPI_Datatype oldtype,
+                        MPI_Datatype *newtype) {
+  if (count < 0 || oldtype == nullptr || newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *newtype = make_contiguous(count, oldtype);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_vector(int count, int blocklength, int stride,
+                    MPI_Datatype oldtype, MPI_Datatype *newtype) {
+  if (count < 0 || blocklength < 0 || oldtype == nullptr ||
+      newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *newtype = make_vector(count, blocklength, stride, oldtype);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_create_hvector(int count, int blocklength, MPI_Aint stride,
+                            MPI_Datatype oldtype, MPI_Datatype *newtype) {
+  if (count < 0 || blocklength < 0 || oldtype == nullptr ||
+      newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *newtype = make_hvector(count, blocklength, stride, oldtype);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_indexed(int count, const int *blocklengths,
+                     const int *displacements, MPI_Datatype oldtype,
+                     MPI_Datatype *newtype) {
+  if (count < 0 || oldtype == nullptr || newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *newtype = make_indexed(count, blocklengths, displacements, oldtype);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_create_hindexed(int count, const int *blocklengths,
+                             const MPI_Aint *displacements,
+                             MPI_Datatype oldtype, MPI_Datatype *newtype) {
+  if (count < 0 || oldtype == nullptr || newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *newtype = make_hindexed(count, blocklengths, displacements, oldtype);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_create_indexed_block(int count, int blocklength,
+                                  const int *displacements,
+                                  MPI_Datatype oldtype,
+                                  MPI_Datatype *newtype) {
+  if (count < 0 || blocklength < 0 || oldtype == nullptr ||
+      newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *newtype = make_indexed_block(count, blocklength, displacements, oldtype);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_create_subarray(int ndims, const int *sizes, const int *subsizes,
+                             const int *starts, int order,
+                             MPI_Datatype oldtype, MPI_Datatype *newtype) {
+  if (ndims < 1 || sizes == nullptr || subsizes == nullptr ||
+      starts == nullptr || oldtype == nullptr || newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (order != MPI_ORDER_C && order != MPI_ORDER_FORTRAN) {
+    return MPI_ERR_ARG;
+  }
+  for (int d = 0; d < ndims; ++d) {
+    if (subsizes[d] < 0 || sizes[d] < subsizes[d] || starts[d] < 0 ||
+        starts[d] + subsizes[d] > sizes[d]) {
+      return MPI_ERR_ARG;
+    }
+  }
+  *newtype = make_subarray(ndims, sizes, subsizes, starts, order, oldtype);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_create_struct(int count, const int *blocklengths,
+                           const MPI_Aint *displacements,
+                           const MPI_Datatype *types, MPI_Datatype *newtype) {
+  if (count < 0 || newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *newtype = make_struct(count, blocklengths, displacements, types);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_create_resized(MPI_Datatype oldtype, MPI_Aint lb, MPI_Aint extent,
+                            MPI_Datatype *newtype) {
+  if (oldtype == nullptr || newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *newtype = make_resized(oldtype, lb, extent);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_dup(MPI_Datatype oldtype, MPI_Datatype *newtype) {
+  if (oldtype == nullptr || newtype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *newtype = make_dup(oldtype);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_commit(MPI_Datatype *datatype) {
+  if (datatype == nullptr || *datatype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  commit(*datatype);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_free(MPI_Datatype *datatype) {
+  if (datatype == nullptr || *datatype == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  type_release(*datatype);
+  *datatype = MPI_DATATYPE_NULL;
+  return MPI_SUCCESS;
+}
+
+int sys_Type_size(MPI_Datatype datatype, int *size) {
+  if (datatype == nullptr || size == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *size = static_cast<int>(datatype->size);
+  return MPI_SUCCESS;
+}
+
+int sys_Type_get_extent(MPI_Datatype datatype, MPI_Aint *lb,
+                        MPI_Aint *extent) {
+  if (datatype == nullptr || lb == nullptr || extent == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *lb = datatype->lb;
+  *extent = datatype->extent;
+  return MPI_SUCCESS;
+}
+
+int sys_Type_get_true_extent(MPI_Datatype datatype, MPI_Aint *true_lb,
+                             MPI_Aint *true_extent) {
+  if (datatype == nullptr || true_lb == nullptr || true_extent == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  const BlockList &flat = datatype->flat_list();
+  if (flat.blocks.empty()) {
+    *true_lb = 0;
+    *true_extent = 0;
+    return MPI_SUCCESS;
+  }
+  long long lo = flat.blocks.front().offset;
+  long long hi = lo;
+  for (const Block &b : flat.blocks) {
+    lo = std::min(lo, b.offset);
+    hi = std::max(hi, b.offset + b.length);
+  }
+  *true_lb = lo;
+  *true_extent = hi - lo;
+  return MPI_SUCCESS;
+}
+
+int sys_Type_get_envelope(MPI_Datatype datatype, int *num_integers,
+                          int *num_addresses, int *num_datatypes,
+                          int *combiner) {
+  if (datatype == nullptr || num_integers == nullptr ||
+      num_addresses == nullptr || num_datatypes == nullptr ||
+      combiner == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *num_integers = static_cast<int>(datatype->ints.size());
+  *num_addresses = static_cast<int>(datatype->aints.size());
+  *num_datatypes = static_cast<int>(datatype->subtypes.size());
+  *combiner = datatype->combiner;
+  return MPI_SUCCESS;
+}
+
+int sys_Type_get_contents(MPI_Datatype datatype, int max_integers,
+                          int max_addresses, int max_datatypes, int *integers,
+                          MPI_Aint *addresses, MPI_Datatype *datatypes) {
+  if (datatype == nullptr || datatype->combiner == MPI_COMBINER_NAMED) {
+    return MPI_ERR_TYPE;
+  }
+  if (max_integers < static_cast<int>(datatype->ints.size()) ||
+      max_addresses < static_cast<int>(datatype->aints.size()) ||
+      max_datatypes < static_cast<int>(datatype->subtypes.size())) {
+    return MPI_ERR_ARG;
+  }
+  for (std::size_t i = 0; i < datatype->ints.size(); ++i) {
+    integers[i] = datatype->ints[i];
+  }
+  for (std::size_t i = 0; i < datatype->aints.size(); ++i) {
+    addresses[i] = datatype->aints[i];
+  }
+  for (std::size_t i = 0; i < datatype->subtypes.size(); ++i) {
+    // Per MPI, returned handles are new references the caller must free.
+    type_retain(datatype->subtypes[i]);
+    datatypes[i] = datatype->subtypes[i];
+  }
+  return MPI_SUCCESS;
+}
+
+// --- point-to-point ----------------------------------------------------------
+
+int sys_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
+             int tag, MPI_Comm comm) {
+  return send_impl(buf, count, datatype, dest, tag, comm);
+}
+
+int sys_Recv(void *buf, int count, MPI_Datatype datatype, int source, int tag,
+             MPI_Comm comm, MPI_Status *status) {
+  return recv_impl(buf, count, datatype, source, tag, comm, status);
+}
+
+int sys_Sendrecv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                 int dest, int sendtag, void *recvbuf, int recvcount,
+                 MPI_Datatype recvtype, int source, int recvtag, MPI_Comm comm,
+                 MPI_Status *status) {
+  // Sends are buffered, so send-then-receive cannot deadlock.
+  const int rc = send_impl(sendbuf, sendcount, sendtype, dest, sendtag, comm);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  return recv_impl(recvbuf, recvcount, recvtype, source, recvtag, comm,
+                   status);
+}
+
+} // namespace
+
+/// Request object: sends complete eagerly at Isend time; receives are
+/// matched lazily at Wait/Test.
+struct Request {
+  enum class Kind { SendDone, RecvPending, RecvDone };
+  Kind kind = Kind::SendDone;
+  void *buf = nullptr;
+  int count = 0;
+  MPI_Datatype datatype = nullptr;
+  int peer = MPI_ANY_SOURCE;
+  int tag = MPI_ANY_TAG;
+  MPI_Comm comm = nullptr;
+  MPI_Status status{};
+};
+
+namespace {
+
+int sys_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
+              int tag, MPI_Comm comm, MPI_Request *request) {
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  const int rc = send_impl(buf, count, datatype, dest, tag, comm);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  auto *r = new Request();
+  r->kind = Request::Kind::SendDone;
+  *request = r;
+  return MPI_SUCCESS;
+}
+
+int sys_Irecv(void *buf, int count, MPI_Datatype datatype, int source, int tag,
+              MPI_Comm comm, MPI_Request *request) {
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  auto *r = new Request();
+  r->kind = Request::Kind::RecvPending;
+  r->buf = buf;
+  r->count = count;
+  r->datatype = datatype;
+  type_retain(datatype);
+  r->peer = source;
+  r->tag = tag;
+  r->comm = comm;
+  *request = r;
+  return MPI_SUCCESS;
+}
+
+void complete_request(MPI_Request *request, MPI_Status *status) {
+  if (status != MPI_STATUS_IGNORE) {
+    *status = (*request)->status;
+  }
+  if ((*request)->datatype != nullptr) {
+    type_release((*request)->datatype);
+  }
+  delete *request;
+  *request = MPI_REQUEST_NULL;
+}
+
+int sys_Wait(MPI_Request *request, MPI_Status *status) {
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (*request == MPI_REQUEST_NULL) {
+    return MPI_SUCCESS;
+  }
+  Request &r = **request;
+  if (r.kind == Request::Kind::RecvPending) {
+    const int rc = recv_impl(r.buf, r.count, r.datatype, r.peer, r.tag, r.comm,
+                             &r.status);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  complete_request(request, status);
+  return MPI_SUCCESS;
+}
+
+int sys_Waitall(int count, MPI_Request *requests, MPI_Status *statuses) {
+  if (count < 0 || (count > 0 && requests == nullptr)) {
+    return MPI_ERR_ARG;
+  }
+  for (int i = 0; i < count; ++i) {
+    MPI_Status *status =
+        statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+    const int rc = sys_Wait(&requests[i], status);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  return MPI_SUCCESS;
+}
+
+int sys_Test(MPI_Request *request, int *flag, MPI_Status *status);
+
+int sys_Waitany(int count, MPI_Request *requests, int *index,
+                MPI_Status *status) {
+  if (count < 0 || (count > 0 && requests == nullptr) || index == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  bool any_active = false;
+  for (int i = 0; i < count; ++i) {
+    any_active = any_active || requests[i] != MPI_REQUEST_NULL;
+  }
+  if (!any_active) {
+    *index = MPI_UNDEFINED;
+    return MPI_SUCCESS;
+  }
+  // Poll: completed sends return immediately; pending receives are tested
+  // against the mailbox. A small virtual cost accrues per sweep.
+  while (true) {
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] == MPI_REQUEST_NULL) {
+        continue;
+      }
+      int flag = 0;
+      const int rc = sys_Test(&requests[i], &flag, status);
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+      if (flag != 0) {
+        *index = i;
+        return MPI_SUCCESS;
+      }
+    }
+    vcuda::this_thread_timeline().advance(100);
+    std::this_thread::yield();
+  }
+}
+
+int sys_Probe(int source, int tag, MPI_Comm comm, MPI_Status *status) {
+  if (comm == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  World &world = *comm->world;
+  const Mailbox::PeekInfo info =
+      world.mailbox(comm->world_rank_of(comm->my_rank))
+          .peek(source, tag, comm->id);
+  if (status != MPI_STATUS_IGNORE) {
+    status->MPI_SOURCE = info.src_comm_rank;
+    status->MPI_TAG = info.tag;
+    status->MPI_ERROR = MPI_SUCCESS;
+    status->count_bytes = static_cast<long long>(info.bytes);
+  }
+  return MPI_SUCCESS;
+}
+
+int sys_Iprobe(int source, int tag, MPI_Comm comm, int *flag,
+               MPI_Status *status) {
+  if (comm == nullptr || flag == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  World &world = *comm->world;
+  Mailbox::PeekInfo info;
+  if (!world.mailbox(comm->world_rank_of(comm->my_rank))
+           .try_peek(source, tag, comm->id, info)) {
+    *flag = 0;
+    return MPI_SUCCESS;
+  }
+  *flag = 1;
+  if (status != MPI_STATUS_IGNORE) {
+    status->MPI_SOURCE = info.src_comm_rank;
+    status->MPI_TAG = info.tag;
+    status->MPI_ERROR = MPI_SUCCESS;
+    status->count_bytes = static_cast<long long>(info.bytes);
+  }
+  return MPI_SUCCESS;
+}
+
+int sys_Test(MPI_Request *request, int *flag, MPI_Status *status) {
+  if (request == nullptr || flag == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (*request == MPI_REQUEST_NULL) {
+    *flag = 1;
+    return MPI_SUCCESS;
+  }
+  Request &r = **request;
+  if (r.kind == Request::Kind::RecvPending) {
+    if (!try_recv_impl(r.buf, r.count, r.datatype, r.peer, r.tag, r.comm,
+                       &r.status)) {
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    r.kind = Request::Kind::RecvDone;
+  }
+  *flag = 1;
+  complete_request(request, status);
+  return MPI_SUCCESS;
+}
+
+// --- collectives --------------------------------------------------------------
+
+int sys_Barrier(MPI_Comm comm) { return barrier_impl(comm); }
+
+int sys_Bcast(void *buffer, int count, MPI_Datatype datatype, int root,
+              MPI_Comm comm) {
+  return bcast_impl(buffer, count, datatype, root, comm);
+}
+
+int sys_Allreduce(const void *sendbuf, void *recvbuf, int count,
+                  MPI_Datatype datatype, MPI_Op op, MPI_Comm comm) {
+  return allreduce_impl(sendbuf, recvbuf, count, datatype, op, comm);
+}
+
+int sys_Reduce(const void *sendbuf, void *recvbuf, int count,
+               MPI_Datatype datatype, MPI_Op op, int root, MPI_Comm comm) {
+  return reduce_impl(sendbuf, recvbuf, count, datatype, op, root, comm);
+}
+
+int sys_Gather(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+               void *recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+               MPI_Comm comm) {
+  return gather_impl(sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                     recvtype, root, comm);
+}
+
+int sys_Gatherv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                void *recvbuf, const int *recvcounts, const int *displs,
+                MPI_Datatype recvtype, int root, MPI_Comm comm) {
+  return gatherv_impl(sendbuf, sendcount, sendtype, recvbuf, recvcounts,
+                      displs, recvtype, root, comm);
+}
+
+int sys_Scatter(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                void *recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+                MPI_Comm comm) {
+  return scatter_impl(sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                      recvtype, root, comm);
+}
+
+int sys_Allgather(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void *recvbuf, int recvcount, MPI_Datatype recvtype,
+                  MPI_Comm comm) {
+  return allgather_impl(sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                        recvtype, comm);
+}
+
+int sys_Alltoallv(const void *sendbuf, const int *sendcounts,
+                  const int *sdispls, MPI_Datatype sendtype, void *recvbuf,
+                  const int *recvcounts, const int *rdispls,
+                  MPI_Datatype recvtype, MPI_Comm comm) {
+  return alltoallv_impl(sendbuf, sendcounts, sdispls, sendtype, recvbuf,
+                        recvcounts, rdispls, recvtype, comm);
+}
+
+int sys_Dist_graph_create_adjacent(MPI_Comm comm_old, int indegree,
+                                   const int *sources,
+                                   const int *sourceweights, int outdegree,
+                                   const int *destinations,
+                                   const int *destweights, int info,
+                                   int reorder, MPI_Comm *comm_dist_graph) {
+  return dist_graph_create_adjacent_impl(comm_old, indegree, sources,
+                                         sourceweights, outdegree,
+                                         destinations, destweights, info,
+                                         reorder, comm_dist_graph);
+}
+
+int sys_Neighbor_alltoallv(const void *sendbuf, const int *sendcounts,
+                           const int *sdispls, MPI_Datatype sendtype,
+                           void *recvbuf, const int *recvcounts,
+                           const int *rdispls, MPI_Datatype recvtype,
+                           MPI_Comm comm) {
+  return neighbor_alltoallv_impl(sendbuf, sendcounts, sdispls, sendtype,
+                                 recvbuf, recvcounts, rdispls, recvtype, comm);
+}
+
+// --- pack/unpack ---------------------------------------------------------------
+
+int sys_Pack(const void *inbuf, int incount, MPI_Datatype datatype,
+             void *outbuf, int outsize, int *position, MPI_Comm comm) {
+  (void)comm;
+  if (datatype == nullptr || position == nullptr || incount < 0) {
+    return MPI_ERR_ARG;
+  }
+  if (!datatype->committed) {
+    return MPI_ERR_TYPE;
+  }
+  const long long needed = datatype->size * incount;
+  if (*position + needed > outsize) {
+    return MPI_ERR_TRUNCATE;
+  }
+  auto *out = static_cast<std::byte *>(outbuf) + *position;
+  baseline_pack(out, inbuf, incount, *datatype);
+  *position += static_cast<int>(needed);
+  return MPI_SUCCESS;
+}
+
+int sys_Unpack(const void *inbuf, int insize, int *position, void *outbuf,
+               int outcount, MPI_Datatype datatype, MPI_Comm comm) {
+  (void)comm;
+  if (datatype == nullptr || position == nullptr || outcount < 0) {
+    return MPI_ERR_ARG;
+  }
+  if (!datatype->committed) {
+    return MPI_ERR_TYPE;
+  }
+  const long long needed = datatype->size * outcount;
+  if (*position + needed > insize) {
+    return MPI_ERR_TRUNCATE;
+  }
+  const auto *in = static_cast<const std::byte *>(inbuf) + *position;
+  baseline_unpack(outbuf, in, outcount, *datatype);
+  *position += static_cast<int>(needed);
+  return MPI_SUCCESS;
+}
+
+int sys_Pack_size(int incount, MPI_Datatype datatype, MPI_Comm comm,
+                  int *size) {
+  (void)comm;
+  if (datatype == nullptr || size == nullptr || incount < 0) {
+    return MPI_ERR_ARG;
+  }
+  *size = static_cast<int>(datatype->size * incount);
+  return MPI_SUCCESS;
+}
+
+int sys_Get_count(const MPI_Status *status, MPI_Datatype datatype,
+                  int *count) {
+  if (status == nullptr || datatype == nullptr || count == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (datatype->size == 0) {
+    *count = 0;
+    return MPI_SUCCESS;
+  }
+  *count = static_cast<int>(status->count_bytes / datatype->size);
+  return MPI_SUCCESS;
+}
+
+} // namespace
+
+interpose::MpiTable make_system_table() {
+  interpose::MpiTable t;
+  t.Init = sys_Init;
+  t.Finalize = sys_Finalize;
+  t.Initialized = sys_Initialized;
+  t.Comm_rank = sys_Comm_rank;
+  t.Comm_size = sys_Comm_size;
+  t.Comm_free = sys_Comm_free;
+  t.Comm_split = sys_Comm_split;
+  t.Comm_dup = sys_Comm_dup;
+  t.Type_contiguous = sys_Type_contiguous;
+  t.Type_vector = sys_Type_vector;
+  t.Type_create_hvector = sys_Type_create_hvector;
+  t.Type_indexed = sys_Type_indexed;
+  t.Type_create_hindexed = sys_Type_create_hindexed;
+  t.Type_create_indexed_block = sys_Type_create_indexed_block;
+  t.Type_create_subarray = sys_Type_create_subarray;
+  t.Type_create_struct = sys_Type_create_struct;
+  t.Type_create_resized = sys_Type_create_resized;
+  t.Type_dup = sys_Type_dup;
+  t.Type_commit = sys_Type_commit;
+  t.Type_free = sys_Type_free;
+  t.Type_size = sys_Type_size;
+  t.Type_get_extent = sys_Type_get_extent;
+  t.Type_get_true_extent = sys_Type_get_true_extent;
+  t.Type_get_envelope = sys_Type_get_envelope;
+  t.Type_get_contents = sys_Type_get_contents;
+  t.Send = sys_Send;
+  t.Recv = sys_Recv;
+  t.Sendrecv = sys_Sendrecv;
+  t.Isend = sys_Isend;
+  t.Irecv = sys_Irecv;
+  t.Wait = sys_Wait;
+  t.Waitall = sys_Waitall;
+  t.Waitany = sys_Waitany;
+  t.Test = sys_Test;
+  t.Probe = sys_Probe;
+  t.Iprobe = sys_Iprobe;
+  t.Barrier = sys_Barrier;
+  t.Bcast = sys_Bcast;
+  t.Allreduce = sys_Allreduce;
+  t.Reduce = sys_Reduce;
+  t.Gather = sys_Gather;
+  t.Gatherv = sys_Gatherv;
+  t.Scatter = sys_Scatter;
+  t.Allgather = sys_Allgather;
+  t.Alltoallv = sys_Alltoallv;
+  t.Dist_graph_create_adjacent = sys_Dist_graph_create_adjacent;
+  t.Neighbor_alltoallv = sys_Neighbor_alltoallv;
+  t.Pack = sys_Pack;
+  t.Unpack = sys_Unpack;
+  t.Pack_size = sys_Pack_size;
+  t.Get_count = sys_Get_count;
+  return t;
+}
+
+} // namespace sysmpi
+
+// --- non-interposable functions ------------------------------------------------
+
+double MPI_Wtime() {
+  return vcuda::ns_to_s(vcuda::virtual_now());
+}
+
+int MPI_Abort(MPI_Comm comm, int errorcode) {
+  (void)comm;
+  std::fprintf(stderr, "MPI_Abort with error code %d\n", errorcode);
+  std::abort();
+}

@@ -1,0 +1,48 @@
+// Internal collective implementations (not interposable; see transport.hpp).
+//
+// Collective messages use reserved negative tags derived from a per-
+// communicator sequence number. MPI requires every rank of a communicator
+// to issue collectives in the same order, which keeps the per-rank sequence
+// counters consistent without extra synchronization.
+#pragma once
+
+#include "sysmpi/types.hpp"
+#include "sysmpi/world.hpp"
+
+namespace sysmpi {
+
+int barrier_impl(MPI_Comm comm);
+int bcast_impl(void *buf, int count, MPI_Datatype dt, int root, MPI_Comm comm);
+int allreduce_impl(const void *sendbuf, void *recvbuf, int count,
+                   MPI_Datatype dt, MPI_Op op, MPI_Comm comm);
+int alltoallv_impl(const void *sendbuf, const int *sendcounts,
+                   const int *sdispls, MPI_Datatype sendtype, void *recvbuf,
+                   const int *recvcounts, const int *rdispls,
+                   MPI_Datatype recvtype, MPI_Comm comm);
+int dist_graph_create_adjacent_impl(MPI_Comm comm_old, int indegree,
+                                    const int *sources, const int *sourceweights,
+                                    int outdegree, const int *destinations,
+                                    const int *destweights, int info,
+                                    int reorder, MPI_Comm *comm_dist_graph);
+int neighbor_alltoallv_impl(const void *sendbuf, const int *sendcounts,
+                            const int *sdispls, MPI_Datatype sendtype,
+                            void *recvbuf, const int *recvcounts,
+                            const int *rdispls, MPI_Datatype recvtype,
+                            MPI_Comm comm);
+int reduce_impl(const void *sendbuf, void *recvbuf, int count,
+                MPI_Datatype dt, MPI_Op op, int root, MPI_Comm comm);
+int gather_impl(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                void *recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+                MPI_Comm comm);
+int gatherv_impl(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                 void *recvbuf, const int *recvcounts, const int *displs,
+                 MPI_Datatype recvtype, int root, MPI_Comm comm);
+int scatter_impl(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                 void *recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int root, MPI_Comm comm);
+int allgather_impl(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                   void *recvbuf, int recvcount, MPI_Datatype recvtype,
+                   MPI_Comm comm);
+int comm_split_impl(MPI_Comm comm, int color, int key, MPI_Comm *newcomm);
+
+} // namespace sysmpi

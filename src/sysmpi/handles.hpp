@@ -1,0 +1,120 @@
+// Handle types and constants for the in-process MPI implementation.
+//
+// sysmpi plays the role of the *system MPI* (Spectrum MPI in the paper): a
+// CUDA-aware MPI whose derived-datatype GPU path is functional but slow.
+// Handles are pointers to internal objects, as in Open MPI. Named datatypes
+// are process-lifetime singletons.
+#pragma once
+
+#include <cstddef>
+
+namespace sysmpi {
+struct Datatype;
+struct Comm;
+struct Request;
+struct Op;
+} // namespace sysmpi
+
+using MPI_Datatype = sysmpi::Datatype *;
+using MPI_Comm = sysmpi::Comm *;
+using MPI_Request = sysmpi::Request *;
+using MPI_Op = sysmpi::Op *;
+using MPI_Aint = long long;
+
+struct MPI_Status {
+  int MPI_SOURCE = -1;
+  int MPI_TAG = -1;
+  int MPI_ERROR = 0;
+  long long count_bytes = 0; ///< internal: received payload size
+};
+
+// Error codes (subset).
+inline constexpr int MPI_SUCCESS = 0;
+inline constexpr int MPI_ERR_TYPE = 3;
+inline constexpr int MPI_ERR_COUNT = 2;
+inline constexpr int MPI_ERR_ARG = 12;
+inline constexpr int MPI_ERR_TRUNCATE = 15;
+inline constexpr int MPI_ERR_OTHER = 16;
+
+// Wildcards and sentinels.
+inline constexpr int MPI_UNDEFINED = -32766;
+inline constexpr int MPI_ANY_SOURCE = -1;
+inline constexpr int MPI_ANY_TAG = -1;
+inline constexpr int MPI_PROC_NULL = -2;
+inline MPI_Status *const MPI_STATUS_IGNORE = nullptr;
+inline MPI_Status *const MPI_STATUSES_IGNORE = nullptr;
+
+// Subarray ordering.
+inline constexpr int MPI_ORDER_C = 56;
+inline constexpr int MPI_ORDER_FORTRAN = 57;
+
+// Type combiners (MPI_Type_get_envelope).
+inline constexpr int MPI_COMBINER_NAMED = 1;
+inline constexpr int MPI_COMBINER_DUP = 2;
+inline constexpr int MPI_COMBINER_CONTIGUOUS = 3;
+inline constexpr int MPI_COMBINER_VECTOR = 4;
+inline constexpr int MPI_COMBINER_HVECTOR = 5;
+inline constexpr int MPI_COMBINER_INDEXED = 6;
+inline constexpr int MPI_COMBINER_HINDEXED = 7;
+inline constexpr int MPI_COMBINER_INDEXED_BLOCK = 8;
+inline constexpr int MPI_COMBINER_STRUCT = 9;
+inline constexpr int MPI_COMBINER_SUBARRAY = 10;
+inline constexpr int MPI_COMBINER_RESIZED = 11;
+
+namespace sysmpi {
+
+/// Identifiers for the named (predefined) datatypes.
+enum class Named : int {
+  Byte,
+  Char,
+  SignedChar,
+  UnsignedChar,
+  Short,
+  UnsignedShort,
+  Int,
+  Unsigned,
+  Long,
+  UnsignedLong,
+  LongLong,
+  UnsignedLongLong,
+  Float,
+  Double,
+  Count_, // number of named types
+};
+
+/// Singleton handle for a named type.
+MPI_Datatype named_type(Named n);
+
+/// The world communicator of the calling rank's current run.
+MPI_Comm comm_world();
+
+/// Reduction operator singletons.
+enum class OpKind : int { Sum, Max, Min };
+MPI_Op op_handle(OpKind k);
+
+} // namespace sysmpi
+
+#define MPI_COMM_WORLD (::sysmpi::comm_world())
+#define MPI_COMM_NULL ((MPI_Comm) nullptr)
+#define MPI_DATATYPE_NULL ((MPI_Datatype) nullptr)
+#define MPI_REQUEST_NULL ((MPI_Request) nullptr)
+
+#define MPI_BYTE (::sysmpi::named_type(::sysmpi::Named::Byte))
+#define MPI_CHAR (::sysmpi::named_type(::sysmpi::Named::Char))
+#define MPI_SIGNED_CHAR (::sysmpi::named_type(::sysmpi::Named::SignedChar))
+#define MPI_UNSIGNED_CHAR (::sysmpi::named_type(::sysmpi::Named::UnsignedChar))
+#define MPI_SHORT (::sysmpi::named_type(::sysmpi::Named::Short))
+#define MPI_UNSIGNED_SHORT (::sysmpi::named_type(::sysmpi::Named::UnsignedShort))
+#define MPI_INT (::sysmpi::named_type(::sysmpi::Named::Int))
+#define MPI_UNSIGNED (::sysmpi::named_type(::sysmpi::Named::Unsigned))
+#define MPI_LONG (::sysmpi::named_type(::sysmpi::Named::Long))
+#define MPI_UNSIGNED_LONG (::sysmpi::named_type(::sysmpi::Named::UnsignedLong))
+#define MPI_LONG_LONG (::sysmpi::named_type(::sysmpi::Named::LongLong))
+#define MPI_UNSIGNED_LONG_LONG \
+  (::sysmpi::named_type(::sysmpi::Named::UnsignedLongLong))
+#define MPI_FLOAT (::sysmpi::named_type(::sysmpi::Named::Float))
+#define MPI_DOUBLE (::sysmpi::named_type(::sysmpi::Named::Double))
+
+#define MPI_SUM (::sysmpi::op_handle(::sysmpi::OpKind::Sum))
+#define MPI_MAX (::sysmpi::op_handle(::sysmpi::OpKind::Max))
+#define MPI_MIN (::sysmpi::op_handle(::sysmpi::OpKind::Min))

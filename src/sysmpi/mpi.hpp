@@ -1,0 +1,279 @@
+// The MPI interface seen by applications.
+//
+// Every function here is a thin dispatch through interpose::active_table(),
+// which is how this reproduction models dynamic-linker symbol resolution
+// (see interpose/table.hpp). Applications include this header and call
+// MPI_* exactly as they would with a real MPI; installing TEMPI changes
+// where the calls land without touching application code.
+#pragma once
+
+#include "interpose/table.hpp"
+#include "sysmpi/handles.hpp"
+
+inline int MPI_Init(int *argc, char ***argv) {
+  return interpose::active_table().Init(argc, argv);
+}
+inline int MPI_Finalize() { return interpose::active_table().Finalize(); }
+inline int MPI_Initialized(int *flag) {
+  return interpose::active_table().Initialized(flag);
+}
+inline int MPI_Comm_rank(MPI_Comm comm, int *rank) {
+  return interpose::active_table().Comm_rank(comm, rank);
+}
+inline int MPI_Comm_size(MPI_Comm comm, int *size) {
+  return interpose::active_table().Comm_size(comm, size);
+}
+inline int MPI_Comm_free(MPI_Comm *comm) {
+  return interpose::active_table().Comm_free(comm);
+}
+inline int MPI_Comm_split(MPI_Comm comm, int color, int key,
+                          MPI_Comm *newcomm) {
+  return interpose::active_table().Comm_split(comm, color, key, newcomm);
+}
+inline int MPI_Comm_dup(MPI_Comm comm, MPI_Comm *newcomm) {
+  return interpose::active_table().Comm_dup(comm, newcomm);
+}
+
+inline int MPI_Type_contiguous(int count, MPI_Datatype oldtype,
+                               MPI_Datatype *newtype) {
+  return interpose::active_table().Type_contiguous(count, oldtype, newtype);
+}
+inline int MPI_Type_vector(int count, int blocklength, int stride,
+                           MPI_Datatype oldtype, MPI_Datatype *newtype) {
+  return interpose::active_table().Type_vector(count, blocklength, stride,
+                                               oldtype, newtype);
+}
+inline int MPI_Type_create_hvector(int count, int blocklength, MPI_Aint stride,
+                                   MPI_Datatype oldtype,
+                                   MPI_Datatype *newtype) {
+  return interpose::active_table().Type_create_hvector(count, blocklength,
+                                                       stride, oldtype,
+                                                       newtype);
+}
+inline int MPI_Type_indexed(int count, const int *blocklengths,
+                            const int *displacements, MPI_Datatype oldtype,
+                            MPI_Datatype *newtype) {
+  return interpose::active_table().Type_indexed(count, blocklengths,
+                                                displacements, oldtype,
+                                                newtype);
+}
+inline int MPI_Type_create_hindexed(int count, const int *blocklengths,
+                                    const MPI_Aint *displacements,
+                                    MPI_Datatype oldtype,
+                                    MPI_Datatype *newtype) {
+  return interpose::active_table().Type_create_hindexed(
+      count, blocklengths, displacements, oldtype, newtype);
+}
+inline int MPI_Type_create_indexed_block(int count, int blocklength,
+                                         const int *displacements,
+                                         MPI_Datatype oldtype,
+                                         MPI_Datatype *newtype) {
+  return interpose::active_table().Type_create_indexed_block(
+      count, blocklength, displacements, oldtype, newtype);
+}
+inline int MPI_Type_create_subarray(int ndims, const int *sizes,
+                                    const int *subsizes, const int *starts,
+                                    int order, MPI_Datatype oldtype,
+                                    MPI_Datatype *newtype) {
+  return interpose::active_table().Type_create_subarray(
+      ndims, sizes, subsizes, starts, order, oldtype, newtype);
+}
+inline int MPI_Type_create_struct(int count, const int *blocklengths,
+                                  const MPI_Aint *displacements,
+                                  const MPI_Datatype *types,
+                                  MPI_Datatype *newtype) {
+  return interpose::active_table().Type_create_struct(
+      count, blocklengths, displacements, types, newtype);
+}
+inline int MPI_Type_create_resized(MPI_Datatype oldtype, MPI_Aint lb,
+                                   MPI_Aint extent, MPI_Datatype *newtype) {
+  return interpose::active_table().Type_create_resized(oldtype, lb, extent,
+                                                       newtype);
+}
+inline int MPI_Type_dup(MPI_Datatype oldtype, MPI_Datatype *newtype) {
+  return interpose::active_table().Type_dup(oldtype, newtype);
+}
+inline int MPI_Type_commit(MPI_Datatype *datatype) {
+  return interpose::active_table().Type_commit(datatype);
+}
+inline int MPI_Type_free(MPI_Datatype *datatype) {
+  return interpose::active_table().Type_free(datatype);
+}
+inline int MPI_Type_size(MPI_Datatype datatype, int *size) {
+  return interpose::active_table().Type_size(datatype, size);
+}
+inline int MPI_Type_get_extent(MPI_Datatype datatype, MPI_Aint *lb,
+                               MPI_Aint *extent) {
+  return interpose::active_table().Type_get_extent(datatype, lb, extent);
+}
+inline int MPI_Type_get_true_extent(MPI_Datatype datatype, MPI_Aint *true_lb,
+                                    MPI_Aint *true_extent) {
+  return interpose::active_table().Type_get_true_extent(datatype, true_lb,
+                                                        true_extent);
+}
+inline int MPI_Type_get_envelope(MPI_Datatype datatype, int *num_integers,
+                                 int *num_addresses, int *num_datatypes,
+                                 int *combiner) {
+  return interpose::active_table().Type_get_envelope(
+      datatype, num_integers, num_addresses, num_datatypes, combiner);
+}
+inline int MPI_Type_get_contents(MPI_Datatype datatype, int max_integers,
+                                 int max_addresses, int max_datatypes,
+                                 int *integers, MPI_Aint *addresses,
+                                 MPI_Datatype *datatypes) {
+  return interpose::active_table().Type_get_contents(
+      datatype, max_integers, max_addresses, max_datatypes, integers,
+      addresses, datatypes);
+}
+
+inline int MPI_Send(const void *buf, int count, MPI_Datatype datatype,
+                    int dest, int tag, MPI_Comm comm) {
+  return interpose::active_table().Send(buf, count, datatype, dest, tag, comm);
+}
+inline int MPI_Recv(void *buf, int count, MPI_Datatype datatype, int source,
+                    int tag, MPI_Comm comm, MPI_Status *status) {
+  return interpose::active_table().Recv(buf, count, datatype, source, tag,
+                                        comm, status);
+}
+inline int MPI_Sendrecv(const void *sendbuf, int sendcount,
+                        MPI_Datatype sendtype, int dest, int sendtag,
+                        void *recvbuf, int recvcount, MPI_Datatype recvtype,
+                        int source, int recvtag, MPI_Comm comm,
+                        MPI_Status *status) {
+  return interpose::active_table().Sendrecv(sendbuf, sendcount, sendtype, dest,
+                                            sendtag, recvbuf, recvcount,
+                                            recvtype, source, recvtag, comm,
+                                            status);
+}
+inline int MPI_Isend(const void *buf, int count, MPI_Datatype datatype,
+                     int dest, int tag, MPI_Comm comm, MPI_Request *request) {
+  return interpose::active_table().Isend(buf, count, datatype, dest, tag, comm,
+                                         request);
+}
+inline int MPI_Irecv(void *buf, int count, MPI_Datatype datatype, int source,
+                     int tag, MPI_Comm comm, MPI_Request *request) {
+  return interpose::active_table().Irecv(buf, count, datatype, source, tag,
+                                         comm, request);
+}
+inline int MPI_Wait(MPI_Request *request, MPI_Status *status) {
+  return interpose::active_table().Wait(request, status);
+}
+inline int MPI_Waitall(int count, MPI_Request *requests,
+                       MPI_Status *statuses) {
+  return interpose::active_table().Waitall(count, requests, statuses);
+}
+inline int MPI_Waitany(int count, MPI_Request *requests, int *index,
+                       MPI_Status *status) {
+  return interpose::active_table().Waitany(count, requests, index, status);
+}
+inline int MPI_Test(MPI_Request *request, int *flag, MPI_Status *status) {
+  return interpose::active_table().Test(request, flag, status);
+}
+inline int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status *status) {
+  return interpose::active_table().Probe(source, tag, comm, status);
+}
+inline int MPI_Iprobe(int source, int tag, MPI_Comm comm, int *flag,
+                      MPI_Status *status) {
+  return interpose::active_table().Iprobe(source, tag, comm, flag, status);
+}
+
+inline int MPI_Barrier(MPI_Comm comm) {
+  return interpose::active_table().Barrier(comm);
+}
+inline int MPI_Bcast(void *buffer, int count, MPI_Datatype datatype, int root,
+                     MPI_Comm comm) {
+  return interpose::active_table().Bcast(buffer, count, datatype, root, comm);
+}
+inline int MPI_Allreduce(const void *sendbuf, void *recvbuf, int count,
+                         MPI_Datatype datatype, MPI_Op op, MPI_Comm comm) {
+  return interpose::active_table().Allreduce(sendbuf, recvbuf, count, datatype,
+                                             op, comm);
+}
+inline int MPI_Reduce(const void *sendbuf, void *recvbuf, int count,
+                      MPI_Datatype datatype, MPI_Op op, int root,
+                      MPI_Comm comm) {
+  return interpose::active_table().Reduce(sendbuf, recvbuf, count, datatype,
+                                          op, root, comm);
+}
+inline int MPI_Gather(const void *sendbuf, int sendcount,
+                      MPI_Datatype sendtype, void *recvbuf, int recvcount,
+                      MPI_Datatype recvtype, int root, MPI_Comm comm) {
+  return interpose::active_table().Gather(sendbuf, sendcount, sendtype,
+                                          recvbuf, recvcount, recvtype, root,
+                                          comm);
+}
+inline int MPI_Gatherv(const void *sendbuf, int sendcount,
+                       MPI_Datatype sendtype, void *recvbuf,
+                       const int *recvcounts, const int *displs,
+                       MPI_Datatype recvtype, int root, MPI_Comm comm) {
+  return interpose::active_table().Gatherv(sendbuf, sendcount, sendtype,
+                                           recvbuf, recvcounts, displs,
+                                           recvtype, root, comm);
+}
+inline int MPI_Scatter(const void *sendbuf, int sendcount,
+                       MPI_Datatype sendtype, void *recvbuf, int recvcount,
+                       MPI_Datatype recvtype, int root, MPI_Comm comm) {
+  return interpose::active_table().Scatter(sendbuf, sendcount, sendtype,
+                                           recvbuf, recvcount, recvtype, root,
+                                           comm);
+}
+inline int MPI_Allgather(const void *sendbuf, int sendcount,
+                         MPI_Datatype sendtype, void *recvbuf, int recvcount,
+                         MPI_Datatype recvtype, MPI_Comm comm) {
+  return interpose::active_table().Allgather(sendbuf, sendcount, sendtype,
+                                             recvbuf, recvcount, recvtype,
+                                             comm);
+}
+inline int MPI_Alltoallv(const void *sendbuf, const int *sendcounts,
+                         const int *sdispls, MPI_Datatype sendtype,
+                         void *recvbuf, const int *recvcounts,
+                         const int *rdispls, MPI_Datatype recvtype,
+                         MPI_Comm comm) {
+  return interpose::active_table().Alltoallv(sendbuf, sendcounts, sdispls,
+                                             sendtype, recvbuf, recvcounts,
+                                             rdispls, recvtype, comm);
+}
+inline int MPI_Dist_graph_create_adjacent(
+    MPI_Comm comm_old, int indegree, const int *sources,
+    const int *sourceweights, int outdegree, const int *destinations,
+    const int *destweights, int info, int reorder, MPI_Comm *comm_dist_graph) {
+  return interpose::active_table().Dist_graph_create_adjacent(
+      comm_old, indegree, sources, sourceweights, outdegree, destinations,
+      destweights, info, reorder, comm_dist_graph);
+}
+inline int MPI_Neighbor_alltoallv(const void *sendbuf, const int *sendcounts,
+                                  const int *sdispls, MPI_Datatype sendtype,
+                                  void *recvbuf, const int *recvcounts,
+                                  const int *rdispls, MPI_Datatype recvtype,
+                                  MPI_Comm comm) {
+  return interpose::active_table().Neighbor_alltoallv(
+      sendbuf, sendcounts, sdispls, sendtype, recvbuf, recvcounts, rdispls,
+      recvtype, comm);
+}
+
+inline int MPI_Pack(const void *inbuf, int incount, MPI_Datatype datatype,
+                    void *outbuf, int outsize, int *position, MPI_Comm comm) {
+  return interpose::active_table().Pack(inbuf, incount, datatype, outbuf,
+                                        outsize, position, comm);
+}
+inline int MPI_Unpack(const void *inbuf, int insize, int *position,
+                      void *outbuf, int outcount, MPI_Datatype datatype,
+                      MPI_Comm comm) {
+  return interpose::active_table().Unpack(inbuf, insize, position, outbuf,
+                                          outcount, datatype, comm);
+}
+inline int MPI_Pack_size(int incount, MPI_Datatype datatype, MPI_Comm comm,
+                         int *size) {
+  return interpose::active_table().Pack_size(incount, datatype, comm, size);
+}
+inline int MPI_Get_count(const MPI_Status *status, MPI_Datatype datatype,
+                         int *count) {
+  return interpose::active_table().Get_count(status, datatype, count);
+}
+
+// Not interposable (no interposer needs them): implemented directly.
+double MPI_Wtime();                 ///< virtual seconds (see vcuda/clock.hpp)
+int MPI_Abort(MPI_Comm comm, int errorcode);
+
+// MPI_INFO_NULL placeholder for Dist_graph_create_adjacent's info argument.
+inline constexpr int MPI_INFO_NULL = 0;

@@ -1,0 +1,44 @@
+#include "sysmpi/netmodel.hpp"
+
+#include <cmath>
+
+namespace sysmpi {
+
+namespace {
+NetParams &mutable_params() {
+  static NetParams params;
+  return params;
+}
+} // namespace
+
+const NetParams &net_params() { return mutable_params(); }
+
+NetParams set_net_params(const NetParams &params) {
+  NetParams old = mutable_params();
+  mutable_params() = params;
+  return old;
+}
+
+vcuda::VirtualNs transfer_duration(const NetParams &p, std::size_t bytes,
+                                   bool src_gpu, bool dst_gpu,
+                                   bool same_node) {
+  double lat_us = 0.0;
+  double gbps = 0.0;
+  const bool any_gpu = src_gpu || dst_gpu;
+  const bool both_gpu = src_gpu && dst_gpu;
+  if (same_node) {
+    lat_us = any_gpu ? p.gpu_lat_intra_us : p.cpu_lat_intra_us;
+    gbps = any_gpu ? p.gpu_gbps_intra : p.cpu_gbps_intra;
+  } else {
+    lat_us = any_gpu ? p.gpu_lat_inter_us : p.cpu_lat_inter_us;
+    gbps = any_gpu ? p.gpu_gbps_inter : p.cpu_gbps_inter;
+  }
+  if (any_gpu && !both_gpu) {
+    lat_us += p.mixed_extra_us;
+  }
+  const double wire_ns = static_cast<double>(bytes) / gbps; // 1 GB/s = 1 B/ns
+  return vcuda::us_to_ns(lat_us) +
+         static_cast<vcuda::VirtualNs>(std::llround(wire_ns));
+}
+
+} // namespace sysmpi

@@ -1,0 +1,53 @@
+// Virtual network cost model for the system MPI.
+//
+// Summit-flavored calibration (paper Sec. 6.3, Fig. 9a):
+//   * CPU-CPU inter-node transfers from pinned memory have a ~1.3 us floor;
+//   * CUDA-aware GPU-GPU transfers have a ~6 us floor;
+//   * both approach the EDR InfiniBand wire rate (~12.5 GB/s) for large
+//     messages, the GPU path slightly below it (GPUDirect overheads), which
+//     is what makes the staged method never preferable (Fig. 9b) while
+//     keeping the device method competitive.
+#pragma once
+
+#include "vcuda/clock.hpp"
+
+#include <cstddef>
+
+namespace sysmpi {
+
+struct NetParams {
+  // Inter-node (EDR InfiniBand).
+  double cpu_lat_inter_us = 1.3;
+  double cpu_gbps_inter = 12.5;
+  double gpu_lat_inter_us = 6.0;
+  double gpu_gbps_inter = 11.25; ///< GPUDirect: slightly under wire rate
+
+  // Intra-node (shared memory / NVLink peer-to-peer).
+  double cpu_lat_intra_us = 0.9;
+  double cpu_gbps_intra = 30.0;
+  double gpu_lat_intra_us = 5.0;
+  double gpu_gbps_intra = 60.0;
+
+  /// Extra latency when exactly one endpoint is GPU-resident (staging).
+  double mixed_extra_us = 1.0;
+
+  /// Messages at or below this size complete at the sender immediately
+  /// (eager); larger sends block until the modeled arrival (rendezvous).
+  std::size_t eager_bytes = 64 * 1024;
+
+  /// Per-message CPU overhead at the sender/receiver (matching, headers).
+  double host_overhead_us = 0.4;
+};
+
+/// Process-wide parameters (Summit calibration).
+const NetParams &net_params();
+
+/// Override (tests/ablations); returns the previous parameters.
+NetParams set_net_params(const NetParams &params);
+
+/// Wire time for `bytes` between two ranks.
+vcuda::VirtualNs transfer_duration(const NetParams &p, std::size_t bytes,
+                                   bool src_gpu, bool dst_gpu,
+                                   bool same_node);
+
+} // namespace sysmpi

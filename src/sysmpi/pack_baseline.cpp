@@ -1,0 +1,74 @@
+#include "sysmpi/pack_baseline.hpp"
+
+#include "vcuda/runtime.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace sysmpi {
+
+namespace {
+
+bool involves_gpu(const void *a, const void *b) {
+  return vcuda::memory_registry().space_of(a) == vcuda::MemorySpace::Device ||
+         vcuda::memory_registry().space_of(b) == vcuda::MemorySpace::Device;
+}
+
+/// Modeled cost of one host-side block copy.
+vcuda::VirtualNs host_block_cost(std::size_t bytes) {
+  return kHostPackBlockNs +
+         static_cast<vcuda::VirtualNs>(static_cast<double>(bytes) /
+                                       kHostPackGbps);
+}
+
+/// Copy one contiguous block, charging the appropriate path.
+void copy_block(void *dst, const void *src, std::size_t bytes, bool gpu) {
+  if (gpu) {
+    // The Spectrum-like path: one driver call + copy engine start + sync
+    // per contiguous block, serialized on a stream.
+    vcuda::MemcpyAsync(dst, src, bytes, vcuda::MemcpyKind::Default,
+                       vcuda::default_stream());
+    vcuda::StreamSynchronize(vcuda::default_stream());
+  } else {
+    std::memcpy(dst, src, bytes);
+    vcuda::this_thread_timeline().advance(host_block_cost(bytes));
+  }
+}
+
+} // namespace
+
+std::size_t baseline_pack(void *dst, const void *src, int count,
+                          const Datatype &dt) {
+  assert(dt.committed && "type must be committed before use");
+  const bool gpu = involves_gpu(dst, src);
+  auto *out = static_cast<std::byte *>(dst);
+  const auto *base = static_cast<const std::byte *>(src);
+  for (int i = 0; i < count; ++i) {
+    const std::byte *elem = base + static_cast<long long>(i) * dt.extent;
+    for (const Block &b : dt.flat_list().blocks) {
+      copy_block(out, elem + b.offset, static_cast<std::size_t>(b.length),
+                 gpu);
+      out += b.length;
+    }
+  }
+  return static_cast<std::size_t>(out - static_cast<std::byte *>(dst));
+}
+
+std::size_t baseline_unpack(void *dst, const void *src, int count,
+                            const Datatype &dt) {
+  assert(dt.committed && "type must be committed before use");
+  const bool gpu = involves_gpu(dst, src);
+  const auto *in = static_cast<const std::byte *>(src);
+  auto *base = static_cast<std::byte *>(dst);
+  for (int i = 0; i < count; ++i) {
+    std::byte *elem = base + static_cast<long long>(i) * dt.extent;
+    for (const Block &b : dt.flat_list().blocks) {
+      copy_block(elem + b.offset, in, static_cast<std::size_t>(b.length),
+                 gpu);
+      in += b.length;
+    }
+  }
+  return static_cast<std::size_t>(in - static_cast<const std::byte *>(src));
+}
+
+} // namespace sysmpi

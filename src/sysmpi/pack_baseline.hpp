@@ -1,0 +1,38 @@
+// The system MPI's baseline derived-datatype engine.
+//
+// This reproduces the behaviour the paper measures against on Summit
+// (Sec. 6.2): "Spectrum MPI 10.3.1.2 provides a baseline derived datatype
+// handling approach where each contiguous portion of the derived datatype
+// is copied into a contiguous buffer through cudaMemcpyAsync (or similar
+// function)". When a GPU buffer is involved, every contiguous block costs a
+// driver call, a copy-engine start, and a synchronization — a few
+// microseconds each — so datatypes with many small blocks are catastrophic
+// (the 242,000x headline). Host-only packing uses plain memcpy with a small
+// modeled per-block cost.
+#pragma once
+
+#include "sysmpi/types.hpp"
+#include "vcuda/clock.hpp"
+
+#include <cstddef>
+
+namespace sysmpi {
+
+/// Per-block modeled cost of the host (CPU) pack loop.
+inline constexpr vcuda::VirtualNs kHostPackBlockNs = 40;
+/// Host pack streaming bandwidth (GB/s) for the modeled cost.
+inline constexpr double kHostPackGbps = 8.0;
+
+/// Pack `count` elements of `dt` starting at `src` into contiguous `dst`.
+/// Buffer spaces are read from the vcuda registry; GPU-involved paths go
+/// block-by-block through vcuda::MemcpyAsync + StreamSynchronize.
+/// Returns bytes written (count * dt.size).
+std::size_t baseline_pack(void *dst, const void *src, int count,
+                          const Datatype &dt);
+
+/// Inverse of baseline_pack: scatter contiguous `src` into `dst` laid out
+/// as `count` elements of `dt`. Returns bytes read.
+std::size_t baseline_unpack(void *dst, const void *src, int count,
+                            const Datatype &dt);
+
+} // namespace sysmpi

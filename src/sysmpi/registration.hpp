@@ -1,0 +1,11 @@
+// Builds the system MPI's function table (its "exported symbols").
+#pragma once
+
+#include "interpose/table.hpp"
+
+namespace sysmpi {
+
+/// The full set of system MPI entry points, one per SYSMPI_FOR_EACH_FN row.
+interpose::MpiTable make_system_table();
+
+} // namespace sysmpi

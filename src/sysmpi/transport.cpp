@@ -1,0 +1,190 @@
+#include "sysmpi/transport.hpp"
+
+#include "sysmpi/netmodel.hpp"
+#include "sysmpi/pack_baseline.hpp"
+#include "vcuda/runtime.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace sysmpi {
+
+namespace {
+
+bool is_gpu(const void *p) {
+  return vcuda::memory_registry().space_of(p) == vcuda::MemorySpace::Device;
+}
+
+/// Stage the outgoing message into host bytes. For contiguous data this is
+/// free of *virtual* cost (the CUDA-aware wire model prices the transfer);
+/// for non-contiguous data the baseline datatype engine runs and charges
+/// its per-block costs (the slow Spectrum-like path).
+///
+/// Returns whether the wire source should be priced as GPU-resident.
+bool stage_send(std::vector<std::byte> &payload, const void *buf, int count,
+                const Datatype &dt) {
+  const std::size_t bytes = static_cast<std::size_t>(dt.size) * count;
+  payload.resize(bytes);
+  if (bytes == 0) {
+    return false;
+  }
+  const bool gpu = is_gpu(buf);
+  if (dt.is_contiguous()) {
+    std::memcpy(payload.data(), buf, bytes); // wire cost priced by netmodel
+    return gpu;
+  }
+  baseline_pack(payload.data(), buf, count, dt);
+  // After the baseline engine, the packed bytes live in host memory; the
+  // wire leg is a host-to-host transfer.
+  return false;
+}
+
+/// Deliver received host bytes into the user buffer, mirroring stage_send.
+void unstage_recv(void *buf, int count, const Datatype &dt,
+                  const std::vector<std::byte> &payload) {
+  if (payload.empty()) {
+    return;
+  }
+  if (dt.is_contiguous()) {
+    std::memcpy(buf, payload.data(), payload.size());
+    return;
+  }
+  const int elems = static_cast<int>(
+      payload.size() / static_cast<std::size_t>(dt.size));
+  assert(elems <= count);
+  (void)count;
+  baseline_unpack(buf, payload.data(), elems, dt);
+}
+
+} // namespace
+
+int send_impl(const void *buf, int count, MPI_Datatype dt, int dest, int tag,
+              MPI_Comm comm) {
+  if (dest == MPI_PROC_NULL) {
+    return MPI_SUCCESS;
+  }
+  if (comm == nullptr || dt == nullptr || count < 0 || dest < 0 ||
+      dest >= comm->size()) {
+    return MPI_ERR_ARG;
+  }
+  assert(dt->committed && "send with uncommitted datatype");
+  World &world = *comm->world;
+  const NetParams &net = net_params();
+  vcuda::Timeline &tl = vcuda::this_thread_timeline();
+
+  Envelope e;
+  e.src_comm_rank = comm->my_rank;
+  e.tag = tag;
+  e.comm_id = comm->id;
+  e.src_gpu = stage_send(e.payload, buf, count, *dt);
+  e.src_node = world.node_of(comm->world_rank_of(comm->my_rank));
+  e.rendezvous = e.payload.size() > net.eager_bytes;
+
+  tl.advance(vcuda::us_to_ns(net.host_overhead_us));
+  e.send_time = tl.now();
+
+  const int dst_world = comm->world_rank_of(dest);
+  const bool same_node = world.node_of(dst_world) == e.src_node;
+
+  // Inter-node messages serialize on the source node's NIC injection port
+  // (shared by all ranks of the node). The message "departs" when the port
+  // accepts it.
+  if (!same_node && !e.payload.empty()) {
+    // Occupancy is the wire time alone, priced with symmetric residency.
+    const vcuda::VirtualNs wire =
+        transfer_duration(net, e.payload.size(), e.src_gpu, e.src_gpu,
+                          /*same_node=*/false) -
+        vcuda::us_to_ns(e.src_gpu ? net.gpu_lat_inter_us
+                                  : net.cpu_lat_inter_us);
+    e.send_time = world.reserve_nic(e.src_node, e.send_time, wire);
+  }
+
+  // A blocking standard-mode send of a large message cannot complete before
+  // the wire does; estimate the wire leg with the destination residency
+  // assumed symmetric to ours (the receiver re-prices precisely).
+  if (e.rendezvous) {
+    tl.wait_until(e.send_time +
+                  transfer_duration(net, e.payload.size(), e.src_gpu,
+                                    e.src_gpu, same_node));
+  }
+
+  world.mailbox(comm->world_rank_of(dest)).deliver(std::move(e));
+  return MPI_SUCCESS;
+}
+
+namespace {
+
+/// Complete a matched receive: advance virtual time and move the payload
+/// into the user buffer.
+int finish_recv(void *buf, int count, MPI_Datatype dt, MPI_Comm comm,
+                Envelope &e, MPI_Status *status) {
+  const std::size_t expected = static_cast<std::size_t>(dt->size) * count;
+  if (e.payload.size() > expected) {
+    return MPI_ERR_TRUNCATE;
+  }
+  World &world = *comm->world;
+  const NetParams &net = net_params();
+  vcuda::Timeline &tl = vcuda::this_thread_timeline();
+
+  // Destination wire residency: a non-contiguous type unpacks from host
+  // staging; contiguous device buffers receive directly (CUDA-aware).
+  const bool dst_gpu = dt->is_contiguous() && is_gpu(buf);
+  const int my_node = world.node_of(comm->world_rank_of(comm->my_rank));
+  const bool same_node = my_node == e.src_node;
+  const vcuda::VirtualNs wire =
+      transfer_duration(net, e.payload.size(), e.src_gpu, dst_gpu, same_node);
+
+  tl.advance(vcuda::us_to_ns(net.host_overhead_us));
+  // Rendezvous transfers start when both sides are ready; eager transfers
+  // departed at send time and may already have arrived.
+  const vcuda::VirtualNs start =
+      e.rendezvous ? (tl.now() > e.send_time ? tl.now() : e.send_time)
+                   : e.send_time;
+  tl.wait_until(start + wire);
+
+  unstage_recv(buf, count, *dt, e.payload);
+
+  if (status != MPI_STATUS_IGNORE) {
+    status->MPI_SOURCE = e.src_comm_rank;
+    status->MPI_TAG = e.tag;
+    status->MPI_ERROR = MPI_SUCCESS;
+    status->count_bytes = static_cast<long long>(e.payload.size());
+  }
+  return MPI_SUCCESS;
+}
+
+} // namespace
+
+int recv_impl(void *buf, int count, MPI_Datatype dt, int source, int tag,
+              MPI_Comm comm, MPI_Status *status) {
+  if (source == MPI_PROC_NULL) {
+    if (status != MPI_STATUS_IGNORE) {
+      status->MPI_SOURCE = MPI_PROC_NULL;
+      status->MPI_TAG = MPI_ANY_TAG;
+      status->count_bytes = 0;
+    }
+    return MPI_SUCCESS;
+  }
+  if (comm == nullptr || dt == nullptr || count < 0) {
+    return MPI_ERR_ARG;
+  }
+  assert(dt->committed && "recv with uncommitted datatype");
+  World &world = *comm->world;
+  Envelope e = world.mailbox(comm->world_rank_of(comm->my_rank))
+                   .take(source, tag, comm->id);
+  return finish_recv(buf, count, dt, comm, e, status);
+}
+
+bool try_recv_impl(void *buf, int count, MPI_Datatype dt, int source, int tag,
+                   MPI_Comm comm, MPI_Status *status) {
+  World &world = *comm->world;
+  Envelope e;
+  if (!world.mailbox(comm->world_rank_of(comm->my_rank))
+           .try_take(source, tag, comm->id, e)) {
+    return false;
+  }
+  finish_recv(buf, count, dt, comm, e, status);
+  return true;
+}
+
+} // namespace sysmpi

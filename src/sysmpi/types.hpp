@@ -1,0 +1,123 @@
+// Derived datatype object model for the system MPI.
+//
+// A Datatype records its MPI constructor (combiner + arguments, exactly as
+// MPI_Type_get_envelope/MPI_Type_get_contents expose them) plus derived
+// geometry (size, lb, extent). Committing a type builds a flattened
+// BlockList used by the baseline pack engine and the p2p path.
+//
+// Handles are intrusively reference-counted: children hold references to
+// the types they were built from (MPI allows freeing a constituent type
+// while the derived type remains usable).
+#pragma once
+
+#include "sysmpi/handles.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sysmpi {
+
+/// One contiguous run of bytes within a single datatype element.
+struct Block {
+  long long offset = 0; ///< bytes from the element origin
+  long long length = 0; ///< contiguous bytes
+  friend bool operator==(const Block &, const Block &) = default;
+};
+
+/// Flattened form of one element, in canonical traversal order, with
+/// adjacent-in-traversal contiguous runs merged.
+struct BlockList {
+  std::vector<Block> blocks;
+  [[nodiscard]] bool empty() const { return blocks.empty(); }
+};
+
+/// Reduction operator object (MPI_SUM / MPI_MAX / MPI_MIN singletons).
+struct Op {
+  OpKind kind = OpKind::Sum;
+};
+
+struct Datatype {
+  int combiner = MPI_COMBINER_NAMED;
+  Named named = Named::Byte; ///< valid when combiner == NAMED
+
+  // Constructor arguments, in MPI_Type_get_contents order (see types.cpp).
+  std::vector<int> ints;
+  std::vector<MPI_Aint> aints;
+  std::vector<MPI_Datatype> subtypes; ///< references held (retained)
+
+  // Geometry.
+  long long size = 0;   ///< bytes of actual data per element
+  long long lb = 0;     ///< lower bound (bytes)
+  long long extent = 0; ///< extent (bytes); element i lives at i*extent
+
+  bool committed = false;
+
+  std::atomic<int> refcount{1};
+
+  /// Flattened form, built lazily on first use (commit itself is cheap, as
+  /// in production MPIs; the engine materializes state when data moves).
+  /// Thread-safe.
+  const BlockList &flat_list() const;
+
+  /// True if one element is a single dense run AND consecutive elements
+  /// tile with no gaps (so count>1 is also dense).
+  [[nodiscard]] bool is_contiguous() const {
+    const BlockList &f = flat_list();
+    return f.blocks.size() == 1 && f.blocks[0].offset == 0 && extent == size;
+  }
+
+  /// Pre-populate the flattened form (named-type initialization).
+  void set_flat(BlockList list) {
+    flat_ = std::move(list);
+    flat_built_.store(true, std::memory_order_release);
+  }
+
+private:
+  mutable std::atomic<bool> flat_built_{false};
+  mutable std::mutex flat_mutex_;
+  mutable BlockList flat_;
+};
+
+/// Bump/drop the reference count. Named types are immortal.
+void type_retain(MPI_Datatype t);
+void type_release(MPI_Datatype t);
+
+// --- constructors (geometry computed here; commit is separate) -------------
+
+MPI_Datatype make_contiguous(int count, MPI_Datatype oldtype);
+MPI_Datatype make_vector(int count, int blocklength, int stride,
+                         MPI_Datatype oldtype);
+MPI_Datatype make_hvector(int count, int blocklength, MPI_Aint stride_bytes,
+                          MPI_Datatype oldtype);
+MPI_Datatype make_indexed(int count, const int *blocklengths,
+                          const int *displacements, MPI_Datatype oldtype);
+MPI_Datatype make_hindexed(int count, const int *blocklengths,
+                           const MPI_Aint *displacements,
+                           MPI_Datatype oldtype);
+MPI_Datatype make_indexed_block(int count, int blocklength,
+                                const int *displacements,
+                                MPI_Datatype oldtype);
+MPI_Datatype make_subarray(int ndims, const int *sizes, const int *subsizes,
+                           const int *starts, int order, MPI_Datatype oldtype);
+MPI_Datatype make_struct(int count, const int *blocklengths,
+                         const MPI_Aint *displacements,
+                         const MPI_Datatype *types);
+MPI_Datatype make_resized(MPI_Datatype oldtype, MPI_Aint lb, MPI_Aint extent);
+MPI_Datatype make_dup(MPI_Datatype oldtype);
+
+/// Build the flattened BlockList (idempotent).
+void commit(MPI_Datatype t);
+
+/// Invoke `fn(offset, length)` for every contiguous run of one element,
+/// in canonical traversal order, without materializing a BlockList.
+using BlockFn = std::function<void(long long offset, long long length)>;
+void for_each_block(const Datatype &t, long long base, const BlockFn &fn);
+
+/// Number of contiguous runs in one committed element.
+std::size_t block_count(const Datatype &t);
+
+} // namespace sysmpi

@@ -1,0 +1,207 @@
+#include "sysmpi/world.hpp"
+
+#include "sysmpi/types.hpp"
+#include "vcuda/runtime.hpp"
+
+#include <cassert>
+#include <exception>
+#include <thread>
+
+namespace sysmpi {
+
+void Mailbox::deliver(Envelope &&e) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(e));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::match_at(const Envelope &e, int src, int tag,
+                       std::uint64_t comm_id) const {
+  if (e.comm_id != comm_id) {
+    return false;
+  }
+  if (src != MPI_ANY_SOURCE && e.src_comm_rank != src) {
+    return false;
+  }
+  if (tag != MPI_ANY_TAG && e.tag != tag) {
+    return false;
+  }
+  return true;
+}
+
+Envelope Mailbox::take(int src, int tag, std::uint64_t comm_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (match_at(*it, src, tag, comm_id)) {
+        Envelope e = std::move(*it);
+        queue_.erase(it);
+        return e;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::try_take(int src, int tag, std::uint64_t comm_id,
+                       Envelope &out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (match_at(*it, src, tag, comm_id)) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Mailbox::PeekInfo Mailbox::peek(int src, int tag, std::uint64_t comm_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    for (const Envelope &e : queue_) {
+      if (match_at(e, src, tag, comm_id)) {
+        return PeekInfo{e.src_comm_rank, e.tag, e.payload.size()};
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::try_peek(int src, int tag, std::uint64_t comm_id,
+                       PeekInfo &out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Envelope &e : queue_) {
+    if (match_at(e, src, tag, comm_id)) {
+      out = PeekInfo{e.src_comm_rank, e.tag, e.payload.size()};
+      return true;
+    }
+  }
+  return false;
+}
+
+World::World(int size, int ranks_per_node)
+    : size_(size), ranks_per_node_(ranks_per_node > 0 ? ranks_per_node : 1) {
+  assert(size >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  const int nodes = (size + ranks_per_node_ - 1) / ranks_per_node_;
+  nics_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    nics_.push_back(std::make_unique<NicPort>());
+  }
+}
+
+vcuda::VirtualNs World::reserve_nic(int node, vcuda::VirtualNs ready,
+                                    vcuda::VirtualNs occupancy) {
+  NicPort &port = *nics_[static_cast<std::size_t>(node)];
+  const std::lock_guard<std::mutex> lock(port.mutex);
+  const vcuda::VirtualNs start = std::max(ready, port.busy_until);
+  port.busy_until = start + occupancy;
+  return start;
+}
+
+BarrierState &World::barrier_for(std::uint64_t comm_id) {
+  const std::lock_guard<std::mutex> lock(barriers_mutex_);
+  auto &slot = barriers_[comm_id];
+  if (!slot) {
+    slot = std::make_unique<BarrierState>();
+  }
+  return *slot;
+}
+
+RankCtx &this_rank() {
+  thread_local RankCtx ctx;
+  return ctx;
+}
+
+MPI_Comm comm_world() {
+  RankCtx &ctx = this_rank();
+  assert(ctx.world_comm != nullptr &&
+         "MPI used outside run_ranks() without MPI_Init");
+  return ctx.world_comm;
+}
+
+namespace {
+
+MPI_Comm make_world_comm(const std::shared_ptr<World> &world, int rank) {
+  auto *comm = new Comm();
+  comm->world = world.get();
+  comm->id = 0;
+  comm->my_rank = rank;
+  comm->world_ranks.resize(static_cast<std::size_t>(world->size()));
+  for (int i = 0; i < world->size(); ++i) {
+    comm->world_ranks[static_cast<std::size_t>(i)] = i;
+  }
+  return comm;
+}
+
+void setup_rank(const std::shared_ptr<World> &world, int rank,
+                bool reset_timeline) {
+  RankCtx &ctx = this_rank();
+  ctx.world = world;
+  ctx.world_rank = rank;
+  ctx.world_comm = make_world_comm(world, rank);
+  ctx.initialized = false;
+  ctx.finalized = false;
+  if (reset_timeline) {
+    vcuda::this_thread_timeline().reset();
+  }
+  // Bind to a virtual GPU: local rank round-robin over the node's devices.
+  const int local = rank % world->ranks_per_node();
+  vcuda::SetDevice(local % vcuda::device_count());
+}
+
+void teardown_rank() {
+  RankCtx &ctx = this_rank();
+  delete ctx.world_comm;
+  ctx.world_comm = nullptr;
+  ctx.world.reset();
+}
+
+} // namespace
+
+void run_ranks(const RunConfig &cfg, const std::function<void(int)> &body) {
+  assert(cfg.ranks >= 1);
+  auto world = std::make_shared<World>(cfg.ranks, cfg.ranks_per_node);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.ranks));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int rank = 0; rank < cfg.ranks; ++rank) {
+    threads.emplace_back([&, rank] {
+      setup_rank(world, rank, cfg.reset_timelines);
+      try {
+        body(rank);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+      teardown_rank();
+    });
+  }
+  for (std::thread &t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void ensure_self_context() {
+  RankCtx &ctx = this_rank();
+  if (ctx.world_comm != nullptr) {
+    return;
+  }
+  auto world = std::make_shared<World>(1, 1);
+  setup_rank(world, 0, /*reset_timeline=*/false);
+}
+
+} // namespace sysmpi

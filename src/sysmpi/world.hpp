@@ -1,0 +1,167 @@
+// The in-process "cluster": ranks are threads, nodes are a virtual grouping.
+//
+// run_ranks() plays the role of mpirun/jsrun: it spawns one thread per rank,
+// binds it to a virtual GPU (round-robin within its virtual node, like
+// jsrun's resource sets on Summit), resets its virtual clock, and runs the
+// application body. MPI handles are per-rank objects exactly as handle
+// values are per-process in a real MPI.
+#pragma once
+
+#include "sysmpi/handles.hpp"
+#include "sysmpi/netmodel.hpp"
+#include "vcuda/clock.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sysmpi {
+
+/// One in-flight message. `payload` is host-side staging; CUDA-awareness is
+/// captured by `src_gpu` + pricing, not by where the staging lives.
+struct Envelope {
+  int src_comm_rank = -1;
+  int tag = 0;
+  std::uint64_t comm_id = 0;
+  std::vector<std::byte> payload;
+  vcuda::VirtualNs send_time = 0; ///< sender's clock at handoff
+  bool src_gpu = false;           ///< wire source is GPU-resident
+  bool rendezvous = false;        ///< transfer starts only once matched
+  int src_node = 0;
+};
+
+/// Per-rank receive queue with (source, tag, comm) matching.
+class Mailbox {
+public:
+  void deliver(Envelope &&e);
+
+  /// Block until a matching envelope is available and remove it.
+  /// src may be MPI_ANY_SOURCE; tag may be MPI_ANY_TAG.
+  Envelope take(int src, int tag, std::uint64_t comm_id);
+
+  /// Non-blocking variant; returns false if nothing matches.
+  bool try_take(int src, int tag, std::uint64_t comm_id, Envelope &out);
+
+  /// Metadata of a matched message, for MPI_Probe/MPI_Iprobe.
+  struct PeekInfo {
+    int src_comm_rank = -1;
+    int tag = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Block until a matching envelope exists; do not remove it.
+  PeekInfo peek(int src, int tag, std::uint64_t comm_id);
+
+  /// Non-blocking peek; returns false if nothing matches.
+  bool try_peek(int src, int tag, std::uint64_t comm_id, PeekInfo &out);
+
+private:
+  bool match_at(const Envelope &e, int src, int tag,
+                std::uint64_t comm_id) const;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+/// Shared state for one collective-synchronization point (per comm).
+struct BarrierState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::uint64_t generation = 0;
+  vcuda::VirtualNs max_clock = 0;
+  vcuda::VirtualNs release_clock = 0;
+};
+
+class World {
+public:
+  World(int size, int ranks_per_node);
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int ranks_per_node() const { return ranks_per_node_; }
+  [[nodiscard]] int node_of(int world_rank) const {
+    return world_rank / ranks_per_node_;
+  }
+  [[nodiscard]] Mailbox &mailbox(int world_rank) {
+    return *mailboxes_[static_cast<std::size_t>(world_rank)];
+  }
+  /// Barrier state for a communicator (created on first use).
+  BarrierState &barrier_for(std::uint64_t comm_id);
+
+  /// Reserve the node's NIC for an inter-node message: the injection port
+  /// serializes traffic from all ranks of a node, so a message becoming
+  /// ready at `ready` starts at max(ready, port-free) and occupies the
+  /// port for `occupancy`. Returns the start time. This is what makes
+  /// alltoallv time grow with ranks-per-node and node count (Fig. 12a).
+  vcuda::VirtualNs reserve_nic(int node, vcuda::VirtualNs ready,
+                               vcuda::VirtualNs occupancy);
+
+private:
+  struct NicPort {
+    std::mutex mutex;
+    vcuda::VirtualNs busy_until = 0;
+  };
+  int size_;
+  int ranks_per_node_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<NicPort>> nics_;
+  std::mutex barriers_mutex_;
+  std::map<std::uint64_t, std::unique_ptr<BarrierState>> barriers_;
+};
+
+struct Comm {
+  World *world = nullptr;
+  std::uint64_t id = 0;
+  int my_rank = 0;              ///< rank within this communicator
+  std::vector<int> world_ranks; ///< comm rank -> world rank
+
+  // Distributed-graph adjacency (MPI_Dist_graph_create_adjacent).
+  bool is_graph = false;
+  std::vector<int> graph_sources;      ///< comm ranks we receive from
+  std::vector<int> graph_destinations; ///< comm ranks we send to
+
+  /// Per-rank counters that stay consistent because MPI requires identical
+  /// collective/constructor ordering on every rank of a communicator.
+  std::uint64_t next_child_ordinal = 1;
+  std::uint64_t collective_seq = 0;
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(world_ranks.size());
+  }
+  [[nodiscard]] int world_rank_of(int comm_rank) const {
+    return world_ranks[static_cast<std::size_t>(comm_rank)];
+  }
+};
+
+/// Thread-local rank context (the "process" of this rank).
+struct RankCtx {
+  std::shared_ptr<World> world;
+  int world_rank = 0;
+  MPI_Comm world_comm = nullptr;
+  bool initialized = false;
+  bool finalized = false;
+};
+
+RankCtx &this_rank();
+
+/// Launcher configuration (the jsrun command line).
+struct RunConfig {
+  int ranks = 1;
+  int ranks_per_node = 6; ///< Summit: 6 GPUs per node
+  bool reset_timelines = true;
+};
+
+/// Run `body(rank)` on `cfg.ranks` threads with MPI available. Blocks until
+/// all ranks return; rethrows the first rank exception.
+void run_ranks(const RunConfig &cfg, const std::function<void(int)> &body);
+
+/// Ensure the calling thread has a (possibly single-rank) context, so MPI
+/// can be used without run_ranks in simple tools.
+void ensure_self_context();
+
+} // namespace sysmpi

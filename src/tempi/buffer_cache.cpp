@@ -1,0 +1,113 @@
+#include "tempi/buffer_cache.hpp"
+
+#include <bit>
+#include <map>
+#include <vector>
+
+namespace tempi {
+
+namespace {
+
+/// Amortized cost of a cache hit: a map lookup, "tens or hundreds of
+/// nanoseconds" (Sec. 5).
+constexpr vcuda::VirtualNs kCacheHitNs = 120;
+
+struct FreeList {
+  // capacity -> free pointers of exactly that capacity
+  std::map<std::size_t, std::vector<void *>> by_capacity;
+};
+
+struct ThreadCache {
+  FreeList device;
+  FreeList pinned;
+  BufferCacheStats stats;
+
+  ~ThreadCache() { drain(); }
+
+  FreeList &list_for(vcuda::MemorySpace space) {
+    return space == vcuda::MemorySpace::Device ? device : pinned;
+  }
+
+  void drain() {
+    for (auto &[cap, ptrs] : device.by_capacity) {
+      for (void *p : ptrs) {
+        vcuda::Free(p);
+      }
+    }
+    device.by_capacity.clear();
+    for (auto &[cap, ptrs] : pinned.by_capacity) {
+      for (void *p : ptrs) {
+        vcuda::FreeHost(p);
+      }
+    }
+    pinned.by_capacity.clear();
+  }
+};
+
+ThreadCache &cache() {
+  thread_local ThreadCache c;
+  return c;
+}
+
+thread_local bool t_cache_enabled = true;
+
+void return_to_cache(void *ptr, std::size_t capacity,
+                     vcuda::MemorySpace space) {
+  if (!t_cache_enabled) {
+    if (space == vcuda::MemorySpace::Device) {
+      vcuda::Free(ptr);
+    } else {
+      vcuda::FreeHost(ptr);
+    }
+    return;
+  }
+  cache().list_for(space).by_capacity[capacity].push_back(ptr);
+}
+
+} // namespace
+
+void CachedBuffer::release() {
+  if (ptr_ != nullptr) {
+    return_to_cache(ptr_, capacity_, space_);
+    ptr_ = nullptr;
+    capacity_ = 0;
+  }
+}
+
+CachedBuffer lease_buffer(vcuda::MemorySpace space, std::size_t bytes) {
+  ThreadCache &c = cache();
+  const std::size_t capacity = std::bit_ceil(bytes == 0 ? 1 : bytes);
+  FreeList &list = c.list_for(space);
+  // First fit at or above the requested capacity.
+  for (auto it = t_cache_enabled ? list.by_capacity.lower_bound(capacity)
+                                 : list.by_capacity.end();
+       it != list.by_capacity.end(); ++it) {
+    if (!it->second.empty()) {
+      void *p = it->second.back();
+      it->second.pop_back();
+      ++c.stats.hits;
+      vcuda::this_thread_timeline().advance(kCacheHitNs);
+      return CachedBuffer(p, it->first, space);
+    }
+  }
+  ++c.stats.misses;
+  void *p = nullptr;
+  if (space == vcuda::MemorySpace::Device) {
+    vcuda::Malloc(&p, capacity);
+  } else {
+    vcuda::MallocHost(&p, capacity);
+  }
+  return CachedBuffer(p, capacity, space);
+}
+
+void drain_buffer_cache() { cache().drain(); }
+
+void set_buffer_cache_enabled(bool enabled) { t_cache_enabled = enabled; }
+
+bool buffer_cache_enabled() { return t_cache_enabled; }
+
+BufferCacheStats buffer_cache_stats() { return cache().stats; }
+
+void reset_buffer_cache_stats() { cache().stats = BufferCacheStats{}; }
+
+} // namespace tempi

@@ -1,0 +1,70 @@
+// Resource caching layer (Sec. 5).
+//
+// cudaMalloc/cudaMallocHost cost tens to hundreds of microseconds — far too
+// slow for the critical path of every Send. TEMPI caches device and pinned
+// intermediate buffers (and reuses the per-thread stream) so that repeated
+// requests in iterative applications are served in "tens or hundreds of
+// nanoseconds amortized" (paper Sec. 5). Buffers are bucketed by
+// power-of-two capacity and kept per thread (per rank), so no locking.
+#pragma once
+
+#include "vcuda/runtime.hpp"
+
+#include <cstddef>
+
+namespace tempi {
+
+/// A leased buffer; returns itself to the cache on destruction.
+class CachedBuffer {
+public:
+  CachedBuffer() = default;
+  CachedBuffer(void *ptr, std::size_t capacity, vcuda::MemorySpace space)
+      : ptr_(ptr), capacity_(capacity), space_(space) {}
+  CachedBuffer(const CachedBuffer &) = delete;
+  CachedBuffer &operator=(const CachedBuffer &) = delete;
+  CachedBuffer(CachedBuffer &&other) noexcept { swap(other); }
+  CachedBuffer &operator=(CachedBuffer &&other) noexcept {
+    release();
+    swap(other);
+    return *this;
+  }
+  ~CachedBuffer() { release(); }
+
+  [[nodiscard]] void *get() const { return ptr_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] explicit operator bool() const { return ptr_ != nullptr; }
+
+private:
+  void release();
+  void swap(CachedBuffer &other) noexcept {
+    std::swap(ptr_, other.ptr_);
+    std::swap(capacity_, other.capacity_);
+    std::swap(space_, other.space_);
+  }
+  void *ptr_ = nullptr;
+  std::size_t capacity_ = 0;
+  vcuda::MemorySpace space_ = vcuda::MemorySpace::Device;
+};
+
+/// Lease a buffer of at least `bytes` in `space` (Device or Pinned) from
+/// the calling thread's cache, allocating through vcuda on a miss.
+CachedBuffer lease_buffer(vcuda::MemorySpace space, std::size_t bytes);
+
+/// Free everything in the calling thread's cache (MPI_Finalize).
+void drain_buffer_cache();
+
+/// Disable/enable the calling thread's cache (ablation benches): when
+/// disabled, every lease allocates through vcuda and every release frees
+/// immediately, exposing the raw cudaMalloc cost on the critical path.
+void set_buffer_cache_enabled(bool enabled);
+bool buffer_cache_enabled();
+
+/// Cache statistics for tests and the caching ablation bench.
+struct BufferCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+BufferCacheStats buffer_cache_stats();
+void reset_buffer_cache_stats();
+
+} // namespace tempi

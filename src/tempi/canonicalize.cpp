@@ -1,0 +1,130 @@
+#include "tempi/canonicalize.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace tempi {
+
+namespace {
+thread_local int t_last_rounds = 0;
+} // namespace
+
+// Algorithm 2. When a StreamData's stride equals its DenseData child's
+// extent, the repeated dense elements tile a single contiguous region:
+// replace the pair with one DenseData of count*stride bytes.
+bool dense_folding(Type &ty) {
+  bool changed = false;
+  if (ty.has_child()) {
+    changed = dense_folding(ty.child()); // fold from the bottom up
+  }
+  if (!ty.is_stream() || !ty.has_child() || !ty.child().is_dense()) {
+    return changed;
+  }
+  const StreamData p = ty.stream();
+  const DenseData c = ty.child().dense();
+  if (c.extent == p.stride) {
+    DenseData folded;
+    folded.off = c.off + p.off;
+    folded.extent = p.count * p.stride;
+    ty.set_data(folded);
+    ty.clear_children();
+    changed = true;
+  }
+  return changed;
+}
+
+// Algorithm 3. A StreamData with count == 1 contributes only its offset;
+// replace it with its child (folding the offset down). Applied to the node
+// itself rather than the child so the root is also covered.
+bool stream_elision(Type &ty) {
+  bool changed = false;
+  if (ty.has_child()) {
+    changed = stream_elision(ty.child());
+  }
+  if (!ty.is_stream() || ty.stream().count != 1 || !ty.has_child()) {
+    return changed;
+  }
+  const long long off = ty.stream().off;
+  ty.replace_with_child();
+  TypeData d = ty.data();
+  add_data_off(d, off);
+  ty.set_data(d);
+  return true;
+}
+
+// Algorithm 4. If a parent stream's stride equals its child stream's
+// count*stride, consecutive parents continue the child's pattern exactly:
+// merge them into one stream with the product count.
+bool stream_flatten(Type &ty) {
+  bool changed = false;
+  if (ty.has_child()) {
+    changed = stream_flatten(ty.child());
+  }
+  if (!ty.is_stream() || !ty.has_child() || !ty.child().is_stream()) {
+    return changed;
+  }
+  StreamData p = ty.stream();
+  const StreamData c = ty.child().stream();
+  if (p.stride == c.count * c.stride) {
+    p.count *= c.count;
+    p.stride = c.stride;
+    p.off += c.off;
+    ty.set_data(p);
+    ty.splice_out_child();
+    changed = true;
+  }
+  return changed;
+}
+
+// Sorting (Sec. 3.2.4). A chain of nested streams describes the same bytes
+// in any nesting order (e.g. rows-of-columns vs columns-of-rows); order
+// them by descending stride so equivalent constructions coincide.
+bool sort_streams(Type &ty) {
+  // Collect the maximal chain of StreamData starting at the root.
+  std::vector<StreamData> chain;
+  Type *cur = &ty;
+  while (cur->is_stream()) {
+    chain.push_back(cur->stream());
+    if (!cur->has_child()) {
+      break;
+    }
+    cur = &cur->child();
+  }
+  if (chain.size() < 2) {
+    return false;
+  }
+  auto before = chain;
+  std::stable_sort(chain.begin(), chain.end(),
+                   [](const StreamData &a, const StreamData &b) {
+                     if (a.stride != b.stride) {
+                       return a.stride > b.stride; // largest stride first
+                     }
+                     return a.count > b.count;
+                   });
+  if (chain == before) {
+    return false;
+  }
+  cur = &ty;
+  for (const StreamData &s : chain) {
+    cur->set_data(s);
+    cur = cur->has_child() ? &cur->child() : nullptr;
+  }
+  return true;
+}
+
+void simplify(Type &ty) {
+  int rounds = 0;
+  bool changed = true;
+  while (changed) {
+    changed = dense_folding(ty);
+    changed = stream_elision(ty) || changed;
+    changed = stream_flatten(ty) || changed;
+    changed = sort_streams(ty) || changed;
+    ++rounds;
+  }
+  t_last_rounds = rounds;
+}
+
+int last_simplify_rounds() { return t_last_rounds; }
+
+} // namespace tempi

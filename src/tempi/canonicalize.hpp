@@ -1,0 +1,34 @@
+// Type canonicalization (Sec. 3.2, Algorithms 1-4).
+//
+// Four rewrites are iterated to a fixed point so that semantically
+// equivalent Type trees converge to one canonical form:
+//   * dense folding    — a StreamData whose stride equals its DenseData
+//                        child's extent is one larger DenseData;
+//   * stream elision   — a StreamData with a single element adds nothing;
+//   * stream flattening— nested StreamData whose strides tile exactly are
+//                        one StreamData with a larger count;
+//   * sorting          — nested StreamData are ordered by descending
+//                        stride, fixing the arbitrary nesting order of
+//                        multi-dimensional constructions.
+// Each pass returns whether it changed the tree; simplify() loops until no
+// pass fires.
+#pragma once
+
+#include "tempi/ir.hpp"
+
+namespace tempi {
+
+bool dense_folding(Type &ty);
+bool stream_elision(Type &ty);
+bool stream_flatten(Type &ty);
+bool sort_streams(Type &ty);
+
+/// Algorithm 1: apply all four passes repeatedly until a fixed point.
+void simplify(Type &ty);
+
+/// Number of pass applications the last simplify() of this thread needed
+/// (for the Fig. 7 commentary that commit cost varies with the required
+/// canonicalization work).
+int last_simplify_rounds();
+
+} // namespace tempi

@@ -1,0 +1,83 @@
+#include "tempi/ir.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace tempi {
+
+void Type::replace_with_child() {
+  Type c = std::move(children_.front());
+  *this = std::move(c);
+}
+
+void Type::splice_out_child() {
+  Type c = std::move(children_.front());
+  children_ = std::move(c.children_);
+}
+
+std::size_t Type::depth() const {
+  std::size_t d = 1;
+  const Type *cur = this;
+  while (cur->has_child()) {
+    cur = &cur->child();
+    ++d;
+  }
+  return d;
+}
+
+bool Type::operator==(const Type &other) const {
+  if (data_ != other.data_) {
+    return false;
+  }
+  if (children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!(children_[i] == other.children_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+long long data_off(const TypeData &d) {
+  if (std::holds_alternative<DenseData>(d)) {
+    return std::get<DenseData>(d).off;
+  }
+  return std::get<StreamData>(d).off;
+}
+
+void add_data_off(TypeData &d, long long delta) {
+  if (std::holds_alternative<DenseData>(d)) {
+    std::get<DenseData>(d).off += delta;
+  } else {
+    std::get<StreamData>(d).off += delta;
+  }
+}
+
+std::string to_string(const Type &t) {
+  std::ostringstream os;
+  const Type *cur = &t;
+  bool first = true;
+  while (true) {
+    if (!first) {
+      os << " -> ";
+    }
+    first = false;
+    if (cur->is_dense()) {
+      const DenseData &d = cur->dense();
+      os << "Dense(off=" << d.off << ",extent=" << d.extent << ")";
+    } else {
+      const StreamData &s = cur->stream();
+      os << "Stream(off=" << s.off << ",stride=" << s.stride
+         << ",count=" << s.count << ")";
+    }
+    if (!cur->has_child()) {
+      break;
+    }
+    cur = &cur->child();
+  }
+  return os.str();
+}
+
+} // namespace tempi

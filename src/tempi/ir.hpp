@@ -1,0 +1,97 @@
+// The internal representation (IR) of Sec. 3.1.
+//
+// A Type is a node in a unary tree describing a (possibly non-contiguous)
+// set of bytes in a memory region. Two TypeData kinds exist:
+//   * DenseData  — a run of contiguous bytes (plays the role of a named
+//                  type); never has children.
+//   * StreamData — a strided sequence of `count` elements of the child
+//                  Type, `stride` bytes apart.
+// Offsets accumulate along the root-to-leaf path: the byte position of any
+// leaf element adds every ancestor's `off`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tempi {
+
+struct DenseData {
+  long long off = 0;    ///< bytes from the lower bound to the first byte
+  long long extent = 0; ///< contiguous bytes
+  friend bool operator==(const DenseData &, const DenseData &) = default;
+};
+
+struct StreamData {
+  long long off = 0;    ///< bytes from the lower bound to the first element
+  long long stride = 0; ///< bytes between consecutive elements
+  long long count = 0;  ///< number of elements in the stream
+  friend bool operator==(const StreamData &, const StreamData &) = default;
+};
+
+using TypeData = std::variant<DenseData, StreamData>;
+
+class Type {
+public:
+  Type() = default;
+  explicit Type(DenseData d) : data_(d) {}
+  Type(StreamData s, Type child) : data_(s) {
+    children_.push_back(std::move(child));
+  }
+
+  [[nodiscard]] bool is_dense() const {
+    return std::holds_alternative<DenseData>(data_);
+  }
+  [[nodiscard]] bool is_stream() const {
+    return std::holds_alternative<StreamData>(data_);
+  }
+  [[nodiscard]] DenseData &dense() { return std::get<DenseData>(data_); }
+  [[nodiscard]] const DenseData &dense() const {
+    return std::get<DenseData>(data_);
+  }
+  [[nodiscard]] StreamData &stream() { return std::get<StreamData>(data_); }
+  [[nodiscard]] const StreamData &stream() const {
+    return std::get<StreamData>(data_);
+  }
+
+  [[nodiscard]] bool has_child() const { return !children_.empty(); }
+  [[nodiscard]] Type &child() { return children_.front(); }
+  [[nodiscard]] const Type &child() const { return children_.front(); }
+
+  void set_data(TypeData d) { data_ = d; }
+  [[nodiscard]] const TypeData &data() const { return data_; }
+
+  /// Replace this node with its child, first applying `extra_off` to the
+  /// child's offset (used by elision/folding rewrites).
+  void replace_with_child();
+
+  /// Detach and drop this node's child, adopting the grandchild (if any).
+  void splice_out_child();
+
+  void set_child(Type c) {
+    children_.clear();
+    children_.push_back(std::move(c));
+  }
+  void clear_children() { children_.clear(); }
+
+  /// Nodes from this one down to the leaf (inclusive), root first.
+  [[nodiscard]] std::size_t depth() const;
+
+  bool operator==(const Type &other) const;
+
+private:
+  TypeData data_{DenseData{}};
+  std::vector<Type> children_; // 0 or 1 entries
+};
+
+/// The offset of a node's data, whichever kind it is.
+long long data_off(const TypeData &d);
+/// Mutate the offset of a node's data.
+void add_data_off(TypeData &d, long long delta);
+
+/// Human-readable rendering, e.g. "Stream(off=0,stride=512,count=13)
+/// -> Dense(off=0,extent=400)" (debugging and test failure messages).
+std::string to_string(const Type &t);
+
+} // namespace tempi

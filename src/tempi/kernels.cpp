@@ -1,0 +1,231 @@
+#include "tempi/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace tempi {
+
+namespace {
+
+vcuda::MemorySpace space_of(const void *p) {
+  return vcuda::memory_registry().space_of(p);
+}
+
+unsigned next_pow2_capped(long long n, unsigned cap) {
+  if (n <= 1) {
+    return 1;
+  }
+  const auto v = static_cast<unsigned long long>(n);
+  const unsigned long long p = std::bit_ceil(v);
+  return static_cast<unsigned>(std::min<unsigned long long>(p, cap));
+}
+
+/// Iterate every (object, dim>=1 index tuple) block and invoke
+/// fn(src_block_offset, dst_linear_offset, block_bytes). Works for any
+/// dimensionality; dimension 0 is the contiguous block.
+template <typename Fn>
+void for_each_kernel_block(const StridedBlock &sb, long long extent,
+                           int count, Fn &&fn) {
+  const int nd = sb.ndims();
+  const long long block = sb.counts[0];
+  if (block == 0) {
+    return;
+  }
+  long long blocks_per_obj = 1;
+  for (int d = 1; d < nd; ++d) {
+    blocks_per_obj *= sb.counts[static_cast<std::size_t>(d)];
+  }
+  std::vector<long long> idx(static_cast<std::size_t>(std::max(nd - 1, 0)), 0);
+  for (int obj = 0; obj < count; ++obj) {
+    const long long obj_src = static_cast<long long>(obj) * extent + sb.start;
+    const long long obj_dst =
+        static_cast<long long>(obj) * blocks_per_obj * block;
+    std::fill(idx.begin(), idx.end(), 0);
+    for (long long b = 0; b < blocks_per_obj; ++b) {
+      long long src_off = obj_src;
+      for (int d = 1; d < nd; ++d) {
+        src_off += idx[static_cast<std::size_t>(d - 1)] *
+                   sb.strides[static_cast<std::size_t>(d)];
+      }
+      fn(src_off, obj_dst + b * block, block);
+      // Advance the (dim 1, dim 2, ...) index tuple, dim 1 fastest.
+      for (int d = 1; d < nd; ++d) {
+        auto &i = idx[static_cast<std::size_t>(d - 1)];
+        if (++i < sb.counts[static_cast<std::size_t>(d)]) {
+          break;
+        }
+        i = 0;
+      }
+    }
+  }
+}
+
+} // namespace
+
+int select_word_size(const StridedBlock &sb) {
+  for (const int w : {16, 8, 4, 2}) {
+    if (sb.block_bytes() % w != 0 || sb.start % w != 0) {
+      continue;
+    }
+    bool ok = true;
+    for (std::size_t d = 1; d < sb.strides.size(); ++d) {
+      if (sb.strides[d] % w != 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      return w;
+    }
+  }
+  return 1;
+}
+
+vcuda::LaunchConfig make_launch_config(const StridedBlock &sb, int word_size,
+                                       int count) {
+  constexpr unsigned kBlockLimit = 1024;
+  vcuda::LaunchConfig cfg;
+  const int nd = sb.ndims();
+
+  const long long x_extent =
+      sb.block_bytes() / std::max(word_size, 1); // X loads words
+  cfg.block.x = next_pow2_capped(x_extent, kBlockLimit);
+  unsigned remaining = kBlockLimit / cfg.block.x;
+  if (nd >= 2) {
+    cfg.block.y = next_pow2_capped(sb.counts[1], std::max(remaining, 1u));
+    remaining = std::max(remaining / cfg.block.y, 1u);
+  }
+  if (nd >= 3) {
+    cfg.block.z = next_pow2_capped(sb.counts[2], std::max(remaining, 1u));
+  }
+
+  auto grid_for = [](long long total, unsigned block) {
+    return static_cast<unsigned>((total + block - 1) / block);
+  };
+  cfg.grid.x = grid_for(std::max<long long>(x_extent, 1), cfg.block.x);
+  if (nd >= 2) {
+    cfg.grid.y = grid_for(sb.counts[1], cfg.block.y);
+  }
+  if (nd >= 3) {
+    cfg.grid.z = grid_for(sb.counts[2], cfg.block.z);
+  } else if (nd == 2 && count > 1) {
+    // 2-D kernels absorb the dynamic object count in grid Z.
+    cfg.grid.z = static_cast<unsigned>(count);
+  }
+  return cfg;
+}
+
+namespace {
+
+/// The memory system that governs a kernel's throughput. When either end
+/// is mapped host memory ("one-shot"), every transaction crosses the
+/// CPU-GPU interconnect and its 32 B zero-copy granularity dominates;
+/// otherwise the device memory system (128 B coalescing) governs. This is
+/// how the paper's saturation points (32 B one-shot, 128 B in-device,
+/// Sec. 6.3) arise.
+vcuda::MemorySpace governing_space(vcuda::MemorySpace a,
+                                   vcuda::MemorySpace b) {
+  if (a == vcuda::MemorySpace::Pinned || b == vcuda::MemorySpace::Pinned) {
+    return vcuda::MemorySpace::Pinned;
+  }
+  return vcuda::MemorySpace::Device;
+}
+
+} // namespace
+
+vcuda::KernelCost pack_cost(const StridedBlock &sb, int count,
+                            vcuda::MemorySpace src_space,
+                            vcuda::MemorySpace dst_space) {
+  vcuda::KernelCost cost;
+  cost.total_bytes = static_cast<std::size_t>(sb.size()) * count;
+  const bool strided = sb.ndims() > 1;
+  const vcuda::MemorySpace gov = governing_space(src_space, dst_space);
+  cost.src = {strided ? static_cast<std::size_t>(sb.block_bytes()) : 0,
+              /*is_write=*/false, gov};
+  cost.dst = {0, /*is_write=*/true, gov};
+  return cost;
+}
+
+vcuda::KernelCost unpack_cost(const StridedBlock &sb, int count,
+                              vcuda::MemorySpace src_space,
+                              vcuda::MemorySpace dst_space) {
+  vcuda::KernelCost cost;
+  cost.total_bytes = static_cast<std::size_t>(sb.size()) * count;
+  const bool strided = sb.ndims() > 1;
+  const vcuda::MemorySpace gov = governing_space(src_space, dst_space);
+  cost.src = {0, /*is_write=*/false, gov};
+  cost.dst = {strided ? static_cast<std::size_t>(sb.block_bytes()) : 0,
+              /*is_write=*/true, gov};
+  return cost;
+}
+
+vcuda::Error launch_pack(const StridedBlock &sb, long long extent, void *dst,
+                         const void *src, int count,
+                         vcuda::StreamHandle stream) {
+  assert(sb.ndims() >= 1);
+  if (sb.ndims() == 1) {
+    // Contiguous object: a single async copy per object (per Sec. 3.3).
+    const auto bytes = static_cast<std::size_t>(sb.counts[0]);
+    auto *out = static_cast<std::byte *>(dst);
+    const auto *in = static_cast<const std::byte *>(src) + sb.start;
+    for (int i = 0; i < count; ++i) {
+      const vcuda::Error e = vcuda::MemcpyAsync(
+          out + static_cast<long long>(i) * sb.counts[0], in + i * extent,
+          bytes, vcuda::MemcpyKind::Default, stream);
+      if (e != vcuda::Error::Success) {
+        return e;
+      }
+    }
+    return vcuda::Error::Success;
+  }
+  const int w = select_word_size(sb);
+  const vcuda::LaunchConfig cfg = make_launch_config(sb, w, count);
+  const vcuda::KernelCost cost =
+      pack_cost(sb, count, space_of(src), space_of(dst));
+  auto *out = static_cast<std::byte *>(dst);
+  const auto *in = static_cast<const std::byte *>(src);
+  return vcuda::LaunchKernel(cfg, cost, stream, [&sb, extent, count, out, in] {
+    for_each_kernel_block(sb, extent, count,
+                          [out, in](long long s, long long d, long long n) {
+                            std::memcpy(out + d, in + s,
+                                        static_cast<std::size_t>(n));
+                          });
+  });
+}
+
+vcuda::Error launch_unpack(const StridedBlock &sb, long long extent,
+                           void *dst, const void *src, int count,
+                           vcuda::StreamHandle stream) {
+  assert(sb.ndims() >= 1);
+  if (sb.ndims() == 1) {
+    const auto bytes = static_cast<std::size_t>(sb.counts[0]);
+    auto *out = static_cast<std::byte *>(dst) + sb.start;
+    const auto *in = static_cast<const std::byte *>(src);
+    for (int i = 0; i < count; ++i) {
+      const vcuda::Error e = vcuda::MemcpyAsync(
+          out + i * extent, in + static_cast<long long>(i) * sb.counts[0],
+          bytes, vcuda::MemcpyKind::Default, stream);
+      if (e != vcuda::Error::Success) {
+        return e;
+      }
+    }
+    return vcuda::Error::Success;
+  }
+  const int w = select_word_size(sb);
+  const vcuda::LaunchConfig cfg = make_launch_config(sb, w, count);
+  const vcuda::KernelCost cost =
+      unpack_cost(sb, count, space_of(src), space_of(dst));
+  auto *out = static_cast<std::byte *>(dst);
+  const auto *in = static_cast<const std::byte *>(src);
+  return vcuda::LaunchKernel(cfg, cost, stream, [&sb, extent, count, out, in] {
+    for_each_kernel_block(sb, extent, count,
+                          [out, in](long long s, long long d, long long n) {
+                            std::memcpy(out + s, in + d,
+                                        static_cast<std::size_t>(n));
+                          });
+  });
+}
+
+} // namespace tempi

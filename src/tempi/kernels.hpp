@@ -1,0 +1,57 @@
+// Parameterized GPU pack/unpack kernels (Sec. 3.3).
+//
+// Kernel selection follows the paper:
+//   * 1-D (fully contiguous) objects use cudaMemcpyAsync + synchronize;
+//   * 2-D objects map thread X to counts[0] and Y to counts[1], handling a
+//     dynamic object count by growing grid Z;
+//   * 3-D objects map X/Y/Z to counts[0..2] and apply the whole grid to
+//     each object in turn;
+//   * >3-D objects follow the 3-D pattern with extra outer loops.
+// Each block dimension is the smallest power of two that encompasses the
+// corresponding extent, capped by the 1024-thread block limit; the grid
+// then covers the object. Each kernel is specialized on a word size W, the
+// widest GPU-native type (16/8/4/2/1 bytes) that divides the contiguous
+// block length and the object's alignment.
+#pragma once
+
+#include "tempi/strided_block.hpp"
+#include "vcuda/runtime.hpp"
+
+#include <cstddef>
+
+namespace tempi {
+
+/// Widest W in {16,8,4,2,1} dividing counts[0], all strides, and the start
+/// offset (alignment to the object; the allocation base is checked at pack
+/// time by the caller).
+int select_word_size(const StridedBlock &sb);
+
+/// Block/grid geometry per the paper's X->Z power-of-two fill rule.
+/// `count` is the dynamic object count of the MPI call.
+vcuda::LaunchConfig make_launch_config(const StridedBlock &sb, int word_size,
+                                       int count);
+
+/// Modeled cost descriptor for a pack (gather) kernel moving `count`
+/// objects of `sb` from `src_space` into contiguous `dst_space` memory.
+vcuda::KernelCost pack_cost(const StridedBlock &sb, int count,
+                            vcuda::MemorySpace src_space,
+                            vcuda::MemorySpace dst_space);
+
+/// As pack_cost, with the non-contiguous (write) side on the destination.
+vcuda::KernelCost unpack_cost(const StridedBlock &sb, int count,
+                              vcuda::MemorySpace src_space,
+                              vcuda::MemorySpace dst_space);
+
+/// Launch one pack kernel: gather `count` objects laid out as `sb` (with
+/// elements `extent` bytes apart) from `src` into contiguous `dst`.
+vcuda::Error launch_pack(const StridedBlock &sb, long long extent, void *dst,
+                         const void *src, int count,
+                         vcuda::StreamHandle stream);
+
+/// Launch one unpack kernel: scatter contiguous `src` into `count` objects
+/// laid out as `sb` at `dst`.
+vcuda::Error launch_unpack(const StridedBlock &sb, long long extent,
+                           void *dst, const void *src, int count,
+                           vcuda::StreamHandle stream);
+
+} // namespace tempi

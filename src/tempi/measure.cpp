@@ -1,0 +1,172 @@
+#include "tempi/measure.hpp"
+
+#include "interpose/table.hpp"
+#include "support/stats.hpp"
+#include "sysmpi/world.hpp"
+#include "tempi/packer.hpp"
+#include "vcuda/runtime.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace tempi {
+
+namespace {
+
+std::vector<double> pow2_sizes(double lo, double hi) {
+  std::vector<double> v;
+  for (double s = lo; s <= hi; s *= 2.0) {
+    v.push_back(s);
+  }
+  return v;
+}
+
+/// Half ping-pong latency (us) between two ranks on distinct virtual
+/// nodes, measured with the *system* MPI on host or device buffers.
+void measure_pingpong(Table1D &out, bool gpu, int iters) {
+  const std::vector<double> sizes = pow2_sizes(1.0, 16.0 * 1024 * 1024);
+  out.bytes = sizes;
+  out.us.assign(sizes.size(), 0.0);
+
+  const interpose::MpiTable &sys = interpose::system_table();
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1; // force the inter-node path
+  sysmpi::run_ranks(cfg, [&](int rank) {
+    const auto max_bytes = static_cast<std::size_t>(sizes.back());
+    void *buf = nullptr;
+    if (gpu) {
+      vcuda::Malloc(&buf, max_bytes);
+    } else {
+      vcuda::MallocHost(&buf, max_bytes);
+    }
+    MPI_Comm comm = MPI_COMM_WORLD;
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      const int n = static_cast<int>(sizes[si]);
+      support::Sampler sampler;
+      for (int it = 0; it < iters; ++it) {
+        const vcuda::VirtualNs t0 = vcuda::virtual_now();
+        if (rank == 0) {
+          sys.Send(buf, n, MPI_BYTE, 1, 99, comm);
+          sys.Recv(buf, n, MPI_BYTE, 1, 99, comm, MPI_STATUS_IGNORE);
+        } else {
+          sys.Recv(buf, n, MPI_BYTE, 0, 99, comm, MPI_STATUS_IGNORE);
+          sys.Send(buf, n, MPI_BYTE, 0, 99, comm);
+        }
+        const vcuda::VirtualNs t1 = vcuda::virtual_now();
+        sampler.add(vcuda::ns_to_us(t1 - t0) / 2.0);
+      }
+      if (rank == 0) {
+        out.us[si] = sampler.trimean();
+      }
+    }
+    if (gpu) {
+      vcuda::Free(buf);
+    } else {
+      vcuda::FreeHost(buf);
+    }
+  });
+}
+
+/// cudaMemcpyAsync + cudaStreamSynchronize latency (us) in one direction.
+void measure_copy(Table1D &out, bool d2h, int iters) {
+  const std::vector<double> sizes = pow2_sizes(1.0, 16.0 * 1024 * 1024);
+  out.bytes = sizes;
+  out.us.clear();
+  const auto max_bytes = static_cast<std::size_t>(sizes.back());
+  void *dev = nullptr, *host = nullptr;
+  vcuda::Malloc(&dev, max_bytes);
+  vcuda::MallocHost(&host, max_bytes);
+  vcuda::StreamHandle stream = vcuda::default_stream();
+  for (const double s : sizes) {
+    support::Sampler sampler;
+    for (int it = 0; it < iters; ++it) {
+      const vcuda::VirtualNs t0 = vcuda::virtual_now();
+      if (d2h) {
+        vcuda::MemcpyAsync(host, dev, static_cast<std::size_t>(s),
+                           vcuda::MemcpyKind::DeviceToHost, stream);
+      } else {
+        vcuda::MemcpyAsync(dev, host, static_cast<std::size_t>(s),
+                           vcuda::MemcpyKind::HostToDevice, stream);
+      }
+      vcuda::StreamSynchronize(stream);
+      sampler.add(vcuda::ns_to_us(vcuda::virtual_now() - t0));
+    }
+    out.us.push_back(sampler.trimean());
+  }
+  vcuda::Free(dev);
+  vcuda::FreeHost(host);
+}
+
+/// Pack or unpack kernel latency (us) over the {block, total} grid, with
+/// the contiguous side in device or mapped-host (one-shot) memory.
+void measure_pack_grid(Table2D &out, bool oneshot, bool is_pack, int iters) {
+  out.block_bytes = pow2_sizes(1.0, 1024.0);
+  out.total_bytes = pow2_sizes(64.0, 4.0 * 1024 * 1024);
+  out.us.assign(out.block_bytes.size() * out.total_bytes.size(), 0.0);
+
+  const auto max_total = static_cast<std::size_t>(out.total_bytes.back());
+  void *obj = nullptr; // the strided object, always in device memory
+  vcuda::Malloc(&obj, max_total * 2);
+  void *packed = nullptr; // the contiguous side
+  if (oneshot) {
+    vcuda::MallocHost(&packed, max_total);
+  } else {
+    vcuda::Malloc(&packed, max_total);
+  }
+  vcuda::StreamHandle stream = vcuda::default_stream();
+
+  for (std::size_t bi = 0; bi < out.block_bytes.size(); ++bi) {
+    for (std::size_t ti = 0; ti < out.total_bytes.size(); ++ti) {
+      const auto total = static_cast<long long>(out.total_bytes[ti]);
+      const auto block = std::min(static_cast<long long>(out.block_bytes[bi]),
+                                  total);
+      StridedBlock sb;
+      sb.counts = {block, total / block};
+      sb.strides = {1, 2 * block}; // pitch leaves a gap between blocks
+      const Packer packer(sb, /*extent=*/2 * total, /*size=*/total);
+      support::Sampler sampler;
+      for (int it = 0; it < iters; ++it) {
+        const vcuda::VirtualNs t0 = vcuda::virtual_now();
+        if (is_pack) {
+          packer.pack(packed, obj, 1, stream);
+        } else {
+          packer.unpack(obj, packed, 1, stream);
+        }
+        sampler.add(vcuda::ns_to_us(vcuda::virtual_now() - t0));
+      }
+      out.at(bi, ti) = sampler.trimean();
+    }
+  }
+  if (oneshot) {
+    vcuda::FreeHost(packed);
+  } else {
+    vcuda::Free(packed);
+  }
+  vcuda::Free(obj);
+}
+
+} // namespace
+
+SystemPerf measure_system(int iters_per_point) {
+  SystemPerf p;
+  measure_pingpong(p.cpu_cpu, /*gpu=*/false, iters_per_point);
+  measure_pingpong(p.gpu_gpu, /*gpu=*/true, iters_per_point);
+  measure_copy(p.d2h, /*d2h=*/true, iters_per_point);
+  measure_copy(p.h2d, /*d2h=*/false, iters_per_point);
+  measure_pack_grid(p.device_pack, /*oneshot=*/false, /*is_pack=*/true,
+                    iters_per_point);
+  measure_pack_grid(p.device_unpack, false, false, iters_per_point);
+  measure_pack_grid(p.oneshot_pack, true, true, iters_per_point);
+  measure_pack_grid(p.oneshot_unpack, true, false, iters_per_point);
+  return p;
+}
+
+std::string perf_file_path() {
+  if (const char *env = std::getenv("TEMPI_PERF_FILE")) {
+    return env;
+  }
+  return "tempi_perf.txt";
+}
+
+} // namespace tempi

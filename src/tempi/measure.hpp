@@ -1,0 +1,19 @@
+// Empirical system measurement (the paper's "binary that records system
+// performance parameters to the file system", Sec. 6.3). Run once per
+// system, before applications use TEMPI; MPI_Init loads the file.
+#pragma once
+
+#include "tempi/perf_model.hpp"
+
+namespace tempi {
+
+/// Measure every SystemPerf table on the current (virtual) system: two-rank
+/// inter-node ping-pongs for the transfer tables, device/pinned kernel
+/// timings for the pack tables. Launches its own rank pair; must not be
+/// called from inside sysmpi::run_ranks.
+SystemPerf measure_system(int iters_per_point = 7);
+
+/// Default measurement file path: $TEMPI_PERF_FILE or "tempi_perf.txt".
+std::string perf_file_path();
+
+} // namespace tempi

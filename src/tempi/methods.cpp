@@ -1,0 +1,101 @@
+#include "tempi/methods.hpp"
+
+#include "tempi/buffer_cache.hpp"
+#include "sysmpi/mpi.hpp"
+
+namespace tempi {
+
+namespace {
+
+/// Where the packed intermediate lives for each method's wire leg.
+vcuda::MemorySpace intermediate_space(Method m) {
+  switch (m) {
+  case Method::Device: return vcuda::MemorySpace::Device;
+  case Method::OneShot:
+  case Method::Staged: return vcuda::MemorySpace::Pinned;
+  }
+  return vcuda::MemorySpace::Device;
+}
+
+} // namespace
+
+int send_with_method(const Packer &packer, Method m, const void *buf,
+                     int count, int dest, int tag, MPI_Comm comm,
+                     const interpose::MpiTable &next) {
+  const auto bytes = static_cast<int>(packer.packed_bytes(count));
+  vcuda::StreamHandle stream = vcuda::default_stream();
+
+  if (m == Method::Device) {
+    // Pack in device memory, hand the device buffer to CUDA-aware MPI.
+    CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
+                                    static_cast<std::size_t>(bytes));
+    if (packer.pack(dev.get(), buf, count, stream) != vcuda::Error::Success) {
+      return MPI_ERR_OTHER;
+    }
+    return next.Send(dev.get(), bytes, MPI_BYTE, dest, tag, comm);
+  }
+
+  if (m == Method::OneShot) {
+    // Pack straight into mapped host memory through zero-copy stores, then
+    // a plain host-to-host MPI transfer.
+    CachedBuffer host = lease_buffer(vcuda::MemorySpace::Pinned,
+                                     static_cast<std::size_t>(bytes));
+    if (packer.pack(host.get(), buf, count, stream) !=
+        vcuda::Error::Success) {
+      return MPI_ERR_OTHER;
+    }
+    return next.Send(host.get(), bytes, MPI_BYTE, dest, tag, comm);
+  }
+
+  // Staged: pack in device memory, copy down to pinned host, send from host.
+  CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
+                                  static_cast<std::size_t>(bytes));
+  CachedBuffer host = lease_buffer(vcuda::MemorySpace::Pinned,
+                                   static_cast<std::size_t>(bytes));
+  if (packer.pack(dev.get(), buf, count, stream) != vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  vcuda::MemcpyAsync(host.get(), dev.get(), static_cast<std::size_t>(bytes),
+                     vcuda::MemcpyKind::DeviceToHost, stream);
+  vcuda::StreamSynchronize(stream);
+  return next.Send(host.get(), bytes, MPI_BYTE, dest, tag, comm);
+}
+
+int recv_with_method(const Packer &packer, Method m, void *buf, int count,
+                     int source, int tag, MPI_Comm comm, MPI_Status *status,
+                     const interpose::MpiTable &next) {
+  const auto bytes = static_cast<int>(packer.packed_bytes(count));
+  vcuda::StreamHandle stream = vcuda::default_stream();
+
+  CachedBuffer wire = lease_buffer(intermediate_space(m),
+                                   static_cast<std::size_t>(bytes));
+  MPI_Status wire_status;
+  const int rc =
+      next.Recv(wire.get(), bytes, MPI_BYTE, source, tag, comm, &wire_status);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+
+  const void *unpack_src = wire.get();
+  CachedBuffer dev; // staged only: unpack from device memory
+  if (m == Method::Staged) {
+    dev = lease_buffer(vcuda::MemorySpace::Device,
+                       static_cast<std::size_t>(bytes));
+    vcuda::MemcpyAsync(dev.get(), wire.get(), static_cast<std::size_t>(bytes),
+                       vcuda::MemcpyKind::HostToDevice, stream);
+    vcuda::StreamSynchronize(stream);
+    unpack_src = dev.get();
+  }
+  if (packer.unpack(buf, unpack_src, count, stream) !=
+      vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  if (status != MPI_STATUS_IGNORE) {
+    *status = wire_status;
+    // Report the logical element count, not the wire byte count.
+    status->count_bytes = static_cast<long long>(packer.packed_bytes(count));
+  }
+  return MPI_SUCCESS;
+}
+
+} // namespace tempi

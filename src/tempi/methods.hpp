@@ -1,0 +1,27 @@
+// Datatype-accelerated MPI_Send/MPI_Recv built from contiguous system MPI
+// primitives (Sec. 4): the device, one-shot, and staged packing methods.
+//
+// All three share the structure pack -> contiguous transfer -> unpack; they
+// differ in where the intermediate buffer lives and which transfer leg the
+// system MPI performs. The wire carries plain packed bytes, so sender and
+// receiver may independently choose methods.
+#pragma once
+
+#include "interpose/table.hpp"
+#include "tempi/packer.hpp"
+#include "tempi/perf_model.hpp"
+
+namespace tempi {
+
+/// Send `count` objects of the packer's datatype from device-resident
+/// `buf` using method `m`; `next` is the system MPI table.
+int send_with_method(const Packer &packer, Method m, const void *buf,
+                     int count, int dest, int tag, MPI_Comm comm,
+                     const interpose::MpiTable &next);
+
+/// Mirror of send_with_method for the receiving side.
+int recv_with_method(const Packer &packer, Method m, void *buf, int count,
+                     int source, int tag, MPI_Comm comm, MPI_Status *status,
+                     const interpose::MpiTable &next);
+
+} // namespace tempi

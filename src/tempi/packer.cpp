@@ -1,0 +1,63 @@
+#include "tempi/packer.hpp"
+
+#include <cassert>
+
+namespace tempi {
+
+vcuda::Error Packer::pack(void *dst, const void *src, int count,
+                          vcuda::StreamHandle stream) const {
+  const vcuda::Error e = launch_pack(sb_, extent_, dst, src, count, stream);
+  if (e != vcuda::Error::Success) {
+    return e;
+  }
+  return vcuda::StreamSynchronize(stream);
+}
+
+vcuda::Error Packer::unpack(void *dst, const void *src, int count,
+                            vcuda::StreamHandle stream) const {
+  const vcuda::Error e = launch_unpack(sb_, extent_, dst, src, count, stream);
+  if (e != vcuda::Error::Success) {
+    return e;
+  }
+  return vcuda::StreamSynchronize(stream);
+}
+
+vcuda::Error Packer::pack_dma(void *dst, const void *src, int count,
+                              vcuda::StreamHandle stream) const {
+  assert(dma_capable());
+  const auto width = static_cast<std::size_t>(sb_.counts[0]);
+  const auto rows = static_cast<std::size_t>(sb_.counts[1]);
+  const auto spitch = static_cast<std::size_t>(sb_.strides[1]);
+  auto *out = static_cast<std::byte *>(dst);
+  const auto *in = static_cast<const std::byte *>(src) + sb_.start;
+  for (int i = 0; i < count; ++i) {
+    const vcuda::Error e = vcuda::Memcpy2DAsync(
+        out + static_cast<long long>(i) * size_, width, in + i * extent_,
+        spitch, width, rows, vcuda::MemcpyKind::Default, stream);
+    if (e != vcuda::Error::Success) {
+      return e;
+    }
+  }
+  return vcuda::StreamSynchronize(stream);
+}
+
+vcuda::Error Packer::unpack_dma(void *dst, const void *src, int count,
+                                vcuda::StreamHandle stream) const {
+  assert(dma_capable());
+  const auto width = static_cast<std::size_t>(sb_.counts[0]);
+  const auto rows = static_cast<std::size_t>(sb_.counts[1]);
+  const auto dpitch = static_cast<std::size_t>(sb_.strides[1]);
+  auto *out = static_cast<std::byte *>(dst) + sb_.start;
+  const auto *in = static_cast<const std::byte *>(src);
+  for (int i = 0; i < count; ++i) {
+    const vcuda::Error e = vcuda::Memcpy2DAsync(
+        out + i * extent_, dpitch, in + static_cast<long long>(i) * size_,
+        width, width, rows, vcuda::MemcpyKind::Default, stream);
+    if (e != vcuda::Error::Success) {
+      return e;
+    }
+  }
+  return vcuda::StreamSynchronize(stream);
+}
+
+} // namespace tempi

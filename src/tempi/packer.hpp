@@ -1,0 +1,60 @@
+// Per-datatype packer: the cached artifact MPI_Type_commit produces.
+//
+// Holds the canonical StridedBlock, the MPI extent/size of the committed
+// type (needed to step across `count` objects and size packed buffers), and
+// the selected word size. No metadata lives in (virtual) GPU memory: all
+// parameters are kernel arguments, per the paper.
+#pragma once
+
+#include "tempi/kernels.hpp"
+#include "tempi/strided_block.hpp"
+
+#include <cstddef>
+
+namespace tempi {
+
+class Packer {
+public:
+  Packer(StridedBlock sb, long long type_extent, long long type_size)
+      : sb_(std::move(sb)), extent_(type_extent), size_(type_size),
+        word_size_(select_word_size(sb_)) {}
+
+  [[nodiscard]] const StridedBlock &block() const { return sb_; }
+  [[nodiscard]] long long type_extent() const { return extent_; }
+  [[nodiscard]] long long type_size() const { return size_; }
+  [[nodiscard]] int word_size() const { return word_size_; }
+  [[nodiscard]] bool contiguous() const { return sb_.ndims() == 1; }
+
+  /// Bytes produced by packing `count` objects.
+  [[nodiscard]] std::size_t packed_bytes(int count) const {
+    return static_cast<std::size_t>(size_) * static_cast<std::size_t>(count);
+  }
+
+  /// Gather `count` objects from `src` into contiguous `dst` and
+  /// synchronize the stream (the paper's pack timing includes grid
+  /// selection, execution, and synchronization).
+  vcuda::Error pack(void *dst, const void *src, int count,
+                    vcuda::StreamHandle stream) const;
+
+  /// Scatter contiguous `src` into `count` objects at `dst`; synchronizes.
+  vcuda::Error unpack(void *dst, const void *src, int count,
+                      vcuda::StreamHandle stream) const;
+
+  /// Sec. 8 extension ("evaluate the use of the GPU DMA engine for
+  /// non-contiguous data, e.g. cudaMemcpy2D"): pack/unpack a 2-D strided
+  /// block through cudaMemcpy2DAsync instead of a kernel — the Wang et al.
+  /// strategy. Valid only when dma_capable(); one DMA op per object.
+  [[nodiscard]] bool dma_capable() const { return sb_.ndims() == 2; }
+  vcuda::Error pack_dma(void *dst, const void *src, int count,
+                        vcuda::StreamHandle stream) const;
+  vcuda::Error unpack_dma(void *dst, const void *src, int count,
+                          vcuda::StreamHandle stream) const;
+
+private:
+  StridedBlock sb_;
+  long long extent_ = 0;
+  long long size_ = 0;
+  int word_size_ = 1;
+};
+
+} // namespace tempi

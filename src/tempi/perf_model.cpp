@@ -1,0 +1,332 @@
+#include "tempi/perf_model.hpp"
+
+#include "sysmpi/netmodel.hpp"
+#include "tempi/kernels.hpp"
+#include "vcuda/costmodel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <unordered_map>
+
+namespace tempi {
+
+const char *method_name(Method m) {
+  switch (m) {
+  case Method::OneShot: return "one-shot";
+  case Method::Device: return "device";
+  case Method::Staged: return "staged";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Piecewise-linear interpolation of y over log(x). Clamps outside the
+/// sampled range (measurements are sparse by necessity, Sec. 6.3).
+double interp_log(const std::vector<double> &xs, const std::vector<double> &ys,
+                  double x) {
+  assert(!xs.empty() && xs.size() == ys.size());
+  if (x <= xs.front()) {
+    return ys.front();
+  }
+  if (x >= xs.back()) {
+    // Extrapolate the bandwidth regime linearly in x beyond the last
+    // sample: latency grows proportionally with size there.
+    return ys.back() * (x / xs.back());
+  }
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double lx = std::log2(std::max(x, 1.0));
+  const double l0 = std::log2(std::max(xs[lo], 1.0));
+  const double l1 = std::log2(std::max(xs[hi], 1.0));
+  const double f = l1 > l0 ? (lx - l0) / (l1 - l0) : 0.0;
+  return ys[lo] * (1.0 - f) + ys[hi] * f;
+}
+
+} // namespace
+
+double Table1D::query(double b) const { return interp_log(bytes, us, b); }
+
+double Table2D::query(double block, double total) const {
+  assert(!block_bytes.empty() && !total_bytes.empty());
+  // Interpolate along the block axis at each bracketing block row, then
+  // between rows (bilinear in log-log space with clamping).
+  const auto row = [this](std::size_t bi, double t) {
+    std::vector<double>::const_iterator begin =
+        us.begin() + static_cast<long>(bi * total_bytes.size());
+    const std::vector<double> slice(begin,
+                                    begin + static_cast<long>(total_bytes.size()));
+    return interp_log(total_bytes, slice, t);
+  };
+  if (block <= block_bytes.front()) {
+    return row(0, total);
+  }
+  if (block >= block_bytes.back()) {
+    return row(block_bytes.size() - 1, total);
+  }
+  const auto it =
+      std::upper_bound(block_bytes.begin(), block_bytes.end(), block);
+  const std::size_t hi = static_cast<std::size_t>(it - block_bytes.begin());
+  const std::size_t lo = hi - 1;
+  const double l = std::log2(std::max(block, 1.0));
+  const double l0 = std::log2(std::max(block_bytes[lo], 1.0));
+  const double l1 = std::log2(std::max(block_bytes[hi], 1.0));
+  const double f = l1 > l0 ? (l - l0) / (l1 - l0) : 0.0;
+  return row(lo, total) * (1.0 - f) + row(hi, total) * f;
+}
+
+namespace {
+
+// --- serialization -----------------------------------------------------------
+
+void write_1d(std::ostream &os, const char *name, const Table1D &t) {
+  os << name << ' ' << t.bytes.size() << '\n';
+  for (std::size_t i = 0; i < t.bytes.size(); ++i) {
+    os << t.bytes[i] << ' ' << t.us[i] << '\n';
+  }
+}
+
+void write_2d(std::ostream &os, const char *name, const Table2D &t) {
+  os << name << ' ' << t.block_bytes.size() << ' ' << t.total_bytes.size()
+     << '\n';
+  for (const double b : t.block_bytes) {
+    os << b << ' ';
+  }
+  os << '\n';
+  for (const double b : t.total_bytes) {
+    os << b << ' ';
+  }
+  os << '\n';
+  for (const double v : t.us) {
+    os << v << ' ';
+  }
+  os << '\n';
+}
+
+bool read_1d(std::istream &is, const std::string &name, Table1D &t) {
+  std::string tag;
+  std::size_t n = 0;
+  if (!(is >> tag >> n) || tag != name) {
+    return false;
+  }
+  t.bytes.resize(n);
+  t.us.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> t.bytes[i] >> t.us[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool read_2d(std::istream &is, const std::string &name, Table2D &t) {
+  std::string tag;
+  std::size_t nb = 0, nt = 0;
+  if (!(is >> tag >> nb >> nt) || tag != name) {
+    return false;
+  }
+  t.block_bytes.resize(nb);
+  t.total_bytes.resize(nt);
+  t.us.resize(nb * nt);
+  for (double &v : t.block_bytes) {
+    if (!(is >> v)) return false;
+  }
+  for (double &v : t.total_bytes) {
+    if (!(is >> v)) return false;
+  }
+  for (double &v : t.us) {
+    if (!(is >> v)) return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool save_perf(const SystemPerf &perf, const std::string &path) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  os.precision(17); // lossless double round trip
+  os << "tempi_perf_v1\n";
+  write_1d(os, "cpu_cpu", perf.cpu_cpu);
+  write_1d(os, "gpu_gpu", perf.gpu_gpu);
+  write_1d(os, "d2h", perf.d2h);
+  write_1d(os, "h2d", perf.h2d);
+  write_2d(os, "device_pack", perf.device_pack);
+  write_2d(os, "device_unpack", perf.device_unpack);
+  write_2d(os, "oneshot_pack", perf.oneshot_pack);
+  write_2d(os, "oneshot_unpack", perf.oneshot_unpack);
+  return static_cast<bool>(os);
+}
+
+std::optional<SystemPerf> load_perf(const std::string &path) {
+  std::ifstream is(path);
+  if (!is) {
+    return std::nullopt;
+  }
+  std::string header;
+  if (!(is >> header) || header != "tempi_perf_v1") {
+    return std::nullopt;
+  }
+  SystemPerf p;
+  if (read_1d(is, "cpu_cpu", p.cpu_cpu) && read_1d(is, "gpu_gpu", p.gpu_gpu) &&
+      read_1d(is, "d2h", p.d2h) && read_1d(is, "h2d", p.h2d) &&
+      read_2d(is, "device_pack", p.device_pack) &&
+      read_2d(is, "device_unpack", p.device_unpack) &&
+      read_2d(is, "oneshot_pack", p.oneshot_pack) &&
+      read_2d(is, "oneshot_unpack", p.oneshot_unpack)) {
+    return p;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<double> pow2_sizes(double lo, double hi) {
+  std::vector<double> v;
+  for (double s = lo; s <= hi; s *= 2.0) {
+    v.push_back(s);
+  }
+  return v;
+}
+
+/// Analytic latency (us) of one pack/unpack kernel incl. launch + sync.
+double analytic_kernel_us(double block, double total,
+                          vcuda::MemorySpace noncontig_space, bool is_pack) {
+  const vcuda::CostParams &cp = vcuda::cost_params();
+  vcuda::KernelCost cost;
+  cost.total_bytes = static_cast<std::size_t>(total);
+  const auto blk = static_cast<std::size_t>(block);
+  // Both sides are priced in the governing space, mirroring
+  // tempi::pack_cost/unpack_cost (see kernels.cpp: governing_space).
+  if (is_pack) {
+    cost.src = {blk, false, noncontig_space};
+    cost.dst = {0, true, noncontig_space};
+  } else {
+    cost.src = {0, false, noncontig_space};
+    cost.dst = {blk, true, noncontig_space};
+  }
+  const vcuda::VirtualNs ns = cp.kernel_launch_ns +
+                              vcuda::kernel_duration(cp, cost) +
+                              cp.stream_sync_ns;
+  return static_cast<double>(ns) / 1000.0;
+}
+
+} // namespace
+
+SystemPerf builtin_perf() {
+  const sysmpi::NetParams &net = sysmpi::net_params();
+  const vcuda::CostParams &cp = vcuda::cost_params();
+  SystemPerf p;
+
+  const std::vector<double> sizes = pow2_sizes(1.0, 16.0 * 1024 * 1024);
+  for (const double s : sizes) {
+    const auto b = static_cast<std::size_t>(s);
+    p.cpu_cpu.bytes.push_back(s);
+    p.cpu_cpu.us.push_back(
+        vcuda::ns_to_us(transfer_duration(net, b, false, false, false)) +
+        2.0 * net.host_overhead_us);
+    p.gpu_gpu.bytes.push_back(s);
+    p.gpu_gpu.us.push_back(
+        vcuda::ns_to_us(transfer_duration(net, b, true, true, false)) +
+        2.0 * net.host_overhead_us);
+    const double copy_us = vcuda::ns_to_us(
+        cp.memcpy_async_call_ns +
+        vcuda::memcpy_duration(cp, b, vcuda::MemcpyKind::DeviceToHost, false) +
+        cp.stream_sync_ns);
+    p.d2h.bytes.push_back(s);
+    p.d2h.us.push_back(copy_us);
+    p.h2d.bytes.push_back(s);
+    p.h2d.us.push_back(copy_us);
+  }
+
+  const std::vector<double> blocks = pow2_sizes(1.0, 1024.0);
+  const std::vector<double> totals = pow2_sizes(64.0, 4.0 * 1024 * 1024);
+  for (Table2D *t : {&p.device_pack, &p.device_unpack, &p.oneshot_pack,
+                     &p.oneshot_unpack}) {
+    t->block_bytes = blocks;
+    t->total_bytes = totals;
+    t->us.resize(blocks.size() * totals.size());
+  }
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    for (std::size_t ti = 0; ti < totals.size(); ++ti) {
+      const double blk = std::min(blocks[bi], totals[ti]);
+      p.device_pack.at(bi, ti) = analytic_kernel_us(
+          blk, totals[ti], vcuda::MemorySpace::Device, true);
+      p.device_unpack.at(bi, ti) = analytic_kernel_us(
+          blk, totals[ti], vcuda::MemorySpace::Device, false);
+      p.oneshot_pack.at(bi, ti) = analytic_kernel_us(
+          blk, totals[ti], vcuda::MemorySpace::Pinned, true);
+      p.oneshot_unpack.at(bi, ti) = analytic_kernel_us(
+          blk, totals[ti], vcuda::MemorySpace::Pinned, false);
+    }
+  }
+  return p;
+}
+
+double PerfModel::estimate_us(Method m, double block_bytes,
+                              double total_bytes) const {
+  switch (m) {
+  case Method::Device:
+    return perf_.device_pack.query(block_bytes, total_bytes) +
+           perf_.gpu_gpu.query(total_bytes) +
+           perf_.device_unpack.query(block_bytes, total_bytes);
+  case Method::OneShot:
+    return perf_.oneshot_pack.query(block_bytes, total_bytes) +
+           perf_.cpu_cpu.query(total_bytes) +
+           perf_.oneshot_unpack.query(block_bytes, total_bytes);
+  case Method::Staged:
+    return perf_.device_pack.query(block_bytes, total_bytes) +
+           perf_.d2h.query(total_bytes) + perf_.cpu_cpu.query(total_bytes) +
+           perf_.h2d.query(total_bytes) +
+           perf_.device_unpack.query(block_bytes, total_bytes);
+  }
+  return 0.0;
+}
+
+Method PerfModel::choose(std::size_t block_bytes,
+                         std::size_t total_bytes) const {
+  // Pure function of (this, block, total): cache per thread, keyed on the
+  // exact arguments (Sec. 6.3: "results are cached so future invocations
+  // ... do not require a redundant expensive interpolation").
+  struct Key {
+    const PerfModel *model;
+    std::size_t block, total;
+    bool operator==(const Key &) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key &k) const {
+      std::size_t h = std::hash<const void *>()(k.model);
+      h = h * 1000003 ^ std::hash<std::size_t>()(k.block);
+      h = h * 1000003 ^ std::hash<std::size_t>()(k.total);
+      return h;
+    }
+  };
+  thread_local std::unordered_map<Key, Method, KeyHash> cache;
+
+  const Key key{this, block_bytes, total_bytes};
+  if (const auto it = cache.find(key); it != cache.end()) {
+    vcuda::this_thread_timeline().advance(kModelQueryCachedNs);
+    return it->second;
+  }
+  vcuda::this_thread_timeline().advance(kModelQueryUncachedNs);
+  const auto b = static_cast<double>(block_bytes);
+  const auto t = static_cast<double>(total_bytes);
+  Method best = Method::Device;
+  double best_us = estimate_us(Method::Device, b, t);
+  for (const Method m : {Method::OneShot, Method::Staged}) {
+    const double us = estimate_us(m, b, t);
+    if (us < best_us) {
+      best = m;
+      best_us = us;
+    }
+  }
+  cache.emplace(key, best);
+  return best;
+}
+
+} // namespace tempi

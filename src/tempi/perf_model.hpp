@@ -1,0 +1,87 @@
+// Empirical performance model (Sec. 4, Sec. 6.3).
+//
+// TEMPI estimates the latency of the three packing methods from measured
+// system properties:
+//   T_device  = T_gpu-pack  + T_gpu-gpu  + T_gpu-unpack        (Eq. 1)
+//   T_oneshot = T_host-pack + T_cpu-cpu  + T_host-unpack       (Eq. 2)
+//   T_staged  = T_gpu-pack + T_d2h + T_cpu-cpu + T_h2d + T_gpu-unpack (Eq.3)
+// Transfers are estimated by 1-D interpolation over message size;
+// pack/unpack kernels by 2-D interpolation over {contiguous block length,
+// object size}. Model queries are pure, so results are cached; the paper
+// measures ~277 ns per cached selection.
+#pragma once
+
+#include "vcuda/clock.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tempi {
+
+enum class Method { OneShot, Device, Staged };
+const char *method_name(Method m);
+
+/// Piecewise-linear interpolation table over message size (log-spaced).
+struct Table1D {
+  std::vector<double> bytes; ///< ascending sample sizes
+  std::vector<double> us;    ///< measured latency at each size
+  [[nodiscard]] double query(double b) const;
+};
+
+/// Bilinear interpolation over {contiguous block length, object size}.
+struct Table2D {
+  std::vector<double> block_bytes; ///< ascending
+  std::vector<double> total_bytes; ///< ascending
+  std::vector<double> us;          ///< row-major [block][total]
+  [[nodiscard]] double query(double block, double total) const;
+  [[nodiscard]] double &at(std::size_t bi, std::size_t ti) {
+    return us[bi * total_bytes.size() + ti];
+  }
+};
+
+/// The measurement set the paper's system-measurement binary records.
+struct SystemPerf {
+  Table1D cpu_cpu; ///< Send/Recv ping-pong, pinned host buffers
+  Table1D gpu_gpu; ///< Send/Recv ping-pong, device buffers (CUDA-aware)
+  Table1D d2h;     ///< cudaMemcpyAsync device->host + synchronize
+  Table1D h2d;     ///< cudaMemcpyAsync host->device + synchronize
+  Table2D device_pack, device_unpack;   ///< kernel into device memory
+  Table2D oneshot_pack, oneshot_unpack; ///< kernel into mapped host memory
+};
+
+/// Serialize/deserialize the measurement file (TEMPI_PERF_FILE).
+bool save_perf(const SystemPerf &perf, const std::string &path);
+std::optional<SystemPerf> load_perf(const std::string &path);
+
+/// Built-in calibration: the same quantities evaluated analytically from
+/// the substrate cost models, used when no measurement file exists.
+SystemPerf builtin_perf();
+
+class PerfModel {
+public:
+  PerfModel() : PerfModel(builtin_perf()) {}
+  explicit PerfModel(SystemPerf perf) : perf_(std::move(perf)) {}
+
+  /// Estimated end-to-end Send/Recv latency (us) of `m` for objects with
+  /// `block_bytes`-long contiguous blocks totalling `total_bytes`.
+  [[nodiscard]] double estimate_us(Method m, double block_bytes,
+                                   double total_bytes) const;
+
+  /// The method with the lowest estimate. Charges the calling thread's
+  /// virtual clock for the query (cached: ~277 ns; uncached: ~2 us).
+  [[nodiscard]] Method choose(std::size_t block_bytes,
+                              std::size_t total_bytes) const;
+
+  [[nodiscard]] const SystemPerf &perf() const { return perf_; }
+
+private:
+  SystemPerf perf_;
+};
+
+/// Virtual cost charged per cached / uncached model selection.
+inline constexpr vcuda::VirtualNs kModelQueryCachedNs = 277;
+inline constexpr vcuda::VirtualNs kModelQueryUncachedNs = 2000;
+
+} // namespace tempi

@@ -1,0 +1,39 @@
+#include "tempi/strided_block.hpp"
+
+namespace tempi {
+
+std::optional<StridedBlock> to_strided_block(const Type &ty) {
+  // Gather the root-to-leaf chain.
+  std::vector<const Type *> chain;
+  const Type *cur = &ty;
+  while (true) {
+    chain.push_back(cur);
+    if (!cur->has_child()) {
+      break;
+    }
+    cur = &cur->child();
+  }
+
+  // The leaf must be dense; everything above must be streams.
+  const Type *leaf = chain.back();
+  if (!leaf->is_dense()) {
+    return std::nullopt;
+  }
+  StridedBlock sb;
+  sb.start = leaf->dense().off;
+  sb.counts.push_back(leaf->dense().extent);
+  sb.strides.push_back(1);
+  for (std::size_t i = chain.size() - 1; i-- > 0;) {
+    const Type *node = chain[i];
+    if (!node->is_stream()) {
+      return std::nullopt;
+    }
+    const StreamData &s = node->stream();
+    sb.start += s.off;
+    sb.counts.push_back(s.count);
+    sb.strides.push_back(s.stride);
+  }
+  return sb;
+}
+
+} // namespace tempi

@@ -1,0 +1,44 @@
+// StridedBlock (Sec. 3.3, Algorithm 5): the post-canonicalization structure
+// used to select and parameterize the packing kernel. Semantically similar
+// to an MPI subarray: a start offset plus per-dimension counts/strides.
+//
+// Dimension 0 is the contiguous dimension: counts[0] is the number of
+// contiguous *bytes* in each block, strides[0] == 1. Higher dimensions come
+// from StreamData levels; after canonical sorting, strides decrease with
+// decreasing dimension index (strides[i] > strides[i-1]).
+#pragma once
+
+#include "tempi/ir.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace tempi {
+
+struct StridedBlock {
+  long long start = 0; ///< byte offset of the first byte of the object
+  std::vector<long long> counts;
+  std::vector<long long> strides;
+
+  [[nodiscard]] int ndims() const { return static_cast<int>(counts.size()); }
+  /// Bytes of actual data in one object.
+  [[nodiscard]] long long size() const {
+    long long n = 1;
+    for (const long long c : counts) {
+      n *= c;
+    }
+    return n;
+  }
+  /// Contiguous bytes per block (1 for degenerate empty blocks).
+  [[nodiscard]] long long block_bytes() const {
+    return counts.empty() ? 0 : counts[0];
+  }
+  friend bool operator==(const StridedBlock &, const StridedBlock &) = default;
+};
+
+/// Algorithm 5: convert a canonical Type into a StridedBlock. Possible only
+/// when the leaf is DenseData and every ancestor is StreamData; otherwise
+/// nullopt (caller falls back).
+std::optional<StridedBlock> to_strided_block(const Type &ty);
+
+} // namespace tempi

@@ -1,0 +1,487 @@
+// TEMPI's interposed MPI entry points (Sec. 5).
+//
+// Each tempi_* function either adds datatype acceleration or forwards to
+// the saved system table (the dlsym(RTLD_NEXT) pointers captured at
+// install time).
+#include "tempi/tempi.hpp"
+
+#include "support/log.hpp"
+#include "tempi/blocklist_packer.hpp"
+#include "tempi/buffer_cache.hpp"
+#include "tempi/canonicalize.hpp"
+#include "tempi/measure.hpp"
+#include "tempi/methods.hpp"
+#include "tempi/strided_block.hpp"
+#include "tempi/translate.hpp"
+#include "vcuda/runtime.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace tempi {
+
+namespace {
+
+struct State {
+  interpose::MpiTable next; ///< the system MPI (dlsym view)
+  bool installed = false;
+
+  std::shared_mutex packers_mutex;
+  std::unordered_map<MPI_Datatype, std::shared_ptr<const Packer>> packers;
+  std::unordered_map<MPI_Datatype, std::shared_ptr<const BlockListPacker>>
+      blocklist_packers;
+  std::atomic<bool> blocklist_fallback{false};
+
+  std::shared_mutex model_mutex;
+  PerfModel model;
+
+  std::atomic<SendMode> mode{SendMode::Auto};
+
+  std::atomic<std::uint64_t> sends_oneshot{0};
+  std::atomic<std::uint64_t> sends_device{0};
+  std::atomic<std::uint64_t> sends_staged{0};
+  std::atomic<std::uint64_t> sends_forwarded{0};
+
+  std::once_flag perf_loaded;
+};
+
+State &state() {
+  static State s;
+  return s;
+}
+
+bool device_resident(const void *p) {
+  vcuda::MemorySpace space = vcuda::MemorySpace::Pageable;
+  vcuda::PointerGetAttributes(&space, nullptr, p);
+  return space == vcuda::MemorySpace::Device;
+}
+
+std::shared_ptr<const Packer> lookup_packer(MPI_Datatype dt) {
+  State &s = state();
+  const std::shared_lock<std::shared_mutex> lock(s.packers_mutex);
+  const auto it = s.packers.find(dt);
+  return it == s.packers.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const BlockListPacker> lookup_blocklist(MPI_Datatype dt) {
+  State &s = state();
+  const std::shared_lock<std::shared_mutex> lock(s.packers_mutex);
+  const auto it = s.blocklist_packers.find(dt);
+  return it == s.blocklist_packers.end() ? nullptr : it->second;
+}
+
+// --- interposed entry points -------------------------------------------------
+
+int tempi_Init(int *argc, char ***argv) {
+  State &s = state();
+  const int rc = s.next.Init(argc, argv);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  // One-time process configuration: load the recorded system measurements
+  // (Sec. 6.3) and honor TEMPI_METHOD for no-recompile method forcing.
+  std::call_once(s.perf_loaded, [&s] {
+    if (auto perf = load_perf(perf_file_path())) {
+      const std::unique_lock<std::shared_mutex> lock(s.model_mutex);
+      s.model = PerfModel(std::move(*perf));
+      support::log_info("tempi: loaded system measurements from ",
+                        perf_file_path());
+    } else {
+      support::log_info("tempi: no measurement file at ", perf_file_path(),
+                        "; using built-in calibration");
+    }
+    if (const char *env = std::getenv("TEMPI_METHOD")) {
+      const std::string_view mode(env);
+      if (mode == "oneshot") {
+        s.mode = SendMode::ForceOneShot;
+      } else if (mode == "device") {
+        s.mode = SendMode::ForceDevice;
+      } else if (mode == "staged") {
+        s.mode = SendMode::ForceStaged;
+      } else if (mode == "system") {
+        s.mode = SendMode::System;
+      } else if (mode == "auto") {
+        s.mode = SendMode::Auto;
+      } else {
+        support::log_warn("tempi: unknown TEMPI_METHOD '", env,
+                          "' (want auto|oneshot|device|staged|system)");
+      }
+      support::log_info("tempi: TEMPI_METHOD=", env);
+    }
+    if (const char *env = std::getenv("TEMPI_BLOCKLIST")) {
+      s.blocklist_fallback = std::string_view(env) == "1";
+    }
+  });
+  return MPI_SUCCESS;
+}
+
+int tempi_Finalize() {
+  State &s = state();
+  drain_buffer_cache(); // this rank's cached intermediates
+  return s.next.Finalize();
+}
+
+int tempi_Type_commit(MPI_Datatype *datatype) {
+  State &s = state();
+  const int rc = s.next.Type_commit(datatype);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  MPI_Datatype dt = *datatype;
+  {
+    const std::shared_lock<std::shared_mutex> lock(s.packers_mutex);
+    if (s.packers.contains(dt)) {
+      return MPI_SUCCESS; // committing twice is legal and idempotent
+    }
+  }
+  // Translation (3.1) -> canonicalization (3.2) -> kernel selection (3.3).
+  // Non-strided types optionally fall back to the generic blocklist
+  // engine (Sec. 8 extension), else to the system MPI.
+  auto ir = translate(dt, s.next);
+  std::optional<StridedBlock> sb;
+  if (ir) {
+    simplify(*ir);
+    sb = to_strided_block(*ir);
+  }
+  if (!sb) {
+    if (s.blocklist_fallback.load(std::memory_order_relaxed)) {
+      if (auto bl = BlockListPacker::create(dt, s.next)) {
+        const std::unique_lock<std::shared_mutex> lock(s.packers_mutex);
+        s.blocklist_packers.emplace(dt, std::move(bl));
+        return MPI_SUCCESS;
+      }
+    }
+    support::log_debug("tempi: datatype not strided; system path");
+    return MPI_SUCCESS;
+  }
+  MPI_Aint lb = 0, extent = 0;
+  int size = 0;
+  s.next.Type_get_extent(dt, &lb, &extent);
+  s.next.Type_size(dt, &size);
+  auto packer = std::make_shared<const Packer>(std::move(*sb), extent, size);
+  {
+    const std::unique_lock<std::shared_mutex> lock(s.packers_mutex);
+    s.packers.emplace(dt, std::move(packer));
+  }
+  return MPI_SUCCESS;
+}
+
+int tempi_Type_free(MPI_Datatype *datatype) {
+  State &s = state();
+  if (datatype != nullptr && *datatype != nullptr) {
+    const std::unique_lock<std::shared_mutex> lock(s.packers_mutex);
+    s.packers.erase(*datatype);
+    s.blocklist_packers.erase(*datatype);
+  }
+  return s.next.Type_free(datatype);
+}
+
+/// Sec. 8 extension path: pack/unpack through the generic blocklist engine
+/// when enabled and applicable. Returns true if handled.
+bool try_blocklist_pack(const void *inbuf, int incount,
+                        MPI_Datatype datatype, void *outbuf, int outsize,
+                        int *position, int *rc) {
+  const auto bl = lookup_blocklist(datatype);
+  if (!bl || incount <= 0 ||
+      !(device_resident(inbuf) || device_resident(outbuf))) {
+    return false;
+  }
+  const auto bytes = static_cast<long long>(bl->packed_bytes(incount));
+  if (position == nullptr || *position + bytes > outsize) {
+    *rc = MPI_ERR_TRUNCATE;
+    return true;
+  }
+  auto *out = static_cast<std::byte *>(outbuf) + *position;
+  *rc = bl->pack(out, inbuf, incount, vcuda::default_stream()) ==
+                vcuda::Error::Success
+            ? MPI_SUCCESS
+            : MPI_ERR_OTHER;
+  if (*rc == MPI_SUCCESS) {
+    *position += static_cast<int>(bytes);
+  }
+  return true;
+}
+
+bool try_blocklist_unpack(const void *inbuf, int insize, int *position,
+                          void *outbuf, int outcount, MPI_Datatype datatype,
+                          int *rc) {
+  const auto bl = lookup_blocklist(datatype);
+  if (!bl || outcount <= 0 ||
+      !(device_resident(inbuf) || device_resident(outbuf))) {
+    return false;
+  }
+  const auto bytes = static_cast<long long>(bl->packed_bytes(outcount));
+  if (position == nullptr || *position + bytes > insize) {
+    *rc = MPI_ERR_TRUNCATE;
+    return true;
+  }
+  const auto *in = static_cast<const std::byte *>(inbuf) + *position;
+  *rc = bl->unpack(outbuf, in, outcount, vcuda::default_stream()) ==
+                vcuda::Error::Success
+            ? MPI_SUCCESS
+            : MPI_ERR_OTHER;
+  if (*rc == MPI_SUCCESS) {
+    *position += static_cast<int>(bytes);
+  }
+  return true;
+}
+
+int tempi_Pack(const void *inbuf, int incount, MPI_Datatype datatype,
+               void *outbuf, int outsize, int *position, MPI_Comm comm) {
+  State &s = state();
+  const auto packer = lookup_packer(datatype);
+  if (!packer || incount == 0 ||
+      !(device_resident(inbuf) || device_resident(outbuf))) {
+    int rc = MPI_SUCCESS;
+    if (try_blocklist_pack(inbuf, incount, datatype, outbuf, outsize,
+                           position, &rc)) {
+      return rc;
+    }
+    return s.next.Pack(inbuf, incount, datatype, outbuf, outsize, position,
+                       comm);
+  }
+  if (position == nullptr || incount < 0) {
+    return MPI_ERR_ARG;
+  }
+  const auto bytes = static_cast<long long>(packer->packed_bytes(incount));
+  if (*position + bytes > outsize) {
+    return MPI_ERR_TRUNCATE;
+  }
+  auto *out = static_cast<std::byte *>(outbuf) + *position;
+  if (packer->pack(out, inbuf, incount, vcuda::default_stream()) !=
+      vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  *position += static_cast<int>(bytes);
+  return MPI_SUCCESS;
+}
+
+int tempi_Unpack(const void *inbuf, int insize, int *position, void *outbuf,
+                 int outcount, MPI_Datatype datatype, MPI_Comm comm) {
+  State &s = state();
+  const auto packer = lookup_packer(datatype);
+  if (!packer || outcount == 0 ||
+      !(device_resident(inbuf) || device_resident(outbuf))) {
+    int rc = MPI_SUCCESS;
+    if (try_blocklist_unpack(inbuf, insize, position, outbuf, outcount,
+                             datatype, &rc)) {
+      return rc;
+    }
+    return s.next.Unpack(inbuf, insize, position, outbuf, outcount, datatype,
+                         comm);
+  }
+  if (position == nullptr || outcount < 0) {
+    return MPI_ERR_ARG;
+  }
+  const auto bytes = static_cast<long long>(packer->packed_bytes(outcount));
+  if (*position + bytes > insize) {
+    return MPI_ERR_TRUNCATE;
+  }
+  const auto *in = static_cast<const std::byte *>(inbuf) + *position;
+  if (packer->unpack(outbuf, in, outcount, vcuda::default_stream()) !=
+      vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  *position += static_cast<int>(bytes);
+  return MPI_SUCCESS;
+}
+
+/// Shared Send/Recv gate: TEMPI takes over only for non-contiguous,
+/// translatable datatypes on device-resident buffers.
+std::optional<Method> acceleration_method(const Packer *packer,
+                                          const void *buf, int count) {
+  State &s = state();
+  if (packer == nullptr || packer->contiguous() || count == 0 ||
+      !device_resident(buf)) {
+    return std::nullopt;
+  }
+  switch (s.mode.load(std::memory_order_relaxed)) {
+  case SendMode::System: return std::nullopt;
+  case SendMode::ForceOneShot: return Method::OneShot;
+  case SendMode::ForceDevice: return Method::Device;
+  case SendMode::ForceStaged: return Method::Staged;
+  case SendMode::Auto: break;
+  }
+  const std::shared_lock<std::shared_mutex> lock(s.model_mutex);
+  return s.model.choose(
+      static_cast<std::size_t>(packer->block().block_bytes()),
+      packer->packed_bytes(count));
+}
+
+int tempi_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
+               int tag, MPI_Comm comm) {
+  State &s = state();
+  const auto packer = lookup_packer(datatype);
+  const auto method = acceleration_method(packer.get(), buf, count);
+  if (!method) {
+    // Sec. 8 extension: blocklist types ship via the device method.
+    if (const auto bl = lookup_blocklist(datatype);
+        bl && count > 0 && device_resident(buf) &&
+        s.mode.load(std::memory_order_relaxed) != SendMode::System) {
+      const auto bytes = static_cast<int>(bl->packed_bytes(count));
+      CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
+                                      static_cast<std::size_t>(bytes));
+      if (bl->pack(dev.get(), buf, count, vcuda::default_stream()) !=
+          vcuda::Error::Success) {
+        return MPI_ERR_OTHER;
+      }
+      s.sends_device.fetch_add(1, std::memory_order_relaxed);
+      return s.next.Send(dev.get(), bytes, MPI_BYTE, dest, tag, comm);
+    }
+    s.sends_forwarded.fetch_add(1, std::memory_order_relaxed);
+    return s.next.Send(buf, count, datatype, dest, tag, comm);
+  }
+  switch (*method) {
+  case Method::OneShot:
+    s.sends_oneshot.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case Method::Device:
+    s.sends_device.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case Method::Staged:
+    s.sends_staged.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+  return send_with_method(*packer, *method, buf, count, dest, tag, comm,
+                          s.next);
+}
+
+int tempi_Recv(void *buf, int count, MPI_Datatype datatype, int source,
+               int tag, MPI_Comm comm, MPI_Status *status) {
+  State &s = state();
+  const auto packer = lookup_packer(datatype);
+  const auto method = acceleration_method(packer.get(), buf, count);
+  if (!method) {
+    if (const auto bl = lookup_blocklist(datatype);
+        bl && count > 0 && device_resident(buf) &&
+        s.mode.load(std::memory_order_relaxed) != SendMode::System) {
+      const auto bytes = static_cast<int>(bl->packed_bytes(count));
+      CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
+                                      static_cast<std::size_t>(bytes));
+      const int rc =
+          s.next.Recv(dev.get(), bytes, MPI_BYTE, source, tag, comm, status);
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+      return bl->unpack(buf, dev.get(), count, vcuda::default_stream()) ==
+                     vcuda::Error::Success
+                 ? MPI_SUCCESS
+                 : MPI_ERR_OTHER;
+    }
+    return s.next.Recv(buf, count, datatype, source, tag, comm, status);
+  }
+  return recv_with_method(*packer, *method, buf, count, source, tag, comm,
+                          status, s.next);
+}
+
+/// Extension beyond the paper's Send/Recv scope: MPI_Sendrecv decomposes
+/// into an accelerated send and an accelerated receive. Safe because the
+/// system MPI's sends are buffered (send-then-receive cannot deadlock),
+/// and both halves reuse the Sec. 4 machinery unchanged.
+int tempi_Sendrecv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                   int dest, int sendtag, void *recvbuf, int recvcount,
+                   MPI_Datatype recvtype, int source, int recvtag,
+                   MPI_Comm comm, MPI_Status *status) {
+  const int rc = tempi_Send(sendbuf, sendcount, sendtype, dest, sendtag,
+                            comm);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  return tempi_Recv(recvbuf, recvcount, recvtype, source, recvtag, comm,
+                    status);
+}
+
+} // namespace
+
+void install() {
+  State &s = state();
+  if (s.installed) {
+    return;
+  }
+  interpose::MpiTable table = interpose::active_table();
+  s.next = table; // the "dlsym(RTLD_NEXT)" snapshot
+  table.Init = tempi_Init;
+  table.Finalize = tempi_Finalize;
+  table.Type_commit = tempi_Type_commit;
+  table.Type_free = tempi_Type_free;
+  table.Pack = tempi_Pack;
+  table.Unpack = tempi_Unpack;
+  table.Send = tempi_Send;
+  table.Recv = tempi_Recv;
+  table.Sendrecv = tempi_Sendrecv;
+  interpose::install(table);
+  s.installed = true;
+  support::log_info("tempi: interposer installed");
+}
+
+void uninstall() {
+  State &s = state();
+  if (!s.installed) {
+    return;
+  }
+  interpose::uninstall();
+  {
+    const std::unique_lock<std::shared_mutex> lock(s.packers_mutex);
+    s.packers.clear();
+  }
+  s.installed = false;
+  support::log_info("tempi: interposer removed");
+}
+
+void set_blocklist_fallback(bool enabled) {
+  state().blocklist_fallback.store(enabled, std::memory_order_relaxed);
+}
+
+bool blocklist_fallback() {
+  return state().blocklist_fallback.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<const BlockListPacker>
+find_blocklist_packer(MPI_Datatype datatype) {
+  return lookup_blocklist(datatype);
+}
+
+void set_send_mode(SendMode mode) {
+  state().mode.store(mode, std::memory_order_relaxed);
+}
+
+SendMode send_mode() { return state().mode.load(std::memory_order_relaxed); }
+
+void set_perf_model(PerfModel model) {
+  State &s = state();
+  const std::unique_lock<std::shared_mutex> lock(s.model_mutex);
+  s.model = std::move(model);
+}
+
+const PerfModel &perf_model() {
+  // Callers must not hold the reference across set_perf_model.
+  return state().model;
+}
+
+std::shared_ptr<const Packer> find_packer(MPI_Datatype datatype) {
+  return lookup_packer(datatype);
+}
+
+SendStats send_stats() {
+  State &s = state();
+  return SendStats{
+      s.sends_oneshot.load(std::memory_order_relaxed),
+      s.sends_device.load(std::memory_order_relaxed),
+      s.sends_staged.load(std::memory_order_relaxed),
+      s.sends_forwarded.load(std::memory_order_relaxed),
+  };
+}
+
+void reset_send_stats() {
+  State &s = state();
+  s.sends_oneshot.store(0, std::memory_order_relaxed);
+  s.sends_device.store(0, std::memory_order_relaxed);
+  s.sends_staged.store(0, std::memory_order_relaxed);
+  s.sends_forwarded.store(0, std::memory_order_relaxed);
+}
+
+} // namespace tempi

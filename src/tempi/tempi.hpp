@@ -1,0 +1,86 @@
+// Public API of the TEMPI interposer library.
+//
+// Usage mirrors the paper's deployment: install TEMPI "in front of" the
+// system MPI (the in-process analog of LD_PRELOAD), run an unmodified MPI
+// application, uninstall when done:
+//
+//   tempi::ScopedInterposer tempi_guard;       // LD_PRELOAD=libtempi.so
+//   sysmpi::run_ranks(cfg, [](int rank) {      // jsrun -n ...
+//     MPI_Init(nullptr, nullptr);              // resolved to TEMPI
+//     ...                                      // unchanged MPI code
+//     MPI_Finalize();
+//   });
+//
+// TEMPI overrides: Init, Finalize, Type_commit, Type_free, Pack, Unpack,
+// Send, Recv. Everything else falls through to the system MPI.
+#pragma once
+
+#include "interpose/table.hpp"
+#include "tempi/packer.hpp"
+#include "tempi/perf_model.hpp"
+
+#include <memory>
+#include <optional>
+
+namespace tempi {
+
+/// How MPI_Send/MPI_Recv pick their packing method.
+enum class SendMode {
+  Auto,         ///< model-based selection (the paper's "auto")
+  ForceOneShot, ///< always the one-shot method
+  ForceDevice,  ///< always the device method
+  ForceStaged,  ///< always the staged method
+  System,       ///< do not accelerate Send/Recv (baseline datatype path)
+};
+
+/// Install TEMPI's partial MPI implementation over the active table.
+/// Idempotent; not thread-safe against in-flight MPI traffic.
+void install();
+
+/// Remove TEMPI and restore the system MPI; drops all cached packers.
+void uninstall();
+
+/// RAII install/uninstall.
+class ScopedInterposer {
+public:
+  ScopedInterposer() { install(); }
+  ~ScopedInterposer() { uninstall(); }
+  ScopedInterposer(const ScopedInterposer &) = delete;
+  ScopedInterposer &operator=(const ScopedInterposer &) = delete;
+};
+
+/// Select the Send/Recv method policy (benches sweep this). Default Auto.
+void set_send_mode(SendMode mode);
+SendMode send_mode();
+
+/// Replace the performance model (e.g. after measure_system()).
+void set_perf_model(PerfModel model);
+const PerfModel &perf_model();
+
+/// The packer TEMPI built for a committed datatype, if any (tests/benches).
+std::shared_ptr<const Packer> find_packer(MPI_Datatype datatype);
+
+/// Sec. 8 extension: when a datatype is not expressible as a canonical
+/// strided block (indexed/hindexed/struct), optionally fall back to a
+/// generic GPU blocklist packer (the prior-work representation whose
+/// device-metadata footprint Sec. 2 criticizes) instead of the system MPI
+/// path. Default OFF, matching the paper's Summit deployment. Blocklist
+/// sends always use the device method.
+void set_blocklist_fallback(bool enabled);
+bool blocklist_fallback();
+
+/// The blocklist packer built for a committed datatype, if any.
+std::shared_ptr<const class BlockListPacker>
+find_blocklist_packer(MPI_Datatype datatype);
+
+/// Decision counters (tests and the Fig. 11 bench).
+struct SendStats {
+  std::uint64_t oneshot = 0;
+  std::uint64_t device = 0;
+  std::uint64_t staged = 0;
+  std::uint64_t forwarded = 0; ///< fell through to the system MPI
+};
+SendStats send_stats();
+void reset_send_stats();
+
+} // namespace tempi

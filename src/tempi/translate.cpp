@@ -1,0 +1,173 @@
+#include "tempi/translate.hpp"
+
+#include "support/log.hpp"
+
+#include <vector>
+
+namespace tempi {
+
+namespace {
+
+/// Introspected view of one datatype level.
+struct Envelope {
+  int combiner = 0;
+  std::vector<int> ints;
+  std::vector<MPI_Aint> aints;
+  std::vector<MPI_Datatype> types; ///< references owned; released on destroy
+  const interpose::MpiTable *sys = nullptr;
+
+  ~Envelope() {
+    for (MPI_Datatype t : types) {
+      sys->Type_free(&t);
+    }
+  }
+};
+
+bool query_envelope(MPI_Datatype dt, const interpose::MpiTable &sys,
+                    Envelope &env) {
+  env.sys = &sys;
+  int ni = 0, na = 0, nd = 0;
+  if (sys.Type_get_envelope(dt, &ni, &na, &nd, &env.combiner) !=
+      MPI_SUCCESS) {
+    return false;
+  }
+  if (env.combiner == MPI_COMBINER_NAMED) {
+    return true;
+  }
+  env.ints.resize(static_cast<std::size_t>(ni));
+  env.aints.resize(static_cast<std::size_t>(na));
+  env.types.resize(static_cast<std::size_t>(nd));
+  return sys.Type_get_contents(dt, ni, na, nd, env.ints.data(),
+                               env.aints.data(), env.types.data()) ==
+         MPI_SUCCESS;
+}
+
+MPI_Aint extent_of(MPI_Datatype dt, const interpose::MpiTable &sys) {
+  MPI_Aint lb = 0, extent = 0;
+  sys.Type_get_extent(dt, &lb, &extent);
+  return extent;
+}
+
+std::optional<Type> translate_rec(MPI_Datatype dt,
+                                  const interpose::MpiTable &sys) {
+  Envelope env;
+  if (!query_envelope(dt, sys, env)) {
+    return std::nullopt;
+  }
+
+  switch (env.combiner) {
+  case MPI_COMBINER_NAMED: {
+    // A named type is a DenseData of its extent with no children.
+    int size = 0;
+    sys.Type_size(dt, &size);
+    return Type(DenseData{0, size});
+  }
+  case MPI_COMBINER_DUP:
+  case MPI_COMBINER_RESIZED:
+    // Resizing moves the bounds, not the bytes; the element-stepping
+    // consequences are carried by the extent recorded at commit time.
+    return translate_rec(env.types[0], sys);
+  case MPI_COMBINER_CONTIGUOUS: {
+    // A contiguous type is a StreamData whose stride is the child extent.
+    // It is not DenseData because oldtype may itself be non-contiguous.
+    auto child = translate_rec(env.types[0], sys);
+    if (!child) {
+      return std::nullopt;
+    }
+    const long long count = env.ints[0];
+    const long long stride = extent_of(env.types[0], sys);
+    return Type(StreamData{0, stride, count}, std::move(*child));
+  }
+  case MPI_COMBINER_VECTOR: {
+    // Two nested StreamData: the parent is the repeated blocks, the child
+    // the repeated elements within a block.
+    auto grandchild = translate_rec(env.types[0], sys);
+    if (!grandchild) {
+      return std::nullopt;
+    }
+    const long long count = env.ints[0];
+    const long long blocklen = env.ints[1];
+    const long long stride_elems = env.ints[2];
+    const long long child_stride = extent_of(env.types[0], sys);
+    Type child(StreamData{0, child_stride, blocklen}, std::move(*grandchild));
+    return Type(StreamData{0, stride_elems * child_stride, count},
+                std::move(child));
+  }
+  case MPI_COMBINER_HVECTOR: {
+    // As vector, but the parent stride is given directly in bytes.
+    auto grandchild = translate_rec(env.types[0], sys);
+    if (!grandchild) {
+      return std::nullopt;
+    }
+    const long long count = env.ints[0];
+    const long long blocklen = env.ints[1];
+    const long long stride_bytes = env.aints[0];
+    const long long child_stride = extent_of(env.types[0], sys);
+    Type child(StreamData{0, child_stride, blocklen}, std::move(*grandchild));
+    return Type(StreamData{0, stride_bytes, count}, std::move(child));
+  }
+  case MPI_COMBINER_SUBARRAY: {
+    // One StreamData per dimension, outermost (largest stride) at the root.
+    auto base = translate_rec(env.types[0], sys);
+    if (!base) {
+      return std::nullopt;
+    }
+    const int ndims = env.ints[0];
+    const int *sizes = env.ints.data() + 1;
+    const int *subsizes = env.ints.data() + 1 + ndims;
+    const int *starts = env.ints.data() + 1 + 2 * ndims;
+    const int order = env.ints[1 + 3 * ndims];
+    const long long elem_extent = extent_of(env.types[0], sys);
+
+    // Per-dimension byte strides of the enclosing array.
+    std::vector<long long> stride(static_cast<std::size_t>(ndims));
+    if (order == MPI_ORDER_C) {
+      long long s = elem_extent;
+      for (int d = ndims - 1; d >= 0; --d) {
+        stride[static_cast<std::size_t>(d)] = s;
+        s *= sizes[d];
+      }
+    } else {
+      long long s = elem_extent;
+      for (int d = 0; d < ndims; ++d) {
+        stride[static_cast<std::size_t>(d)] = s;
+        s *= sizes[d];
+      }
+    }
+    // Build the chain from the innermost dimension up.
+    Type node = std::move(*base);
+    if (order == MPI_ORDER_C) {
+      for (int d = ndims - 1; d >= 0; --d) {
+        node = Type(StreamData{starts[d] * stride[static_cast<std::size_t>(d)],
+                               stride[static_cast<std::size_t>(d)],
+                               subsizes[d]},
+                    std::move(node));
+      }
+    } else {
+      for (int d = 0; d < ndims; ++d) {
+        node = Type(StreamData{starts[d] * stride[static_cast<std::size_t>(d)],
+                               stride[static_cast<std::size_t>(d)],
+                               subsizes[d]},
+                    std::move(node));
+      }
+    }
+    return node;
+  }
+  default:
+    support::log_debug("translate: unsupported combiner ", env.combiner,
+                       ", falling back to system MPI");
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+std::optional<Type> translate(MPI_Datatype datatype,
+                              const interpose::MpiTable &sys) {
+  if (datatype == nullptr) {
+    return std::nullopt;
+  }
+  return translate_rec(datatype, sys);
+}
+
+} // namespace tempi

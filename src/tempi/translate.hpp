@@ -1,0 +1,26 @@
+// Type translation (Sec. 3.1): MPI derived datatype -> Type IR.
+//
+// TEMPI inspects committed datatypes exclusively through the system MPI's
+// introspection interface (MPI_Type_get_envelope / MPI_Type_get_contents /
+// MPI_Type_size / MPI_Type_get_extent), exactly as an interposer must — it
+// cannot see the implementation's internal objects.
+//
+// Supported combiners: named, dup, contiguous, vector, hvector, subarray,
+// resized. Anything else (indexed, struct, ...) yields nullopt and the
+// caller falls back to the system MPI path, matching the paper's scope
+// ("TEMPI could be extended to handle indexed datatypes", Sec. 8).
+#pragma once
+
+#include "interpose/table.hpp"
+#include "tempi/ir.hpp"
+
+#include <optional>
+
+namespace tempi {
+
+/// Translate `datatype` into the IR using introspection calls from `sys`
+/// (normally interpose::system_table()).
+std::optional<Type> translate(MPI_Datatype datatype,
+                              const interpose::MpiTable &sys);
+
+} // namespace tempi

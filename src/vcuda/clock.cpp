@@ -1,0 +1,10 @@
+#include "vcuda/clock.hpp"
+
+namespace vcuda {
+
+Timeline &this_thread_timeline() {
+  thread_local Timeline timeline;
+  return timeline;
+}
+
+} // namespace vcuda

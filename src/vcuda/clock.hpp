@@ -1,0 +1,59 @@
+// Virtual time.
+//
+// The reproduction has no physical GPU or multi-node network, so latencies
+// cannot be *observed*; they are *modeled* (see costmodel.hpp) and
+// accumulated on virtual clocks. Data movement is still performed for real
+// so correctness is testable; only the reported durations are synthetic.
+//
+// Each rank (thread) owns one Timeline: the virtual "CPU clock" of that
+// rank's host process. Virtual device/stream completion times are kept per
+// stream and folded into the rank timeline on synchronization, mirroring how
+// a real host thread blocks in cudaStreamSynchronize.
+#pragma once
+
+#include <cstdint>
+
+namespace vcuda {
+
+/// Virtual nanoseconds since an arbitrary epoch shared by all ranks.
+using VirtualNs = std::uint64_t;
+
+/// A monotonically increasing virtual clock for one rank-thread.
+class Timeline {
+public:
+  [[nodiscard]] VirtualNs now() const { return now_ns_; }
+
+  /// Advance by a duration (ns). Used for modeled CPU-side costs.
+  void advance(VirtualNs ns) { now_ns_ += ns; }
+
+  /// Jump forward to an absolute virtual time (no-op if already past it).
+  /// Used when blocking on an event that completes at `t` (stream sync,
+  /// message arrival, barrier release).
+  void wait_until(VirtualNs t) {
+    if (t > now_ns_) {
+      now_ns_ = t;
+    }
+  }
+
+  void reset(VirtualNs t = 0) { now_ns_ = t; }
+
+private:
+  VirtualNs now_ns_ = 0;
+};
+
+/// The calling thread's timeline. Every thread lazily gets one starting at
+/// t=0; sysmpi's rank launcher resets it per run so experiments are
+/// deterministic.
+Timeline &this_thread_timeline();
+
+/// Convenience: current virtual time of the calling thread.
+inline VirtualNs virtual_now() { return this_thread_timeline().now(); }
+
+/// Convert between units.
+constexpr double ns_to_us(VirtualNs ns) { return static_cast<double>(ns) / 1e3; }
+constexpr double ns_to_s(VirtualNs ns) { return static_cast<double>(ns) / 1e9; }
+constexpr VirtualNs us_to_ns(double us) {
+  return static_cast<VirtualNs>(us * 1e3);
+}
+
+} // namespace vcuda

@@ -1,0 +1,66 @@
+#include "vcuda/memory.hpp"
+
+#include <cassert>
+#include <mutex>
+
+namespace vcuda {
+
+void MemoryRegistry::insert(const Allocation &a) {
+  assert(a.size > 0);
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  by_base_[a.base] = a;
+}
+
+std::optional<Allocation> MemoryRegistry::erase(std::uintptr_t base) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto it = by_base_.find(base);
+  if (it == by_base_.end()) {
+    return std::nullopt;
+  }
+  Allocation a = it->second;
+  by_base_.erase(it);
+  return a;
+}
+
+std::optional<Allocation> MemoryRegistry::find(const void *p) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = by_base_.upper_bound(addr);
+  if (it == by_base_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  const Allocation &a = it->second;
+  if (addr >= a.base && addr < a.base + a.size) {
+    return a;
+  }
+  return std::nullopt;
+}
+
+MemorySpace MemoryRegistry::space_of(const void *p) const {
+  const auto a = find(p);
+  return a ? a->space : MemorySpace::Pageable;
+}
+
+std::size_t MemoryRegistry::count() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return by_base_.size();
+}
+
+std::size_t MemoryRegistry::bytes_in(MemorySpace space) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto &[base, a] : by_base_) {
+    if (a.space == space) {
+      total += a.size;
+    }
+  }
+  return total;
+}
+
+MemoryRegistry &memory_registry() {
+  static MemoryRegistry registry;
+  return registry;
+}
+
+} // namespace vcuda

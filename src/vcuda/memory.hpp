@@ -1,0 +1,55 @@
+// Pointer registry for the virtual CUDA runtime.
+//
+// All three memory spaces are backed by ordinary host allocations; the
+// registry records which *virtual* space each allocation belongs to so that
+// (a) cudaPointerGetAttributes-style queries work (TEMPI checks whether user
+// buffers are GPU-resident on every Send/Pack), and (b) the cost model can
+// price accesses by space. Lookups accept interior pointers.
+#pragma once
+
+#include "vcuda/costmodel.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <shared_mutex>
+
+namespace vcuda {
+
+/// One registered allocation.
+struct Allocation {
+  std::uintptr_t base = 0;
+  std::size_t size = 0;
+  MemorySpace space = MemorySpace::Pageable;
+  int device = -1; ///< owning device for Device space, else -1
+};
+
+/// Thread-safe interval map from pointer to allocation metadata.
+class MemoryRegistry {
+public:
+  void insert(const Allocation &a);
+
+  /// Remove the allocation based at exactly `base`; returns it if present.
+  std::optional<Allocation> erase(std::uintptr_t base);
+
+  /// Find the allocation containing `p` (interior pointers OK).
+  [[nodiscard]] std::optional<Allocation> find(const void *p) const;
+
+  /// Space of `p`; unregistered pointers are Pageable host memory.
+  [[nodiscard]] MemorySpace space_of(const void *p) const;
+
+  [[nodiscard]] std::size_t count() const;
+
+  /// Total registered bytes in `space`.
+  [[nodiscard]] std::size_t bytes_in(MemorySpace space) const;
+
+private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::uintptr_t, Allocation> by_base_;
+};
+
+/// The process-wide registry used by the vcuda API.
+MemoryRegistry &memory_registry();
+
+} // namespace vcuda

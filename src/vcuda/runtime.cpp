@@ -1,0 +1,459 @@
+#include "vcuda/runtime.hpp"
+
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace vcuda {
+
+namespace {
+
+struct Counters64 {
+  std::atomic<std::uint64_t> memcpy_async_calls{0};
+  std::atomic<std::uint64_t> kernel_launches{0};
+  std::atomic<std::uint64_t> stream_syncs{0};
+  std::atomic<std::uint64_t> mallocs{0};
+  std::atomic<std::uint64_t> frees{0};
+};
+
+Counters64 &counters64() {
+  static Counters64 c;
+  return c;
+}
+
+std::atomic<int> g_device_count{6}; // one Summit node by default
+
+thread_local int t_current_device = 0;
+
+/// All live user-created streams, for DeviceSynchronize.
+std::mutex &streams_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::set<Stream *> &live_streams() {
+  static std::set<Stream *> s;
+  return s;
+}
+
+void host_advance(VirtualNs ns) { this_thread_timeline().advance(ns); }
+
+MemcpyKind infer_kind(const void *dst, const void *src) {
+  const MemorySpace d = memory_registry().space_of(dst);
+  const MemorySpace s = memory_registry().space_of(src);
+  const bool dst_dev = d == MemorySpace::Device;
+  const bool src_dev = s == MemorySpace::Device;
+  if (dst_dev && src_dev) return MemcpyKind::DeviceToDevice;
+  if (dst_dev) return MemcpyKind::HostToDevice;
+  if (src_dev) return MemcpyKind::DeviceToHost;
+  return MemcpyKind::HostToHost;
+}
+
+bool touches_pageable(const void *dst, const void *src) {
+  return memory_registry().space_of(dst) == MemorySpace::Pageable ||
+         memory_registry().space_of(src) == MemorySpace::Pageable;
+}
+
+Error alloc_in_space(void **ptr, std::size_t bytes, MemorySpace space,
+                     int device, VirtualNs api_cost) {
+  if (ptr == nullptr) {
+    return Error::InvalidValue;
+  }
+  host_advance(api_cost);
+  if (bytes == 0) {
+    *ptr = nullptr;
+    return Error::Success;
+  }
+  void *p = std::aligned_alloc(256, (bytes + 255) / 256 * 256);
+  if (p == nullptr) {
+    return Error::MemoryAllocation;
+  }
+  memory_registry().insert(Allocation{reinterpret_cast<std::uintptr_t>(p),
+                                      bytes, space, device});
+  counters64().mallocs.fetch_add(1, std::memory_order_relaxed);
+  *ptr = p;
+  return Error::Success;
+}
+
+Error free_from_space(void *ptr, MemorySpace expected, VirtualNs api_cost) {
+  host_advance(api_cost);
+  if (ptr == nullptr) {
+    return Error::Success;
+  }
+  const auto found = memory_registry().find(ptr);
+  if (!found || found->space != expected ||
+      found->base != reinterpret_cast<std::uintptr_t>(ptr)) {
+    support::log_error("vcuda: freeing pointer not allocated in this space");
+    return Error::InvalidValue;
+  }
+  memory_registry().erase(found->base);
+  std::free(ptr);
+  counters64().frees.fetch_add(1, std::memory_order_relaxed);
+  return Error::Success;
+}
+
+} // namespace
+
+const char *error_string(Error e) {
+  switch (e) {
+  case Error::Success: return "success";
+  case Error::InvalidValue: return "invalid value";
+  case Error::MemoryAllocation: return "memory allocation failure";
+  case Error::InvalidDevice: return "invalid device";
+  case Error::NotReady: return "not ready";
+  }
+  return "unknown";
+}
+
+int device_count() { return g_device_count.load(std::memory_order_relaxed); }
+
+int set_device_count(int n) {
+  return g_device_count.exchange(n > 0 ? n : 1, std::memory_order_relaxed);
+}
+
+Error SetDevice(int device) {
+  if (device < 0 || device >= device_count()) {
+    return Error::InvalidDevice;
+  }
+  t_current_device = device;
+  return Error::Success;
+}
+
+Error GetDevice(int *device) {
+  if (device == nullptr) {
+    return Error::InvalidValue;
+  }
+  *device = t_current_device;
+  return Error::Success;
+}
+
+Error DeviceSynchronize() {
+  const CostParams &p = cost_params();
+  Timeline &tl = this_thread_timeline();
+  VirtualNs latest = 0;
+  {
+    const std::lock_guard<std::mutex> lock(streams_mutex());
+    for (const Stream *s : live_streams()) {
+      if (s->device() == t_current_device && s->ready_at() > latest) {
+        latest = s->ready_at();
+      }
+    }
+  }
+  if (default_stream()->ready_at() > latest) {
+    latest = default_stream()->ready_at();
+  }
+  tl.wait_until(latest);
+  tl.advance(p.stream_sync_ns);
+  counters64().stream_syncs.fetch_add(1, std::memory_order_relaxed);
+  return Error::Success;
+}
+
+Error Malloc(void **ptr, std::size_t bytes) {
+  return alloc_in_space(ptr, bytes, MemorySpace::Device, t_current_device,
+                        cost_params().malloc_ns);
+}
+
+Error MallocHost(void **ptr, std::size_t bytes) {
+  return alloc_in_space(ptr, bytes, MemorySpace::Pinned, -1,
+                        cost_params().malloc_host_ns);
+}
+
+Error Free(void *ptr) {
+  return free_from_space(ptr, MemorySpace::Device, cost_params().free_ns);
+}
+
+Error FreeHost(void *ptr) {
+  return free_from_space(ptr, MemorySpace::Pinned, cost_params().free_host_ns);
+}
+
+Error HostRegister(void *ptr, std::size_t bytes) {
+  if (ptr == nullptr || bytes == 0) {
+    return Error::InvalidValue;
+  }
+  if (memory_registry().find(ptr)) {
+    return Error::InvalidValue; // already registered / overlaps
+  }
+  host_advance(cost_params().malloc_host_ns); // pinning cost ~ MallocHost
+  memory_registry().insert(Allocation{reinterpret_cast<std::uintptr_t>(ptr),
+                                      bytes, MemorySpace::Pinned, -1});
+  return Error::Success;
+}
+
+Error HostUnregister(void *ptr) {
+  if (ptr == nullptr) {
+    return Error::InvalidValue;
+  }
+  host_advance(cost_params().free_host_ns);
+  const auto a = memory_registry().find(ptr);
+  if (!a || a->space != MemorySpace::Pinned ||
+      a->base != reinterpret_cast<std::uintptr_t>(ptr)) {
+    return Error::InvalidValue;
+  }
+  memory_registry().erase(a->base);
+  return Error::Success;
+}
+
+Error PointerGetAttributes(MemorySpace *space, int *device, const void *ptr) {
+  if (space == nullptr) {
+    return Error::InvalidValue;
+  }
+  host_advance(cost_params().pointer_query_ns);
+  const auto a = memory_registry().find(ptr);
+  *space = a ? a->space : MemorySpace::Pageable;
+  if (device != nullptr) {
+    *device = a ? a->device : -1;
+  }
+  return Error::Success;
+}
+
+Error StreamCreate(StreamHandle *stream) {
+  if (stream == nullptr) {
+    return Error::InvalidValue;
+  }
+  auto *s = new Stream(t_current_device);
+  {
+    const std::lock_guard<std::mutex> lock(streams_mutex());
+    live_streams().insert(s);
+  }
+  *stream = s;
+  return Error::Success;
+}
+
+Error StreamDestroy(StreamHandle stream) {
+  if (stream == nullptr) {
+    return Error::InvalidValue;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(streams_mutex());
+    live_streams().erase(stream);
+  }
+  delete stream;
+  return Error::Success;
+}
+
+StreamHandle default_stream() {
+  thread_local Stream stream(t_current_device);
+  return &stream;
+}
+
+Error StreamSynchronize(StreamHandle stream) {
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  const CostParams &p = cost_params();
+  Timeline &tl = this_thread_timeline();
+  tl.wait_until(stream->ready_at());
+  tl.advance(p.stream_sync_ns);
+  counters64().stream_syncs.fetch_add(1, std::memory_order_relaxed);
+  return Error::Success;
+}
+
+Error StreamQuery(StreamHandle stream) {
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  host_advance(cost_params().stream_query_ns);
+  return stream->ready_at() <= virtual_now() ? Error::Success
+                                             : Error::NotReady;
+}
+
+Error StreamWaitEvent(StreamHandle stream, EventHandle event) {
+  if (event == nullptr || !event->recorded()) {
+    return Error::InvalidValue;
+  }
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  host_advance(cost_params().event_record_ns); // cheap host-side call
+  stream->wait_until(event->time());
+  return Error::Success;
+}
+
+Error EventCreate(EventHandle *event) {
+  if (event == nullptr) {
+    return Error::InvalidValue;
+  }
+  *event = new Event();
+  return Error::Success;
+}
+
+Error EventDestroy(EventHandle event) {
+  delete event;
+  return Error::Success;
+}
+
+Error EventRecord(EventHandle event, StreamHandle stream) {
+  if (event == nullptr) {
+    return Error::InvalidValue;
+  }
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  host_advance(cost_params().event_record_ns);
+  // The event completes when all prior stream work does (at least "now").
+  const VirtualNs t =
+      stream->ready_at() > virtual_now() ? stream->ready_at() : virtual_now();
+  event->record(t);
+  return Error::Success;
+}
+
+Error EventSynchronize(EventHandle event) {
+  if (event == nullptr || !event->recorded()) {
+    return Error::InvalidValue;
+  }
+  Timeline &tl = this_thread_timeline();
+  tl.wait_until(event->time());
+  tl.advance(cost_params().event_sync_ns);
+  return Error::Success;
+}
+
+Error EventElapsedTime(float *ms, EventHandle start, EventHandle stop) {
+  if (ms == nullptr || start == nullptr || stop == nullptr ||
+      !start->recorded() || !stop->recorded()) {
+    return Error::InvalidValue;
+  }
+  const double ns = static_cast<double>(stop->time()) -
+                    static_cast<double>(start->time());
+  *ms = static_cast<float>(ns / 1e6);
+  return Error::Success;
+}
+
+Error MemcpyAsync(void *dst, const void *src, std::size_t bytes,
+                  MemcpyKind kind, StreamHandle stream) {
+  if ((dst == nullptr || src == nullptr) && bytes > 0) {
+    return Error::InvalidValue;
+  }
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  const CostParams &p = cost_params();
+  if (kind == MemcpyKind::Default) {
+    kind = infer_kind(dst, src);
+  }
+  host_advance(p.memcpy_async_call_ns);
+  counters64().memcpy_async_calls.fetch_add(1, std::memory_order_relaxed);
+  if (bytes == 0) {
+    return Error::Success;
+  }
+  const VirtualNs dur =
+      memcpy_duration(p, bytes, kind, touches_pageable(dst, src));
+  stream->enqueue(virtual_now(), dur);
+  std::memcpy(dst, src, bytes); // payload really moves
+  return Error::Success;
+}
+
+Error Memcpy(void *dst, const void *src, std::size_t bytes, MemcpyKind kind) {
+  const Error e = MemcpyAsync(dst, src, bytes, kind, default_stream());
+  if (e != Error::Success) {
+    return e;
+  }
+  return StreamSynchronize(default_stream());
+}
+
+Error Memcpy2DAsync(void *dst, std::size_t dpitch, const void *src,
+                    std::size_t spitch, std::size_t width, std::size_t height,
+                    MemcpyKind kind, StreamHandle stream) {
+  if ((dst == nullptr || src == nullptr) && width * height > 0) {
+    return Error::InvalidValue;
+  }
+  if (width > dpitch || width > spitch) {
+    return Error::InvalidValue;
+  }
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  const CostParams &p = cost_params();
+  if (kind == MemcpyKind::Default) {
+    kind = infer_kind(dst, src);
+  }
+  host_advance(p.memcpy_async_call_ns);
+  counters64().memcpy_async_calls.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t total = width * height;
+  if (total == 0) {
+    return Error::Success;
+  }
+  // The DMA engine processes one descriptor per row and needs wide rows to
+  // reach full throughput (see CostParams::dma_row_ns).
+  const double eff = strided_efficiency(width, p.dma_row_saturation_b);
+  const VirtualNs base =
+      memcpy_duration(p, total, kind, touches_pageable(dst, src));
+  const auto dur = static_cast<VirtualNs>(
+                       static_cast<double>(base - p.copy_engine_latency_ns) /
+                       eff) +
+                   p.copy_engine_latency_ns +
+                   static_cast<VirtualNs>(height) * p.dma_row_ns;
+  stream->enqueue(virtual_now(), dur);
+  auto *d = static_cast<std::byte *>(dst);
+  const auto *s = static_cast<const std::byte *>(src);
+  for (std::size_t row = 0; row < height; ++row) {
+    std::memcpy(d + row * dpitch, s + row * spitch, width);
+  }
+  return Error::Success;
+}
+
+Error MemsetAsync(void *ptr, int value, std::size_t bytes,
+                  StreamHandle stream) {
+  if (ptr == nullptr && bytes > 0) {
+    return Error::InvalidValue;
+  }
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  const CostParams &p = cost_params();
+  host_advance(p.memcpy_async_call_ns);
+  if (bytes == 0) {
+    return Error::Success;
+  }
+  const VirtualNs dur =
+      memcpy_duration(p, bytes, MemcpyKind::DeviceToDevice, false);
+  stream->enqueue(virtual_now(), dur);
+  std::memset(ptr, value, bytes);
+  return Error::Success;
+}
+
+Error LaunchKernel(const LaunchConfig &cfg, const KernelCost &cost,
+                   StreamHandle stream, const KernelBody &body) {
+  if (!body) {
+    return Error::InvalidValue;
+  }
+  if (cfg.grid.volume() == 0 || cfg.block.volume() == 0 ||
+      cfg.block.volume() > 1024) {
+    return Error::InvalidValue;
+  }
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  const CostParams &p = cost_params();
+  host_advance(p.kernel_launch_ns);
+  counters64().kernel_launches.fetch_add(1, std::memory_order_relaxed);
+  const VirtualNs dur = kernel_duration(p, cost);
+  stream->enqueue(virtual_now(), dur);
+  body();
+  return Error::Success;
+}
+
+Counters counters() {
+  const Counters64 &c = counters64();
+  return Counters{
+      c.memcpy_async_calls.load(std::memory_order_relaxed),
+      c.kernel_launches.load(std::memory_order_relaxed),
+      c.stream_syncs.load(std::memory_order_relaxed),
+      c.mallocs.load(std::memory_order_relaxed),
+      c.frees.load(std::memory_order_relaxed),
+  };
+}
+
+void reset_counters() {
+  Counters64 &c = counters64();
+  c.memcpy_async_calls.store(0, std::memory_order_relaxed);
+  c.kernel_launches.store(0, std::memory_order_relaxed);
+  c.stream_syncs.store(0, std::memory_order_relaxed);
+  c.mallocs.store(0, std::memory_order_relaxed);
+  c.frees.store(0, std::memory_order_relaxed);
+}
+
+} // namespace vcuda

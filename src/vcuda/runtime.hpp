@@ -1,0 +1,144 @@
+// Public API of the virtual CUDA runtime ("vcuda").
+//
+// The surface mirrors the subset of the CUDA runtime API that TEMPI and the
+// system MPI's datatype path consume: memory management with distinct
+// device/pinned/pageable spaces, async memcpy on streams, kernel launch,
+// events, and pointer attribute queries. Functions return Error and follow
+// CUDA naming minus the "cuda" prefix (vcuda::Malloc == cudaMalloc).
+//
+// Timing: every call advances the calling thread's virtual Timeline by a
+// modeled driver overhead, and enqueues modeled device-side durations on the
+// stream (see costmodel.hpp). The payload bytes really move, synchronously,
+// so results are testable.
+#pragma once
+
+#include "vcuda/clock.hpp"
+#include "vcuda/costmodel.hpp"
+#include "vcuda/memory.hpp"
+#include "vcuda/stream.hpp"
+
+#include <cstddef>
+#include <functional>
+
+namespace vcuda {
+
+enum class Error {
+  Success = 0,
+  InvalidValue,
+  MemoryAllocation,
+  InvalidDevice,
+  NotReady, ///< StreamQuery: work still outstanding
+};
+
+/// Human-readable error name (CUDA's cudaGetErrorString).
+const char *error_string(Error e);
+
+using StreamHandle = Stream *;
+using EventHandle = Event *;
+
+/// Kernel bodies run synchronously on the calling thread. Grid/block
+/// geometry participates only in the cost model and in tests; the body is
+/// responsible for moving all payload bytes itself.
+using KernelBody = std::function<void()>;
+
+struct Dim3 {
+  unsigned x = 1, y = 1, z = 1;
+  [[nodiscard]] unsigned long long volume() const {
+    return static_cast<unsigned long long>(x) * y * z;
+  }
+};
+
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+};
+
+// --- device management -----------------------------------------------------
+
+/// Number of virtual devices visible to this process (Summit node: 6).
+int device_count();
+
+/// Reconfigure the number of virtual devices (benches/tests only; resets
+/// nothing else). Returns the previous count.
+int set_device_count(int n);
+
+Error SetDevice(int device);
+Error GetDevice(int *device);
+Error DeviceSynchronize();
+
+// --- memory ------------------------------------------------------------------
+
+Error Malloc(void **ptr, std::size_t bytes);          ///< device space
+Error MallocHost(void **ptr, std::size_t bytes);      ///< pinned host space
+Error Free(void *ptr);
+Error FreeHost(void *ptr);
+
+/// cudaHostRegister/cudaHostUnregister: pin (register) an existing host
+/// range so the GPU can access it zero-copy; the range must not overlap a
+/// registered allocation.
+Error HostRegister(void *ptr, std::size_t bytes);
+Error HostUnregister(void *ptr);
+
+/// cudaPointerGetAttributes: classify `ptr` (unregistered -> Pageable).
+Error PointerGetAttributes(MemorySpace *space, int *device, const void *ptr);
+
+// --- streams & events --------------------------------------------------------
+
+Error StreamCreate(StreamHandle *stream);
+Error StreamDestroy(StreamHandle stream);
+Error StreamSynchronize(StreamHandle stream);
+/// Success if all work is complete at the host's current virtual time,
+/// NotReady otherwise. Does not block.
+Error StreamQuery(StreamHandle stream);
+
+/// Make `stream` wait (device-side) until all work recorded in `event`
+/// completes, without blocking the host (cudaStreamWaitEvent).
+Error StreamWaitEvent(StreamHandle stream, EventHandle event);
+
+Error EventCreate(EventHandle *event);
+Error EventDestroy(EventHandle event);
+Error EventRecord(EventHandle event, StreamHandle stream);
+Error EventSynchronize(EventHandle event);
+/// Elapsed virtual milliseconds between two recorded events.
+Error EventElapsedTime(float *ms, EventHandle start, EventHandle stop);
+
+/// The calling thread's default stream on the current device (the CUDA
+/// "per-thread default stream"); never destroyed by the user.
+StreamHandle default_stream();
+
+// --- data movement -----------------------------------------------------------
+
+Error MemcpyAsync(void *dst, const void *src, std::size_t bytes,
+                  MemcpyKind kind, StreamHandle stream);
+Error Memcpy(void *dst, const void *src, std::size_t bytes, MemcpyKind kind);
+
+/// cudaMemcpy2DAsync: `height` rows of `width` bytes with independent
+/// pitches. Used by the "cudaMemcpy2D" strategy of Wang et al. that the
+/// paper's future-work section mentions.
+Error Memcpy2DAsync(void *dst, std::size_t dpitch, const void *src,
+                    std::size_t spitch, std::size_t width, std::size_t height,
+                    MemcpyKind kind, StreamHandle stream);
+
+Error MemsetAsync(void *ptr, int value, std::size_t bytes,
+                  StreamHandle stream);
+
+// --- kernels -----------------------------------------------------------------
+
+/// Launch `body` with geometry `cfg` and modeled cost `cost` on `stream`.
+Error LaunchKernel(const LaunchConfig &cfg, const KernelCost &cost,
+                   StreamHandle stream, const KernelBody &body);
+
+// --- accounting --------------------------------------------------------------
+
+/// Counters for tests/ablations (per process, monotonically increasing).
+struct Counters {
+  std::uint64_t memcpy_async_calls = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t stream_syncs = 0;
+  std::uint64_t mallocs = 0;
+  std::uint64_t frees = 0;
+};
+Counters counters();
+void reset_counters();
+
+} // namespace vcuda

@@ -1,0 +1,65 @@
+// Streams and events for the virtual CUDA runtime.
+//
+// Work "executes" synchronously on the calling thread (the bytes move right
+// away), but *completion times* follow CUDA stream semantics: operations on
+// a stream serialize, a stream may run ahead of the host timeline, and the
+// host only observes completion at a synchronization point. This is enough
+// to reproduce the paper's latency structure (launch/sync overheads on the
+// critical path, per-op copy-engine latency for the baseline block loop).
+//
+// Like CUDA, a stream may be used by one thread at a time; creation and
+// destruction are thread-safe.
+#pragma once
+
+#include "vcuda/clock.hpp"
+
+#include <cstdint>
+
+namespace vcuda {
+
+class Stream {
+public:
+  explicit Stream(int device) : device_(device) {}
+
+  [[nodiscard]] int device() const { return device_; }
+
+  /// Virtual time at which all enqueued work completes.
+  [[nodiscard]] VirtualNs ready_at() const { return ready_ns_; }
+
+  /// Enqueue an operation of `duration` at host time `host_now`; returns the
+  /// operation's completion time. The stream serializes after prior work.
+  VirtualNs enqueue(VirtualNs host_now, VirtualNs duration) {
+    const VirtualNs start = host_now > ready_ns_ ? host_now : ready_ns_;
+    ready_ns_ = start + duration;
+    return ready_ns_;
+  }
+
+  /// Make the stream wait (as cudaStreamWaitEvent) until time `t`.
+  void wait_until(VirtualNs t) {
+    if (t > ready_ns_) {
+      ready_ns_ = t;
+    }
+  }
+
+  void reset() { ready_ns_ = 0; }
+
+private:
+  int device_ = 0;
+  VirtualNs ready_ns_ = 0;
+};
+
+class Event {
+public:
+  [[nodiscard]] VirtualNs time() const { return time_ns_; }
+  [[nodiscard]] bool recorded() const { return recorded_; }
+  void record(VirtualNs t) {
+    time_ns_ = t;
+    recorded_ = true;
+  }
+
+private:
+  VirtualNs time_ns_ = 0;
+  bool recorded_ = false;
+};
+
+} // namespace vcuda

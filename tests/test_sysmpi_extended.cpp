@@ -1,0 +1,272 @@
+// Extended MPI surface: Comm_split, Probe/Iprobe, Waitany,
+// Gather/Gatherv/Scatter/Allgather/Reduce, and true extent.
+#include "sysmpi/mpi.hpp"
+#include "sysmpi/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace {
+
+void run_n(int n, const std::function<void(int)> &body) {
+  sysmpi::RunConfig cfg;
+  cfg.ranks = n;
+  cfg.ranks_per_node = 3;
+  sysmpi::run_ranks(cfg, body);
+}
+
+TEST(CommSplit, EvenOddGroups) {
+  run_n(6, [](int rank) {
+    MPI_Comm half = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, rank % 2, rank, &half),
+              MPI_SUCCESS);
+    int size = 0, me = -1;
+    MPI_Comm_size(half, &size);
+    MPI_Comm_rank(half, &me);
+    EXPECT_EQ(size, 3);
+    EXPECT_EQ(me, rank / 2); // keys ascending with world rank
+    // The halves are independent communicators: exchange within each.
+    int sum = 0;
+    const int mine = rank;
+    ASSERT_EQ(MPI_Allreduce(&mine, &sum, 1, MPI_INT, MPI_SUM, half),
+              MPI_SUCCESS);
+    EXPECT_EQ(sum, rank % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+    MPI_Comm_free(&half);
+  });
+}
+
+TEST(CommSplit, KeyControlsOrdering) {
+  run_n(4, [](int rank) {
+    // Reverse the ordering via descending keys.
+    MPI_Comm rev = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, 0, -rank, &rev), MPI_SUCCESS);
+    int me = -1;
+    MPI_Comm_rank(rev, &me);
+    EXPECT_EQ(me, 3 - rank);
+    MPI_Comm_free(&rev);
+  });
+}
+
+TEST(CommSplit, UndefinedColorGetsNull) {
+  run_n(4, [](int rank) {
+    MPI_Comm sub = MPI_COMM_NULL;
+    const int color = rank == 0 ? MPI_UNDEFINED : 1;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, color, 0, &sub), MPI_SUCCESS);
+    if (rank == 0) {
+      EXPECT_EQ(sub, MPI_COMM_NULL);
+    } else {
+      int size = 0;
+      MPI_Comm_size(sub, &size);
+      EXPECT_EQ(size, 3);
+      MPI_Comm_free(&sub);
+    }
+  });
+}
+
+TEST(Probe, BlockingProbeReportsMetadata) {
+  run_n(2, [](int rank) {
+    if (rank == 0) {
+      const double v[3] = {1.0, 2.0, 3.0};
+      MPI_Send(v, 3, MPI_DOUBLE, 1, 77, MPI_COMM_WORLD);
+    } else {
+      MPI_Status status;
+      ASSERT_EQ(MPI_Probe(0, 77, MPI_COMM_WORLD, &status), MPI_SUCCESS);
+      int count = 0;
+      MPI_Get_count(&status, MPI_DOUBLE, &count);
+      EXPECT_EQ(count, 3);
+      EXPECT_EQ(status.MPI_SOURCE, 0);
+      // Probe does not consume: the receive still sees the message.
+      std::vector<double> buf(static_cast<std::size_t>(count));
+      ASSERT_EQ(MPI_Recv(buf.data(), count, MPI_DOUBLE, 0, 77,
+                         MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+                MPI_SUCCESS);
+      EXPECT_DOUBLE_EQ(buf[2], 3.0);
+    }
+  });
+}
+
+TEST(Probe, IprobePollsWithoutBlocking) {
+  run_n(2, [](int rank) {
+    if (rank == 1) {
+      int flag = -1;
+      MPI_Status status;
+      ASSERT_EQ(MPI_Iprobe(0, 5, MPI_COMM_WORLD, &flag, &status),
+                MPI_SUCCESS);
+      EXPECT_EQ(flag, 0); // nothing yet
+      const int go = 1;
+      MPI_Send(&go, 1, MPI_INT, 0, 1, MPI_COMM_WORLD);
+      // Busy-wait via Iprobe until the message lands.
+      while (flag == 0) {
+        MPI_Iprobe(0, 5, MPI_COMM_WORLD, &flag, &status);
+      }
+      int x = 0;
+      MPI_Recv(&x, 1, MPI_INT, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_EQ(x, 99);
+    } else {
+      int go = 0;
+      MPI_Recv(&go, 1, MPI_INT, 1, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      const int v = 99;
+      MPI_Send(&v, 1, MPI_INT, 1, 5, MPI_COMM_WORLD);
+    }
+  });
+}
+
+TEST(Waitany, ReturnsFirstCompleted) {
+  run_n(2, [](int rank) {
+    if (rank == 0) {
+      const int v = 5;
+      MPI_Send(&v, 1, MPI_INT, 1, 2, MPI_COMM_WORLD); // only tag 2 arrives
+      int done = 0;
+      MPI_Recv(&done, 1, MPI_INT, 1, 3, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      const int w = 6;
+      MPI_Send(&w, 1, MPI_INT, 1, 1, MPI_COMM_WORLD);
+    } else {
+      int a = 0, b = 0;
+      MPI_Request reqs[2];
+      MPI_Irecv(&a, 1, MPI_INT, 0, 1, MPI_COMM_WORLD, &reqs[0]);
+      MPI_Irecv(&b, 1, MPI_INT, 0, 2, MPI_COMM_WORLD, &reqs[1]);
+      int index = -1;
+      MPI_Status status;
+      ASSERT_EQ(MPI_Waitany(2, reqs, &index, &status), MPI_SUCCESS);
+      EXPECT_EQ(index, 1); // tag-2 message was the only one sent
+      EXPECT_EQ(b, 5);
+      EXPECT_EQ(reqs[1], MPI_REQUEST_NULL);
+      const int done = 1;
+      MPI_Send(&done, 1, MPI_INT, 0, 3, MPI_COMM_WORLD);
+      ASSERT_EQ(MPI_Waitany(2, reqs, &index, &status), MPI_SUCCESS);
+      EXPECT_EQ(index, 0);
+      EXPECT_EQ(a, 6);
+    }
+  });
+}
+
+TEST(Waitany, AllNullReturnsUndefined) {
+  run_n(1, [](int) {
+    MPI_Request reqs[2] = {MPI_REQUEST_NULL, MPI_REQUEST_NULL};
+    int index = 0;
+    ASSERT_EQ(MPI_Waitany(2, reqs, &index, MPI_STATUS_IGNORE), MPI_SUCCESS);
+    EXPECT_EQ(index, MPI_UNDEFINED);
+  });
+}
+
+TEST(Gather, RootCollectsInRankOrder) {
+  run_n(4, [](int rank) {
+    const int mine[2] = {rank * 10, rank * 10 + 1};
+    std::vector<int> all(8, -1);
+    ASSERT_EQ(MPI_Gather(mine, 2, MPI_INT, all.data(), 2, MPI_INT, 2,
+                         MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    if (rank == 2) {
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r) * 2], r * 10);
+        EXPECT_EQ(all[static_cast<std::size_t>(r) * 2 + 1], r * 10 + 1);
+      }
+    } else {
+      EXPECT_EQ(all[0], -1); // untouched on non-roots
+    }
+  });
+}
+
+TEST(Gatherv, VariableContributions) {
+  run_n(3, [](int rank) {
+    std::vector<int> mine(static_cast<std::size_t>(rank) + 1, rank);
+    const int counts[3] = {1, 2, 3};
+    const int displs[3] = {0, 1, 3};
+    std::vector<int> all(6, -1);
+    ASSERT_EQ(MPI_Gatherv(mine.data(), rank + 1, MPI_INT, all.data(), counts,
+                          displs, MPI_INT, 0, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    if (rank == 0) {
+      EXPECT_EQ(all, (std::vector<int>{0, 1, 1, 2, 2, 2}));
+    }
+  });
+}
+
+TEST(Scatter, RootDistributesSlices) {
+  run_n(4, [](int rank) {
+    std::vector<int> all(8);
+    std::iota(all.begin(), all.end(), 100);
+    int mine[2] = {-1, -1};
+    ASSERT_EQ(MPI_Scatter(all.data(), 2, MPI_INT, mine, 2, MPI_INT, 1,
+                          MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(mine[0], 100 + rank * 2);
+    EXPECT_EQ(mine[1], 101 + rank * 2);
+  });
+}
+
+TEST(Allgather, EveryoneGetsEverything) {
+  run_n(5, [](int rank) {
+    const double mine = rank * 1.5;
+    std::vector<double> all(5, -1.0);
+    ASSERT_EQ(MPI_Allgather(&mine, 1, MPI_DOUBLE, all.data(), 1, MPI_DOUBLE,
+                            MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (int r = 0; r < 5; ++r) {
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)], r * 1.5);
+    }
+  });
+}
+
+TEST(Reduce, ResultOnlyAtRoot) {
+  run_n(4, [](int rank) {
+    const long long mine = 1LL << rank;
+    long long sum = -1;
+    ASSERT_EQ(MPI_Reduce(&mine, &sum, 1, MPI_LONG_LONG, MPI_SUM, 3,
+                         MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    if (rank == 3) {
+      EXPECT_EQ(sum, 15);
+    } else {
+      EXPECT_EQ(sum, -1);
+    }
+  });
+}
+
+TEST(TrueExtent, SkipsLeadingGap) {
+  sysmpi::ensure_self_context();
+  // Subarray at offset (2): data starts 8 bytes in, extent is the array.
+  const int sizes[1] = {8}, subsizes[1] = {3}, starts[1] = {2};
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_create_subarray(1, sizes, subsizes, starts, MPI_ORDER_C,
+                                     MPI_INT, &t),
+            MPI_SUCCESS);
+  MPI_Type_commit(&t);
+  MPI_Aint lb = 0, extent = 0, tlb = 0, textent = 0;
+  MPI_Type_get_extent(t, &lb, &extent);
+  MPI_Type_get_true_extent(t, &tlb, &textent);
+  EXPECT_EQ(lb, 0);
+  EXPECT_EQ(extent, 32);
+  EXPECT_EQ(tlb, 8);      // first data byte
+  EXPECT_EQ(textent, 12); // 3 ints
+  MPI_Type_free(&t);
+}
+
+TEST(TrueExtent, ZeroSizeType) {
+  sysmpi::ensure_self_context();
+  MPI_Datatype t = nullptr;
+  MPI_Type_contiguous(0, MPI_INT, &t);
+  MPI_Type_commit(&t);
+  MPI_Aint tlb = -1, textent = -1;
+  ASSERT_EQ(MPI_Type_get_true_extent(t, &tlb, &textent), MPI_SUCCESS);
+  EXPECT_EQ(tlb, 0);
+  EXPECT_EQ(textent, 0);
+  MPI_Type_free(&t);
+}
+
+TEST(Interposability, NewSymbolsFallThroughTempi) {
+  // The new entries are part of the interposable surface: installing an
+  // interposer that does not override them leaves them at the system
+  // implementation.
+  const auto sys_split = interpose::system_table().Comm_split;
+  interpose::MpiTable custom = interpose::active_table();
+  interpose::install(custom);
+  EXPECT_EQ(interpose::active_table().Comm_split, sys_split);
+  EXPECT_EQ(interpose::active_table().Gather,
+            interpose::system_table().Gather);
+  interpose::uninstall();
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+// The virtual network model: floors, bandwidth regimes, path selection,
+// and the per-node NIC injection serialization behind Fig. 12a.
+#include "sysmpi/mpi.hpp"
+#include "sysmpi/netmodel.hpp"
+#include "sysmpi/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using sysmpi::net_params;
+using sysmpi::transfer_duration;
+
+TEST(NetModel, FloorsMatchCalibration) {
+  const sysmpi::NetParams &p = net_params();
+  // Tiny messages: latency-dominated.
+  EXPECT_NEAR(vcuda::ns_to_us(transfer_duration(p, 1, false, false, false)),
+              p.cpu_lat_inter_us, 0.01);
+  EXPECT_NEAR(vcuda::ns_to_us(transfer_duration(p, 1, true, true, false)),
+              p.gpu_lat_inter_us, 0.01);
+}
+
+TEST(NetModel, BandwidthRegimeForLargeMessages) {
+  const sysmpi::NetParams &p = net_params();
+  const std::size_t mb = 1 << 20;
+  const double us =
+      vcuda::ns_to_us(transfer_duration(p, mb, false, false, false));
+  // 1 MiB at 12.5 GB/s is ~84 us plus the small latency term.
+  EXPECT_NEAR(us, 1048576.0 / 12.5 / 1000.0 + p.cpu_lat_inter_us, 2.0);
+}
+
+TEST(NetModel, GpuPathSlowerThanCpuPath) {
+  const sysmpi::NetParams &p = net_params();
+  for (std::size_t bytes : {1u, 1024u, 1u << 20}) {
+    EXPECT_GT(transfer_duration(p, bytes, true, true, false),
+              transfer_duration(p, bytes, false, false, false))
+        << bytes;
+  }
+}
+
+TEST(NetModel, IntraNodeFasterThanInterNode) {
+  const sysmpi::NetParams &p = net_params();
+  for (const bool gpu : {false, true}) {
+    EXPECT_LT(transfer_duration(p, 1 << 16, gpu, gpu, true),
+              transfer_duration(p, 1 << 16, gpu, gpu, false));
+  }
+}
+
+TEST(NetModel, MixedResidencyAddsStagingLatency) {
+  const sysmpi::NetParams &p = net_params();
+  EXPECT_GT(transfer_duration(p, 64, true, false, false),
+            transfer_duration(p, 64, true, true, false) -
+                vcuda::us_to_ns(p.mixed_extra_us) +
+                vcuda::us_to_ns(p.mixed_extra_us) - 1);
+  EXPECT_EQ(transfer_duration(p, 64, true, false, false),
+            transfer_duration(p, 64, false, true, false));
+}
+
+TEST(NetModel, OverrideRestores) {
+  sysmpi::NetParams custom = net_params();
+  custom.cpu_gbps_inter = 99.0;
+  const sysmpi::NetParams old = sysmpi::set_net_params(custom);
+  EXPECT_DOUBLE_EQ(net_params().cpu_gbps_inter, 99.0);
+  sysmpi::set_net_params(old);
+  EXPECT_DOUBLE_EQ(net_params().cpu_gbps_inter, old.cpu_gbps_inter);
+}
+
+TEST(NicContention, SharedInjectionPortSerializes) {
+  sysmpi::World world(4, 2); // 2 nodes x 2 ranks
+  // Two messages from node 0, both ready at t=0, each occupying 1000 ns:
+  // the second starts when the first finishes.
+  EXPECT_EQ(world.reserve_nic(0, 0, 1000), 0u);
+  EXPECT_EQ(world.reserve_nic(0, 0, 1000), 1000u);
+  // A later-ready message starts at its ready time if the port is free.
+  EXPECT_EQ(world.reserve_nic(0, 5000, 1000), 5000u);
+  // Other nodes' ports are independent.
+  EXPECT_EQ(world.reserve_nic(1, 0, 1000), 0u);
+}
+
+TEST(NicContention, ManySendersFromOneNodeQueueUp) {
+  // 3 ranks on one node all blast a 4th rank on another node; their
+  // messages serialize on the shared NIC, so the receiver's total receive
+  // time exceeds 3x the single-message wire time.
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 4;
+  cfg.ranks_per_node = 3;
+  const int bytes = 1 << 20;
+  sysmpi::run_ranks(cfg, [bytes](int rank) {
+    std::vector<std::byte> buf(static_cast<std::size_t>(bytes));
+    if (rank < 3) {
+      MPI_Send(buf.data(), bytes, MPI_BYTE, 3, 0, MPI_COMM_WORLD);
+    } else {
+      const vcuda::VirtualNs t0 = vcuda::virtual_now();
+      for (int s = 0; s < 3; ++s) {
+        MPI_Recv(buf.data(), bytes, MPI_BYTE, s, 0, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+      }
+      const double us = vcuda::ns_to_us(vcuda::virtual_now() - t0);
+      const double single_wire =
+          vcuda::ns_to_us(transfer_duration(net_params(), 1 << 20, false,
+                                            false, false));
+      EXPECT_GT(us, 2.5 * single_wire);
+    }
+  });
+}
+
+TEST(NicContention, IntraNodeTrafficBypassesNic) {
+  // Same pattern but all on one node: no NIC serialization, so the
+  // receiver finishes much faster than the inter-node case.
+  double intra_us = 0.0, inter_us = 0.0;
+  for (const int rpn : {4, 1}) {
+    sysmpi::RunConfig cfg;
+    cfg.ranks = 4;
+    cfg.ranks_per_node = rpn;
+    sysmpi::run_ranks(cfg, [&, rpn](int rank) {
+      std::vector<std::byte> buf(1 << 20);
+      if (rank < 3) {
+        MPI_Send(buf.data(), 1 << 20, MPI_BYTE, 3, 0, MPI_COMM_WORLD);
+      } else {
+        const vcuda::VirtualNs t0 = vcuda::virtual_now();
+        for (int s = 0; s < 3; ++s) {
+          MPI_Recv(buf.data(), 1 << 20, MPI_BYTE, s, 0, MPI_COMM_WORLD,
+                   MPI_STATUS_IGNORE);
+        }
+        (rpn == 4 ? intra_us : inter_us) =
+            vcuda::ns_to_us(vcuda::virtual_now() - t0);
+      }
+    });
+  }
+  EXPECT_LT(intra_us, inter_us);
+}
+
+} // namespace

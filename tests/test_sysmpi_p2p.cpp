@@ -1,0 +1,302 @@
+// Point-to-point semantics on the thread-rank runtime: matching, wildcards,
+// statuses, nonblocking ops, datatype sends, and the virtual-time floors of
+// the CPU and CUDA-aware GPU paths.
+#include "sysmpi/mpi.hpp"
+#include "sysmpi/netmodel.hpp"
+#include "sysmpi/world.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using testing_helpers::fill_pattern;
+using testing_helpers::SpaceBuffer;
+
+void run2(const std::function<void(int)> &body) {
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1; // two virtual nodes
+  sysmpi::run_ranks(cfg, body);
+}
+
+TEST(P2P, BlockingSendRecvMovesData) {
+  run2([](int rank) {
+    MPI_Init(nullptr, nullptr);
+    std::vector<int> buf(1024);
+    if (rank == 0) {
+      std::iota(buf.begin(), buf.end(), 7);
+      ASSERT_EQ(MPI_Send(buf.data(), 1024, MPI_INT, 1, 5, MPI_COMM_WORLD),
+                MPI_SUCCESS);
+    } else {
+      MPI_Status status;
+      ASSERT_EQ(MPI_Recv(buf.data(), 1024, MPI_INT, 0, 5, MPI_COMM_WORLD,
+                         &status),
+                MPI_SUCCESS);
+      EXPECT_EQ(status.MPI_SOURCE, 0);
+      EXPECT_EQ(status.MPI_TAG, 5);
+      EXPECT_EQ(buf[0], 7);
+      EXPECT_EQ(buf[1023], 7 + 1023);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(P2P, TagsMatchSelectively) {
+  run2([](int rank) {
+    if (rank == 0) {
+      const int a = 100, b = 200;
+      MPI_Send(&a, 1, MPI_INT, 1, 1, MPI_COMM_WORLD);
+      MPI_Send(&b, 1, MPI_INT, 1, 2, MPI_COMM_WORLD);
+    } else {
+      int x = 0;
+      // Receive the tag-2 message first even though tag-1 arrived first.
+      MPI_Recv(&x, 1, MPI_INT, 0, 2, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_EQ(x, 200);
+      MPI_Recv(&x, 1, MPI_INT, 0, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_EQ(x, 100);
+    }
+  });
+}
+
+TEST(P2P, AnySourceAndAnyTag) {
+  run2([](int rank) {
+    if (rank == 0) {
+      const int v = 42;
+      MPI_Send(&v, 1, MPI_INT, 1, 17, MPI_COMM_WORLD);
+    } else {
+      int x = 0;
+      MPI_Status status;
+      MPI_Recv(&x, 1, MPI_INT, MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD,
+               &status);
+      EXPECT_EQ(x, 42);
+      EXPECT_EQ(status.MPI_SOURCE, 0);
+      EXPECT_EQ(status.MPI_TAG, 17);
+    }
+  });
+}
+
+TEST(P2P, FifoOrderPreservedPerPeer) {
+  run2([](int rank) {
+    constexpr int kN = 50;
+    if (rank == 0) {
+      for (int i = 0; i < kN; ++i) {
+        MPI_Send(&i, 1, MPI_INT, 1, 3, MPI_COMM_WORLD);
+      }
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int x = -1;
+        MPI_Recv(&x, 1, MPI_INT, 0, 3, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        EXPECT_EQ(x, i);
+      }
+    }
+  });
+}
+
+TEST(P2P, TruncationIsAnError) {
+  run2([](int rank) {
+    if (rank == 0) {
+      const int v[4] = {1, 2, 3, 4};
+      MPI_Send(v, 4, MPI_INT, 1, 0, MPI_COMM_WORLD);
+    } else {
+      int x[2];
+      EXPECT_EQ(MPI_Recv(x, 2, MPI_INT, 0, 0, MPI_COMM_WORLD,
+                         MPI_STATUS_IGNORE),
+                MPI_ERR_TRUNCATE);
+    }
+  });
+}
+
+TEST(P2P, ShorterMessageThanBufferIsFine) {
+  run2([](int rank) {
+    if (rank == 0) {
+      const int v[2] = {5, 6};
+      MPI_Send(v, 2, MPI_INT, 1, 0, MPI_COMM_WORLD);
+    } else {
+      int x[8] = {};
+      MPI_Status status;
+      ASSERT_EQ(MPI_Recv(x, 8, MPI_INT, 0, 0, MPI_COMM_WORLD, &status),
+                MPI_SUCCESS);
+      int count = -1;
+      MPI_Get_count(&status, MPI_INT, &count);
+      EXPECT_EQ(count, 2);
+      EXPECT_EQ(x[1], 6);
+      EXPECT_EQ(x[2], 0);
+    }
+  });
+}
+
+TEST(P2P, ProcNullIsNoop) {
+  run2([](int rank) {
+    int x = 3;
+    EXPECT_EQ(MPI_Send(&x, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    MPI_Status status;
+    EXPECT_EQ(MPI_Recv(&x, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD,
+                       &status),
+              MPI_SUCCESS);
+    EXPECT_EQ(status.MPI_SOURCE, MPI_PROC_NULL);
+    EXPECT_EQ(x, 3);
+    (void)rank;
+  });
+}
+
+TEST(P2P, SendrecvExchanges) {
+  run2([](int rank) {
+    const int mine = rank * 10 + 1;
+    int theirs = -1;
+    const int peer = 1 - rank;
+    ASSERT_EQ(MPI_Sendrecv(&mine, 1, MPI_INT, peer, 8, &theirs, 1, MPI_INT,
+                           peer, 8, MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+              MPI_SUCCESS);
+    EXPECT_EQ(theirs, peer * 10 + 1);
+  });
+}
+
+TEST(P2P, IsendIrecvWaitall) {
+  run2([](int rank) {
+    std::vector<double> out(256, rank + 1.5), in(256, 0.0);
+    const int peer = 1 - rank;
+    MPI_Request reqs[2];
+    ASSERT_EQ(MPI_Irecv(in.data(), 256, MPI_DOUBLE, peer, 9, MPI_COMM_WORLD,
+                        &reqs[0]),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Isend(out.data(), 256, MPI_DOUBLE, peer, 9, MPI_COMM_WORLD,
+                        &reqs[1]),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Waitall(2, reqs, MPI_STATUSES_IGNORE), MPI_SUCCESS);
+    EXPECT_EQ(reqs[0], MPI_REQUEST_NULL);
+    EXPECT_DOUBLE_EQ(in[0], peer + 1.5);
+  });
+}
+
+TEST(P2P, TestPollsWithoutBlocking) {
+  run2([](int rank) {
+    if (rank == 0) {
+      // Wait for a go-signal so the Test-before-message case is exercised.
+      int go = 0;
+      MPI_Recv(&go, 1, MPI_INT, 1, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      const int v = 11;
+      MPI_Send(&v, 1, MPI_INT, 1, 2, MPI_COMM_WORLD);
+    } else {
+      int x = 0;
+      MPI_Request req;
+      MPI_Irecv(&x, 1, MPI_INT, 0, 2, MPI_COMM_WORLD, &req);
+      int flag = -1;
+      ASSERT_EQ(MPI_Test(&req, &flag, MPI_STATUS_IGNORE), MPI_SUCCESS);
+      EXPECT_EQ(flag, 0); // nothing sent yet
+      const int go = 1;
+      MPI_Send(&go, 1, MPI_INT, 0, 1, MPI_COMM_WORLD);
+      ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+      EXPECT_EQ(x, 11);
+    }
+  });
+}
+
+TEST(P2P, DerivedTypeSendRecvScattersCorrectly) {
+  run2([](int rank) {
+    MPI_Datatype t = nullptr;
+    ASSERT_EQ(MPI_Type_vector(16, 4, 12, MPI_BYTE, &t), MPI_SUCCESS);
+    ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+
+    std::vector<std::byte> buf(static_cast<std::size_t>(extent));
+    if (rank == 0) {
+      fill_pattern(buf.data(), buf.size(), 3);
+      MPI_Send(buf.data(), 1, t, 1, 0, MPI_COMM_WORLD);
+      // Also ship the raw buffer so the receiver can cross-check.
+      MPI_Send(buf.data(), static_cast<int>(buf.size()), MPI_BYTE, 1, 1,
+               MPI_COMM_WORLD);
+    } else {
+      MPI_Recv(buf.data(), 1, t, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      std::vector<std::byte> raw(buf.size());
+      MPI_Recv(raw.data(), static_cast<int>(raw.size()), MPI_BYTE, 0, 1,
+               MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_EQ(testing_helpers::reference_pack(buf.data(), 1, *t),
+                testing_helpers::reference_pack(raw.data(), 1, *t));
+    }
+    MPI_Type_free(&t);
+  });
+}
+
+TEST(P2P, GpuFloorExceedsCpuFloor) {
+  // Paper Fig. 9a: ~6 us CUDA-aware floor vs ~1.3 us pinned-host floor.
+  run2([](int rank) {
+    SpaceBuffer host(vcuda::MemorySpace::Pinned, 8);
+    SpaceBuffer dev(vcuda::MemorySpace::Device, 8);
+    const int peer = 1 - rank;
+
+    auto half_pingpong = [&](void *buf) {
+      const vcuda::VirtualNs t0 = vcuda::virtual_now();
+      if (rank == 0) {
+        MPI_Send(buf, 8, MPI_BYTE, peer, 0, MPI_COMM_WORLD);
+        MPI_Recv(buf, 8, MPI_BYTE, peer, 0, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+      } else {
+        MPI_Recv(buf, 8, MPI_BYTE, peer, 0, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+        MPI_Send(buf, 8, MPI_BYTE, peer, 0, MPI_COMM_WORLD);
+      }
+      return vcuda::ns_to_us(vcuda::virtual_now() - t0) / 2.0;
+    };
+
+    const double cpu_us = half_pingpong(host.get());
+    const double gpu_us = half_pingpong(dev.get());
+    if (rank == 0) {
+      EXPECT_LT(cpu_us, 3.0);
+      EXPECT_GT(gpu_us, 5.0);
+      EXPECT_LT(gpu_us, 12.0);
+    }
+  });
+}
+
+TEST(P2P, IntraNodeFasterThanInterNode) {
+  std::array<double, 2> half{0.0, 0.0};
+  for (const int rpn : {1, 2}) {
+    sysmpi::RunConfig cfg;
+    cfg.ranks = 2;
+    cfg.ranks_per_node = rpn;
+    sysmpi::run_ranks(cfg, [&, rpn](int rank) {
+      std::vector<std::byte> buf(1 << 16);
+      const vcuda::VirtualNs t0 = vcuda::virtual_now();
+      if (rank == 0) {
+        MPI_Send(buf.data(), 1 << 16, MPI_BYTE, 1, 0, MPI_COMM_WORLD);
+        MPI_Recv(buf.data(), 1 << 16, MPI_BYTE, 1, 0, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+        half[rpn - 1] = vcuda::ns_to_us(vcuda::virtual_now() - t0) / 2.0;
+      } else {
+        MPI_Recv(buf.data(), 1 << 16, MPI_BYTE, 0, 0, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+        MPI_Send(buf.data(), 1 << 16, MPI_BYTE, 0, 0, MPI_COMM_WORLD);
+      }
+    });
+  }
+  EXPECT_LT(half[1], half[0]); // same node beats cross node
+}
+
+TEST(P2P, ManyRanksRing) {
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 8;
+  cfg.ranks_per_node = 2;
+  sysmpi::run_ranks(cfg, [](int rank) {
+    int size = 0;
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    int me = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &me);
+    EXPECT_EQ(me, rank);
+    const int next = (rank + 1) % size;
+    const int prev = (rank + size - 1) % size;
+    int token = rank;
+    int got = -1;
+    MPI_Sendrecv(&token, 1, MPI_INT, next, 0, &got, 1, MPI_INT, prev, 0,
+                 MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    EXPECT_EQ(got, prev);
+  });
+}
+
+} // namespace

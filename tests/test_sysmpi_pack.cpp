@@ -1,0 +1,245 @@
+// Baseline MPI_Pack/MPI_Unpack: correctness against the scalar reference on
+// host and device buffers, and the per-block cost structure of the slow
+// Spectrum-like GPU path.
+#include "sysmpi/mpi.hpp"
+#include "sysmpi/types.hpp"
+#include "sysmpi/world.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+namespace {
+
+using testing_helpers::fill_pattern;
+using testing_helpers::reference_pack;
+using testing_helpers::SpaceBuffer;
+
+class BaselinePack : public ::testing::Test {
+protected:
+  void SetUp() override { sysmpi::ensure_self_context(); }
+};
+
+TEST_F(BaselinePack, HostVectorMatchesReference) {
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_vector(8, 3, 10, MPI_INT, &t), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+
+  SpaceBuffer src(vcuda::MemorySpace::Pageable, 8 * 10 * 4);
+  fill_pattern(src.get(), src.size());
+  const auto expect = reference_pack(src.get(), 1, *t);
+
+  std::vector<std::byte> out(expect.size());
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.get(), 1, t, out.data(),
+                     static_cast<int>(out.size()), &position, MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  EXPECT_EQ(position, static_cast<int>(expect.size()));
+  EXPECT_EQ(out, expect);
+  MPI_Type_free(&t);
+}
+
+TEST_F(BaselinePack, DeviceVectorMatchesReference) {
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_vector(6, 2, 5, MPI_DOUBLE, &t), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+
+  SpaceBuffer src(vcuda::MemorySpace::Device, 6 * 5 * 8);
+  fill_pattern(src.get(), src.size());
+  const auto expect = reference_pack(src.get(), 1, *t);
+
+  SpaceBuffer out(vcuda::MemorySpace::Device, expect.size());
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.get(), 1, t, out.get(),
+                     static_cast<int>(expect.size()), &position,
+                     MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  EXPECT_EQ(std::memcmp(out.get(), expect.data(), expect.size()), 0);
+  MPI_Type_free(&t);
+}
+
+TEST_F(BaselinePack, UnpackInvertsPack) {
+  MPI_Datatype t = nullptr;
+  const int sizes[2] = {16, 12}, subsizes[2] = {5, 7}, starts[2] = {3, 2};
+  ASSERT_EQ(MPI_Type_create_subarray(2, sizes, subsizes, starts, MPI_ORDER_C,
+                                     MPI_FLOAT, &t),
+            MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+
+  SpaceBuffer src(vcuda::MemorySpace::Pageable, 16 * 12 * 4);
+  fill_pattern(src.get(), src.size());
+  int size = 0;
+  MPI_Pack_size(1, t, MPI_COMM_WORLD, &size);
+  std::vector<std::byte> packed(static_cast<std::size_t>(size));
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.get(), 1, t, packed.data(), size, &position,
+                     MPI_COMM_WORLD),
+            MPI_SUCCESS);
+
+  SpaceBuffer dst(vcuda::MemorySpace::Pageable, 16 * 12 * 4);
+  std::memset(dst.get(), 0, dst.size());
+  position = 0;
+  ASSERT_EQ(MPI_Unpack(packed.data(), size, &position, dst.get(), 1, t,
+                       MPI_COMM_WORLD),
+            MPI_SUCCESS);
+
+  // Every byte the subarray covers must match; bytes outside stay zero.
+  const auto a = reference_pack(src.get(), 1, *t);
+  const auto b = reference_pack(dst.get(), 1, *t);
+  EXPECT_EQ(a, b);
+  MPI_Type_free(&t);
+}
+
+TEST_F(BaselinePack, MultiCountSteppedByExtent) {
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_vector(3, 1, 4, MPI_INT, &t), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+
+  MPI_Aint lb = 0, extent = 0;
+  MPI_Type_get_extent(t, &lb, &extent);
+  const int count = 4;
+  SpaceBuffer src(vcuda::MemorySpace::Pageable,
+                  static_cast<std::size_t>(extent) * count + 64);
+  fill_pattern(src.get(), src.size());
+  const auto expect = reference_pack(src.get(), count, *t);
+
+  std::vector<std::byte> out(expect.size());
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.get(), count, t, out.data(),
+                     static_cast<int>(out.size()), &position, MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  EXPECT_EQ(out, expect);
+  MPI_Type_free(&t);
+}
+
+TEST_F(BaselinePack, PositionAccumulatesAcrossCalls) {
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_contiguous(4, MPI_INT, &t), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+  int a[4] = {1, 2, 3, 4}, b[4] = {5, 6, 7, 8};
+  std::vector<std::byte> out(32);
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(a, 1, t, out.data(), 32, &position, MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  ASSERT_EQ(position, 16);
+  ASSERT_EQ(MPI_Pack(b, 1, t, out.data(), 32, &position, MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  ASSERT_EQ(position, 32);
+  EXPECT_EQ(std::memcmp(out.data(), a, 16), 0);
+  EXPECT_EQ(std::memcmp(out.data() + 16, b, 16), 0);
+  MPI_Type_free(&t);
+}
+
+TEST_F(BaselinePack, OverflowRejected) {
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_contiguous(4, MPI_INT, &t), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+  int a[4] = {};
+  std::vector<std::byte> out(8); // too small for 16 bytes
+  int position = 0;
+  EXPECT_EQ(MPI_Pack(a, 1, t, out.data(), 8, &position, MPI_COMM_WORLD),
+            MPI_ERR_TRUNCATE);
+  MPI_Type_free(&t);
+}
+
+TEST_F(BaselinePack, UncommittedTypeRejected) {
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_vector(2, 1, 3, MPI_INT, &t), MPI_SUCCESS);
+  int a[8] = {};
+  std::vector<std::byte> out(8);
+  int position = 0;
+  EXPECT_EQ(MPI_Pack(a, 1, t, out.data(), 8, &position, MPI_COMM_WORLD),
+            MPI_ERR_TYPE);
+  MPI_Type_free(&t);
+}
+
+TEST_F(BaselinePack, GpuPathCostsPerBlock) {
+  // The defining behaviour of the baseline: one driver round-trip per
+  // contiguous block when a device buffer is involved.
+  MPI_Datatype t = nullptr;
+  constexpr int kBlocks = 64;
+  ASSERT_EQ(MPI_Type_vector(kBlocks, 1, 2, MPI_INT, &t), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+
+  SpaceBuffer src(vcuda::MemorySpace::Device, kBlocks * 8);
+  SpaceBuffer out(vcuda::MemorySpace::Device, kBlocks * 4);
+  vcuda::reset_counters();
+  const vcuda::VirtualNs t0 = vcuda::virtual_now();
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.get(), 1, t, out.get(), kBlocks * 4, &position,
+                     MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  const vcuda::VirtualNs elapsed = vcuda::virtual_now() - t0;
+  EXPECT_EQ(vcuda::counters().memcpy_async_calls,
+            static_cast<std::uint64_t>(kBlocks));
+  // At several microseconds per block this is >100 us for 64 blocks.
+  EXPECT_GT(elapsed, vcuda::us_to_ns(100.0));
+  MPI_Type_free(&t);
+}
+
+TEST_F(BaselinePack, HostPathIsCheapPerBlock) {
+  MPI_Datatype t = nullptr;
+  constexpr int kBlocks = 64;
+  ASSERT_EQ(MPI_Type_vector(kBlocks, 1, 2, MPI_INT, &t), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+
+  SpaceBuffer src(vcuda::MemorySpace::Pageable, kBlocks * 8);
+  std::vector<std::byte> out(kBlocks * 4);
+  const vcuda::VirtualNs t0 = vcuda::virtual_now();
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.get(), 1, t, out.data(), kBlocks * 4, &position,
+                     MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  EXPECT_LT(vcuda::virtual_now() - t0, vcuda::us_to_ns(50.0));
+  MPI_Type_free(&t);
+}
+
+// Parameterized sweep: pack-unpack roundtrip equals identity for a family
+// of (count, blocklen, stride) vectors on host and device.
+class PackRoundtrip
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, vcuda::MemorySpace>> {
+protected:
+  void SetUp() override { sysmpi::ensure_self_context(); }
+};
+
+TEST_P(PackRoundtrip, Roundtrips) {
+  const auto [count, blocklen, stride, space] = GetParam();
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_vector(count, blocklen, stride, MPI_BYTE, &t),
+            MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+  MPI_Aint lb = 0, extent = 0;
+  MPI_Type_get_extent(t, &lb, &extent);
+  int size = 0;
+  MPI_Type_size(t, &size);
+
+  SpaceBuffer src(space, static_cast<std::size_t>(extent) + 16);
+  SpaceBuffer dst(space, static_cast<std::size_t>(extent) + 16);
+  fill_pattern(src.get(), src.size(), static_cast<std::uint32_t>(stride));
+  std::memset(dst.get(), 0, dst.size());
+
+  std::vector<std::byte> packed(static_cast<std::size_t>(size));
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.get(), 1, t, packed.data(), size, &position,
+                     MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  position = 0;
+  ASSERT_EQ(MPI_Unpack(packed.data(), size, &position, dst.get(), 1, t,
+                       MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  EXPECT_EQ(reference_pack(src.get(), 1, *t), reference_pack(dst.get(), 1, *t));
+  MPI_Type_free(&t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VectorShapes, PackRoundtrip,
+    ::testing::Combine(::testing::Values(1, 3, 17),
+                       ::testing::Values(1, 4, 13),
+                       ::testing::Values(16, 31),
+                       ::testing::Values(vcuda::MemorySpace::Pageable,
+                                         vcuda::MemorySpace::Device)));
+
+} // namespace

@@ -1,0 +1,225 @@
+// Transport-layer edge cases: eager vs rendezvous behaviour, self
+// messaging, communicator isolation, zero-byte messages, mixed residency,
+// and ordering under load.
+#include "sysmpi/mpi.hpp"
+#include "sysmpi/netmodel.hpp"
+#include "sysmpi/world.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+using testing_helpers::fill_pattern;
+using testing_helpers::SpaceBuffer;
+
+void run2(const std::function<void(int)> &body, int rpn = 1) {
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = rpn;
+  sysmpi::run_ranks(cfg, body);
+}
+
+TEST(Transport, EagerSendReturnsBeforeReceiverPosts) {
+  // An eager-size send completes at the sender even though the receiver
+  // posts much later: the sender's clock advances only by the overhead.
+  run2([](int rank) {
+    std::vector<std::byte> buf(1024);
+    if (rank == 0) {
+      const vcuda::VirtualNs t0 = vcuda::virtual_now();
+      MPI_Send(buf.data(), 1024, MPI_BYTE, 1, 0, MPI_COMM_WORLD);
+      EXPECT_LT(vcuda::virtual_now() - t0, vcuda::us_to_ns(2.0));
+    } else {
+      vcuda::this_thread_timeline().advance(vcuda::us_to_ns(10000.0));
+      MPI_Recv(buf.data(), 1024, MPI_BYTE, 0, 0, MPI_COMM_WORLD,
+               MPI_STATUS_IGNORE);
+      // The message was long since delivered: receive costs ~overhead.
+      EXPECT_GT(vcuda::virtual_now(), vcuda::us_to_ns(10000.0));
+      EXPECT_LT(vcuda::virtual_now(), vcuda::us_to_ns(10010.0));
+    }
+  });
+}
+
+TEST(Transport, RendezvousSendBlocksForTheWire) {
+  // Beyond the eager threshold, a blocking send cannot complete before
+  // the wire time has elapsed.
+  const std::size_t bytes = sysmpi::net_params().eager_bytes * 16;
+  run2([bytes](int rank) {
+    std::vector<std::byte> buf(bytes);
+    if (rank == 0) {
+      const vcuda::VirtualNs t0 = vcuda::virtual_now();
+      MPI_Send(buf.data(), static_cast<int>(bytes), MPI_BYTE, 1, 0,
+               MPI_COMM_WORLD);
+      const vcuda::VirtualNs wire = transfer_duration(
+          sysmpi::net_params(), bytes, false, false, false);
+      EXPECT_GE(vcuda::virtual_now() - t0, wire);
+    } else {
+      MPI_Recv(buf.data(), static_cast<int>(bytes), MPI_BYTE, 0, 0,
+               MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+  });
+}
+
+TEST(Transport, SelfSendRecv) {
+  run2([](int rank) {
+    if (rank != 0) {
+      return;
+    }
+    const int v = 31;
+    int x = 0;
+    ASSERT_EQ(MPI_Send(&v, 1, MPI_INT, 0, 7, MPI_COMM_WORLD), MPI_SUCCESS);
+    ASSERT_EQ(MPI_Recv(&x, 1, MPI_INT, 0, 7, MPI_COMM_WORLD,
+                       MPI_STATUS_IGNORE),
+              MPI_SUCCESS);
+    EXPECT_EQ(x, 31);
+  });
+}
+
+TEST(Transport, ZeroByteMessagesMatch) {
+  run2([](int rank) {
+    if (rank == 0) {
+      ASSERT_EQ(MPI_Send(nullptr, 0, MPI_INT, 1, 3, MPI_COMM_WORLD),
+                MPI_SUCCESS);
+    } else {
+      MPI_Status status;
+      ASSERT_EQ(MPI_Recv(nullptr, 0, MPI_INT, 0, 3, MPI_COMM_WORLD,
+                         &status),
+                MPI_SUCCESS);
+      int count = -1;
+      MPI_Get_count(&status, MPI_INT, &count);
+      EXPECT_EQ(count, 0);
+      EXPECT_EQ(status.MPI_TAG, 3);
+    }
+  });
+}
+
+TEST(Transport, CommunicatorsIsolateTraffic) {
+  // Same (source, tag) on two communicators must not cross-match.
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 2;
+  sysmpi::run_ranks(cfg, [](int rank) {
+    MPI_Comm other = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, 0, rank, &other), MPI_SUCCESS);
+    if (rank == 0) {
+      const int on_world = 1, on_other = 2;
+      MPI_Send(&on_world, 1, MPI_INT, 1, 5, MPI_COMM_WORLD);
+      MPI_Send(&on_other, 1, MPI_INT, 1, 5, other);
+    } else {
+      int x = 0;
+      // Receive from `other` first even though world's arrived first.
+      MPI_Recv(&x, 1, MPI_INT, 0, 5, other, MPI_STATUS_IGNORE);
+      EXPECT_EQ(x, 2);
+      MPI_Recv(&x, 1, MPI_INT, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_EQ(x, 1);
+    }
+    MPI_Comm_free(&other);
+  });
+}
+
+TEST(Transport, MixedResidencyDeviceToHost) {
+  // Device sender, pageable-host receiver: data must arrive intact and
+  // the wire is priced as a mixed transfer.
+  run2([](int rank) {
+    constexpr std::size_t kBytes = 4096;
+    if (rank == 0) {
+      SpaceBuffer dev(vcuda::MemorySpace::Device, kBytes);
+      fill_pattern(dev.get(), kBytes, 77);
+      MPI_Send(dev.get(), kBytes, MPI_BYTE, 1, 0, MPI_COMM_WORLD);
+    } else {
+      std::vector<std::byte> host(kBytes), expect(kBytes);
+      fill_pattern(expect.data(), kBytes, 77);
+      MPI_Recv(host.data(), kBytes, MPI_BYTE, 0, 0, MPI_COMM_WORLD,
+               MPI_STATUS_IGNORE);
+      EXPECT_EQ(host, expect);
+    }
+  });
+}
+
+TEST(Transport, OrderingPreservedUnderBurst) {
+  // 500 back-to-back eager messages arrive in order with ascending
+  // payloads, interleaved across two tags.
+  run2([](int rank) {
+    if (rank == 0) {
+      for (int i = 0; i < 500; ++i) {
+        MPI_Send(&i, 1, MPI_INT, 1, i % 2, MPI_COMM_WORLD);
+      }
+    } else {
+      int next_even = 0, next_odd = 1;
+      for (int i = 0; i < 500; ++i) {
+        int x = -1;
+        MPI_Status status;
+        MPI_Recv(&x, 1, MPI_INT, 0, MPI_ANY_TAG, MPI_COMM_WORLD, &status);
+        if (status.MPI_TAG == 0) {
+          EXPECT_EQ(x, next_even);
+          next_even += 2;
+        } else {
+          EXPECT_EQ(x, next_odd);
+          next_odd += 2;
+        }
+      }
+    }
+  });
+}
+
+TEST(Transport, VirtualTimeNeverRegressesAcrossRecvs) {
+  run2([](int rank) {
+    if (rank == 0) {
+      std::vector<std::byte> buf(1 << 18);
+      for (int i = 0; i < 10; ++i) {
+        MPI_Send(buf.data(), 1 << 18, MPI_BYTE, 1, 0, MPI_COMM_WORLD);
+      }
+    } else {
+      std::vector<std::byte> buf(1 << 18);
+      vcuda::VirtualNs prev = 0;
+      for (int i = 0; i < 10; ++i) {
+        MPI_Recv(buf.data(), 1 << 18, MPI_BYTE, 0, 0, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+        EXPECT_GE(vcuda::virtual_now(), prev);
+        prev = vcuda::virtual_now();
+      }
+    }
+  });
+}
+
+TEST(Transport, NonContiguousDeviceSendPaysBaselineCost) {
+  // The Spectrum-like path: a fragmented device datatype send is per-block
+  // expensive at BOTH ends.
+  run2([](int rank) {
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(256, 1, 2, MPI_INT, &t);
+    MPI_Type_commit(&t);
+    SpaceBuffer buf(vcuda::MemorySpace::Device, 256 * 8 + 8);
+    const vcuda::VirtualNs t0 = vcuda::virtual_now();
+    if (rank == 0) {
+      MPI_Send(buf.get(), 1, t, 1, 0, MPI_COMM_WORLD);
+      EXPECT_GT(vcuda::virtual_now() - t0, vcuda::us_to_ns(1000.0));
+    } else {
+      MPI_Recv(buf.get(), 1, t, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_GT(vcuda::virtual_now() - t0, vcuda::us_to_ns(2000.0));
+    }
+    MPI_Type_free(&t);
+  });
+}
+
+TEST(Transport, HostNonContiguousSendIsCheap) {
+  run2([](int rank) {
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(256, 1, 2, MPI_INT, &t);
+    MPI_Type_commit(&t);
+    std::vector<int> buf(512);
+    const vcuda::VirtualNs t0 = vcuda::virtual_now();
+    if (rank == 0) {
+      MPI_Send(buf.data(), 1, t, 1, 0, MPI_COMM_WORLD);
+      EXPECT_LT(vcuda::virtual_now() - t0, vcuda::us_to_ns(100.0));
+    } else {
+      MPI_Recv(buf.data(), 1, t, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    MPI_Type_free(&t);
+  });
+}
+
+} // namespace

@@ -1,0 +1,282 @@
+// Sec. 3.2 canonicalization: each pass in isolation, the fixed-point
+// driver, and the headline property — distinct-but-equivalent MPI
+// constructions of the same object converge to the same canonical IR.
+#include "interpose/table.hpp"
+#include "sysmpi/mpi.hpp"
+#include "tempi/canonicalize.hpp"
+#include "tempi/translate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tempi::DenseData;
+using tempi::StreamData;
+using tempi::Type;
+
+const interpose::MpiTable &sys() { return interpose::system_table(); }
+
+Type canonical_of(MPI_Datatype t) {
+  auto ir = tempi::translate(t, sys());
+  EXPECT_TRUE(ir.has_value());
+  tempi::simplify(*ir);
+  return *ir;
+}
+
+// --- dense folding (Alg. 2) --------------------------------------------------
+
+TEST(DenseFolding, FoldsTilingStream) {
+  // Stream(stride 4, count 100) over Dense(4) == Dense(400).
+  Type ty(StreamData{0, 4, 100}, Type(DenseData{0, 4}));
+  EXPECT_TRUE(tempi::dense_folding(ty));
+  EXPECT_EQ(ty, Type(DenseData{0, 400}));
+}
+
+TEST(DenseFolding, KeepsGappedStream) {
+  // stride 8 over 4-byte dense leaves a gap: no fold.
+  Type ty(StreamData{0, 8, 100}, Type(DenseData{0, 4}));
+  Type copy = ty;
+  EXPECT_FALSE(tempi::dense_folding(ty));
+  EXPECT_EQ(ty, copy);
+}
+
+TEST(DenseFolding, AccumulatesOffsets) {
+  Type ty(StreamData{64, 4, 10}, Type(DenseData{8, 4}));
+  EXPECT_TRUE(tempi::dense_folding(ty));
+  EXPECT_EQ(ty, Type(DenseData{72, 40}));
+}
+
+TEST(DenseFolding, FoldsBottomUpThroughChain) {
+  // Outer stream over (stream over dense) where the inner pair folds and
+  // then the outer pair folds too: contiguous(10) of contiguous(4) bytes.
+  Type ty(StreamData{0, 4, 10},
+          Type(StreamData{0, 1, 4}, Type(DenseData{0, 1})));
+  EXPECT_TRUE(tempi::dense_folding(ty));
+  EXPECT_EQ(ty, Type(DenseData{0, 40}));
+}
+
+// --- stream elision (Alg. 3) -------------------------------------------------
+
+TEST(StreamElision, RemovesSingletonChild) {
+  Type ty(StreamData{0, 1024, 8},
+          Type(StreamData{0, 512, 1}, Type(DenseData{0, 16})));
+  EXPECT_TRUE(tempi::stream_elision(ty));
+  EXPECT_EQ(ty, Type(StreamData{0, 1024, 8}, Type(DenseData{0, 16})));
+}
+
+TEST(StreamElision, RemovesSingletonRoot) {
+  Type ty(StreamData{0, 4096, 1}, Type(DenseData{0, 16}));
+  EXPECT_TRUE(tempi::stream_elision(ty));
+  EXPECT_EQ(ty, Type(DenseData{0, 16}));
+}
+
+TEST(StreamElision, PreservesOffset) {
+  Type ty(StreamData{100, 4096, 1}, Type(DenseData{8, 16}));
+  EXPECT_TRUE(tempi::stream_elision(ty));
+  EXPECT_EQ(ty, Type(DenseData{108, 16}));
+}
+
+TEST(StreamElision, LeavesMultiElementStreams) {
+  Type ty(StreamData{0, 64, 2}, Type(DenseData{0, 16}));
+  EXPECT_FALSE(tempi::stream_elision(ty));
+}
+
+// --- stream flattening (Alg. 4) ---------------------------------------------
+
+TEST(StreamFlatten, MergesExactTiling) {
+  // Parent stride 40 == child count(10) * child stride(4): one stream of
+  // 30 elements at stride 4.
+  Type ty(StreamData{0, 40, 3},
+          Type(StreamData{0, 4, 10}, Type(DenseData{0, 2})));
+  EXPECT_TRUE(tempi::stream_flatten(ty));
+  EXPECT_EQ(ty, Type(StreamData{0, 4, 30}, Type(DenseData{0, 2})));
+}
+
+TEST(StreamFlatten, KeepsNonTilingPair) {
+  Type ty(StreamData{0, 48, 3},
+          Type(StreamData{0, 4, 10}, Type(DenseData{0, 2})));
+  EXPECT_FALSE(tempi::stream_flatten(ty));
+}
+
+TEST(StreamFlatten, AccumulatesOffsets) {
+  Type ty(StreamData{64, 40, 3},
+          Type(StreamData{8, 4, 10}, Type(DenseData{0, 2})));
+  EXPECT_TRUE(tempi::stream_flatten(ty));
+  EXPECT_EQ(ty, Type(StreamData{72, 4, 30}, Type(DenseData{0, 2})));
+}
+
+// --- sorting (Sec. 3.2.4) ----------------------------------------------------
+
+TEST(SortStreams, OrdersByDescendingStride) {
+  // rows-of-columns: inner stride larger than outer.
+  Type ty(StreamData{0, 4, 100},
+          Type(StreamData{0, 512, 13}, Type(DenseData{0, 4})));
+  EXPECT_TRUE(tempi::sort_streams(ty));
+  const Type expect(StreamData{0, 512, 13},
+                    Type(StreamData{0, 4, 100}, Type(DenseData{0, 4})));
+  EXPECT_EQ(ty, expect);
+}
+
+TEST(SortStreams, AlreadySortedUnchanged) {
+  Type ty(StreamData{0, 512, 13},
+          Type(StreamData{0, 4, 100}, Type(DenseData{0, 4})));
+  EXPECT_FALSE(tempi::sort_streams(ty));
+}
+
+// --- full simplify: the Fig. 2 property --------------------------------------
+
+// The 3D object of Fig. 1/2 with A0=256, A1=512, A2=1024, E0=100, E1=13,
+// E2=47 (A in bytes, E in floats).
+// (The paper's caption uses A0=256 with E0=100 floats, which would not fit
+// one row; we widen A0 to 512 bytes so the object is self-consistent.)
+constexpr int kA0 = 512, kA1 = 512, kA2 = 1024;
+constexpr int kE0 = 100, kE1 = 13, kE2 = 47;
+
+MPI_Datatype fig2_subarray() {
+  const int sizes[3] = {kA2, kA1, kA0 / 4};        // C order: last fastest
+  const int subsizes[3] = {kE2, kE1, kE0};
+  const int starts[3] = {0, 0, 0};
+  MPI_Datatype t = nullptr;
+  MPI_Type_create_subarray(3, sizes, subsizes, starts, MPI_ORDER_C, MPI_FLOAT,
+                           &t);
+  return t;
+}
+
+MPI_Datatype fig2_hvector_of_vector() {
+  MPI_Datatype plane = nullptr, cuboid = nullptr;
+  MPI_Type_vector(kE1, kE0, kA0 / 4, MPI_FLOAT, &plane);
+  MPI_Type_create_hvector(kE2, 1, static_cast<MPI_Aint>(kA0) * kA1, plane,
+                          &cuboid);
+  MPI_Type_free(&plane);
+  return cuboid;
+}
+
+MPI_Datatype fig2_hvector_of_hvector_of_vector() {
+  MPI_Datatype row = nullptr, plane = nullptr, cuboid = nullptr;
+  MPI_Type_vector(1, kE0, 1, MPI_FLOAT, &row);
+  MPI_Type_create_hvector(kE1, 1, kA0, row, &plane);
+  MPI_Type_create_hvector(kE2, 1, static_cast<MPI_Aint>(kA0) * kA1, plane,
+                          &cuboid);
+  MPI_Type_free(&plane);
+  MPI_Type_free(&row);
+  return cuboid;
+}
+
+TEST(Simplify, Fig2ConstructionsShareOneCanonicalForm) {
+  MPI_Datatype a = fig2_subarray();
+  MPI_Datatype b = fig2_hvector_of_vector();
+  MPI_Datatype c = fig2_hvector_of_hvector_of_vector();
+
+  const Type ca = canonical_of(a);
+  const Type cb = canonical_of(b);
+  const Type cc = canonical_of(c);
+
+  const Type expect(
+      StreamData{0, static_cast<long long>(kA0) * kA1, kE2},
+      Type(StreamData{0, kA0, kE1},
+           Type(DenseData{0, kE0 * 4})));
+  EXPECT_EQ(ca, expect) << tempi::to_string(ca);
+  EXPECT_EQ(cb, expect) << tempi::to_string(cb);
+  EXPECT_EQ(cc, expect) << tempi::to_string(cc);
+
+  MPI_Type_free(&a);
+  MPI_Type_free(&b);
+  MPI_Type_free(&c);
+}
+
+TEST(Simplify, RowDescriptionsAllBecomeOneDense) {
+  // Sec. 2's non-exhaustive list of equivalent row descriptions.
+  const Type expect{Type(DenseData{0, kE0 * 4})};
+
+  MPI_Datatype t1 = nullptr;
+  MPI_Type_contiguous(kE0, MPI_FLOAT, &t1);
+  EXPECT_EQ(canonical_of(t1), expect);
+
+  MPI_Datatype t2 = nullptr;
+  MPI_Type_contiguous(kE0 * 4, MPI_BYTE, &t2);
+  EXPECT_EQ(canonical_of(t2), expect);
+
+  MPI_Datatype t3 = nullptr;
+  MPI_Type_vector(1, kE0, 1, MPI_FLOAT, &t3);
+  EXPECT_EQ(canonical_of(t3), expect);
+
+  MPI_Datatype t4 = nullptr;
+  MPI_Type_vector(kE0, 4, 4, MPI_BYTE, &t4);
+  EXPECT_EQ(canonical_of(t4), expect);
+
+  MPI_Datatype t5 = nullptr;
+  MPI_Type_create_hvector(kE0 * 4, 1, 1, MPI_BYTE, &t5);
+  EXPECT_EQ(canonical_of(t5), expect);
+
+  const int sizes[1] = {kA0 / 4}, subsizes[1] = {kE0}, starts[1] = {0};
+  MPI_Datatype t6 = nullptr;
+  MPI_Type_create_subarray(1, sizes, subsizes, starts, MPI_ORDER_C, MPI_FLOAT,
+                           &t6);
+  EXPECT_EQ(canonical_of(t6), expect);
+
+  for (MPI_Datatype *t : {&t1, &t2, &t3, &t4, &t5, &t6}) {
+    MPI_Type_free(t);
+  }
+}
+
+TEST(Simplify, PlaneDescriptionsAgree) {
+  // Sec. 2: four direct plane constructions plus hvector-of-rows.
+  MPI_Datatype p1 = nullptr;
+  MPI_Type_vector(kE1, kE0, kA0 / 4, MPI_FLOAT, &p1);
+  const Type c1 = canonical_of(p1);
+
+  MPI_Datatype p2 = nullptr;
+  MPI_Type_vector(kE1, kE0 * 4, kA0, MPI_BYTE, &p2);
+  EXPECT_EQ(canonical_of(p2), c1);
+
+  const int sizes[2] = {kA1, kA0 / 4}, subsizes[2] = {kE1, kE0},
+            starts[2] = {0, 0};
+  MPI_Datatype p3 = nullptr;
+  MPI_Type_create_subarray(2, sizes, subsizes, starts, MPI_ORDER_C, MPI_FLOAT,
+                           &p3);
+  EXPECT_EQ(canonical_of(p3), c1);
+
+  MPI_Datatype row = nullptr, p4 = nullptr;
+  MPI_Type_contiguous(kE0, MPI_FLOAT, &row);
+  MPI_Type_create_hvector(kE1, 1, kA0, row, &p4);
+  EXPECT_EQ(canonical_of(p4), c1);
+
+  for (MPI_Datatype *t : {&p1, &p2, &p3, &p4, &row}) {
+    MPI_Type_free(t);
+  }
+}
+
+TEST(Simplify, ContiguousOfVectorFlattens) {
+  // contiguous(3) of vector(4,1,2): parent stride equals child span only
+  // if the vector tiles; with stride 2 x count 4 x int4 = 32B extent...
+  // Construct a case that genuinely tiles: vector(4, 2, 2, MPI_INT) has
+  // extent (3*2+2)*4 = 32 but stride pattern 2-on/2-off; contiguous over
+  // it keeps the pattern as one flat stream.
+  MPI_Datatype v = nullptr, c = nullptr;
+  MPI_Type_vector(4, 2, 4, MPI_INT, &v); // 8B blocks every 16B, span 56B
+  MPI_Type_create_resized(v, 0, 64, &c); // pad extent to 64 so it tiles
+  MPI_Datatype outer = nullptr;
+  MPI_Type_contiguous(3, c, &outer);
+  const Type canon = canonical_of(outer);
+  // One stream of 12 blocks of 8 dense bytes at stride 16.
+  const Type expect(StreamData{0, 16, 12}, Type(DenseData{0, 8}));
+  EXPECT_EQ(canon, expect) << tempi::to_string(canon);
+  MPI_Type_free(&outer);
+  MPI_Type_free(&c);
+  MPI_Type_free(&v);
+}
+
+TEST(Simplify, ReachesFixedPointQuickly) {
+  MPI_Datatype t = fig2_hvector_of_hvector_of_vector();
+  auto ir = tempi::translate(t, sys());
+  ASSERT_TRUE(ir.has_value());
+  tempi::simplify(*ir);
+  EXPECT_LE(tempi::last_simplify_rounds(), 6);
+  // Idempotent: a second simplify changes nothing.
+  Type again = *ir;
+  tempi::simplify(again);
+  EXPECT_EQ(again, *ir);
+  MPI_Type_free(&t);
+}
+
+} // namespace

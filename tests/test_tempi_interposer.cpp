@@ -1,0 +1,216 @@
+// The interposition architecture (Sec. 5): overridden symbols land in
+// TEMPI, everything else falls through to the system MPI, and removal
+// restores the original resolution — without touching application code.
+#include "sysmpi/mpi.hpp"
+#include "sysmpi/world.hpp"
+#include "tempi/tempi.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace {
+
+using testing_helpers::fill_pattern;
+using testing_helpers::reference_pack;
+using testing_helpers::SpaceBuffer;
+
+MPI_Datatype committed_vector(int count, int blocklen, int stride) {
+  MPI_Datatype t = nullptr;
+  MPI_Type_vector(count, blocklen, stride, MPI_BYTE, &t);
+  MPI_Type_commit(&t);
+  return t;
+}
+
+TEST(Interposer, InstallAndUninstallSwapTables) {
+  const auto system_send = interpose::system_table().Send;
+  EXPECT_EQ(interpose::active_table().Send, system_send);
+  EXPECT_FALSE(interpose::interposed());
+  {
+    tempi::ScopedInterposer guard;
+    EXPECT_TRUE(interpose::interposed());
+    EXPECT_NE(interpose::active_table().Send, system_send);
+    // Uncovered symbols fall through: same function pointer as the system.
+    EXPECT_EQ(interpose::active_table().Barrier,
+              interpose::system_table().Barrier);
+    EXPECT_EQ(interpose::active_table().Alltoallv,
+              interpose::system_table().Alltoallv);
+    EXPECT_EQ(interpose::active_table().Type_vector,
+              interpose::system_table().Type_vector);
+  }
+  EXPECT_FALSE(interpose::interposed());
+  EXPECT_EQ(interpose::active_table().Send, system_send);
+}
+
+TEST(Interposer, CommitBuildsPackerForStridedTypes) {
+  tempi::ScopedInterposer guard;
+  sysmpi::ensure_self_context();
+  MPI_Datatype t = committed_vector(16, 4, 32);
+  const auto packer = tempi::find_packer(t);
+  ASSERT_NE(packer, nullptr);
+  EXPECT_EQ(packer->block().block_bytes(), 4);
+  EXPECT_EQ(packer->block().counts[1], 16);
+  MPI_Type_free(&t);
+  EXPECT_EQ(tempi::find_packer(t), nullptr); // evicted (handle is null now)
+}
+
+TEST(Interposer, CommitFallsBackForIndexedTypes) {
+  tempi::ScopedInterposer guard;
+  sysmpi::ensure_self_context();
+  const int blens[2] = {1, 2};
+  const int displs[2] = {0, 7};
+  MPI_Datatype t = nullptr;
+  MPI_Type_indexed(2, blens, displs, MPI_INT, &t);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+  EXPECT_EQ(tempi::find_packer(t), nullptr);
+  // The type still works through the system path.
+  int src[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  std::byte out[12];
+  int position = 0;
+  EXPECT_EQ(MPI_Pack(src, 1, t, out, 12, &position, MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  EXPECT_EQ(position, 12);
+  MPI_Type_free(&t);
+}
+
+TEST(Interposer, DoubleCommitIsIdempotent) {
+  tempi::ScopedInterposer guard;
+  sysmpi::ensure_self_context();
+  MPI_Datatype t = committed_vector(8, 2, 6);
+  const auto first = tempi::find_packer(t);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+  EXPECT_EQ(tempi::find_packer(t), first);
+  MPI_Type_free(&t);
+}
+
+TEST(Interposer, PackOnDeviceUsesKernelNotBlockLoop) {
+  tempi::ScopedInterposer guard;
+  sysmpi::ensure_self_context();
+  MPI_Datatype t = committed_vector(256, 8, 64);
+
+  SpaceBuffer src(vcuda::MemorySpace::Device, 256 * 64);
+  SpaceBuffer out(vcuda::MemorySpace::Device, 256 * 8);
+  fill_pattern(src.get(), src.size());
+
+  vcuda::reset_counters();
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.get(), 1, t, out.get(), 256 * 8, &position,
+                     MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  EXPECT_EQ(vcuda::counters().kernel_launches, 1u);
+  EXPECT_EQ(vcuda::counters().memcpy_async_calls, 0u); // no per-block loop
+
+  const auto expect = reference_pack(src.get(), 1, *t);
+  EXPECT_EQ(std::memcmp(out.get(), expect.data(), expect.size()), 0);
+  MPI_Type_free(&t);
+}
+
+TEST(Interposer, PackOnHostForwardsToSystem) {
+  tempi::ScopedInterposer guard;
+  sysmpi::ensure_self_context();
+  MPI_Datatype t = committed_vector(16, 4, 8);
+
+  std::vector<std::byte> src(16 * 8), out(16 * 4);
+  fill_pattern(src.data(), src.size());
+  vcuda::reset_counters();
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.data(), 1, t, out.data(),
+                     static_cast<int>(out.size()), &position, MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  EXPECT_EQ(vcuda::counters().kernel_launches, 0u); // stayed on the CPU path
+  const auto expect = reference_pack(src.data(), 1, *t);
+  EXPECT_EQ(std::memcmp(out.data(), expect.data(), expect.size()), 0);
+  MPI_Type_free(&t);
+}
+
+TEST(Interposer, UnpackOnDeviceInvertsPack) {
+  tempi::ScopedInterposer guard;
+  sysmpi::ensure_self_context();
+  MPI_Datatype t = committed_vector(64, 16, 48);
+  MPI_Aint lb = 0, extent = 0;
+  MPI_Type_get_extent(t, &lb, &extent);
+
+  SpaceBuffer src(vcuda::MemorySpace::Device,
+                  static_cast<std::size_t>(extent));
+  SpaceBuffer mid(vcuda::MemorySpace::Device, 64 * 16);
+  SpaceBuffer dst(vcuda::MemorySpace::Device,
+                  static_cast<std::size_t>(extent));
+  fill_pattern(src.get(), src.size());
+  std::memset(dst.get(), 0, dst.size());
+
+  int position = 0;
+  ASSERT_EQ(MPI_Pack(src.get(), 1, t, mid.get(), 64 * 16, &position,
+                     MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  position = 0;
+  ASSERT_EQ(MPI_Unpack(mid.get(), 64 * 16, &position, dst.get(), 1, t,
+                       MPI_COMM_WORLD),
+            MPI_SUCCESS);
+  EXPECT_EQ(reference_pack(src.get(), 1, *t), reference_pack(dst.get(), 1, *t));
+  MPI_Type_free(&t);
+}
+
+TEST(Interposer, PackSpeedupIsEnormous) {
+  // The Fig. 8 effect in miniature: TEMPI's single kernel vs the baseline
+  // per-block loop on a device object with small blocks.
+  sysmpi::ensure_self_context();
+  constexpr int kBlocks = 512;
+  SpaceBuffer src(vcuda::MemorySpace::Device, kBlocks * 16);
+  SpaceBuffer out(vcuda::MemorySpace::Device, kBlocks * 4);
+
+  vcuda::VirtualNs baseline_ns = 0, tempi_ns = 0;
+  {
+    MPI_Datatype t = committed_vector(kBlocks, 4, 16);
+    int position = 0;
+    const vcuda::VirtualNs t0 = vcuda::virtual_now();
+    ASSERT_EQ(MPI_Pack(src.get(), 1, t, out.get(), kBlocks * 4, &position,
+                       MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    baseline_ns = vcuda::virtual_now() - t0;
+    MPI_Type_free(&t);
+  }
+  {
+    tempi::ScopedInterposer guard;
+    MPI_Datatype t = committed_vector(kBlocks, 4, 16);
+    int position = 0;
+    const vcuda::VirtualNs t0 = vcuda::virtual_now();
+    ASSERT_EQ(MPI_Pack(src.get(), 1, t, out.get(), kBlocks * 4, &position,
+                       MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    tempi_ns = vcuda::virtual_now() - t0;
+    MPI_Type_free(&t);
+  }
+  EXPECT_GT(baseline_ns, 100 * tempi_ns)
+      << "baseline " << baseline_ns << " ns vs tempi " << tempi_ns << " ns";
+}
+
+TEST(Interposer, DoubleInstallIsIdempotent) {
+  tempi::install();
+  const auto send_once = interpose::active_table().Send;
+  tempi::install(); // second install must not stack the interposer
+  EXPECT_EQ(interpose::active_table().Send, send_once);
+  tempi::uninstall();
+  tempi::uninstall(); // and double-uninstall must be harmless
+  EXPECT_EQ(interpose::active_table().Send, interpose::system_table().Send);
+}
+
+TEST(Interposer, ReinstallAfterUninstallWorks) {
+  sysmpi::ensure_self_context();
+  for (int round = 0; round < 3; ++round) {
+    tempi::ScopedInterposer guard;
+    MPI_Datatype t = committed_vector(8, 4, 16);
+    EXPECT_NE(tempi::find_packer(t), nullptr) << "round " << round;
+    MPI_Type_free(&t);
+  }
+}
+
+TEST(Interposer, SendModeControlsMethod) {
+  tempi::ScopedInterposer guard;
+  tempi::set_send_mode(tempi::SendMode::ForceDevice);
+  EXPECT_EQ(tempi::send_mode(), tempi::SendMode::ForceDevice);
+  tempi::set_send_mode(tempi::SendMode::Auto);
+  EXPECT_EQ(tempi::send_mode(), tempi::SendMode::Auto);
+}
+
+} // namespace

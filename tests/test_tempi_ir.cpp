@@ -1,0 +1,96 @@
+// The Type IR itself: node manipulation primitives the canonicalization
+// passes are built from, equality, and rendering.
+#include "tempi/ir.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tempi::DenseData;
+using tempi::StreamData;
+using tempi::Type;
+
+TEST(IrNode, KindPredicates) {
+  const Type d(DenseData{0, 16});
+  EXPECT_TRUE(d.is_dense());
+  EXPECT_FALSE(d.is_stream());
+  EXPECT_FALSE(d.has_child());
+
+  const Type s(StreamData{0, 32, 4}, Type(DenseData{0, 16}));
+  EXPECT_TRUE(s.is_stream());
+  EXPECT_TRUE(s.has_child());
+  EXPECT_TRUE(s.child().is_dense());
+}
+
+TEST(IrNode, AccessorsReturnData) {
+  Type s(StreamData{8, 32, 4}, Type(DenseData{2, 16}));
+  EXPECT_EQ(s.stream().off, 8);
+  EXPECT_EQ(s.stream().stride, 32);
+  EXPECT_EQ(s.stream().count, 4);
+  EXPECT_EQ(s.child().dense().extent, 16);
+  s.stream().count = 9; // mutable access
+  EXPECT_EQ(s.stream().count, 9);
+}
+
+TEST(IrNode, DepthCountsChain) {
+  const Type one(DenseData{0, 4});
+  EXPECT_EQ(one.depth(), 1u);
+  const Type three(StreamData{0, 64, 2},
+                   Type(StreamData{0, 8, 4}, Type(DenseData{0, 4})));
+  EXPECT_EQ(three.depth(), 3u);
+}
+
+TEST(IrNode, ReplaceWithChild) {
+  Type t(StreamData{0, 64, 1}, Type(DenseData{0, 4}));
+  t.replace_with_child();
+  EXPECT_TRUE(t.is_dense());
+  EXPECT_EQ(t.dense().extent, 4);
+  EXPECT_FALSE(t.has_child());
+}
+
+TEST(IrNode, SpliceOutChildAdoptsGrandchild) {
+  Type t(StreamData{0, 512, 3},
+         Type(StreamData{0, 64, 1}, Type(DenseData{0, 4})));
+  t.splice_out_child();
+  EXPECT_TRUE(t.is_stream());
+  EXPECT_EQ(t.stream().stride, 512);
+  ASSERT_TRUE(t.has_child());
+  EXPECT_TRUE(t.child().is_dense());
+}
+
+TEST(IrNode, SpliceOutLeafChild) {
+  Type t(StreamData{0, 64, 2}, Type(DenseData{0, 4}));
+  t.splice_out_child();
+  EXPECT_TRUE(t.is_stream());
+  EXPECT_FALSE(t.has_child());
+}
+
+TEST(IrEquality, StructuralAndRecursive) {
+  const Type a(StreamData{0, 64, 2}, Type(DenseData{0, 4}));
+  const Type b(StreamData{0, 64, 2}, Type(DenseData{0, 4}));
+  const Type c(StreamData{0, 64, 2}, Type(DenseData{0, 8}));
+  const Type d(StreamData{0, 64, 3}, Type(DenseData{0, 4}));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c); // differing leaf
+  EXPECT_FALSE(a == d); // differing node payload
+  EXPECT_FALSE(a == Type(DenseData{0, 4})); // differing shape
+}
+
+TEST(IrOffsets, DataOffHelpers) {
+  tempi::TypeData dense = DenseData{10, 4};
+  tempi::TypeData stream = StreamData{20, 8, 2};
+  EXPECT_EQ(tempi::data_off(dense), 10);
+  EXPECT_EQ(tempi::data_off(stream), 20);
+  tempi::add_data_off(dense, 5);
+  tempi::add_data_off(stream, -5);
+  EXPECT_EQ(tempi::data_off(dense), 15);
+  EXPECT_EQ(tempi::data_off(stream), 15);
+}
+
+TEST(IrToString, RendersChain) {
+  const Type t(StreamData{0, 512, 13}, Type(DenseData{0, 400}));
+  EXPECT_EQ(tempi::to_string(t),
+            "Stream(off=0,stride=512,count=13) -> Dense(off=0,extent=400)");
+}
+
+} // namespace

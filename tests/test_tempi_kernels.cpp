@@ -1,0 +1,116 @@
+// Kernel geometry properties (Sec. 3.3) over randomized StridedBlocks:
+// the power-of-two fill rule, the 1024-thread block limit, full coverage
+// of the object, and word-size divisibility invariants.
+#include "tempi/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+namespace {
+
+using tempi::StridedBlock;
+
+StridedBlock random_block(std::mt19937 &gen) {
+  std::uniform_int_distribution<int> dims_dist(1, 3);
+  std::uniform_int_distribution<long long> block_dist(1, 2048);
+  std::uniform_int_distribution<long long> count_dist(1, 600);
+  std::uniform_int_distribution<long long> off_dist(0, 64);
+  StridedBlock sb;
+  const int dims = dims_dist(gen);
+  sb.start = off_dist(gen);
+  sb.counts.push_back(block_dist(gen));
+  sb.strides.push_back(1);
+  long long span = sb.counts[0];
+  for (int d = 1; d < dims; ++d) {
+    const long long count = count_dist(gen);
+    const long long stride = span + off_dist(gen);
+    sb.counts.push_back(count);
+    sb.strides.push_back(stride);
+    span = stride * count;
+  }
+  return sb;
+}
+
+class KernelGeometry : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KernelGeometry, InvariantsHold) {
+  std::mt19937 gen(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const StridedBlock sb = random_block(gen);
+    const int w = tempi::select_word_size(sb);
+
+    // Word size divides the contiguous block, the start, and all strides.
+    EXPECT_EQ(sb.counts[0] % w, 0);
+    EXPECT_EQ(sb.start % w, 0);
+    for (std::size_t d = 1; d < sb.strides.size(); ++d) {
+      EXPECT_EQ(sb.strides[d] % w, 0);
+    }
+    EXPECT_TRUE(w == 1 || w == 2 || w == 4 || w == 8 || w == 16);
+
+    for (const int count : {1, 3}) {
+      const vcuda::LaunchConfig cfg = tempi::make_launch_config(sb, w, count);
+      // Block limit.
+      EXPECT_LE(cfg.block.volume(), 1024ull);
+      EXPECT_GE(cfg.block.volume(), 1ull);
+      // Power-of-two dimensions.
+      EXPECT_TRUE(std::has_single_bit(cfg.block.x));
+      EXPECT_TRUE(std::has_single_bit(cfg.block.y));
+      EXPECT_TRUE(std::has_single_bit(cfg.block.z));
+      // The grid covers the object in every dimension.
+      EXPECT_GE(static_cast<long long>(cfg.grid.x) * cfg.block.x * w,
+                sb.counts[0]);
+      if (sb.ndims() >= 2) {
+        EXPECT_GE(static_cast<long long>(cfg.grid.y) * cfg.block.y,
+                  sb.counts[1]);
+      }
+      if (sb.ndims() >= 3) {
+        EXPECT_GE(static_cast<long long>(cfg.grid.z) * cfg.block.z,
+                  sb.counts[2]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelGeometry, ::testing::Range(1u, 9u));
+
+TEST(KernelCostShape, PackReadsStridedUnpackWritesStrided) {
+  StridedBlock sb;
+  sb.counts = {32, 100};
+  sb.strides = {1, 64};
+  const auto pack = tempi::pack_cost(sb, 2, vcuda::MemorySpace::Device,
+                                     vcuda::MemorySpace::Device);
+  EXPECT_EQ(pack.total_bytes, 32u * 100u * 2u);
+  EXPECT_EQ(pack.src.contiguous_bytes, 32u);
+  EXPECT_FALSE(pack.src.is_write);
+  EXPECT_EQ(pack.dst.contiguous_bytes, 0u);
+  EXPECT_TRUE(pack.dst.is_write);
+
+  const auto unpack = tempi::unpack_cost(sb, 2, vcuda::MemorySpace::Device,
+                                         vcuda::MemorySpace::Device);
+  EXPECT_EQ(unpack.dst.contiguous_bytes, 32u);
+  EXPECT_TRUE(unpack.dst.is_write);
+}
+
+TEST(KernelCostShape, PinnedEndpointGovernsBothSides) {
+  StridedBlock sb;
+  sb.counts = {16, 8};
+  sb.strides = {1, 32};
+  const auto cost = tempi::pack_cost(sb, 1, vcuda::MemorySpace::Device,
+                                     vcuda::MemorySpace::Pinned);
+  EXPECT_EQ(cost.src.space, vcuda::MemorySpace::Pinned);
+  EXPECT_EQ(cost.dst.space, vcuda::MemorySpace::Pinned);
+}
+
+TEST(KernelCostShape, ContiguousObjectHasNoStridedSide) {
+  StridedBlock sb;
+  sb.counts = {4096};
+  sb.strides = {1};
+  const auto cost = tempi::pack_cost(sb, 1, vcuda::MemorySpace::Device,
+                                     vcuda::MemorySpace::Device);
+  EXPECT_EQ(cost.src.contiguous_bytes, 0u);
+  EXPECT_EQ(cost.dst.contiguous_bytes, 0u);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+// The empirical performance model: interpolation behaviour, Eq. 1-3
+// composition, method selection properties (Fig. 9b/10/11), query caching,
+// and measurement-file round trips.
+#include "tempi/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace {
+
+TEST(Table1D, InterpolatesBetweenSamples) {
+  tempi::Table1D t;
+  t.bytes = {1.0, 4.0, 16.0};
+  t.us = {10.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(t.query(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.query(4.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.query(2.0), 15.0); // halfway in log space
+  EXPECT_DOUBLE_EQ(t.query(0.5), 10.0); // clamped below
+}
+
+TEST(Table1D, ExtrapolatesBandwidthRegime) {
+  tempi::Table1D t;
+  t.bytes = {1024.0, 2048.0};
+  t.us = {10.0, 20.0};
+  // Beyond the last sample latency scales with size (bandwidth-bound).
+  EXPECT_DOUBLE_EQ(t.query(4096.0), 40.0);
+}
+
+TEST(Table2D, BilinearInterpolation) {
+  tempi::Table2D t;
+  t.block_bytes = {1.0, 4.0};
+  t.total_bytes = {64.0, 256.0};
+  t.us = {100.0, 200.0,  // block 1
+          50.0, 100.0};  // block 4
+  EXPECT_DOUBLE_EQ(t.query(1.0, 64.0), 100.0);
+  EXPECT_DOUBLE_EQ(t.query(4.0, 256.0), 100.0);
+  EXPECT_DOUBLE_EQ(t.query(2.0, 64.0), 75.0);
+  EXPECT_DOUBLE_EQ(t.query(1.0, 128.0), 150.0);
+  EXPECT_DOUBLE_EQ(t.query(2.0, 128.0), 112.5);
+}
+
+TEST(BuiltinPerf, ReproducesFig9aFloors) {
+  const tempi::SystemPerf p = tempi::builtin_perf();
+  // Paper Fig. 9a: ~6 us CUDA-aware floor, ~1.3 us host floor.
+  EXPECT_LT(p.cpu_cpu.query(8.0), 3.0);
+  EXPECT_GT(p.gpu_gpu.query(8.0), 5.0);
+  EXPECT_GT(p.d2h.query(8.0), 5.0);
+}
+
+TEST(BuiltinPerf, PackTablesShowBlockSizeSensitivity) {
+  const tempi::SystemPerf p = tempi::builtin_perf();
+  // Fig. 10: small blocks are slow, large blocks fast; one-shot saturates
+  // by 32 B, device by 128 B.
+  const double total = 4.0 * 1024 * 1024;
+  EXPECT_GT(p.device_pack.query(1.0, total),
+            5.0 * p.device_pack.query(128.0, total));
+  EXPECT_GT(p.oneshot_pack.query(1.0, total),
+            5.0 * p.oneshot_pack.query(32.0, total));
+  EXPECT_NEAR(p.oneshot_pack.query(32.0, total),
+              p.oneshot_pack.query(128.0, total),
+              0.05 * p.oneshot_pack.query(32.0, total));
+}
+
+TEST(BuiltinPerf, UnpackSlowerThanPack) {
+  const tempi::SystemPerf p = tempi::builtin_perf();
+  EXPECT_GT(p.device_unpack.query(8.0, 1 << 20),
+            p.device_pack.query(8.0, 1 << 20));
+  EXPECT_GT(p.oneshot_unpack.query(8.0, 1 << 20),
+            p.oneshot_pack.query(8.0, 1 << 20));
+}
+
+TEST(Model, StagedNeverWins) {
+  // Fig. 9b: "There is no region where T_staged is faster than T_device."
+  const tempi::PerfModel model;
+  for (double block : {1.0, 8.0, 32.0, 128.0, 512.0}) {
+    for (double total = 64.0; total <= 4.0 * 1024 * 1024; total *= 4.0) {
+      EXPECT_GE(model.estimate_us(tempi::Method::Staged, block, total),
+                model.estimate_us(tempi::Method::Device, block, total))
+          << "block " << block << " total " << total;
+    }
+  }
+}
+
+TEST(Model, OneShotWinsSmallObjects) {
+  // Sec. 6.3: "the one-shot method is faster when objects are smaller".
+  const tempi::PerfModel model;
+  EXPECT_EQ(model.choose(128, 1024), tempi::Method::OneShot);
+}
+
+TEST(Model, DeviceWinsLargeObjectsWithSmallBlocks) {
+  // Sec. 6.2/6.3: device is better when contiguous regions are small and
+  // the total data is large.
+  const tempi::PerfModel model;
+  EXPECT_EQ(model.choose(1, 4 * 1024 * 1024), tempi::Method::Device);
+  EXPECT_EQ(model.choose(8, 4 * 1024 * 1024), tempi::Method::Device);
+}
+
+TEST(Model, ChoiceMatchesEstimates) {
+  // Property: choose() returns the argmin of estimate_us over all methods.
+  const tempi::PerfModel model;
+  for (std::size_t block : {1u, 2u, 16u, 64u, 256u, 1024u}) {
+    for (std::size_t total = 256; total <= (4u << 20); total *= 8) {
+      const tempi::Method picked = model.choose(block, total);
+      const double picked_us = model.estimate_us(
+          picked, static_cast<double>(block), static_cast<double>(total));
+      for (const tempi::Method m :
+           {tempi::Method::OneShot, tempi::Method::Device,
+            tempi::Method::Staged}) {
+        EXPECT_LE(picked_us, model.estimate_us(m, static_cast<double>(block),
+                                               static_cast<double>(total)))
+            << "block " << block << " total " << total;
+      }
+    }
+  }
+}
+
+TEST(Model, CachedQueriesAreCheaper) {
+  const tempi::PerfModel model;
+  // First query: uncached (interpolation); repeats: the ~277 ns cache hit.
+  const vcuda::VirtualNs t0 = vcuda::virtual_now();
+  (void)model.choose(24, 123456);
+  const vcuda::VirtualNs miss = vcuda::virtual_now() - t0;
+  const vcuda::VirtualNs t1 = vcuda::virtual_now();
+  (void)model.choose(24, 123456);
+  const vcuda::VirtualNs hit = vcuda::virtual_now() - t1;
+  EXPECT_EQ(miss, tempi::kModelQueryUncachedNs);
+  EXPECT_EQ(hit, tempi::kModelQueryCachedNs);
+}
+
+TEST(PerfFile, SaveLoadRoundtrip) {
+  const tempi::SystemPerf p = tempi::builtin_perf();
+  const std::string path = "test_perf_roundtrip.txt";
+  ASSERT_TRUE(tempi::save_perf(p, path));
+  const auto loaded = tempi::load_perf(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cpu_cpu.bytes, p.cpu_cpu.bytes);
+  EXPECT_EQ(loaded->cpu_cpu.us, p.cpu_cpu.us);
+  EXPECT_EQ(loaded->device_pack.us, p.device_pack.us);
+  EXPECT_EQ(loaded->oneshot_unpack.block_bytes, p.oneshot_unpack.block_bytes);
+  std::filesystem::remove(path);
+}
+
+TEST(PerfFile, MissingFileYieldsNullopt) {
+  EXPECT_FALSE(tempi::load_perf("/nonexistent/path/perf.txt").has_value());
+}
+
+TEST(PerfFile, CorruptFileYieldsNullopt) {
+  const std::string path = "test_perf_corrupt.txt";
+  {
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fputs("not a perf file", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(tempi::load_perf(path).has_value());
+  std::filesystem::remove(path);
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+// Algorithm 5: canonical Type -> StridedBlock, plus word-size and launch
+// geometry selection (Sec. 3.3).
+#include "tempi/canonicalize.hpp"
+#include "tempi/kernels.hpp"
+#include "tempi/strided_block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tempi::DenseData;
+using tempi::StreamData;
+using tempi::StridedBlock;
+using tempi::Type;
+
+TEST(StridedBlockConv, DenseOnlyIs1D) {
+  const Type ty{Type(DenseData{0, 400})};
+  const auto sb = tempi::to_strided_block(ty);
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sb->ndims(), 1);
+  EXPECT_EQ(sb->counts, (std::vector<long long>{400}));
+  EXPECT_EQ(sb->strides, (std::vector<long long>{1}));
+  EXPECT_EQ(sb->start, 0);
+  EXPECT_EQ(sb->size(), 400);
+}
+
+TEST(StridedBlockConv, TwoLevelIs2D) {
+  const Type ty(StreamData{0, 512, 13}, Type(DenseData{0, 400}));
+  const auto sb = tempi::to_strided_block(ty);
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sb->counts, (std::vector<long long>{400, 13}));
+  EXPECT_EQ(sb->strides, (std::vector<long long>{1, 512}));
+  EXPECT_EQ(sb->block_bytes(), 400);
+  EXPECT_EQ(sb->size(), 400 * 13);
+}
+
+TEST(StridedBlockConv, ThreeLevelIs3DWithSummedOffsets) {
+  const Type ty(StreamData{4096, 262144, 47},
+                Type(StreamData{64, 512, 13}, Type(DenseData{8, 400})));
+  const auto sb = tempi::to_strided_block(ty);
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sb->ndims(), 3);
+  EXPECT_EQ(sb->start, 4096 + 64 + 8);
+  EXPECT_EQ(sb->counts, (std::vector<long long>{400, 13, 47}));
+  EXPECT_EQ(sb->strides, (std::vector<long long>{1, 512, 262144}));
+}
+
+TEST(StridedBlockConv, NonDenseLeafRejected) {
+  // A lone StreamData with no dense leaf is not strided-block convertible.
+  Type ty(StreamData{0, 16, 4}, Type(StreamData{0, 4, 2}, Type(DenseData{0, 2})));
+  // Force an invalid shape: dense in the middle cannot happen through the
+  // public API, so instead check a stream-leaf tree.
+  Type stream_leaf{};
+  stream_leaf.set_data(StreamData{0, 8, 4});
+  EXPECT_FALSE(tempi::to_strided_block(stream_leaf).has_value());
+  EXPECT_TRUE(tempi::to_strided_block(ty).has_value());
+}
+
+// --- word size (Sec. 3.3: "largest GPU-native type that is both aligned to
+// the object and a factor of count[0]") -------------------------------------
+
+TEST(WordSize, SixteenByteAligned) {
+  StridedBlock sb;
+  sb.counts = {256, 8};
+  sb.strides = {1, 512};
+  EXPECT_EQ(tempi::select_word_size(sb), 16);
+}
+
+TEST(WordSize, BlockLengthLimits) {
+  StridedBlock sb;
+  sb.counts = {4, 8};
+  sb.strides = {1, 512};
+  EXPECT_EQ(tempi::select_word_size(sb), 4);
+}
+
+TEST(WordSize, MisalignedStartLimits) {
+  StridedBlock sb;
+  sb.start = 2;
+  sb.counts = {256, 8};
+  sb.strides = {1, 512};
+  EXPECT_EQ(tempi::select_word_size(sb), 2);
+}
+
+TEST(WordSize, MisalignedStrideLimits) {
+  StridedBlock sb;
+  sb.counts = {16, 8};
+  sb.strides = {1, 100}; // 100 % 8 != 0, 100 % 4 == 0
+  EXPECT_EQ(tempi::select_word_size(sb), 4);
+}
+
+TEST(WordSize, OddBlockIsBytewise) {
+  StridedBlock sb;
+  sb.counts = {7, 8};
+  sb.strides = {1, 512};
+  EXPECT_EQ(tempi::select_word_size(sb), 1);
+}
+
+// --- launch geometry ---------------------------------------------------------
+
+TEST(LaunchConfig, PowerOfTwoFillXThenY) {
+  StridedBlock sb;
+  sb.counts = {400, 13};
+  sb.strides = {1, 512};
+  const int w = tempi::select_word_size(sb); // 400 = 16 * 25 -> W=16
+  EXPECT_EQ(w, 16);
+  const auto cfg = tempi::make_launch_config(sb, w, 1);
+  // X covers 25 words -> 32 threads; Y covers 13 -> 16 threads.
+  EXPECT_EQ(cfg.block.x, 32u);
+  EXPECT_EQ(cfg.block.y, 16u);
+  EXPECT_LE(cfg.block.volume(), 1024ull);
+  EXPECT_GE(cfg.grid.x * cfg.block.x * static_cast<unsigned>(w), 400u);
+  EXPECT_GE(cfg.grid.y * cfg.block.y, 13u);
+}
+
+TEST(LaunchConfig, DynamicCountGoesToGridZFor2D) {
+  StridedBlock sb;
+  sb.counts = {128, 4};
+  sb.strides = {1, 512};
+  const auto cfg = tempi::make_launch_config(sb, 16, 5);
+  EXPECT_EQ(cfg.grid.z, 5u);
+}
+
+TEST(LaunchConfig, ThreeDUsesBlockZ) {
+  StridedBlock sb;
+  sb.counts = {64, 8, 4};
+  sb.strides = {1, 512, 8192};
+  const auto cfg = tempi::make_launch_config(sb, 16, 3);
+  EXPECT_GE(cfg.block.z, 1u);
+  EXPECT_LE(cfg.block.volume(), 1024ull);
+  // 3D kernels apply the grid to each object in turn: grid.z covers dims,
+  // not the count.
+  EXPECT_GE(cfg.grid.z * cfg.block.z, 4u);
+}
+
+TEST(LaunchConfig, BlockLimitRespectedForHugeRows) {
+  StridedBlock sb;
+  sb.counts = {1 << 20, 2};
+  sb.strides = {1, 1 << 21};
+  const auto cfg = tempi::make_launch_config(sb, 16, 1);
+  EXPECT_LE(cfg.block.volume(), 1024ull);
+  EXPECT_GE(static_cast<unsigned long long>(cfg.grid.x) * cfg.block.x * 16,
+            1ull << 20);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+// Sec. 3.1 translation rules: MPI datatype -> Type IR, checked against the
+// paper's stated correspondences (including the Fig. 2 constructions).
+#include "interpose/table.hpp"
+#include "sysmpi/mpi.hpp"
+#include "tempi/translate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tempi::DenseData;
+using tempi::StreamData;
+using tempi::Type;
+
+const interpose::MpiTable &sys() { return interpose::system_table(); }
+
+TEST(Translate, NamedTypeIsDense) {
+  const auto ir = tempi::translate(MPI_FLOAT, sys());
+  ASSERT_TRUE(ir.has_value());
+  EXPECT_EQ(*ir, Type(DenseData{0, 4}));
+}
+
+TEST(Translate, ContiguousIsStreamOfDense) {
+  // "An MPI contiguous type is a special case of StreamData where the
+  // stride matches the size of the element. It is not DenseData as oldtype
+  // may not be dense."
+  MPI_Datatype t = nullptr;
+  MPI_Type_contiguous(100, MPI_FLOAT, &t);
+  const auto ir = tempi::translate(t, sys());
+  ASSERT_TRUE(ir.has_value());
+  EXPECT_EQ(*ir, Type(StreamData{0, 4, 100}, Type(DenseData{0, 4})));
+  MPI_Type_free(&t);
+}
+
+TEST(Translate, VectorIsTwoNestedStreams) {
+  // Parent: repeated blocks; child: elements within a block. Parent stride
+  // = vector stride * child stride.
+  MPI_Datatype t = nullptr;
+  MPI_Type_vector(13, 100, 128, MPI_FLOAT, &t);
+  const auto ir = tempi::translate(t, sys());
+  ASSERT_TRUE(ir.has_value());
+  const Type expect(StreamData{0, 128 * 4, 13},
+                    Type(StreamData{0, 4, 100}, Type(DenseData{0, 4})));
+  EXPECT_EQ(*ir, expect) << tempi::to_string(*ir);
+  MPI_Type_free(&t);
+}
+
+TEST(Translate, HvectorStrideGivenInBytes) {
+  MPI_Datatype t = nullptr;
+  MPI_Type_create_hvector(13, 100, 512, MPI_FLOAT, &t);
+  const auto ir = tempi::translate(t, sys());
+  ASSERT_TRUE(ir.has_value());
+  const Type expect(StreamData{0, 512, 13},
+                    Type(StreamData{0, 4, 100}, Type(DenseData{0, 4})));
+  EXPECT_EQ(*ir, expect) << tempi::to_string(*ir);
+  MPI_Type_free(&t);
+}
+
+TEST(Translate, Subarray2DCOrder) {
+  // 2D array of 128x64 floats (last dim contiguous under MPI_ORDER_C),
+  // subarray 100x13 at offset (2,3) in (contiguous, strided) dims.
+  const int sizes[2] = {64, 128};     // [slow, fast]
+  const int subsizes[2] = {13, 100};
+  const int starts[2] = {3, 2};
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_create_subarray(2, sizes, subsizes, starts, MPI_ORDER_C,
+                                     MPI_FLOAT, &t),
+            MPI_SUCCESS);
+  const auto ir = tempi::translate(t, sys());
+  ASSERT_TRUE(ir.has_value());
+  // Fast dim: stride 4, count 100, offset 2*4; slow dim: stride 128*4,
+  // count 13, offset 3*512.
+  const Type expect(
+      StreamData{3 * 512, 512, 13},
+      Type(StreamData{2 * 4, 4, 100}, Type(DenseData{0, 4})));
+  EXPECT_EQ(*ir, expect) << tempi::to_string(*ir);
+  MPI_Type_free(&t);
+}
+
+TEST(Translate, SubarrayFortranOrderMirrorsC) {
+  const int csizes[2] = {64, 128}, csub[2] = {13, 100}, cstarts[2] = {3, 2};
+  const int fsizes[2] = {128, 64}, fsub[2] = {100, 13}, fstarts[2] = {2, 3};
+  MPI_Datatype ct = nullptr, ft = nullptr;
+  ASSERT_EQ(MPI_Type_create_subarray(2, csizes, csub, cstarts, MPI_ORDER_C,
+                                     MPI_FLOAT, &ct),
+            MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_create_subarray(2, fsizes, fsub, fstarts,
+                                     MPI_ORDER_FORTRAN, MPI_FLOAT, &ft),
+            MPI_SUCCESS);
+  const auto cir = tempi::translate(ct, sys());
+  const auto fir = tempi::translate(ft, sys());
+  ASSERT_TRUE(cir.has_value());
+  ASSERT_TRUE(fir.has_value());
+  EXPECT_EQ(*cir, *fir);
+  MPI_Type_free(&ct);
+  MPI_Type_free(&ft);
+}
+
+TEST(Translate, HvectorOfVectorComposition) {
+  // Fig. 2 middle construction: cuboid = hvector of (hvector of vector).
+  MPI_Datatype row = nullptr, plane = nullptr;
+  MPI_Type_vector(13, 100, 128, MPI_FLOAT, &row); // 2D plane already
+  MPI_Type_create_hvector(47, 1, 256 * 512, row, &plane);
+  const auto ir = tempi::translate(plane, sys());
+  ASSERT_TRUE(ir.has_value());
+  // Root: 47 planes at byte stride 256*512. Child: blocklen-1 stream.
+  ASSERT_TRUE(ir->is_stream());
+  EXPECT_EQ(ir->stream().count, 47);
+  EXPECT_EQ(ir->stream().stride, 256 * 512);
+  ASSERT_TRUE(ir->child().is_stream());
+  EXPECT_EQ(ir->child().stream().count, 1); // hvector blocklength 1
+  MPI_Type_free(&plane);
+  MPI_Type_free(&row);
+}
+
+TEST(Translate, DupAndResizedPassThrough) {
+  MPI_Datatype v = nullptr, d = nullptr, r = nullptr;
+  MPI_Type_vector(5, 2, 8, MPI_INT, &v);
+  MPI_Type_dup(v, &d);
+  MPI_Type_create_resized(v, 0, 1024, &r);
+  const auto virr = tempi::translate(v, sys());
+  const auto dir = tempi::translate(d, sys());
+  const auto rir = tempi::translate(r, sys());
+  ASSERT_TRUE(virr && dir && rir);
+  EXPECT_EQ(*virr, *dir);
+  EXPECT_EQ(*virr, *rir);
+  MPI_Type_free(&r);
+  MPI_Type_free(&d);
+  MPI_Type_free(&v);
+}
+
+TEST(Translate, IndexedIsUnsupported) {
+  const int blens[2] = {1, 2};
+  const int displs[2] = {0, 4};
+  MPI_Datatype t = nullptr;
+  MPI_Type_indexed(2, blens, displs, MPI_INT, &t);
+  EXPECT_FALSE(tempi::translate(t, sys()).has_value());
+  MPI_Type_free(&t);
+}
+
+TEST(Translate, StructIsUnsupported) {
+  const int blens[1] = {2};
+  const MPI_Aint displs[1] = {0};
+  const MPI_Datatype types[1] = {MPI_INT};
+  MPI_Datatype t = nullptr;
+  MPI_Type_create_struct(1, blens, displs, types, &t);
+  EXPECT_FALSE(tempi::translate(t, sys()).has_value());
+  MPI_Type_free(&t);
+}
+
+TEST(Translate, NestedUnsupportedPoisonsParent) {
+  const int blens[2] = {1, 2};
+  const int displs[2] = {0, 4};
+  MPI_Datatype idx = nullptr, vec = nullptr;
+  MPI_Type_indexed(2, blens, displs, MPI_INT, &idx);
+  MPI_Type_vector(3, 1, 2, idx, &vec);
+  EXPECT_FALSE(tempi::translate(vec, sys()).has_value());
+  MPI_Type_free(&vec);
+  MPI_Type_free(&idx);
+}
+
+} // namespace

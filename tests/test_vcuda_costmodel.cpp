@@ -1,0 +1,139 @@
+#include "vcuda/costmodel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using vcuda::AccessPattern;
+using vcuda::KernelCost;
+using vcuda::MemorySpace;
+
+TEST(StridedEfficiency, SaturatesAtGranularity) {
+  EXPECT_DOUBLE_EQ(vcuda::strided_efficiency(128, 128.0), 1.0);
+  EXPECT_DOUBLE_EQ(vcuda::strided_efficiency(256, 128.0), 1.0);
+}
+
+TEST(StridedEfficiency, ScalesBelowGranularity) {
+  EXPECT_DOUBLE_EQ(vcuda::strided_efficiency(64, 128.0), 0.5);
+  EXPECT_DOUBLE_EQ(vcuda::strided_efficiency(32, 128.0), 0.25);
+}
+
+TEST(StridedEfficiency, ContiguousSideIsFull) {
+  // contiguous_bytes == 0 encodes "no strided runs on this side".
+  EXPECT_DOUBLE_EQ(vcuda::strided_efficiency(0, 128.0), 1.0);
+}
+
+TEST(StridedEfficiency, FlooredForTinyBlocks) {
+  EXPECT_GE(vcuda::strided_efficiency(1, 128.0), 1.0 / 128.0);
+}
+
+TEST(MemcpyDuration, MonotonicInSize) {
+  const vcuda::CostParams &p = vcuda::cost_params();
+  vcuda::VirtualNs prev = 0;
+  for (std::size_t s = 1; s <= (1u << 24); s *= 16) {
+    const vcuda::VirtualNs d =
+        vcuda::memcpy_duration(p, s, vcuda::MemcpyKind::DeviceToHost, false);
+    EXPECT_GE(d, prev) << "size " << s;
+    prev = d;
+  }
+}
+
+TEST(MemcpyDuration, PageablePenaltyApplies) {
+  const vcuda::CostParams &p = vcuda::cost_params();
+  const auto pinned =
+      vcuda::memcpy_duration(p, 1 << 20, vcuda::MemcpyKind::HostToDevice,
+                             false);
+  const auto pageable =
+      vcuda::memcpy_duration(p, 1 << 20, vcuda::MemcpyKind::HostToDevice,
+                             true);
+  EXPECT_GT(pageable, pinned);
+}
+
+TEST(MemcpyDuration, D2DIsFasterThanH2DForLargeCopies) {
+  const vcuda::CostParams &p = vcuda::cost_params();
+  EXPECT_LT(
+      vcuda::memcpy_duration(p, 1 << 22, vcuda::MemcpyKind::DeviceToDevice,
+                             false),
+      vcuda::memcpy_duration(p, 1 << 22, vcuda::MemcpyKind::HostToDevice,
+                             false));
+}
+
+KernelCost pack_kernel(std::size_t total, std::size_t block,
+                       MemorySpace noncontig_space) {
+  KernelCost c;
+  c.total_bytes = total;
+  c.src = AccessPattern{block, false, noncontig_space};
+  c.dst = AccessPattern{0, true, noncontig_space == MemorySpace::Pinned
+                                     ? MemorySpace::Pinned
+                                     : MemorySpace::Device};
+  return c;
+}
+
+TEST(KernelDuration, LargerBlocksAreFasterOnDevice) {
+  // Paper Sec. 6.3: "larger contiguous blocks tend to be faster as
+  // accesses become more coalesced".
+  const vcuda::CostParams &p = vcuda::cost_params();
+  const auto small =
+      vcuda::kernel_duration(p, pack_kernel(1 << 22, 1, MemorySpace::Device));
+  const auto mid =
+      vcuda::kernel_duration(p, pack_kernel(1 << 22, 16, MemorySpace::Device));
+  const auto big = vcuda::kernel_duration(
+      p, pack_kernel(1 << 22, 128, MemorySpace::Device));
+  EXPECT_GT(small, mid);
+  EXPECT_GT(mid, big);
+}
+
+TEST(KernelDuration, DeviceSaturatesAt128B) {
+  const vcuda::CostParams &p = vcuda::cost_params();
+  const auto at128 = vcuda::kernel_duration(
+      p, pack_kernel(1 << 22, 128, MemorySpace::Device));
+  const auto at512 = vcuda::kernel_duration(
+      p, pack_kernel(1 << 22, 512, MemorySpace::Device));
+  EXPECT_EQ(at128, at512);
+}
+
+TEST(KernelDuration, OneShotSaturatesAt32B) {
+  // Paper Sec. 6.3: one-shot performance is maximized at 32 B blocks.
+  const vcuda::CostParams &p = vcuda::cost_params();
+  const auto at32 = vcuda::kernel_duration(
+      p, pack_kernel(1 << 22, 32, MemorySpace::Pinned));
+  const auto at128 = vcuda::kernel_duration(
+      p, pack_kernel(1 << 22, 128, MemorySpace::Pinned));
+  EXPECT_EQ(at32, at128);
+  const auto at8 = vcuda::kernel_duration(
+      p, pack_kernel(1 << 22, 8, MemorySpace::Pinned));
+  EXPECT_GT(at8, at32);
+}
+
+TEST(KernelDuration, UnpackSlowerThanPack) {
+  // Paper Sec. 6.3: non-contiguous writes are slower than reads.
+  const vcuda::CostParams &p = vcuda::cost_params();
+  KernelCost pack = pack_kernel(1 << 22, 8, MemorySpace::Device);
+  KernelCost unpack;
+  unpack.total_bytes = pack.total_bytes;
+  unpack.src = AccessPattern{0, false, MemorySpace::Device};
+  unpack.dst = AccessPattern{8, true, MemorySpace::Device};
+  EXPECT_GT(vcuda::kernel_duration(p, unpack),
+            vcuda::kernel_duration(p, pack));
+}
+
+TEST(KernelDuration, SmallObjectsUnderutilizeGpu) {
+  // Effective bandwidth for a 1 KiB object is far below peak; latency is
+  // dominated by the fixed floor rather than bytes/bandwidth.
+  const vcuda::CostParams &p = vcuda::cost_params();
+  const auto tiny = vcuda::kernel_duration(
+      p, pack_kernel(1024, 128, MemorySpace::Device));
+  EXPECT_LT(tiny, vcuda::us_to_ns(10.0));
+  EXPECT_GE(tiny, p.kernel_fixed_ns);
+}
+
+TEST(CostParams, OverrideAndRestore) {
+  vcuda::CostParams custom = vcuda::cost_params();
+  custom.device_gbps = 123.0;
+  const vcuda::CostParams old = vcuda::set_cost_params(custom);
+  EXPECT_DOUBLE_EQ(vcuda::cost_params().device_gbps, 123.0);
+  vcuda::set_cost_params(old);
+  EXPECT_DOUBLE_EQ(vcuda::cost_params().device_gbps, old.device_gbps);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+// Stream dependencies (cudaStreamWaitEvent) and host registration
+// (cudaHostRegister) in the virtual runtime.
+#include "test_helpers.hpp"
+#include "vcuda/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using testing_helpers::SpaceBuffer;
+
+TEST(StreamWaitEvent, OrdersAcrossStreams) {
+  SpaceBuffer a(vcuda::MemorySpace::Device, 1 << 20);
+  SpaceBuffer b(vcuda::MemorySpace::Device, 1 << 20);
+  vcuda::StreamHandle s1 = nullptr, s2 = nullptr;
+  vcuda::StreamCreate(&s1);
+  vcuda::StreamCreate(&s2);
+
+  // Long copy on s1, then make s2 wait for it before its own copy.
+  vcuda::MemcpyAsync(b.get(), a.get(), 1 << 20,
+                     vcuda::MemcpyKind::DeviceToDevice, s1);
+  vcuda::EventHandle done = nullptr;
+  vcuda::EventCreate(&done);
+  vcuda::EventRecord(done, s1);
+  ASSERT_EQ(vcuda::StreamWaitEvent(s2, done), vcuda::Error::Success);
+
+  const vcuda::VirtualNs s1_ready = s1->ready_at();
+  EXPECT_GE(s2->ready_at(), s1_ready); // s2 cannot start earlier
+  vcuda::MemcpyAsync(a.get(), b.get(), 64,
+                     vcuda::MemcpyKind::DeviceToDevice, s2);
+  EXPECT_GT(s2->ready_at(), s1_ready); // s2's op queued after the wait
+
+  vcuda::EventDestroy(done);
+  vcuda::StreamDestroy(s1);
+  vcuda::StreamDestroy(s2);
+}
+
+TEST(StreamWaitEvent, UnrecordedEventRejected) {
+  vcuda::EventHandle e = nullptr;
+  vcuda::EventCreate(&e);
+  EXPECT_EQ(vcuda::StreamWaitEvent(vcuda::default_stream(), e),
+            vcuda::Error::InvalidValue);
+  vcuda::EventDestroy(e);
+}
+
+TEST(StreamWaitEvent, DoesNotBlockHost) {
+  SpaceBuffer a(vcuda::MemorySpace::Device, 4 << 20);
+  SpaceBuffer b(vcuda::MemorySpace::Device, 4 << 20);
+  vcuda::StreamHandle s1 = nullptr, s2 = nullptr;
+  vcuda::StreamCreate(&s1);
+  vcuda::StreamCreate(&s2);
+  vcuda::MemcpyAsync(b.get(), a.get(), 4 << 20,
+                     vcuda::MemcpyKind::DeviceToDevice, s1);
+  vcuda::EventHandle done = nullptr;
+  vcuda::EventCreate(&done);
+  vcuda::EventRecord(done, s1);
+  const vcuda::VirtualNs host_before = vcuda::virtual_now();
+  vcuda::StreamWaitEvent(s2, done);
+  // The host only paid a driver call, not the copy duration.
+  EXPECT_LT(vcuda::virtual_now() - host_before, vcuda::us_to_ns(2.0));
+  vcuda::EventDestroy(done);
+  vcuda::StreamDestroy(s1);
+  vcuda::StreamDestroy(s2);
+}
+
+TEST(HostRegister, PinsExistingMemory) {
+  std::vector<std::byte> buf(4096);
+  EXPECT_EQ(vcuda::memory_registry().space_of(buf.data()),
+            vcuda::MemorySpace::Pageable);
+  ASSERT_EQ(vcuda::HostRegister(buf.data(), buf.size()),
+            vcuda::Error::Success);
+  EXPECT_EQ(vcuda::memory_registry().space_of(buf.data()),
+            vcuda::MemorySpace::Pinned);
+  EXPECT_EQ(vcuda::memory_registry().space_of(buf.data() + 100),
+            vcuda::MemorySpace::Pinned);
+  ASSERT_EQ(vcuda::HostUnregister(buf.data()), vcuda::Error::Success);
+  EXPECT_EQ(vcuda::memory_registry().space_of(buf.data()),
+            vcuda::MemorySpace::Pageable);
+}
+
+TEST(HostRegister, DoubleRegisterRejected) {
+  std::vector<std::byte> buf(256);
+  ASSERT_EQ(vcuda::HostRegister(buf.data(), 256), vcuda::Error::Success);
+  EXPECT_EQ(vcuda::HostRegister(buf.data(), 256), vcuda::Error::InvalidValue);
+  vcuda::HostUnregister(buf.data());
+}
+
+TEST(HostRegister, UnregisterForeignPointerRejected) {
+  int x = 0;
+  EXPECT_EQ(vcuda::HostUnregister(&x), vcuda::Error::InvalidValue);
+}
+
+TEST(HostRegister, RegisteredMemoryGetsPinnedTransferRate) {
+  // H2D from registered memory avoids the pageable staging penalty.
+  std::vector<std::byte> buf(1 << 20);
+  SpaceBuffer dev(vcuda::MemorySpace::Device, 1 << 20);
+
+  const auto timed_copy = [&] {
+    const vcuda::VirtualNs t0 = vcuda::virtual_now();
+    vcuda::MemcpyAsync(dev.get(), buf.data(), 1 << 20,
+                       vcuda::MemcpyKind::HostToDevice,
+                       vcuda::default_stream());
+    vcuda::StreamSynchronize(vcuda::default_stream());
+    return vcuda::virtual_now() - t0;
+  };
+  const vcuda::VirtualNs pageable = timed_copy();
+  ASSERT_EQ(vcuda::HostRegister(buf.data(), buf.size()),
+            vcuda::Error::Success);
+  const vcuda::VirtualNs pinned = timed_copy();
+  EXPECT_LT(pinned, pageable);
+  vcuda::HostUnregister(buf.data());
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+#include "vcuda/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Registry, MallocRegistersDeviceSpace) {
+  void *p = nullptr;
+  ASSERT_EQ(vcuda::Malloc(&p, 1024), vcuda::Error::Success);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(vcuda::memory_registry().space_of(p), vcuda::MemorySpace::Device);
+  EXPECT_EQ(vcuda::Free(p), vcuda::Error::Success);
+  EXPECT_EQ(vcuda::memory_registry().space_of(p),
+            vcuda::MemorySpace::Pageable);
+}
+
+TEST(Registry, MallocHostRegistersPinnedSpace) {
+  void *p = nullptr;
+  ASSERT_EQ(vcuda::MallocHost(&p, 64), vcuda::Error::Success);
+  EXPECT_EQ(vcuda::memory_registry().space_of(p), vcuda::MemorySpace::Pinned);
+  EXPECT_EQ(vcuda::FreeHost(p), vcuda::Error::Success);
+}
+
+TEST(Registry, InteriorPointersResolve) {
+  void *p = nullptr;
+  ASSERT_EQ(vcuda::Malloc(&p, 4096), vcuda::Error::Success);
+  auto *interior = static_cast<std::byte *>(p) + 2048;
+  EXPECT_EQ(vcuda::memory_registry().space_of(interior),
+            vcuda::MemorySpace::Device);
+  auto *one_past = static_cast<std::byte *>(p) + 4096;
+  EXPECT_EQ(vcuda::memory_registry().space_of(one_past),
+            vcuda::MemorySpace::Pageable);
+  vcuda::Free(p);
+}
+
+TEST(Registry, StackPointerIsPageable) {
+  int local = 0;
+  EXPECT_EQ(vcuda::memory_registry().space_of(&local),
+            vcuda::MemorySpace::Pageable);
+}
+
+TEST(Registry, PointerGetAttributesReportsDevice) {
+  void *p = nullptr;
+  vcuda::SetDevice(2);
+  ASSERT_EQ(vcuda::Malloc(&p, 16), vcuda::Error::Success);
+  vcuda::MemorySpace space{};
+  int device = -1;
+  ASSERT_EQ(vcuda::PointerGetAttributes(&space, &device, p),
+            vcuda::Error::Success);
+  EXPECT_EQ(space, vcuda::MemorySpace::Device);
+  EXPECT_EQ(device, 2);
+  vcuda::Free(p);
+  vcuda::SetDevice(0);
+}
+
+TEST(Registry, FreeWrongSpaceFails) {
+  void *p = nullptr;
+  ASSERT_EQ(vcuda::MallocHost(&p, 16), vcuda::Error::Success);
+  EXPECT_EQ(vcuda::Free(p), vcuda::Error::InvalidValue); // wrong deallocator
+  EXPECT_EQ(vcuda::FreeHost(p), vcuda::Error::Success);
+}
+
+TEST(Registry, NullFreeIsNoop) {
+  EXPECT_EQ(vcuda::Free(nullptr), vcuda::Error::Success);
+  EXPECT_EQ(vcuda::FreeHost(nullptr), vcuda::Error::Success);
+}
+
+TEST(Registry, ZeroByteMalloc) {
+  void *p = reinterpret_cast<void *>(0x1);
+  EXPECT_EQ(vcuda::Malloc(&p, 0), vcuda::Error::Success);
+  EXPECT_EQ(p, nullptr);
+}
+
+TEST(Registry, BytesInTracksTotals) {
+  const std::size_t before =
+      vcuda::memory_registry().bytes_in(vcuda::MemorySpace::Device);
+  void *a = nullptr, *b = nullptr;
+  vcuda::Malloc(&a, 1000);
+  vcuda::Malloc(&b, 2000);
+  EXPECT_GE(vcuda::memory_registry().bytes_in(vcuda::MemorySpace::Device),
+            before + 3000);
+  vcuda::Free(a);
+  vcuda::Free(b);
+}
+
+TEST(Device, SetGetRoundtrip) {
+  int d = -1;
+  ASSERT_EQ(vcuda::SetDevice(1), vcuda::Error::Success);
+  ASSERT_EQ(vcuda::GetDevice(&d), vcuda::Error::Success);
+  EXPECT_EQ(d, 1);
+  EXPECT_EQ(vcuda::SetDevice(vcuda::device_count()),
+            vcuda::Error::InvalidDevice);
+  vcuda::SetDevice(0);
+}
+
+TEST(Device, CountIsConfigurable) {
+  const int prev = vcuda::set_device_count(4);
+  EXPECT_EQ(vcuda::device_count(), 4);
+  vcuda::set_device_count(prev);
+}
+
+} // namespace

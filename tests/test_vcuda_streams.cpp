@@ -1,0 +1,174 @@
+#include "test_helpers.hpp"
+#include "vcuda/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace {
+
+using testing_helpers::SpaceBuffer;
+using testing_helpers::fill_pattern;
+
+TEST(VirtualClock, AdvanceAndWait) {
+  vcuda::Timeline tl;
+  EXPECT_EQ(tl.now(), 0u);
+  tl.advance(100);
+  EXPECT_EQ(tl.now(), 100u);
+  tl.wait_until(50); // no going backwards
+  EXPECT_EQ(tl.now(), 100u);
+  tl.wait_until(250);
+  EXPECT_EQ(tl.now(), 250u);
+}
+
+TEST(Stream, OpsSerialize) {
+  vcuda::Stream s(0);
+  EXPECT_EQ(s.enqueue(0, 10), 10u);
+  EXPECT_EQ(s.enqueue(0, 10), 20u);    // queued behind the first
+  EXPECT_EQ(s.enqueue(100, 10), 110u); // host ran ahead: starts at 100
+}
+
+TEST(MemcpyAsync, MovesBytesAndAdvancesTime) {
+  SpaceBuffer src(vcuda::MemorySpace::Device, 4096);
+  SpaceBuffer dst(vcuda::MemorySpace::Pinned, 4096);
+  fill_pattern(src.get(), 4096);
+
+  const vcuda::VirtualNs t0 = vcuda::virtual_now();
+  vcuda::StreamHandle stream = vcuda::default_stream();
+  ASSERT_EQ(vcuda::MemcpyAsync(dst.get(), src.get(), 4096,
+                               vcuda::MemcpyKind::DeviceToHost, stream),
+            vcuda::Error::Success);
+  ASSERT_EQ(vcuda::StreamSynchronize(stream), vcuda::Error::Success);
+  EXPECT_GT(vcuda::virtual_now(), t0);
+  EXPECT_EQ(std::memcmp(src.get(), dst.get(), 4096), 0);
+}
+
+TEST(MemcpyAsync, DefaultKindInfersFromRegistry) {
+  SpaceBuffer dev(vcuda::MemorySpace::Device, 128);
+  SpaceBuffer host(vcuda::MemorySpace::Pinned, 128);
+  fill_pattern(host.get(), 128, 7);
+  ASSERT_EQ(vcuda::Memcpy(dev.get(), host.get(), 128,
+                          vcuda::MemcpyKind::Default),
+            vcuda::Error::Success);
+  EXPECT_EQ(std::memcmp(dev.get(), host.get(), 128), 0);
+}
+
+TEST(MemcpyAsync, LargerCopiesTakeLonger) {
+  SpaceBuffer a(vcuda::MemorySpace::Device, 1 << 20);
+  SpaceBuffer b(vcuda::MemorySpace::Pinned, 1 << 20);
+  vcuda::StreamHandle stream = vcuda::default_stream();
+
+  const vcuda::VirtualNs t0 = vcuda::virtual_now();
+  vcuda::MemcpyAsync(b.get(), a.get(), 64, vcuda::MemcpyKind::DeviceToHost,
+                     stream);
+  vcuda::StreamSynchronize(stream);
+  const vcuda::VirtualNs small = vcuda::virtual_now() - t0;
+
+  const vcuda::VirtualNs t1 = vcuda::virtual_now();
+  vcuda::MemcpyAsync(b.get(), a.get(), 1 << 20,
+                     vcuda::MemcpyKind::DeviceToHost, stream);
+  vcuda::StreamSynchronize(stream);
+  const vcuda::VirtualNs large = vcuda::virtual_now() - t1;
+
+  EXPECT_GT(large, small);
+  // 1 MiB at ~45 GB/s is ~23 us of wire time on top of the fixed overheads.
+  EXPECT_GT(large, vcuda::us_to_ns(20.0));
+}
+
+TEST(StreamQuery, NotReadyUntilSync) {
+  SpaceBuffer a(vcuda::MemorySpace::Device, 1 << 20);
+  SpaceBuffer b(vcuda::MemorySpace::Device, 1 << 20);
+  vcuda::StreamHandle stream = nullptr;
+  ASSERT_EQ(vcuda::StreamCreate(&stream), vcuda::Error::Success);
+  vcuda::MemcpyAsync(b.get(), a.get(), 1 << 20,
+                     vcuda::MemcpyKind::DeviceToDevice, stream);
+  EXPECT_EQ(vcuda::StreamQuery(stream), vcuda::Error::NotReady);
+  vcuda::StreamSynchronize(stream);
+  EXPECT_EQ(vcuda::StreamQuery(stream), vcuda::Error::Success);
+  vcuda::StreamDestroy(stream);
+}
+
+TEST(Events, ElapsedTimeBracketsStreamWork) {
+  SpaceBuffer a(vcuda::MemorySpace::Device, 1 << 20);
+  SpaceBuffer b(vcuda::MemorySpace::Device, 1 << 20);
+  vcuda::StreamHandle stream = nullptr;
+  ASSERT_EQ(vcuda::StreamCreate(&stream), vcuda::Error::Success);
+  vcuda::EventHandle start = nullptr, stop = nullptr;
+  vcuda::EventCreate(&start);
+  vcuda::EventCreate(&stop);
+
+  vcuda::EventRecord(start, stream);
+  vcuda::MemcpyAsync(b.get(), a.get(), 1 << 20,
+                     vcuda::MemcpyKind::DeviceToDevice, stream);
+  vcuda::EventRecord(stop, stream);
+  vcuda::EventSynchronize(stop);
+
+  float ms = -1.0f;
+  ASSERT_EQ(vcuda::EventElapsedTime(&ms, start, stop),
+            vcuda::Error::Success);
+  EXPECT_GT(ms, 0.0f);
+  vcuda::EventDestroy(start);
+  vcuda::EventDestroy(stop);
+  vcuda::StreamDestroy(stream);
+}
+
+TEST(Kernel, BodyRunsAndCostAccrues) {
+  bool ran = false;
+  vcuda::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {256, 1, 1};
+  vcuda::KernelCost cost;
+  cost.total_bytes = 1 << 20;
+  cost.src = {128, false, vcuda::MemorySpace::Device};
+  cost.dst = {0, true, vcuda::MemorySpace::Device};
+  const vcuda::VirtualNs t0 = vcuda::virtual_now();
+  ASSERT_EQ(vcuda::LaunchKernel(cfg, cost, vcuda::default_stream(),
+                                [&ran] { ran = true; }),
+            vcuda::Error::Success);
+  vcuda::StreamSynchronize(vcuda::default_stream());
+  EXPECT_TRUE(ran);
+  EXPECT_GT(vcuda::virtual_now() - t0,
+            vcuda::cost_params().kernel_launch_ns);
+}
+
+TEST(Kernel, OversizedBlockRejected) {
+  vcuda::LaunchConfig cfg;
+  cfg.block = {2048, 1, 1}; // > 1024 threads
+  EXPECT_EQ(vcuda::LaunchKernel(cfg, vcuda::KernelCost{},
+                                vcuda::default_stream(), [] {}),
+            vcuda::Error::InvalidValue);
+}
+
+TEST(Memcpy2D, CopiesPitchedRows) {
+  constexpr std::size_t kWidth = 96, kRows = 10, kSPitch = 128,
+                        kDPitch = 256;
+  SpaceBuffer src(vcuda::MemorySpace::Device, kSPitch * kRows);
+  SpaceBuffer dst(vcuda::MemorySpace::Device, kDPitch * kRows);
+  fill_pattern(src.get(), kSPitch * kRows);
+  ASSERT_EQ(vcuda::Memcpy2DAsync(dst.get(), kDPitch, src.get(), kSPitch,
+                                 kWidth, kRows,
+                                 vcuda::MemcpyKind::DeviceToDevice,
+                                 vcuda::default_stream()),
+            vcuda::Error::Success);
+  vcuda::StreamSynchronize(vcuda::default_stream());
+  for (std::size_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(std::memcmp(dst.bytes() + r * kDPitch,
+                          src.bytes() + r * kSPitch, kWidth), 0)
+        << "row " << r;
+  }
+}
+
+TEST(Counters, TrackCalls) {
+  vcuda::reset_counters();
+  SpaceBuffer a(vcuda::MemorySpace::Device, 64);
+  SpaceBuffer b(vcuda::MemorySpace::Device, 64);
+  vcuda::MemcpyAsync(b.get(), a.get(), 64, vcuda::MemcpyKind::DeviceToDevice,
+                     vcuda::default_stream());
+  vcuda::StreamSynchronize(vcuda::default_stream());
+  const vcuda::Counters c = vcuda::counters();
+  EXPECT_EQ(c.memcpy_async_calls, 1u);
+  EXPECT_EQ(c.stream_syncs, 1u);
+  EXPECT_EQ(c.mallocs, 2u);
+}
+
+} // namespace
