@@ -1,0 +1,140 @@
+// Fig. 12 variant: the halo exchange issued through the paper's dominant
+// call pattern — MPI_Isend/MPI_Irecv per region + one MPI_Waitall — which
+// the non-blocking request engine (tempi/async.hpp) accelerates. Compares
+// modeled whole-exchange latency of TEMPI's engine against the system MPI's
+// baseline datatype path, which is what every non-blocking call fell
+// through to before the engine existed.
+//
+// Usage: bench_fig12_isend [brick=24] [iters=2]
+#include "bench_common.hpp"
+#include "halo/halo.hpp"
+#include "tempi/async.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace {
+
+/// Factor `n` into a near-cubic px*py*pz grid.
+void factor3(int n, int *px, int *py, int *pz) {
+  *px = *py = *pz = 1;
+  int rest = n;
+  int *dims[3] = {pz, py, px};
+  for (int i = 0; i < 3; ++i) {
+    const int target = static_cast<int>(std::ceil(
+        std::pow(static_cast<double>(rest), 1.0 / (3 - i)) - 1e-9));
+    int d = target;
+    while (rest % d != 0) {
+      ++d;
+    }
+    *dims[i] = d;
+    rest /= d;
+  }
+}
+
+struct Result {
+  double post_us = 0.0; ///< max across ranks: Isend/Irecv posting loop
+  double wait_us = 0.0; ///< max across ranks: Waitall
+  [[nodiscard]] double total_us() const { return post_us + wait_us; }
+};
+
+Result run(const halo::Config &cfg, int ranks_per_node, int iters) {
+  std::vector<halo::PhaseTimes> per_rank(
+      static_cast<std::size_t>(cfg.ranks()));
+  sysmpi::RunConfig rc;
+  rc.ranks = cfg.ranks();
+  rc.ranks_per_node = ranks_per_node;
+  sysmpi::run_ranks(rc, [&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    void *grid = nullptr;
+    vcuda::Malloc(&grid, cfg.grid_bytes());
+    std::memset(grid, 0, cfg.grid_bytes());
+    {
+      halo::Exchanger ex(cfg, MPI_COMM_WORLD);
+      ex.exchange_isend(grid); // warm-up (buffer caches, perf model)
+      halo::PhaseTimes sum;
+      for (int i = 0; i < iters; ++i) {
+        const halo::PhaseTimes t = ex.exchange_isend(grid);
+        sum.pack_us += t.pack_us / iters;
+        sum.comm_us += t.comm_us / iters;
+      }
+      per_rank[static_cast<std::size_t>(rank)] = sum;
+    }
+    vcuda::Free(grid);
+    MPI_Finalize();
+  });
+  Result r;
+  for (const halo::PhaseTimes &t : per_rank) {
+    r.post_us = std::max(r.post_us, t.pack_us);
+    r.wait_us = std::max(r.wait_us, t.comm_us);
+  }
+  return r;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const int brick = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int iters = argc > 2 ? std::atoi(argv[2]) : 2;
+  if (brick < 1 || iters < 1) {
+    std::fprintf(stderr, "usage: %s [brick>=1] [iters>=1]\n", argv[0]);
+    return 2;
+  }
+  const std::vector<int> nodes = {1, 2, 4};
+  const std::vector<int> rpns = {1, 2, 6};
+
+  std::printf("Fig. 12 (non-blocking) — halo exchange via Isend/Irecv/"
+              "Waitall, %d^3 points/rank, 8 doubles/point, radius 3\n\n",
+              brick);
+  std::printf("%-10s %10s %12s %12s | %12s %10s\n", "nodes/rpn", "post(us)",
+              "waitall(us)", "total(us)", "baseline(us)", "speedup");
+
+  // Pass/fail gate: the geometric-mean speedup across the sweep must beat
+  // the baseline. Per-config gating would be flaky at the most contended
+  // scales, where thread interleaving perturbs the modeled NIC ordering.
+  double log_speedup_sum = 0.0;
+  int configs = 0;
+  bool engine_saw_traffic = true;
+  for (const int n : nodes) {
+    for (const int rpn : rpns) {
+      const int ranks = n * rpn;
+      halo::Config cfg;
+      cfg.nx = cfg.ny = cfg.nz = brick;
+      cfg.vals = 8;
+      cfg.radius = 3;
+      factor3(ranks, &cfg.px, &cfg.py, &cfg.pz);
+
+      tempi::install();
+      tempi::async::reset_engine_stats();
+      const Result fast = run(cfg, rpn, iters);
+      const tempi::async::EngineStats es = tempi::async::engine_stats();
+      tempi::uninstall();
+      const Result base = run(cfg, rpn, /*iters=*/1);
+
+      const double speedup = base.total_us() / fast.total_us();
+      log_speedup_sum += std::log(speedup);
+      ++configs;
+      std::printf("%3d/%-6d %10.1f %12.1f %12.1f | %12.1f %9.0fx\n", n, rpn,
+                  fast.post_us, fast.wait_us, fast.total_us(),
+                  base.total_us(), speedup);
+      if (es.isends == 0 || es.irecvs == 0) {
+        std::printf("  WARNING: request engine saw no accelerated traffic\n");
+        engine_saw_traffic = false;
+      }
+    }
+  }
+  const double geomean = std::exp(log_speedup_sum / configs);
+  std::printf("\ngeometric-mean speedup over the forwarded baseline: %.1fx\n",
+              geomean);
+  std::printf("Paper (Fig. 12 / Sec. 6.4): the non-blocking datatype path "
+              "dominates the baseline exchange; TEMPI's engine packs with "
+              "kernels and batches unpacks at Waitall, so speedup is "
+              "largest at small scale.\n");
+  if (!engine_saw_traffic || geomean <= 1.0) {
+    std::printf("FAIL: engine did not beat the forwarded baseline\n");
+    return 1;
+  }
+  return 0;
+}

@@ -62,6 +62,16 @@ public:
   /// One full halo exchange on the device-resident local array `grid`.
   PhaseTimes exchange(void *grid);
 
+  /// The same exchange expressed as the paper's non-blocking pattern
+  /// (Astaroth, Fig. 12 traffic): one MPI_Irecv per ghost region and one
+  /// MPI_Isend per interior face — 52 requests — completed by a single
+  /// MPI_Waitall. Direction-indexed tags pair each face with the opposite
+  /// ghost under any periodic aliasing (see the header comment). With
+  /// TEMPI installed the requests are owned by the async request engine.
+  /// pack_us covers the posting loop (Isend packs inline), comm_us the
+  /// Waitall (wire + batched unpacks); unpack_us is always zero here.
+  PhaseTimes exchange_isend(void *grid);
+
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int neighbor_count() const {
     return static_cast<int>(send_peers_.size());
@@ -72,6 +82,7 @@ public:
 private:
   Config cfg_;
   int rank_ = 0;
+  MPI_Comm comm_ = MPI_COMM_NULL; ///< constructor comm (point-to-point path)
   MPI_Comm graph_ = MPI_COMM_NULL;
   std::vector<int> send_peers_, recv_peers_;
   std::vector<MPI_Datatype> send_types_, recv_types_;

@@ -1,0 +1,524 @@
+#include "tempi/async.hpp"
+
+#include "support/log.hpp"
+#include "sysmpi/mpi.hpp"
+#include "vcuda/runtime.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace tempi::async {
+
+namespace {
+
+/// Virtual cost of one progress-engine sweep while polling (mirrors the
+/// system MPI's Waitany poll loop).
+constexpr vcuda::VirtualNs kPollSweepNs = 100;
+
+} // namespace
+
+/// One TEMPI-owned in-flight operation. Created and driven by the owning
+/// rank thread; only the pool map itself is shared.
+struct AsyncOp {
+  enum class Kind { Send, Recv };
+  Kind kind = Kind::Send;
+  OpPhase phase = OpPhase::PackIssued;
+  Method method = Method::Device;
+
+  // Exactly one of these engines is set; it is kept alive here so
+  // MPI_Type_free between Isend and Wait cannot invalidate the op.
+  std::shared_ptr<const Packer> packer;
+  std::shared_ptr<const BlockListPacker> blocklist;
+
+  void *recv_buf = nullptr; ///< recv only: the user's destination object
+  int count = 0;
+  int peer = MPI_ANY_SOURCE;
+  int tag = MPI_ANY_TAG;
+  MPI_Comm comm = nullptr;
+
+  /// Intermediates, pinned here until completion (not lexical scope).
+  PackPipeline pipe;
+  vcuda::StreamHandle stream = nullptr;
+
+  MPI_Request inner = MPI_REQUEST_NULL; ///< send: the system transfer
+  MPI_Status wire_status{};             ///< recv: status of the wire leg
+};
+
+namespace {
+
+struct Pool {
+  std::mutex mutex;
+  std::unordered_map<MPI_Request, std::unique_ptr<AsyncOp>> ops;
+
+  std::atomic<std::uint64_t> isends{0};
+  std::atomic<std::uint64_t> irecvs{0};
+  std::atomic<std::uint64_t> completions{0};
+  std::atomic<std::uint64_t> batched_syncs{0};
+};
+
+Pool &pool() {
+  static Pool p;
+  return p;
+}
+
+/// The opaque handle handed to the application is the op's own address; it
+/// is never dereferenced as a system request, only used as a pool key.
+MPI_Request ticket_of(const AsyncOp *op) {
+  return reinterpret_cast<MPI_Request>(const_cast<AsyncOp *>(op));
+}
+
+MPI_Request insert(std::unique_ptr<AsyncOp> op) {
+  Pool &p = pool();
+  const MPI_Request ticket = ticket_of(op.get());
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  p.ops.emplace(ticket, std::move(op));
+  return ticket;
+}
+
+AsyncOp *find(MPI_Request ticket) {
+  Pool &p = pool();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  const auto it = p.ops.find(ticket);
+  return it == p.ops.end() ? nullptr : it->second.get();
+}
+
+/// Remove the op from the pool; the unique_ptr keeps it alive until the
+/// caller finishes with it (buffers return to the cache on destruction).
+std::unique_ptr<AsyncOp> extract(MPI_Request ticket) {
+  Pool &p = pool();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  const auto it = p.ops.find(ticket);
+  if (it == p.ops.end()) {
+    return nullptr;
+  }
+  std::unique_ptr<AsyncOp> op = std::move(it->second);
+  p.ops.erase(it);
+  return op;
+}
+
+int wire_bytes(const AsyncOp &op) { return op.pipe.bytes; }
+
+/// Enqueue the unpack legs of a received wire without synchronizing
+/// (WirePending -> UnpackPending). The blocklist engine synchronizes
+/// internally; canonical packers stay asynchronous for batching.
+int post_unpack(AsyncOp &op) {
+  if (op.blocklist) {
+    return op.blocklist->unpack(op.recv_buf, op.pipe.wire.get(), op.count,
+                                op.stream) == vcuda::Error::Success
+               ? MPI_SUCCESS
+               : MPI_ERR_OTHER;
+  }
+  return start_unpack(*op.packer, op.method, op.recv_buf, op.count, op.pipe,
+                      op.stream);
+}
+
+void fill_recv_status(const AsyncOp &op, MPI_Status *status) {
+  if (status == MPI_STATUS_IGNORE) {
+    return;
+  }
+  *status = op.wire_status;
+  status->count_bytes = static_cast<long long>(wire_bytes(op));
+}
+
+/// Retire an op that has reached Complete.
+void retire(std::unique_ptr<AsyncOp> op, MPI_Request *request) {
+  (void)op; // destruction releases the pinned intermediates
+  *request = MPI_REQUEST_NULL;
+  pool().completions.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Blocking wire leg + unpack for a receive op; `sync` controls whether
+/// the stream is synchronized here (Waitall defers it to batch).
+int complete_recv(AsyncOp &op, const interpose::MpiTable &next, bool sync) {
+  const int rc = next.Recv(op.pipe.wire.get(), wire_bytes(op), MPI_BYTE,
+                           op.peer, op.tag, op.comm, &op.wire_status);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  const int urc = post_unpack(op);
+  if (urc != MPI_SUCCESS) {
+    return urc;
+  }
+  op.phase = OpPhase::UnpackPending;
+  if (sync) {
+    vcuda::StreamSynchronize(op.stream);
+    op.phase = OpPhase::Complete;
+  }
+  return MPI_SUCCESS;
+}
+
+/// Reclaim the system request backing a completed send transfer.
+int complete_send(AsyncOp &op, const interpose::MpiTable &next) {
+  const int rc = op.inner == MPI_REQUEST_NULL
+                     ? MPI_SUCCESS
+                     : next.Wait(&op.inner, MPI_STATUS_IGNORE);
+  if (rc == MPI_SUCCESS) {
+    op.phase = OpPhase::Complete;
+  }
+  return rc;
+}
+
+} // namespace
+
+int start_isend(std::shared_ptr<const Packer> packer, Method method,
+                const void *buf, int count, int dest, int tag, MPI_Comm comm,
+                const interpose::MpiTable &next, MPI_Request *request) {
+  auto op = std::make_unique<AsyncOp>();
+  op->kind = AsyncOp::Kind::Send;
+  op->method = method;
+  op->packer = std::move(packer);
+  op->count = count;
+  op->peer = dest;
+  op->tag = tag;
+  op->comm = comm;
+  op->stream = vcuda::default_stream();
+
+  // PackIssued: the pack legs go onto the stream asynchronously.
+  op->phase = OpPhase::PackIssued;
+  const int prc = start_pack(*op->packer, method, buf, count, op->stream,
+                             &op->pipe);
+  if (prc != MPI_SUCCESS) {
+    return prc;
+  }
+  // TransferPosted: the wire departs only once the pack legs complete, so
+  // fold the stream into the host clock before handing bytes to the wire.
+  vcuda::StreamSynchronize(op->stream);
+  // The staged method's device-side intermediate is dead once the D2H copy
+  // has landed in the wire buffer; return it now rather than pinning it
+  // for the op's whole flight.
+  op->pipe.stage = CachedBuffer{};
+  const int rc = next.Isend(op->pipe.wire.get(), wire_bytes(*op), MPI_BYTE,
+                            dest, tag, comm, &op->inner);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  op->phase = OpPhase::TransferPosted;
+  pool().isends.fetch_add(1, std::memory_order_relaxed);
+  *request = insert(std::move(op));
+  return MPI_SUCCESS;
+}
+
+int start_isend_blocklist(std::shared_ptr<const BlockListPacker> packer,
+                          const void *buf, int count, int dest, int tag,
+                          MPI_Comm comm, const interpose::MpiTable &next,
+                          MPI_Request *request) {
+  auto op = std::make_unique<AsyncOp>();
+  op->kind = AsyncOp::Kind::Send;
+  op->method = Method::Device;
+  op->blocklist = std::move(packer);
+  op->count = count;
+  op->peer = dest;
+  op->tag = tag;
+  op->comm = comm;
+  op->stream = vcuda::default_stream();
+
+  op->phase = OpPhase::PackIssued;
+  op->pipe.bytes = static_cast<int>(op->blocklist->packed_bytes(count));
+  op->pipe.wire = lease_buffer(vcuda::MemorySpace::Device,
+                               static_cast<std::size_t>(op->pipe.bytes));
+  if (op->blocklist->pack(op->pipe.wire.get(), buf, count, op->stream) !=
+      vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  const int rc = next.Isend(op->pipe.wire.get(), wire_bytes(*op), MPI_BYTE,
+                            dest, tag, comm, &op->inner);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  op->phase = OpPhase::TransferPosted;
+  pool().isends.fetch_add(1, std::memory_order_relaxed);
+  *request = insert(std::move(op));
+  return MPI_SUCCESS;
+}
+
+namespace {
+
+std::unique_ptr<AsyncOp> make_recv_op(int count, int source, int tag,
+                                      MPI_Comm comm, void *buf) {
+  auto op = std::make_unique<AsyncOp>();
+  op->kind = AsyncOp::Kind::Recv;
+  op->phase = OpPhase::WirePending;
+  op->recv_buf = buf;
+  op->count = count;
+  op->peer = source;
+  op->tag = tag;
+  op->comm = comm;
+  op->stream = vcuda::default_stream();
+  return op;
+}
+
+} // namespace
+
+int start_irecv(std::shared_ptr<const Packer> packer, Method method,
+                void *buf, int count, int source, int tag, MPI_Comm comm,
+                const interpose::MpiTable & /*next*/, MPI_Request *request) {
+  auto op = make_recv_op(count, source, tag, comm, buf);
+  op->method = method;
+  op->packer = std::move(packer);
+  start_recv(*op->packer, method, count, &op->pipe);
+  pool().irecvs.fetch_add(1, std::memory_order_relaxed);
+  *request = insert(std::move(op));
+  return MPI_SUCCESS;
+}
+
+int start_irecv_blocklist(std::shared_ptr<const BlockListPacker> packer,
+                          void *buf, int count, int source, int tag,
+                          MPI_Comm comm, const interpose::MpiTable & /*next*/,
+                          MPI_Request *request) {
+  auto op = make_recv_op(count, source, tag, comm, buf);
+  op->method = Method::Device;
+  op->blocklist = std::move(packer);
+  op->pipe.bytes = static_cast<int>(op->blocklist->packed_bytes(count));
+  op->pipe.wire = lease_buffer(vcuda::MemorySpace::Device,
+                               static_cast<std::size_t>(op->pipe.bytes));
+  pool().irecvs.fetch_add(1, std::memory_order_relaxed);
+  *request = insert(std::move(op));
+  return MPI_SUCCESS;
+}
+
+bool owns(MPI_Request request) {
+  return request != MPI_REQUEST_NULL && find(request) != nullptr;
+}
+
+int wait(MPI_Request *request, MPI_Status *status,
+         const interpose::MpiTable &next) {
+  std::unique_ptr<AsyncOp> op = extract(*request);
+  if (!op) {
+    return MPI_ERR_ARG; // caller must check owns() first
+  }
+  int rc = MPI_SUCCESS;
+  if (op->kind == AsyncOp::Kind::Send) {
+    rc = complete_send(*op, next);
+    if (status != MPI_STATUS_IGNORE) {
+      *status = MPI_Status{}; // sends publish a default status, as sysmpi does
+    }
+  } else {
+    rc = complete_recv(*op, next, /*sync=*/true);
+    if (rc == MPI_SUCCESS) {
+      fill_recv_status(*op, status);
+    } else {
+      // complete_recv may fail after enqueuing stream legs; drain them
+      // before the op's intermediates return to the cache.
+      vcuda::StreamSynchronize(op->stream);
+    }
+  }
+  // On error the op is still retired: the application cannot retry a
+  // half-completed pipeline, and retiring releases the intermediates.
+  retire(std::move(op), request);
+  return rc;
+}
+
+int test(MPI_Request *request, int *flag, MPI_Status *status,
+         const interpose::MpiTable &next) {
+  AsyncOp *op = find(*request);
+  if (op == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (op->kind == AsyncOp::Kind::Send) {
+    // The transfer was posted at Isend time and the system MPI's sends are
+    // buffered, so a posted send can always complete here.
+    *flag = 1;
+    return wait(request, status, next);
+  }
+  int matched = 0;
+  const int prc = next.Iprobe(op->peer, op->tag, op->comm, &matched, nullptr);
+  if (prc != MPI_SUCCESS) {
+    return prc;
+  }
+  if (matched == 0) {
+    vcuda::this_thread_timeline().advance(kPollSweepNs);
+    *flag = 0;
+    return MPI_SUCCESS;
+  }
+  *flag = 1;
+  return wait(request, status, next);
+}
+
+int waitall(int count, MPI_Request *requests, MPI_Status *statuses,
+            const interpose::MpiTable &next) {
+  if (count < 0 || (count > 0 && requests == nullptr)) {
+    return MPI_ERR_ARG;
+  }
+  // Pass 1: complete every transfer leg, but only *enqueue* the unpack
+  // legs — TEMPI receives pipeline on the stream without a host sync.
+  std::vector<std::unique_ptr<AsyncOp>> pending(
+      static_cast<std::size_t>(count));
+  std::vector<vcuda::StreamHandle> streams;
+  int unpacks_batched = 0;
+  // On any failure, ops already extracted must still be retired so the
+  // application is not left holding dangling pool tickets. Their enqueued
+  // unpack legs must drain first: retiring returns the intermediates to
+  // the cache, which is only safe once no stream work references them.
+  const auto bail = [&](int rc) {
+    for (vcuda::StreamHandle s : streams) {
+      vcuda::StreamSynchronize(s);
+    }
+    for (int i = 0; i < count; ++i) {
+      if (pending[static_cast<std::size_t>(i)]) {
+        retire(std::move(pending[static_cast<std::size_t>(i)]),
+               &requests[i]);
+      }
+    }
+    return rc;
+  };
+  for (int i = 0; i < count; ++i) {
+    MPI_Status *status =
+        statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+    if (requests[i] == MPI_REQUEST_NULL) {
+      continue;
+    }
+    std::unique_ptr<AsyncOp> op = extract(requests[i]);
+    if (!op) {
+      const int rc = next.Wait(&requests[i], status);
+      if (rc != MPI_SUCCESS) {
+        return bail(rc);
+      }
+      continue;
+    }
+    int rc = MPI_SUCCESS;
+    if (op->kind == AsyncOp::Kind::Send) {
+      rc = complete_send(*op, next);
+    } else {
+      rc = complete_recv(*op, next, /*sync=*/false);
+      ++unpacks_batched;
+      bool seen = false;
+      for (vcuda::StreamHandle s : streams) {
+        seen = seen || s == op->stream;
+      }
+      if (!seen) {
+        streams.push_back(op->stream);
+      }
+    }
+    if (rc != MPI_SUCCESS) {
+      // Drain any legs the failing op enqueued before its buffers return
+      // to the cache (bail() syncs only after this retire).
+      vcuda::StreamSynchronize(op->stream);
+      retire(std::move(op), &requests[i]);
+      return bail(rc);
+    }
+    pending[static_cast<std::size_t>(i)] = std::move(op);
+  }
+  // Pass 2: one host synchronization per stream covers every batched
+  // unpack leg (the pipelining payoff of the request engine).
+  for (vcuda::StreamHandle s : streams) {
+    vcuda::StreamSynchronize(s);
+  }
+  if (unpacks_batched > 1) {
+    pool().batched_syncs.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Pass 3: publish statuses and retire.
+  for (int i = 0; i < count; ++i) {
+    std::unique_ptr<AsyncOp> &op = pending[static_cast<std::size_t>(i)];
+    if (!op) {
+      continue;
+    }
+    op->phase = OpPhase::Complete;
+    if (statuses != MPI_STATUSES_IGNORE) {
+      if (op->kind == AsyncOp::Kind::Recv) {
+        fill_recv_status(*op, &statuses[i]);
+      } else {
+        statuses[i] = MPI_Status{}; // default send status, as sysmpi does
+      }
+    }
+    retire(std::move(op), &requests[i]);
+  }
+  return MPI_SUCCESS;
+}
+
+int waitany(int count, MPI_Request *requests, int *index, MPI_Status *status,
+            const interpose::MpiTable &next) {
+  if (count < 0 || (count > 0 && requests == nullptr) || index == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  bool any_active = false;
+  for (int i = 0; i < count; ++i) {
+    any_active = any_active || requests[i] != MPI_REQUEST_NULL;
+  }
+  if (!any_active) {
+    *index = MPI_UNDEFINED;
+    return MPI_SUCCESS;
+  }
+  // Fair poll across TEMPI tickets and system requests, mirroring the
+  // system MPI's Waitany sweep (including its per-sweep virtual cost).
+  while (true) {
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] == MPI_REQUEST_NULL) {
+        continue;
+      }
+      int flag = 0;
+      const int rc = owns(requests[i])
+                         ? test(&requests[i], &flag, status, next)
+                         : next.Test(&requests[i], &flag, status);
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+      if (flag != 0) {
+        *index = i;
+        return MPI_SUCCESS;
+      }
+    }
+    vcuda::this_thread_timeline().advance(kPollSweepNs);
+    std::this_thread::yield();
+  }
+}
+
+std::size_t in_flight() {
+  Pool &p = pool();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  return p.ops.size();
+}
+
+std::size_t drain(const interpose::MpiTable &next) {
+  // Take the whole pool in one shot; uninstall runs with no MPI traffic in
+  // flight on other threads (see tempi::uninstall's contract).
+  std::unordered_map<MPI_Request, std::unique_ptr<AsyncOp>> orphans;
+  {
+    Pool &p = pool();
+    const std::lock_guard<std::mutex> lock(p.mutex);
+    orphans.swap(p.ops);
+  }
+  std::size_t dropped = 0;
+  for (auto &[ticket, op] : orphans) {
+    (void)ticket;
+    if (op->kind == AsyncOp::Kind::Send &&
+        op->phase == OpPhase::TransferPosted) {
+      // The wire already departed; reclaiming the system request is safe
+      // and silent (buffered sends are born complete).
+      next.Wait(&op->inner, MPI_STATUS_IGNORE);
+      continue;
+    }
+    // A receive that was never matched (or a send that never reached the
+    // wire) cannot be finished without the application: fail loudly and
+    // release the op's resources rather than leaking pool state.
+    ++dropped;
+    support::log_error(
+        "tempi: uninstall dropped an in-flight non-blocking ",
+        op->kind == AsyncOp::Kind::Send ? "send" : "receive", " (peer ",
+        op->peer, ", tag ", op->tag,
+        "); complete all requests before tempi::uninstall()");
+  }
+  return dropped;
+}
+
+EngineStats engine_stats() {
+  Pool &p = pool();
+  return EngineStats{
+      p.isends.load(std::memory_order_relaxed),
+      p.irecvs.load(std::memory_order_relaxed),
+      p.completions.load(std::memory_order_relaxed),
+      p.batched_syncs.load(std::memory_order_relaxed),
+  };
+}
+
+void reset_engine_stats() {
+  Pool &p = pool();
+  p.isends.store(0, std::memory_order_relaxed);
+  p.irecvs.store(0, std::memory_order_relaxed);
+  p.completions.store(0, std::memory_order_relaxed);
+  p.batched_syncs.store(0, std::memory_order_relaxed);
+}
+
+} // namespace tempi::async

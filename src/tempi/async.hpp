@@ -1,0 +1,126 @@
+// Non-blocking request engine: TEMPI-owned MPI_Isend/Irecv operations.
+//
+// The blocking path (methods.cpp) runs pack -> transfer -> unpack to
+// completion inside one call. Here each leg becomes a phase of a per-op
+// state machine owned by a RequestPool:
+//
+//   Isend:  PackIssued ------> TransferPosted ----------------> Complete
+//           (pack legs on the   (wire bytes handed to the        (Wait/Test
+//            vcuda stream)       system MPI_Isend)                reclaims)
+//
+//   Irecv:  WirePending ---------------------> UnpackPending --> Complete
+//           (wire buffer leased; the transfer   (unpack legs on
+//            is matched lazily at Wait/Test)     the vcuda stream)
+//
+// The opaque MPI_Request handles returned to the application are pool
+// tickets, not system requests: Wait/Waitall/Waitany/Test first consult the
+// pool and forward anything they do not own to the system MPI, so TEMPI and
+// system requests mix freely in one array.
+//
+// Pipelining: the pack/unpack legs are enqueued with the _async packer
+// halves and the leased intermediates stay pinned in the op until
+// completion, so Waitall can post every unpack leg back-to-back on the
+// stream and pay a single host synchronization for the batch (the paper's
+// halo exchange completes 26 receives per iteration this way).
+//
+// Deadlock discipline: the send-side transfer is posted eagerly at Isend
+// time (the system MPI's sends are buffered), so a rank that blocks in a
+// receive before calling Wait cannot stall its peers. The receive-side
+// transfer is matched lazily, which keeps the engine free of system-MPI
+// request state to reclaim if the interposer is uninstalled mid-flight.
+//
+// Matching order caveat: lazy receive matching means two receives that
+// share (source, tag, comm) pair with incoming messages in *completion*
+// order, not posted order. This mirrors the system MPI underneath (its
+// Irecv also matches at Wait/Test, see sysmpi/api.cpp), so interposing
+// does not change observable behavior; applications that need strict
+// posted-order matching on a shared (source, tag) should use distinct
+// tags, as the halo exchanger does.
+#pragma once
+
+#include "interpose/table.hpp"
+#include "tempi/blocklist_packer.hpp"
+#include "tempi/methods.hpp"
+#include "tempi/packer.hpp"
+
+#include <cstddef>
+#include <memory>
+
+namespace tempi::async {
+
+/// Phases of one in-flight operation, in order.
+enum class OpPhase {
+  PackIssued,     ///< send: pack legs enqueued on the stream
+  TransferPosted, ///< send: system Isend of the wire bytes posted
+  WirePending,    ///< recv: wire buffer leased, transfer not yet matched
+  UnpackPending,  ///< recv: wire arrived, unpack legs enqueued on stream
+  Complete,       ///< terminal; the op leaves the pool
+};
+
+struct AsyncOp; // opaque outside async.cpp
+
+/// Start an accelerated non-blocking send with a canonical packer; fills
+/// `*request` with a pool ticket. `method` comes from the same PerfModel
+/// selection the blocking path uses.
+int start_isend(std::shared_ptr<const Packer> packer, Method method,
+                const void *buf, int count, int dest, int tag, MPI_Comm comm,
+                const interpose::MpiTable &next, MPI_Request *request);
+
+/// Start an accelerated non-blocking receive (wire matched at Wait/Test).
+int start_irecv(std::shared_ptr<const Packer> packer, Method method,
+                void *buf, int count, int source, int tag, MPI_Comm comm,
+                const interpose::MpiTable &next, MPI_Request *request);
+
+/// Blocklist (Sec. 8 extension) variants; always the device method.
+int start_isend_blocklist(std::shared_ptr<const BlockListPacker> packer,
+                          const void *buf, int count, int dest, int tag,
+                          MPI_Comm comm, const interpose::MpiTable &next,
+                          MPI_Request *request);
+int start_irecv_blocklist(std::shared_ptr<const BlockListPacker> packer,
+                          void *buf, int count, int source, int tag,
+                          MPI_Comm comm, const interpose::MpiTable &next,
+                          MPI_Request *request);
+
+/// True if `request` is a live pool ticket (a TEMPI-owned op).
+bool owns(MPI_Request request);
+
+/// Drive `*request` to completion (blocking), fill `status`, release the
+/// op and null the handle. Precondition: owns(*request).
+int wait(MPI_Request *request, MPI_Status *status,
+         const interpose::MpiTable &next);
+
+/// Non-blocking progress: complete the op if it can finish now, else leave
+/// it in flight with *flag = 0. Precondition: owns(*request).
+int test(MPI_Request *request, int *flag, MPI_Status *status,
+         const interpose::MpiTable &next);
+
+/// Batch completion for Waitall over a mixed TEMPI/system request array:
+/// posts every ready unpack leg before synchronizing the stream once.
+int waitall(int count, MPI_Request *requests, MPI_Status *statuses,
+            const interpose::MpiTable &next);
+
+/// Waitany over a mixed array; polls TEMPI and system requests fairly.
+int waitany(int count, MPI_Request *requests, int *index, MPI_Status *status,
+            const interpose::MpiTable &next);
+
+/// Number of TEMPI-owned operations currently in flight (tests,
+/// uninstall-time drain check).
+std::size_t in_flight();
+
+/// Uninstall-time drain (see tempi::uninstall contract in tempi.hpp):
+/// completed sends are reclaimed silently; operations that cannot finish
+/// without the application's cooperation are dropped with a loud per-op
+/// log_error. Returns the number of ops that had to be dropped.
+std::size_t drain(const interpose::MpiTable &next);
+
+/// Per-phase counters (monotonic, process-wide) for tests and benches.
+struct EngineStats {
+  std::uint64_t isends = 0;        ///< accelerated sends started
+  std::uint64_t irecvs = 0;        ///< accelerated receives started
+  std::uint64_t completions = 0;   ///< ops retired through Wait/Test
+  std::uint64_t batched_syncs = 0; ///< Waitall batches that shared one sync
+};
+EngineStats engine_stats();
+void reset_engine_stats();
+
+} // namespace tempi::async

@@ -1,5 +1,6 @@
 #include "tempi/buffer_cache.hpp"
 
+#include <atomic>
 #include <bit>
 #include <map>
 #include <vector>
@@ -51,8 +52,15 @@ ThreadCache &cache() {
 
 thread_local bool t_cache_enabled = true;
 
+/// Leases can be released on a different thread than acquired them (a
+/// non-blocking op completed elsewhere, uninstall-time drain), so the
+/// gauge is process-global; an imbalance would corrupt per-thread copies.
+std::atomic<std::size_t> g_leased_now{0};
+
 void return_to_cache(void *ptr, std::size_t capacity,
                      vcuda::MemorySpace space) {
+  ThreadCache &c = cache();
+  g_leased_now.fetch_sub(1, std::memory_order_relaxed);
   if (!t_cache_enabled) {
     if (space == vcuda::MemorySpace::Device) {
       vcuda::Free(ptr);
@@ -61,7 +69,7 @@ void return_to_cache(void *ptr, std::size_t capacity,
     }
     return;
   }
-  cache().list_for(space).by_capacity[capacity].push_back(ptr);
+  c.list_for(space).by_capacity[capacity].push_back(ptr);
 }
 
 } // namespace
@@ -86,11 +94,13 @@ CachedBuffer lease_buffer(vcuda::MemorySpace space, std::size_t bytes) {
       void *p = it->second.back();
       it->second.pop_back();
       ++c.stats.hits;
+      g_leased_now.fetch_add(1, std::memory_order_relaxed);
       vcuda::this_thread_timeline().advance(kCacheHitNs);
       return CachedBuffer(p, it->first, space);
     }
   }
   ++c.stats.misses;
+  g_leased_now.fetch_add(1, std::memory_order_relaxed);
   void *p = nullptr;
   if (space == vcuda::MemorySpace::Device) {
     vcuda::Malloc(&p, capacity);
@@ -106,8 +116,15 @@ void set_buffer_cache_enabled(bool enabled) { t_cache_enabled = enabled; }
 
 bool buffer_cache_enabled() { return t_cache_enabled; }
 
-BufferCacheStats buffer_cache_stats() { return cache().stats; }
+BufferCacheStats buffer_cache_stats() {
+  BufferCacheStats s = cache().stats;
+  s.leased_now = g_leased_now.load(std::memory_order_relaxed);
+  return s;
+}
 
-void reset_buffer_cache_stats() { cache().stats = BufferCacheStats{}; }
+void reset_buffer_cache_stats() {
+  // Counters reset; the lease gauge tracks live buffers, so it survives.
+  cache().stats = BufferCacheStats{};
+}
 
 } // namespace tempi

@@ -59,10 +59,17 @@ void drain_buffer_cache();
 void set_buffer_cache_enabled(bool enabled);
 bool buffer_cache_enabled();
 
-/// Cache statistics for tests and the caching ablation bench.
+/// Cache statistics for tests and the caching ablation bench. `hits` and
+/// `misses` are per calling thread (per rank). `leased_now` is a
+/// process-wide gauge of buffers currently out on lease: the non-blocking
+/// request engine keeps intermediates leased inside in-flight ops, which
+/// may be released on a different thread than leased them (MPI_Wait on
+/// another thread, uninstall-time drain), so the gauge cannot live with
+/// the per-thread free lists.
 struct BufferCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t leased_now = 0;
 };
 BufferCacheStats buffer_cache_stats();
 void reset_buffer_cache_stats();

@@ -1,13 +1,9 @@
 #include "tempi/methods.hpp"
 
-#include "tempi/buffer_cache.hpp"
 #include "sysmpi/mpi.hpp"
 
 namespace tempi {
 
-namespace {
-
-/// Where the packed intermediate lives for each method's wire leg.
 vcuda::MemorySpace intermediate_space(Method m) {
   switch (m) {
   case Method::Device: return vcuda::MemorySpace::Device;
@@ -17,78 +13,90 @@ vcuda::MemorySpace intermediate_space(Method m) {
   return vcuda::MemorySpace::Device;
 }
 
-} // namespace
+int start_pack(const Packer &packer, Method m, const void *buf, int count,
+               vcuda::StreamHandle stream, PackPipeline *pipe) {
+  pipe->bytes = static_cast<int>(packer.packed_bytes(count));
+  const auto bytes = static_cast<std::size_t>(pipe->bytes);
+
+  if (m == Method::Device || m == Method::OneShot) {
+    // Device: pack in device memory, hand the device buffer to CUDA-aware
+    // MPI. OneShot: pack straight into mapped host memory through
+    // zero-copy stores, then a plain host-to-host MPI transfer.
+    pipe->wire = lease_buffer(intermediate_space(m), bytes);
+    return packer.pack_async(pipe->wire.get(), buf, count, stream) ==
+                   vcuda::Error::Success
+               ? MPI_SUCCESS
+               : MPI_ERR_OTHER;
+  }
+
+  // Staged: pack in device memory, copy down to pinned host, send from host.
+  pipe->stage = lease_buffer(vcuda::MemorySpace::Device, bytes);
+  pipe->wire = lease_buffer(vcuda::MemorySpace::Pinned, bytes);
+  if (packer.pack_async(pipe->stage.get(), buf, count, stream) !=
+      vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  vcuda::MemcpyAsync(pipe->wire.get(), pipe->stage.get(), bytes,
+                     vcuda::MemcpyKind::DeviceToHost, stream);
+  return MPI_SUCCESS;
+}
+
+int start_recv(const Packer &packer, Method m, int count, PackPipeline *pipe) {
+  pipe->bytes = static_cast<int>(packer.packed_bytes(count));
+  pipe->wire = lease_buffer(intermediate_space(m),
+                            static_cast<std::size_t>(pipe->bytes));
+  return MPI_SUCCESS;
+}
+
+int start_unpack(const Packer &packer, Method m, void *buf, int count,
+                 PackPipeline &pipe, vcuda::StreamHandle stream) {
+  const auto bytes = static_cast<std::size_t>(pipe.bytes);
+  const void *unpack_src = pipe.wire.get();
+  if (m == Method::Staged) {
+    // Staged only: lift the wire bytes back to device memory first.
+    pipe.stage = lease_buffer(vcuda::MemorySpace::Device, bytes);
+    vcuda::MemcpyAsync(pipe.stage.get(), pipe.wire.get(), bytes,
+                       vcuda::MemcpyKind::HostToDevice, stream);
+    unpack_src = pipe.stage.get();
+  }
+  return packer.unpack_async(buf, unpack_src, count, stream) ==
+                 vcuda::Error::Success
+             ? MPI_SUCCESS
+             : MPI_ERR_OTHER;
+}
 
 int send_with_method(const Packer &packer, Method m, const void *buf,
                      int count, int dest, int tag, MPI_Comm comm,
                      const interpose::MpiTable &next) {
-  const auto bytes = static_cast<int>(packer.packed_bytes(count));
   vcuda::StreamHandle stream = vcuda::default_stream();
-
-  if (m == Method::Device) {
-    // Pack in device memory, hand the device buffer to CUDA-aware MPI.
-    CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
-                                    static_cast<std::size_t>(bytes));
-    if (packer.pack(dev.get(), buf, count, stream) != vcuda::Error::Success) {
-      return MPI_ERR_OTHER;
-    }
-    return next.Send(dev.get(), bytes, MPI_BYTE, dest, tag, comm);
+  PackPipeline pipe;
+  const int rc = start_pack(packer, m, buf, count, stream, &pipe);
+  if (rc != MPI_SUCCESS) {
+    return rc;
   }
-
-  if (m == Method::OneShot) {
-    // Pack straight into mapped host memory through zero-copy stores, then
-    // a plain host-to-host MPI transfer.
-    CachedBuffer host = lease_buffer(vcuda::MemorySpace::Pinned,
-                                     static_cast<std::size_t>(bytes));
-    if (packer.pack(host.get(), buf, count, stream) !=
-        vcuda::Error::Success) {
-      return MPI_ERR_OTHER;
-    }
-    return next.Send(host.get(), bytes, MPI_BYTE, dest, tag, comm);
-  }
-
-  // Staged: pack in device memory, copy down to pinned host, send from host.
-  CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
-                                  static_cast<std::size_t>(bytes));
-  CachedBuffer host = lease_buffer(vcuda::MemorySpace::Pinned,
-                                   static_cast<std::size_t>(bytes));
-  if (packer.pack(dev.get(), buf, count, stream) != vcuda::Error::Success) {
-    return MPI_ERR_OTHER;
-  }
-  vcuda::MemcpyAsync(host.get(), dev.get(), static_cast<std::size_t>(bytes),
-                     vcuda::MemcpyKind::DeviceToHost, stream);
   vcuda::StreamSynchronize(stream);
-  return next.Send(host.get(), bytes, MPI_BYTE, dest, tag, comm);
+  return next.Send(pipe.wire.get(), pipe.bytes, MPI_BYTE, dest, tag, comm);
 }
 
 int recv_with_method(const Packer &packer, Method m, void *buf, int count,
                      int source, int tag, MPI_Comm comm, MPI_Status *status,
                      const interpose::MpiTable &next) {
-  const auto bytes = static_cast<int>(packer.packed_bytes(count));
   vcuda::StreamHandle stream = vcuda::default_stream();
-
-  CachedBuffer wire = lease_buffer(intermediate_space(m),
-                                   static_cast<std::size_t>(bytes));
+  PackPipeline pipe;
+  start_recv(packer, m, count, &pipe);
   MPI_Status wire_status;
-  const int rc =
-      next.Recv(wire.get(), bytes, MPI_BYTE, source, tag, comm, &wire_status);
+  const int rc = next.Recv(pipe.wire.get(), pipe.bytes, MPI_BYTE, source, tag,
+                           comm, &wire_status);
   if (rc != MPI_SUCCESS) {
     return rc;
   }
-
-  const void *unpack_src = wire.get();
-  CachedBuffer dev; // staged only: unpack from device memory
-  if (m == Method::Staged) {
-    dev = lease_buffer(vcuda::MemorySpace::Device,
-                       static_cast<std::size_t>(bytes));
-    vcuda::MemcpyAsync(dev.get(), wire.get(), static_cast<std::size_t>(bytes),
-                       vcuda::MemcpyKind::HostToDevice, stream);
-    vcuda::StreamSynchronize(stream);
-    unpack_src = dev.get();
-  }
-  if (packer.unpack(buf, unpack_src, count, stream) !=
-      vcuda::Error::Success) {
-    return MPI_ERR_OTHER;
+  const int urc = start_unpack(packer, m, buf, count, pipe, stream);
+  // Synchronize on the error path too: start_unpack may have enqueued the
+  // staged H2D copy before failing, and the pipeline's buffers must not
+  // return to the cache while stream work still references them.
+  vcuda::StreamSynchronize(stream);
+  if (urc != MPI_SUCCESS) {
+    return urc;
   }
   if (status != MPI_STATUS_IGNORE) {
     *status = wire_status;

@@ -5,13 +5,50 @@
 // differ in where the intermediate buffer lives and which transfer leg the
 // system MPI performs. The wire carries plain packed bytes, so sender and
 // receiver may independently choose methods.
+//
+// Each method is split into asynchronous start/finish halves so the
+// blocking path (Send/Recv) and the non-blocking request engine
+// (Isend/Irecv/Wait, see async.hpp) share one implementation:
+//   sender:   start_pack -> StreamSynchronize -> contiguous transfer
+//   receiver: start_recv -> contiguous transfer -> start_unpack
+//             -> StreamSynchronize
+// The start halves only enqueue work on the vcuda stream, so several legs
+// from different requests can pipeline before a single host sync.
 #pragma once
 
 #include "interpose/table.hpp"
+#include "tempi/buffer_cache.hpp"
 #include "tempi/packer.hpp"
 #include "tempi/perf_model.hpp"
 
 namespace tempi {
+
+/// The intermediate buffers of one in-flight accelerated operation. The
+/// leased buffers stay pinned to the pipeline (not the lexical scope), so a
+/// non-blocking op can hold them until request completion.
+struct PackPipeline {
+  CachedBuffer wire;  ///< buffer handed to the system MPI transfer leg
+  CachedBuffer stage; ///< staged method only: device-side kernel target
+  int bytes = 0;      ///< packed wire bytes
+};
+
+/// Where the packed intermediate lives for a method's wire leg.
+vcuda::MemorySpace intermediate_space(Method m);
+
+/// Sender start half: lease intermediates and enqueue the pack leg(s) of
+/// `m` on `stream` without synchronizing. After StreamSynchronize, the wire
+/// buffer holds `pipe->bytes` packed bytes ready for a contiguous transfer.
+int start_pack(const Packer &packer, Method m, const void *buf, int count,
+               vcuda::StreamHandle stream, PackPipeline *pipe);
+
+/// Receiver start half: lease the wire intermediate the contiguous
+/// transfer should land in (before any transfer is posted).
+int start_recv(const Packer &packer, Method m, int count, PackPipeline *pipe);
+
+/// Receiver finish half: enqueue the unpack leg(s) of `m` from the filled
+/// wire buffer into `buf` on `stream`, without synchronizing.
+int start_unpack(const Packer &packer, Method m, void *buf, int count,
+                 PackPipeline &pipe, vcuda::StreamHandle stream);
 
 /// Send `count` objects of the packer's datatype from device-resident
 /// `buf` using method `m`; `next` is the system MPI table.

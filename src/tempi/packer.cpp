@@ -6,7 +6,7 @@ namespace tempi {
 
 vcuda::Error Packer::pack(void *dst, const void *src, int count,
                           vcuda::StreamHandle stream) const {
-  const vcuda::Error e = launch_pack(sb_, extent_, dst, src, count, stream);
+  const vcuda::Error e = pack_async(dst, src, count, stream);
   if (e != vcuda::Error::Success) {
     return e;
   }
@@ -15,11 +15,21 @@ vcuda::Error Packer::pack(void *dst, const void *src, int count,
 
 vcuda::Error Packer::unpack(void *dst, const void *src, int count,
                             vcuda::StreamHandle stream) const {
-  const vcuda::Error e = launch_unpack(sb_, extent_, dst, src, count, stream);
+  const vcuda::Error e = unpack_async(dst, src, count, stream);
   if (e != vcuda::Error::Success) {
     return e;
   }
   return vcuda::StreamSynchronize(stream);
+}
+
+vcuda::Error Packer::pack_async(void *dst, const void *src, int count,
+                                vcuda::StreamHandle stream) const {
+  return launch_pack(sb_, extent_, dst, src, count, stream);
+}
+
+vcuda::Error Packer::unpack_async(void *dst, const void *src, int count,
+                                  vcuda::StreamHandle stream) const {
+  return launch_unpack(sb_, extent_, dst, src, count, stream);
 }
 
 vcuda::Error Packer::pack_dma(void *dst, const void *src, int count,

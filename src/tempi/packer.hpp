@@ -40,6 +40,14 @@ public:
   vcuda::Error unpack(void *dst, const void *src, int count,
                       vcuda::StreamHandle stream) const;
 
+  /// Asynchronous halves used by the non-blocking request engine: enqueue
+  /// the kernel on `stream` and return without synchronizing, so several
+  /// pack/unpack legs can pipeline on the stream before one host sync.
+  vcuda::Error pack_async(void *dst, const void *src, int count,
+                          vcuda::StreamHandle stream) const;
+  vcuda::Error unpack_async(void *dst, const void *src, int count,
+                            vcuda::StreamHandle stream) const;
+
   /// Sec. 8 extension ("evaluate the use of the GPU DMA engine for
   /// non-contiguous data, e.g. cudaMemcpy2D"): pack/unpack a 2-D strided
   /// block through cudaMemcpy2DAsync instead of a kernel — the Wang et al.

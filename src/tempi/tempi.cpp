@@ -6,6 +6,7 @@
 #include "tempi/tempi.hpp"
 
 #include "support/log.hpp"
+#include "tempi/async.hpp"
 #include "tempi/blocklist_packer.hpp"
 #include "tempi/buffer_cache.hpp"
 #include "tempi/canonicalize.hpp"
@@ -45,6 +46,13 @@ struct State {
   std::atomic<std::uint64_t> sends_device{0};
   std::atomic<std::uint64_t> sends_staged{0};
   std::atomic<std::uint64_t> sends_forwarded{0};
+
+  std::atomic<std::uint64_t> isends_oneshot{0};
+  std::atomic<std::uint64_t> isends_device{0};
+  std::atomic<std::uint64_t> isends_staged{0};
+  std::atomic<std::uint64_t> isends_forwarded{0};
+  std::atomic<std::uint64_t> irecvs_accelerated{0};
+  std::atomic<std::uint64_t> irecvs_forwarded{0};
 
   std::once_flag perf_loaded;
 };
@@ -291,12 +299,14 @@ int tempi_Unpack(const void *inbuf, int insize, int *position, void *outbuf,
 }
 
 /// Shared Send/Recv gate: TEMPI takes over only for non-contiguous,
-/// translatable datatypes on device-resident buffers.
+/// translatable datatypes on device-resident buffers. Zero-size payloads
+/// (empty types or count 0) forward too: there is nothing to pack, and the
+/// kernels reject zero-volume launches.
 std::optional<Method> acceleration_method(const Packer *packer,
                                           const void *buf, int count) {
   State &s = state();
   if (packer == nullptr || packer->contiguous() || count == 0 ||
-      !device_resident(buf)) {
+      packer->packed_bytes(count) == 0 || !device_resident(buf)) {
     return std::nullopt;
   }
   switch (s.mode.load(std::memory_order_relaxed)) {
@@ -312,16 +322,27 @@ std::optional<Method> acceleration_method(const Packer *packer,
       packer->packed_bytes(count));
 }
 
+/// Sec. 8 extension gate shared by the blocking and non-blocking paths:
+/// blocklist types ship via the device method when applicable.
+std::shared_ptr<const BlockListPacker>
+blocklist_acceleration(MPI_Datatype datatype, const void *buf, int count) {
+  State &s = state();
+  const auto bl = lookup_blocklist(datatype);
+  if (bl && count > 0 && bl->packed_bytes(count) > 0 &&
+      device_resident(buf) &&
+      s.mode.load(std::memory_order_relaxed) != SendMode::System) {
+    return bl;
+  }
+  return nullptr;
+}
+
 int tempi_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
                int tag, MPI_Comm comm) {
   State &s = state();
   const auto packer = lookup_packer(datatype);
   const auto method = acceleration_method(packer.get(), buf, count);
   if (!method) {
-    // Sec. 8 extension: blocklist types ship via the device method.
-    if (const auto bl = lookup_blocklist(datatype);
-        bl && count > 0 && device_resident(buf) &&
-        s.mode.load(std::memory_order_relaxed) != SendMode::System) {
+    if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
       const auto bytes = static_cast<int>(bl->packed_bytes(count));
       CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
                                       static_cast<std::size_t>(bytes));
@@ -356,9 +377,7 @@ int tempi_Recv(void *buf, int count, MPI_Datatype datatype, int source,
   const auto packer = lookup_packer(datatype);
   const auto method = acceleration_method(packer.get(), buf, count);
   if (!method) {
-    if (const auto bl = lookup_blocklist(datatype);
-        bl && count > 0 && device_resident(buf) &&
-        s.mode.load(std::memory_order_relaxed) != SendMode::System) {
+    if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
       const auto bytes = static_cast<int>(bl->packed_bytes(count));
       CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
                                       static_cast<std::size_t>(bytes));
@@ -395,6 +414,99 @@ int tempi_Sendrecv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
                     status);
 }
 
+// --- non-blocking entry points (the request engine, async.hpp) ---------------
+
+int tempi_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
+                int tag, MPI_Comm comm, MPI_Request *request) {
+  State &s = state();
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (dest == MPI_PROC_NULL) {
+    return s.next.Isend(buf, count, datatype, dest, tag, comm, request);
+  }
+  const auto packer = lookup_packer(datatype);
+  const auto method = acceleration_method(packer.get(), buf, count);
+  if (!method) {
+    if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
+      s.isends_device.fetch_add(1, std::memory_order_relaxed);
+      return async::start_isend_blocklist(bl, buf, count, dest, tag, comm,
+                                          s.next, request);
+    }
+    s.isends_forwarded.fetch_add(1, std::memory_order_relaxed);
+    return s.next.Isend(buf, count, datatype, dest, tag, comm, request);
+  }
+  switch (*method) {
+  case Method::OneShot:
+    s.isends_oneshot.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case Method::Device:
+    s.isends_device.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case Method::Staged:
+    s.isends_staged.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+  return async::start_isend(packer, *method, buf, count, dest, tag, comm,
+                            s.next, request);
+}
+
+int tempi_Irecv(void *buf, int count, MPI_Datatype datatype, int source,
+                int tag, MPI_Comm comm, MPI_Request *request) {
+  State &s = state();
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (source == MPI_PROC_NULL) {
+    return s.next.Irecv(buf, count, datatype, source, tag, comm, request);
+  }
+  const auto packer = lookup_packer(datatype);
+  const auto method = acceleration_method(packer.get(), buf, count);
+  if (!method) {
+    if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
+      s.irecvs_accelerated.fetch_add(1, std::memory_order_relaxed);
+      return async::start_irecv_blocklist(bl, buf, count, source, tag, comm,
+                                          s.next, request);
+    }
+    s.irecvs_forwarded.fetch_add(1, std::memory_order_relaxed);
+    return s.next.Irecv(buf, count, datatype, source, tag, comm, request);
+  }
+  s.irecvs_accelerated.fetch_add(1, std::memory_order_relaxed);
+  return async::start_irecv(packer, *method, buf, count, source, tag, comm,
+                            s.next, request);
+}
+
+int tempi_Wait(MPI_Request *request, MPI_Status *status) {
+  State &s = state();
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (async::owns(*request)) {
+    return async::wait(request, status, s.next);
+  }
+  return s.next.Wait(request, status);
+}
+
+int tempi_Waitall(int count, MPI_Request *requests, MPI_Status *statuses) {
+  return async::waitall(count, requests, statuses, state().next);
+}
+
+int tempi_Waitany(int count, MPI_Request *requests, int *index,
+                  MPI_Status *status) {
+  return async::waitany(count, requests, index, status, state().next);
+}
+
+int tempi_Test(MPI_Request *request, int *flag, MPI_Status *status) {
+  State &s = state();
+  if (request == nullptr || flag == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (async::owns(*request)) {
+    return async::test(request, flag, status, s.next);
+  }
+  return s.next.Test(request, flag, status);
+}
+
 } // namespace
 
 void install() {
@@ -413,6 +525,12 @@ void install() {
   table.Send = tempi_Send;
   table.Recv = tempi_Recv;
   table.Sendrecv = tempi_Sendrecv;
+  table.Isend = tempi_Isend;
+  table.Irecv = tempi_Irecv;
+  table.Wait = tempi_Wait;
+  table.Waitall = tempi_Waitall;
+  table.Waitany = tempi_Waitany;
+  table.Test = tempi_Test;
   interpose::install(table);
   s.installed = true;
   support::log_info("tempi: interposer installed");
@@ -424,6 +542,13 @@ void uninstall() {
     return;
   }
   interpose::uninstall();
+  // Drain the request engine rather than leaking in-flight pool state
+  // (see the uninstall contract in tempi.hpp).
+  if (async::in_flight() > 0) {
+    support::log_warn("tempi: uninstall with ", async::in_flight(),
+                      " non-blocking operation(s) still in flight");
+    async::drain(s.next);
+  }
   {
     const std::unique_lock<std::shared_mutex> lock(s.packers_mutex);
     s.packers.clear();
@@ -473,6 +598,12 @@ SendStats send_stats() {
       s.sends_device.load(std::memory_order_relaxed),
       s.sends_staged.load(std::memory_order_relaxed),
       s.sends_forwarded.load(std::memory_order_relaxed),
+      s.isends_oneshot.load(std::memory_order_relaxed),
+      s.isends_device.load(std::memory_order_relaxed),
+      s.isends_staged.load(std::memory_order_relaxed),
+      s.isends_forwarded.load(std::memory_order_relaxed),
+      s.irecvs_accelerated.load(std::memory_order_relaxed),
+      s.irecvs_forwarded.load(std::memory_order_relaxed),
   };
 }
 
@@ -482,6 +613,12 @@ void reset_send_stats() {
   s.sends_device.store(0, std::memory_order_relaxed);
   s.sends_staged.store(0, std::memory_order_relaxed);
   s.sends_forwarded.store(0, std::memory_order_relaxed);
+  s.isends_oneshot.store(0, std::memory_order_relaxed);
+  s.isends_device.store(0, std::memory_order_relaxed);
+  s.isends_staged.store(0, std::memory_order_relaxed);
+  s.isends_forwarded.store(0, std::memory_order_relaxed);
+  s.irecvs_accelerated.store(0, std::memory_order_relaxed);
+  s.irecvs_forwarded.store(0, std::memory_order_relaxed);
 }
 
 } // namespace tempi

@@ -12,7 +12,9 @@
 //   });
 //
 // TEMPI overrides: Init, Finalize, Type_commit, Type_free, Pack, Unpack,
-// Send, Recv. Everything else falls through to the system MPI.
+// Send, Recv, Sendrecv, Isend, Irecv, Wait, Waitall, Waitany, Test.
+// Everything else falls through to the system MPI. Non-blocking operations
+// on accelerated datatypes are owned by the request engine (async.hpp).
 #pragma once
 
 #include "interpose/table.hpp"
@@ -38,6 +40,16 @@ enum class SendMode {
 void install();
 
 /// Remove TEMPI and restore the system MPI; drops all cached packers.
+///
+/// Contract for in-flight non-blocking operations: applications must
+/// complete every TEMPI-originated MPI_Isend/MPI_Irecv (via Wait/Waitall/
+/// Waitany/Test) before uninstalling. If any are still in flight,
+/// uninstall() drains the request pool rather than leaking it: send
+/// transfers that already reached the wire are reclaimed silently;
+/// anything else is dropped with a loud per-operation log_error, its
+/// intermediate buffers released, and its (now dangling) request handle
+/// left for the application — waiting on such a handle afterwards is
+/// undefined, exactly as with a real MPI library torn down mid-flight.
 void uninstall();
 
 /// RAII install/uninstall.
@@ -73,12 +85,22 @@ bool blocklist_fallback();
 std::shared_ptr<const class BlockListPacker>
 find_blocklist_packer(MPI_Datatype datatype);
 
-/// Decision counters (tests and the Fig. 11 bench).
+/// Decision counters (tests and the Fig. 11/12 benches). The isend_*
+/// counters mirror the blocking ones for the non-blocking request engine;
+/// irecv_* count the receive side, where acceleration is method-selected
+/// the same way but completion happens at Wait/Test time.
 struct SendStats {
   std::uint64_t oneshot = 0;
   std::uint64_t device = 0;
   std::uint64_t staged = 0;
   std::uint64_t forwarded = 0; ///< fell through to the system MPI
+
+  std::uint64_t isend_oneshot = 0;
+  std::uint64_t isend_device = 0;
+  std::uint64_t isend_staged = 0;
+  std::uint64_t isend_forwarded = 0; ///< non-blocking system fall-through
+  std::uint64_t irecv_accelerated = 0;
+  std::uint64_t irecv_forwarded = 0;
 };
 SendStats send_stats();
 void reset_send_stats();
