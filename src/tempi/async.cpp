@@ -28,9 +28,12 @@ struct AsyncOp {
   OpPhase phase = OpPhase::PackIssued;
   Method method = Method::Device;
 
-  // Exactly one of these engines is set; it is kept alive here so
-  // MPI_Type_free between Isend and Wait cannot invalidate the op.
-  std::shared_ptr<const Packer> packer;
+  // Exactly one of these engines is set. The canonical packer rides as a
+  // raw pointer (no per-op refcount bump): MPI_Type_free between Isend and
+  // Wait cannot invalidate it because tempi.cpp retires freed packers to a
+  // graveyard drained only at Finalize/uninstall, and uninstall drains
+  // this pool first.
+  const Packer *packer = nullptr;
   std::shared_ptr<const BlockListPacker> blocklist;
 
   void *recv_buf = nullptr; ///< recv only: the user's destination object
@@ -99,7 +102,7 @@ std::unique_ptr<AsyncOp> extract(MPI_Request ticket) {
   return op;
 }
 
-int wire_bytes(const AsyncOp &op) { return op.pipe.bytes; }
+int wire_count(const AsyncOp &op) { return op.pipe.wire_count(); }
 
 /// Enqueue the unpack legs of a received wire without synchronizing
 /// (WirePending -> UnpackPending). The blocklist engine synchronizes
@@ -120,7 +123,7 @@ void fill_recv_status(const AsyncOp &op, MPI_Status *status) {
     return;
   }
   *status = op.wire_status;
-  status->count_bytes = static_cast<long long>(wire_bytes(op));
+  status->count_bytes = static_cast<long long>(wire_count(op));
 }
 
 /// Retire an op that has reached Complete.
@@ -133,7 +136,7 @@ void retire(std::unique_ptr<AsyncOp> op, MPI_Request *request) {
 /// Blocking wire leg + unpack for a receive op; `sync` controls whether
 /// the stream is synchronized here (Waitall defers it to batch).
 int complete_recv(AsyncOp &op, const interpose::MpiTable &next, bool sync) {
-  const int rc = next.Recv(op.pipe.wire.get(), wire_bytes(op), MPI_BYTE,
+  const int rc = next.Recv(op.pipe.wire.get(), wire_count(op), MPI_BYTE,
                            op.peer, op.tag, op.comm, &op.wire_status);
   if (rc != MPI_SUCCESS) {
     return rc;
@@ -163,18 +166,20 @@ int complete_send(AsyncOp &op, const interpose::MpiTable &next) {
 
 } // namespace
 
-int start_isend(std::shared_ptr<const Packer> packer, Method method,
-                const void *buf, int count, int dest, int tag, MPI_Comm comm,
+int start_isend(const Packer *packer, Method method, const void *buf,
+                int count, int dest, int tag, MPI_Comm comm,
                 const interpose::MpiTable &next, MPI_Request *request) {
   auto op = std::make_unique<AsyncOp>();
   op->kind = AsyncOp::Kind::Send;
   op->method = method;
-  op->packer = std::move(packer);
+  op->packer = packer;
   op->count = count;
   op->peer = dest;
   op->tag = tag;
   op->comm = comm;
-  op->stream = vcuda::default_stream();
+  // Round-robin pool stream: consecutive messages' pack/D2H legs land on
+  // different streams and overlap in device time.
+  op->stream = vcuda::next_pool_stream();
 
   // PackIssued: the pack legs go onto the stream asynchronously.
   op->phase = OpPhase::PackIssued;
@@ -190,7 +195,7 @@ int start_isend(std::shared_ptr<const Packer> packer, Method method,
   // has landed in the wire buffer; return it now rather than pinning it
   // for the op's whole flight.
   op->pipe.stage = CachedBuffer{};
-  const int rc = next.Isend(op->pipe.wire.get(), wire_bytes(*op), MPI_BYTE,
+  const int rc = next.Isend(op->pipe.wire.get(), wire_count(*op), MPI_BYTE,
                             dest, tag, comm, &op->inner);
   if (rc != MPI_SUCCESS) {
     return rc;
@@ -213,17 +218,22 @@ int start_isend_blocklist(std::shared_ptr<const BlockListPacker> packer,
   op->peer = dest;
   op->tag = tag;
   op->comm = comm;
-  op->stream = vcuda::default_stream();
+  op->stream = vcuda::next_pool_stream();
 
   op->phase = OpPhase::PackIssued;
-  op->pipe.bytes = static_cast<int>(op->blocklist->packed_bytes(count));
-  op->pipe.wire = lease_buffer(vcuda::MemorySpace::Device,
-                               static_cast<std::size_t>(op->pipe.bytes));
+  op->pipe.bytes = op->blocklist->packed_bytes(count);
+  if (op->pipe.bytes > kMaxWireBytes) {
+    return MPI_ERR_COUNT;
+  }
+  op->pipe.wire = lease_buffer(vcuda::MemorySpace::Device, op->pipe.bytes);
+  if (op->pipe.wire.get() == nullptr && op->pipe.bytes > 0) {
+    return MPI_ERR_OTHER;
+  }
   if (op->blocklist->pack(op->pipe.wire.get(), buf, count, op->stream) !=
       vcuda::Error::Success) {
     return MPI_ERR_OTHER;
   }
-  const int rc = next.Isend(op->pipe.wire.get(), wire_bytes(*op), MPI_BYTE,
+  const int rc = next.Isend(op->pipe.wire.get(), wire_count(*op), MPI_BYTE,
                             dest, tag, comm, &op->inner);
   if (rc != MPI_SUCCESS) {
     return rc;
@@ -246,19 +256,26 @@ std::unique_ptr<AsyncOp> make_recv_op(int count, int source, int tag,
   op->peer = source;
   op->tag = tag;
   op->comm = comm;
-  op->stream = vcuda::default_stream();
+  // Round-robin pool stream: Waitall's batched unpack legs then spread
+  // across the pool and overlap before its single per-stream sync.
+  op->stream = vcuda::next_pool_stream();
   return op;
 }
 
 } // namespace
 
-int start_irecv(std::shared_ptr<const Packer> packer, Method method,
-                void *buf, int count, int source, int tag, MPI_Comm comm,
+int start_irecv(const Packer *packer, Method method, void *buf, int count,
+                int source, int tag, MPI_Comm comm,
                 const interpose::MpiTable & /*next*/, MPI_Request *request) {
   auto op = make_recv_op(count, source, tag, comm, buf);
   op->method = method;
-  op->packer = std::move(packer);
-  start_recv(*op->packer, method, count, &op->pipe);
+  op->packer = packer;
+  // A failed lease must not enter the pool: Wait would post the wire
+  // transfer into a null buffer.
+  const int rc = start_recv(*op->packer, method, count, &op->pipe);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
   pool().irecvs.fetch_add(1, std::memory_order_relaxed);
   *request = insert(std::move(op));
   return MPI_SUCCESS;
@@ -271,9 +288,14 @@ int start_irecv_blocklist(std::shared_ptr<const BlockListPacker> packer,
   auto op = make_recv_op(count, source, tag, comm, buf);
   op->method = Method::Device;
   op->blocklist = std::move(packer);
-  op->pipe.bytes = static_cast<int>(op->blocklist->packed_bytes(count));
-  op->pipe.wire = lease_buffer(vcuda::MemorySpace::Device,
-                               static_cast<std::size_t>(op->pipe.bytes));
+  op->pipe.bytes = op->blocklist->packed_bytes(count);
+  if (op->pipe.bytes > kMaxWireBytes) {
+    return MPI_ERR_COUNT;
+  }
+  op->pipe.wire = lease_buffer(vcuda::MemorySpace::Device, op->pipe.bytes);
+  if (op->pipe.wire.get() == nullptr && op->pipe.bytes > 0) {
+    return MPI_ERR_OTHER;
+  }
   pool().irecvs.fetch_add(1, std::memory_order_relaxed);
   *request = insert(std::move(op));
   return MPI_SUCCESS;

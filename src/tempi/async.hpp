@@ -19,9 +19,11 @@
 //
 // Pipelining: the pack/unpack legs are enqueued with the _async packer
 // halves and the leased intermediates stay pinned in the op until
-// completion, so Waitall can post every unpack leg back-to-back on the
-// stream and pay a single host synchronization for the batch (the paper's
-// halo exchange completes 26 receives per iteration this way).
+// completion. Each op draws a stream round-robin from the per-rank pool
+// (vcuda::next_pool_stream), so Waitall's batched unpack legs spread
+// across the pool, overlap in device time, and pay one host
+// synchronization per pool stream (the paper's halo exchange completes 26
+// receives per iteration this way).
 //
 // Deadlock discipline: the send-side transfer is posted eagerly at Isend
 // time (the system MPI's sends are buffered), so a rank that blocks in a
@@ -61,14 +63,16 @@ struct AsyncOp; // opaque outside async.cpp
 
 /// Start an accelerated non-blocking send with a canonical packer; fills
 /// `*request` with a pool ticket. `method` comes from the same PerfModel
-/// selection the blocking path uses.
-int start_isend(std::shared_ptr<const Packer> packer, Method method,
-                const void *buf, int count, int dest, int tag, MPI_Comm comm,
+/// selection the blocking path uses. The raw packer pointer must stay
+/// valid until the op completes — tempi.cpp guarantees this by retiring
+/// freed packers instead of destroying them (see find_packer_fast).
+int start_isend(const Packer *packer, Method method, const void *buf,
+                int count, int dest, int tag, MPI_Comm comm,
                 const interpose::MpiTable &next, MPI_Request *request);
 
 /// Start an accelerated non-blocking receive (wire matched at Wait/Test).
-int start_irecv(std::shared_ptr<const Packer> packer, Method method,
-                void *buf, int count, int source, int tag, MPI_Comm comm,
+int start_irecv(const Packer *packer, Method method, void *buf, int count,
+                int source, int tag, MPI_Comm comm,
                 const interpose::MpiTable &next, MPI_Request *request);
 
 /// Blocklist (Sec. 8 extension) variants; always the device method.

@@ -1,27 +1,61 @@
 #include "tempi/buffer_cache.hpp"
 
+#include <array>
 #include <atomic>
 #include <bit>
-#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 namespace tempi {
 
 namespace {
 
-/// Amortized cost of a cache hit: a map lookup, "tens or hundreds of
+/// Amortized cost of a cache hit: a bucket lookup, "tens or hundreds of
 /// nanoseconds" (Sec. 5).
 constexpr vcuda::VirtualNs kCacheHitNs = 120;
 
+/// Capacities are powers of two, so the free lists are a flat array
+/// indexed by log2(capacity): the steady-state lease is an array index and
+/// a vector pop, not a tree walk.
+constexpr std::size_t kBuckets = 48; // up to 2^47-byte buffers
+
 struct FreeList {
-  // capacity -> free pointers of exactly that capacity
-  std::map<std::size_t, std::vector<void *>> by_capacity;
+  std::array<std::vector<void *>, kBuckets> by_log2;
 };
+
+/// One thread's slice of the leased_now gauge (see below).
+struct LeaseNode {
+  std::atomic<std::uint64_t> started{0};
+  std::atomic<std::uint64_t> released{0};
+};
+
+struct LeaseRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<LeaseNode>> nodes;
+};
+
+LeaseRegistry &lease_registry() {
+  static LeaseRegistry r;
+  return r;
+}
+
+LeaseNode &register_lease_node() {
+  auto owned = std::make_unique<LeaseNode>();
+  LeaseNode *raw = owned.get();
+  LeaseRegistry &r = lease_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.nodes.push_back(std::move(owned));
+  return *raw;
+}
 
 struct ThreadCache {
   FreeList device;
   FreeList pinned;
   BufferCacheStats stats;
+  /// This thread's gauge node, resolved once so the lease/release hot path
+  /// costs one TLS access total (registry-owned; outlives the thread).
+  LeaseNode &lease_node = register_lease_node();
 
   ~ThreadCache() { drain(); }
 
@@ -30,37 +64,86 @@ struct ThreadCache {
   }
 
   void drain() {
-    for (auto &[cap, ptrs] : device.by_capacity) {
+    for (auto &ptrs : device.by_log2) {
       for (void *p : ptrs) {
         vcuda::Free(p);
       }
+      ptrs.clear();
     }
-    device.by_capacity.clear();
-    for (auto &[cap, ptrs] : pinned.by_capacity) {
+    for (auto &ptrs : pinned.by_log2) {
       for (void *p : ptrs) {
         vcuda::FreeHost(p);
       }
+      ptrs.clear();
     }
-    pinned.by_capacity.clear();
   }
 };
 
-ThreadCache &cache() {
+ThreadCache &cache_slow() {
   thread_local ThreadCache c;
   return c;
 }
 
+/// Bootstrap pointer: ThreadCache has a non-trivial destructor, so direct
+/// thread_local access pays an init-guard check per call. A plain pointer
+/// is zero-initialized statically (no guard), making the steady-state
+/// accessor a single TLS load — this runs twice per lease/release cycle.
+thread_local ThreadCache *t_cache = nullptr;
+
+ThreadCache &cache() {
+  ThreadCache *c = t_cache;
+  if (c == nullptr) {
+    c = &cache_slow();
+    t_cache = c;
+  }
+  return *c;
+}
+
 thread_local bool t_cache_enabled = true;
 
-/// Leases can be released on a different thread than acquired them (a
-/// non-blocking op completed elsewhere, uninstall-time drain), so the
-/// gauge is process-global; an imbalance would corrupt per-thread copies.
-std::atomic<std::size_t> g_leased_now{0};
+/// The leased_now gauge. Leases can be released on a different thread than
+/// acquired them (a non-blocking op completed elsewhere, uninstall-time
+/// drain), so the gauge must be process-wide — but a shared atomic would
+/// put two lock-prefixed RMWs on every lease/release cycle. Instead each
+/// thread owns a (started, released) node that only it writes (plain
+/// relaxed load/store, no RMW; a cross-thread release bumps the RELEASING
+/// thread's counter). Readers sum every node under the registry mutex.
+/// Nodes outlive their thread — a dead thread's outstanding leases are
+/// still outstanding — and are owned by the static registry, not leaked.
+void count_lease_start(ThreadCache &c) {
+  std::atomic<std::uint64_t> &n = c.lease_node.started;
+  // Release store (a plain store on x86): pairs with leased_now's acquire
+  // loads so a reader that sees a buffer's release also sees its start —
+  // a cross-thread release happens-after the start via the op hand-off,
+  // and the acquire/release chain extends that ordering to the reader.
+  n.store(n.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+}
+
+void count_lease_release(ThreadCache &c) {
+  std::atomic<std::uint64_t> &n = c.lease_node.released;
+  n.store(n.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+}
+
+std::size_t leased_now() {
+  LeaseRegistry &r = lease_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  // Sum releases first with acquire loads: every start that happens-before
+  // an observed release is then visible, so the gauge cannot underflow.
+  std::uint64_t released = 0;
+  for (const auto &node : r.nodes) {
+    released += node->released.load(std::memory_order_acquire);
+  }
+  std::uint64_t started = 0;
+  for (const auto &node : r.nodes) {
+    started += node->started.load(std::memory_order_acquire);
+  }
+  return static_cast<std::size_t>(started - released);
+}
 
 void return_to_cache(void *ptr, std::size_t capacity,
                      vcuda::MemorySpace space) {
   ThreadCache &c = cache();
-  g_leased_now.fetch_sub(1, std::memory_order_relaxed);
+  count_lease_release(c);
   if (!t_cache_enabled) {
     if (space == vcuda::MemorySpace::Device) {
       vcuda::Free(ptr);
@@ -69,7 +152,16 @@ void return_to_cache(void *ptr, std::size_t capacity,
     }
     return;
   }
-  c.list_for(space).by_capacity[capacity].push_back(ptr);
+  const auto bucket = static_cast<std::size_t>(std::countr_zero(capacity));
+  if (bucket >= kBuckets) { // larger than any bucket: do not retain
+    if (space == vcuda::MemorySpace::Device) {
+      vcuda::Free(ptr);
+    } else {
+      vcuda::FreeHost(ptr);
+    }
+    return;
+  }
+  c.list_for(space).by_log2[bucket].push_back(ptr);
 }
 
 } // namespace
@@ -86,21 +178,24 @@ CachedBuffer lease_buffer(vcuda::MemorySpace space, std::size_t bytes) {
   ThreadCache &c = cache();
   const std::size_t capacity = std::bit_ceil(bytes == 0 ? 1 : bytes);
   FreeList &list = c.list_for(space);
-  // First fit at or above the requested capacity.
-  for (auto it = t_cache_enabled ? list.by_capacity.lower_bound(capacity)
-                                 : list.by_capacity.end();
-       it != list.by_capacity.end(); ++it) {
-    if (!it->second.empty()) {
-      void *p = it->second.back();
-      it->second.pop_back();
-      ++c.stats.hits;
-      g_leased_now.fetch_add(1, std::memory_order_relaxed);
-      vcuda::this_thread_timeline().advance(kCacheHitNs);
-      return CachedBuffer(p, it->first, space);
+  const auto first = static_cast<std::size_t>(std::countr_zero(capacity));
+  // First fit at or above the requested capacity; steady state hits the
+  // exact bucket on the first probe.
+  if (t_cache_enabled) {
+    for (std::size_t b = first; b < kBuckets; ++b) {
+      std::vector<void *> &bucket = list.by_log2[b];
+      if (!bucket.empty()) {
+        void *p = bucket.back();
+        bucket.pop_back();
+        ++c.stats.hits;
+        count_lease_start(c);
+        vcuda::this_thread_timeline().advance(kCacheHitNs);
+        return CachedBuffer(p, std::size_t{1} << b, space);
+      }
     }
   }
   ++c.stats.misses;
-  g_leased_now.fetch_add(1, std::memory_order_relaxed);
+  count_lease_start(c);
   void *p = nullptr;
   if (space == vcuda::MemorySpace::Device) {
     vcuda::Malloc(&p, capacity);
@@ -118,7 +213,7 @@ bool buffer_cache_enabled() { return t_cache_enabled; }
 
 BufferCacheStats buffer_cache_stats() {
   BufferCacheStats s = cache().stats;
-  s.leased_now = g_leased_now.load(std::memory_order_relaxed);
+  s.leased_now = leased_now();
   return s;
 }
 

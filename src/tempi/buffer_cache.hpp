@@ -64,8 +64,9 @@ bool buffer_cache_enabled();
 /// process-wide gauge of buffers currently out on lease: the non-blocking
 /// request engine keeps intermediates leased inside in-flight ops, which
 /// may be released on a different thread than leased them (MPI_Wait on
-/// another thread, uninstall-time drain), so the gauge cannot live with
-/// the per-thread free lists.
+/// another thread, uninstall-time drain). It is kept as per-thread
+/// (started, released) counters summed on read, so the lease/release hot
+/// path pays no shared atomic RMW.
 struct BufferCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;

@@ -161,11 +161,40 @@ vcuda::KernelCost unpack_cost(const StridedBlock &sb, int count,
   return cost;
 }
 
-vcuda::Error launch_pack(const StridedBlock &sb, long long extent, void *dst,
-                         const void *src, int count,
-                         vcuda::StreamHandle stream) {
+PackPlan make_pack_plan(const StridedBlock &sb, long long extent) {
+  PackPlan plan;
+  plan.contiguous = sb.ndims() == 1;
+  if (plan.contiguous) {
+    return plan;
+  }
+  plan.word_size = select_word_size(sb);
+  plan.config = make_launch_config(sb, plan.word_size, 1);
+  plan.grid_z_per_object = sb.ndims() == 2;
+  if (sb.ndims() == 2) {
+    plan.dma_capable = true;
+    plan.dma_width = static_cast<std::size_t>(sb.counts[0]);
+    plan.dma_rows = static_cast<std::size_t>(sb.counts[1]);
+    plan.dma_pitch = static_cast<std::size_t>(sb.strides[1]);
+    plan.dma_uniform =
+        extent > 0 &&
+        static_cast<std::size_t>(extent) == plan.dma_rows * plan.dma_pitch;
+  }
+  return plan;
+}
+
+vcuda::LaunchConfig launch_config_for(const PackPlan &plan, int count) {
+  vcuda::LaunchConfig cfg = plan.config;
+  if (plan.grid_z_per_object && count > 1) {
+    cfg.grid.z = static_cast<unsigned>(count);
+  }
+  return cfg;
+}
+
+vcuda::Error launch_pack(const PackPlan &plan, const StridedBlock &sb,
+                         long long extent, void *dst, const void *src,
+                         int count, vcuda::StreamHandle stream) {
   assert(sb.ndims() >= 1);
-  if (sb.ndims() == 1) {
+  if (plan.contiguous) {
     // Contiguous object: a single async copy per object (per Sec. 3.3).
     const auto bytes = static_cast<std::size_t>(sb.counts[0]);
     auto *out = static_cast<std::byte *>(dst);
@@ -180,8 +209,7 @@ vcuda::Error launch_pack(const StridedBlock &sb, long long extent, void *dst,
     }
     return vcuda::Error::Success;
   }
-  const int w = select_word_size(sb);
-  const vcuda::LaunchConfig cfg = make_launch_config(sb, w, count);
+  const vcuda::LaunchConfig cfg = launch_config_for(plan, count);
   const vcuda::KernelCost cost =
       pack_cost(sb, count, space_of(src), space_of(dst));
   auto *out = static_cast<std::byte *>(dst);
@@ -195,11 +223,11 @@ vcuda::Error launch_pack(const StridedBlock &sb, long long extent, void *dst,
   });
 }
 
-vcuda::Error launch_unpack(const StridedBlock &sb, long long extent,
-                           void *dst, const void *src, int count,
-                           vcuda::StreamHandle stream) {
+vcuda::Error launch_unpack(const PackPlan &plan, const StridedBlock &sb,
+                           long long extent, void *dst, const void *src,
+                           int count, vcuda::StreamHandle stream) {
   assert(sb.ndims() >= 1);
-  if (sb.ndims() == 1) {
+  if (plan.contiguous) {
     const auto bytes = static_cast<std::size_t>(sb.counts[0]);
     auto *out = static_cast<std::byte *>(dst) + sb.start;
     const auto *in = static_cast<const std::byte *>(src);
@@ -213,8 +241,7 @@ vcuda::Error launch_unpack(const StridedBlock &sb, long long extent,
     }
     return vcuda::Error::Success;
   }
-  const int w = select_word_size(sb);
-  const vcuda::LaunchConfig cfg = make_launch_config(sb, w, count);
+  const vcuda::LaunchConfig cfg = launch_config_for(plan, count);
   const vcuda::KernelCost cost =
       unpack_cost(sb, count, space_of(src), space_of(dst));
   auto *out = static_cast<std::byte *>(dst);
@@ -226,6 +253,20 @@ vcuda::Error launch_unpack(const StridedBlock &sb, long long extent,
                                         static_cast<std::size_t>(n));
                           });
   });
+}
+
+vcuda::Error launch_pack(const StridedBlock &sb, long long extent, void *dst,
+                         const void *src, int count,
+                         vcuda::StreamHandle stream) {
+  return launch_pack(make_pack_plan(sb, extent), sb, extent, dst, src, count,
+                     stream);
+}
+
+vcuda::Error launch_unpack(const StridedBlock &sb, long long extent,
+                           void *dst, const void *src, int count,
+                           vcuda::StreamHandle stream) {
+  return launch_unpack(make_pack_plan(sb, extent), sb, extent, dst, src,
+                       count, stream);
 }
 
 } // namespace tempi

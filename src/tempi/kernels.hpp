@@ -31,6 +31,34 @@ int select_word_size(const StridedBlock &sb);
 vcuda::LaunchConfig make_launch_config(const StridedBlock &sb, int word_size,
                                        int count);
 
+/// Per-datatype launch plan, precomputed once at MPI_Type_commit (Sec. 5:
+/// cached per-datatype resources amortize to "tens or hundreds of
+/// nanoseconds"). The hot-path launch is table-driven: the only dynamic
+/// parameter left is the object count of the MPI call, which 2-D kernels
+/// absorb in grid Z.
+struct PackPlan {
+  int word_size = 1;              ///< frozen select_word_size(sb)
+  vcuda::LaunchConfig config;     ///< geometry template for count == 1
+  bool grid_z_per_object = false; ///< 2-D: grid Z scales with the count
+  bool contiguous = false;        ///< 1-D object: MemcpyAsync per object
+
+  // cudaMemcpy2D (DMA-engine) parameters, valid for 2-D blocks only.
+  bool dma_capable = false;
+  std::size_t dma_width = 0; ///< contiguous bytes per row
+  std::size_t dma_rows = 0;  ///< rows per object
+  std::size_t dma_pitch = 0; ///< byte stride between rows
+  /// extent == rows * pitch: consecutive objects continue the row grid, so
+  /// any count folds into a single tall Memcpy2DAsync instead of one DMA
+  /// descriptor batch per object.
+  bool dma_uniform = false;
+};
+
+/// Build the plan for a canonical block (called at commit time).
+PackPlan make_pack_plan(const StridedBlock &sb, long long extent);
+
+/// The plan's geometry with the dynamic `count` applied (grid Z for 2-D).
+vcuda::LaunchConfig launch_config_for(const PackPlan &plan, int count);
+
 /// Modeled cost descriptor for a pack (gather) kernel moving `count`
 /// objects of `sb` from `src_space` into contiguous `dst_space` memory.
 vcuda::KernelCost pack_cost(const StridedBlock &sb, int count,
@@ -42,14 +70,21 @@ vcuda::KernelCost unpack_cost(const StridedBlock &sb, int count,
                               vcuda::MemorySpace src_space,
                               vcuda::MemorySpace dst_space);
 
-/// Launch one pack kernel: gather `count` objects laid out as `sb` (with
-/// elements `extent` bytes apart) from `src` into contiguous `dst`.
+/// Plan-driven launches (the hot path): no word-size or geometry
+/// recomputation per call; `sb`/`extent` only parameterize the kernel body.
+vcuda::Error launch_pack(const PackPlan &plan, const StridedBlock &sb,
+                         long long extent, void *dst, const void *src,
+                         int count, vcuda::StreamHandle stream);
+vcuda::Error launch_unpack(const PackPlan &plan, const StridedBlock &sb,
+                           long long extent, void *dst, const void *src,
+                           int count, vcuda::StreamHandle stream);
+
+/// Recompute-per-call variants (the pre-plan path): build the plan on the
+/// spot and launch. Kept as the reference the plan-driven launches are
+/// tested and benchmarked against.
 vcuda::Error launch_pack(const StridedBlock &sb, long long extent, void *dst,
                          const void *src, int count,
                          vcuda::StreamHandle stream);
-
-/// Launch one unpack kernel: scatter contiguous `src` into `count` objects
-/// laid out as `sb` at `dst`.
 vcuda::Error launch_unpack(const StridedBlock &sb, long long extent,
                            void *dst, const void *src, int count,
                            vcuda::StreamHandle stream);

@@ -13,16 +13,36 @@ vcuda::MemorySpace intermediate_space(Method m) {
   return vcuda::MemorySpace::Device;
 }
 
+namespace {
+
+/// Size the pipeline for `count` objects; rejects packs the int-count wire
+/// leg cannot express rather than wrapping.
+int size_pipeline(const Packer &packer, int count, PackPipeline *pipe) {
+  pipe->bytes = packer.packed_bytes(count);
+  return pipe->bytes > kMaxWireBytes ? MPI_ERR_COUNT : MPI_SUCCESS;
+}
+
+bool lease_failed(const CachedBuffer &buf, std::size_t bytes) {
+  return bytes > 0 && buf.get() == nullptr;
+}
+
+} // namespace
+
 int start_pack(const Packer &packer, Method m, const void *buf, int count,
                vcuda::StreamHandle stream, PackPipeline *pipe) {
-  pipe->bytes = static_cast<int>(packer.packed_bytes(count));
-  const auto bytes = static_cast<std::size_t>(pipe->bytes);
+  if (const int rc = size_pipeline(packer, count, pipe); rc != MPI_SUCCESS) {
+    return rc;
+  }
+  const std::size_t bytes = pipe->bytes;
 
   if (m == Method::Device || m == Method::OneShot) {
     // Device: pack in device memory, hand the device buffer to CUDA-aware
     // MPI. OneShot: pack straight into mapped host memory through
     // zero-copy stores, then a plain host-to-host MPI transfer.
     pipe->wire = lease_buffer(intermediate_space(m), bytes);
+    if (lease_failed(pipe->wire, bytes)) {
+      return MPI_ERR_OTHER;
+    }
     return packer.pack_async(pipe->wire.get(), buf, count, stream) ==
                    vcuda::Error::Success
                ? MPI_SUCCESS
@@ -32,6 +52,9 @@ int start_pack(const Packer &packer, Method m, const void *buf, int count,
   // Staged: pack in device memory, copy down to pinned host, send from host.
   pipe->stage = lease_buffer(vcuda::MemorySpace::Device, bytes);
   pipe->wire = lease_buffer(vcuda::MemorySpace::Pinned, bytes);
+  if (lease_failed(pipe->stage, bytes) || lease_failed(pipe->wire, bytes)) {
+    return MPI_ERR_OTHER;
+  }
   if (packer.pack_async(pipe->stage.get(), buf, count, stream) !=
       vcuda::Error::Success) {
     return MPI_ERR_OTHER;
@@ -42,19 +65,26 @@ int start_pack(const Packer &packer, Method m, const void *buf, int count,
 }
 
 int start_recv(const Packer &packer, Method m, int count, PackPipeline *pipe) {
-  pipe->bytes = static_cast<int>(packer.packed_bytes(count));
-  pipe->wire = lease_buffer(intermediate_space(m),
-                            static_cast<std::size_t>(pipe->bytes));
+  if (const int rc = size_pipeline(packer, count, pipe); rc != MPI_SUCCESS) {
+    return rc;
+  }
+  pipe->wire = lease_buffer(intermediate_space(m), pipe->bytes);
+  if (lease_failed(pipe->wire, pipe->bytes)) {
+    return MPI_ERR_OTHER;
+  }
   return MPI_SUCCESS;
 }
 
 int start_unpack(const Packer &packer, Method m, void *buf, int count,
                  PackPipeline &pipe, vcuda::StreamHandle stream) {
-  const auto bytes = static_cast<std::size_t>(pipe.bytes);
+  const std::size_t bytes = pipe.bytes;
   const void *unpack_src = pipe.wire.get();
   if (m == Method::Staged) {
     // Staged only: lift the wire bytes back to device memory first.
     pipe.stage = lease_buffer(vcuda::MemorySpace::Device, bytes);
+    if (lease_failed(pipe.stage, bytes)) {
+      return MPI_ERR_OTHER;
+    }
     vcuda::MemcpyAsync(pipe.stage.get(), pipe.wire.get(), bytes,
                        vcuda::MemcpyKind::HostToDevice, stream);
     unpack_src = pipe.stage.get();
@@ -68,25 +98,33 @@ int start_unpack(const Packer &packer, Method m, void *buf, int count,
 int send_with_method(const Packer &packer, Method m, const void *buf,
                      int count, int dest, int tag, MPI_Comm comm,
                      const interpose::MpiTable &next) {
-  vcuda::StreamHandle stream = vcuda::default_stream();
+  // Pool streams keep this message's legs off the default stream, so it
+  // neither waits for nor delays unrelated work enqueued there.
+  vcuda::StreamHandle stream = vcuda::next_pool_stream();
   PackPipeline pipe;
   const int rc = start_pack(packer, m, buf, count, stream, &pipe);
   if (rc != MPI_SUCCESS) {
     return rc;
   }
   vcuda::StreamSynchronize(stream);
-  return next.Send(pipe.wire.get(), pipe.bytes, MPI_BYTE, dest, tag, comm);
+  return next.Send(pipe.wire.get(), pipe.wire_count(), MPI_BYTE, dest, tag,
+                   comm);
 }
 
 int recv_with_method(const Packer &packer, Method m, void *buf, int count,
                      int source, int tag, MPI_Comm comm, MPI_Status *status,
                      const interpose::MpiTable &next) {
-  vcuda::StreamHandle stream = vcuda::default_stream();
+  vcuda::StreamHandle stream = vcuda::next_pool_stream();
   PackPipeline pipe;
-  start_recv(packer, m, count, &pipe);
+  const int rrc = start_recv(packer, m, count, &pipe);
+  if (rrc != MPI_SUCCESS) {
+    // A failed lease must not proceed into the transfer: next.Recv would
+    // land wire bytes in a null buffer.
+    return rrc;
+  }
   MPI_Status wire_status;
-  const int rc = next.Recv(pipe.wire.get(), pipe.bytes, MPI_BYTE, source, tag,
-                           comm, &wire_status);
+  const int rc = next.Recv(pipe.wire.get(), pipe.wire_count(), MPI_BYTE,
+                           source, tag, comm, &wire_status);
   if (rc != MPI_SUCCESS) {
     return rc;
   }

@@ -13,7 +13,10 @@
 //   receiver: start_recv -> contiguous transfer -> start_unpack
 //             -> StreamSynchronize
 // The start halves only enqueue work on the vcuda stream, so several legs
-// from different requests can pipeline before a single host sync.
+// from different requests can pipeline before a single host sync. The
+// blocking entry points draw round-robin from the per-rank stream pool
+// (vcuda::next_pool_stream), keeping each message's legs off the default
+// stream and away from unrelated enqueued work.
 #pragma once
 
 #include "interpose/table.hpp"
@@ -27,10 +30,19 @@ namespace tempi {
 /// leased buffers stay pinned to the pipeline (not the lexical scope), so a
 /// non-blocking op can hold them until request completion.
 struct PackPipeline {
-  CachedBuffer wire;  ///< buffer handed to the system MPI transfer leg
-  CachedBuffer stage; ///< staged method only: device-side kernel target
-  int bytes = 0;      ///< packed wire bytes
+  CachedBuffer wire;     ///< buffer handed to the system MPI transfer leg
+  CachedBuffer stage;    ///< staged method only: device-side kernel target
+  std::size_t bytes = 0; ///< packed wire bytes (full width; no int wrap)
+
+  /// The wire leg's MPI count. Valid only after start_pack/start_recv
+  /// succeeded, which guarantees bytes <= kMaxWireBytes.
+  [[nodiscard]] int wire_count() const { return static_cast<int>(bytes); }
 };
+
+/// Largest packed payload the contiguous wire leg can carry: the system
+/// MPI transfer count is a C int. start_pack/start_recv fail with
+/// MPI_ERR_COUNT beyond this instead of silently wrapping (>2 GiB packs).
+inline constexpr std::size_t kMaxWireBytes = 2147483647u; // INT_MAX
 
 /// Where the packed intermediate lives for a method's wire leg.
 vcuda::MemorySpace intermediate_space(Method m);
@@ -42,7 +54,9 @@ int start_pack(const Packer &packer, Method m, const void *buf, int count,
                vcuda::StreamHandle stream, PackPipeline *pipe);
 
 /// Receiver start half: lease the wire intermediate the contiguous
-/// transfer should land in (before any transfer is posted).
+/// transfer should land in (before any transfer is posted). Fails with
+/// MPI_ERR_COUNT above the wire limit and MPI_ERR_OTHER when the lease
+/// itself fails; callers must not post a transfer into a failed pipeline.
 int start_recv(const Packer &packer, Method m, int count, PackPipeline *pipe);
 
 /// Receiver finish half: enqueue the unpack leg(s) of `m` from the filled

@@ -1,15 +1,23 @@
 // Per-datatype packer: the cached artifact MPI_Type_commit produces.
 //
 // Holds the canonical StridedBlock, the MPI extent/size of the committed
-// type (needed to step across `count` objects and size packed buffers), and
-// the selected word size. No metadata lives in (virtual) GPU memory: all
-// parameters are kernel arguments, per the paper.
+// type (needed to step across `count` objects and size packed buffers), the
+// commit-time PackPlan (word size, launch-geometry template, DMA
+// parameters), and a small memo of the perf model's method choice per
+// object count. No metadata lives in (virtual) GPU memory: all parameters
+// are kernel arguments, per the paper. Everything recomputable was computed
+// at commit, so the per-message cost is a table lookup.
 #pragma once
 
 #include "tempi/kernels.hpp"
+#include "tempi/perf_model.hpp"
 #include "tempi/strided_block.hpp"
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 
 namespace tempi {
 
@@ -17,13 +25,16 @@ class Packer {
 public:
   Packer(StridedBlock sb, long long type_extent, long long type_size)
       : sb_(std::move(sb)), extent_(type_extent), size_(type_size),
-        word_size_(select_word_size(sb_)) {}
+        plan_(make_pack_plan(sb_, extent_)) {}
 
   [[nodiscard]] const StridedBlock &block() const { return sb_; }
   [[nodiscard]] long long type_extent() const { return extent_; }
   [[nodiscard]] long long type_size() const { return size_; }
-  [[nodiscard]] int word_size() const { return word_size_; }
+  [[nodiscard]] int word_size() const { return plan_.word_size; }
   [[nodiscard]] bool contiguous() const { return sb_.ndims() == 1; }
+
+  /// The commit-time launch plan (tests and the overhead bench).
+  [[nodiscard]] const PackPlan &plan() const { return plan_; }
 
   /// Bytes produced by packing `count` objects.
   [[nodiscard]] std::size_t packed_bytes(int count) const {
@@ -51,18 +62,62 @@ public:
   /// Sec. 8 extension ("evaluate the use of the GPU DMA engine for
   /// non-contiguous data, e.g. cudaMemcpy2D"): pack/unpack a 2-D strided
   /// block through cudaMemcpy2DAsync instead of a kernel — the Wang et al.
-  /// strategy. Valid only when dma_capable(); one DMA op per object.
-  [[nodiscard]] bool dma_capable() const { return sb_.ndims() == 2; }
+  /// strategy. Valid only when dma_capable(). When the object stride is
+  /// uniform (extent == rows * pitch) all objects fold into a single DMA
+  /// call; otherwise one per object.
+  [[nodiscard]] bool dma_capable() const { return plan_.dma_capable; }
   vcuda::Error pack_dma(void *dst, const void *src, int count,
                         vcuda::StreamHandle stream) const;
   vcuda::Error unpack_dma(void *dst, const void *src, int count,
                           vcuda::StreamHandle stream) const;
 
+  /// Steady-state method memo: Auto-mode sends remember the perf model's
+  /// choice per (count, model generation), so a repeat send skips the
+  /// model entirely — the hot path is one atomic load. A slot packs
+  /// (generation, count, method) into a single 64-bit word so a reader can
+  /// never observe a torn pairing; a stale generation simply misses.
+  /// Defined inline: this sits on the per-message critical path.
+  [[nodiscard]] std::optional<Method>
+  cached_method(int count, std::uint64_t model_generation) const {
+    if (count <= 0 || count >= (1 << kMemoCountBits)) {
+      return std::nullopt;
+    }
+    const std::uint64_t v =
+        memo_[static_cast<std::size_t>(count) & (kMemoSlots - 1)].load(
+            std::memory_order_acquire);
+    const std::uint64_t want =
+        ((model_generation & kMemoGenMask) << (3 + kMemoCountBits)) |
+        (static_cast<std::uint64_t>(count) << 3) | 0x4u;
+    if ((v & ~std::uint64_t{0x3}) != want) {
+      return std::nullopt;
+    }
+    return static_cast<Method>(v & 0x3u);
+  }
+  void remember_method(int count, std::uint64_t model_generation,
+                       Method m) const {
+    if (count <= 0 || count >= (1 << kMemoCountBits)) {
+      return;
+    }
+    const std::uint64_t v =
+        ((model_generation & kMemoGenMask) << (3 + kMemoCountBits)) |
+        (static_cast<std::uint64_t>(count) << 3) | 0x4u |
+        static_cast<std::uint64_t>(m);
+    memo_[static_cast<std::size_t>(count) & (kMemoSlots - 1)].store(
+        v, std::memory_order_release);
+  }
+
 private:
+  static constexpr int kMemoSlots = 8; // power of two, direct-mapped
+  // Slot layout: [63:31] generation (33 bits) | [30:3] count (28 bits) |
+  // bit 2 valid | [1:0] method. Counts >= 2^28 bypass the memo.
+  static constexpr int kMemoCountBits = 28;
+  static constexpr std::uint64_t kMemoGenMask = (std::uint64_t{1} << 33) - 1;
+
   StridedBlock sb_;
   long long extent_ = 0;
   long long size_ = 0;
-  int word_size_ = 1;
+  PackPlan plan_;
+  mutable std::array<std::atomic<std::uint64_t>, kMemoSlots> memo_{};
 };
 
 } // namespace tempi

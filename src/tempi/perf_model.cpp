@@ -5,10 +5,11 @@
 #include "vcuda/costmodel.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <fstream>
-#include <unordered_map>
 
 namespace tempi {
 
@@ -268,6 +269,64 @@ SystemPerf builtin_perf() {
   return p;
 }
 
+// --- choice cache ------------------------------------------------------------
+
+/// Fixed-size, direct-mapped, lock-free cache of choose() results. Each
+/// slot is one 64-bit atomic: bits [63:3] hold the top 61 bits of the key
+/// hash, bit 2 marks the slot valid, bits [1:0] hold the Method. A 61-bit
+/// tag collision can only mispick among the three methods — every method
+/// produces correct bytes, so the worst case is a perf decision, never a
+/// correctness hazard. Concurrent writers race benignly (last store wins).
+struct PerfModel::ChoiceCache {
+  static constexpr std::size_t kSlots = 1024; // power of two
+  std::array<std::atomic<std::uint64_t>, kSlots> slots{};
+};
+
+namespace {
+
+/// splitmix64 finalizer: the key hash for the choice cache.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::atomic<std::uint64_t> g_model_cache_hits{0};
+std::atomic<std::uint64_t> g_model_cache_misses{0};
+
+} // namespace
+
+ModelCacheStats model_cache_stats() {
+  return ModelCacheStats{
+      g_model_cache_hits.load(std::memory_order_relaxed),
+      g_model_cache_misses.load(std::memory_order_relaxed),
+  };
+}
+
+void reset_model_cache_stats() {
+  g_model_cache_hits.store(0, std::memory_order_relaxed);
+  g_model_cache_misses.store(0, std::memory_order_relaxed);
+}
+
+PerfModel::PerfModel(SystemPerf perf)
+    : perf_(std::move(perf)), cache_(std::make_unique<ChoiceCache>()) {}
+
+PerfModel::PerfModel(const PerfModel &other)
+    : perf_(other.perf_), cache_(std::make_unique<ChoiceCache>()) {}
+
+PerfModel &PerfModel::operator=(const PerfModel &other) {
+  if (this != &other) {
+    perf_ = other.perf_;
+    cache_ = std::make_unique<ChoiceCache>(); // cold: tables changed
+  }
+  return *this;
+}
+
+PerfModel::PerfModel(PerfModel &&other) noexcept = default;
+PerfModel &PerfModel::operator=(PerfModel &&other) noexcept = default;
+PerfModel::~PerfModel() = default;
+
 double PerfModel::estimate_us(Method m, double block_bytes,
                               double total_bytes) const {
   switch (m) {
@@ -290,30 +349,23 @@ double PerfModel::estimate_us(Method m, double block_bytes,
 
 Method PerfModel::choose(std::size_t block_bytes,
                          std::size_t total_bytes) const {
-  // Pure function of (this, block, total): cache per thread, keyed on the
-  // exact arguments (Sec. 6.3: "results are cached so future invocations
-  // ... do not require a redundant expensive interpolation").
-  struct Key {
-    const PerfModel *model;
-    std::size_t block, total;
-    bool operator==(const Key &) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key &k) const {
-      std::size_t h = std::hash<const void *>()(k.model);
-      h = h * 1000003 ^ std::hash<std::size_t>()(k.block);
-      h = h * 1000003 ^ std::hash<std::size_t>()(k.total);
-      return h;
-    }
-  };
-  thread_local std::unordered_map<Key, Method, KeyHash> cache;
-
-  const Key key{this, block_bytes, total_bytes};
-  if (const auto it = cache.find(key); it != cache.end()) {
+  // Pure function of (tables, block, total): consult this instance's
+  // lock-free choice cache (Sec. 6.3: "results are cached so future
+  // invocations ... do not require a redundant expensive interpolation").
+  const std::uint64_t h =
+      mix64(mix64(block_bytes) ^ (static_cast<std::uint64_t>(total_bytes) +
+                                  0x9e3779b97f4a7c15ull));
+  std::atomic<std::uint64_t> &slot =
+      cache_->slots[h & (ChoiceCache::kSlots - 1)];
+  const std::uint64_t tag = h & ~std::uint64_t{0x7};
+  const std::uint64_t v = slot.load(std::memory_order_acquire);
+  if ((v & ~std::uint64_t{0x7}) == tag && (v & 0x4u) != 0) {
     vcuda::this_thread_timeline().advance(kModelQueryCachedNs);
-    return it->second;
+    g_model_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<Method>(v & 0x3u);
   }
   vcuda::this_thread_timeline().advance(kModelQueryUncachedNs);
+  g_model_cache_misses.fetch_add(1, std::memory_order_relaxed);
   const auto b = static_cast<double>(block_bytes);
   const auto t = static_cast<double>(total_bytes);
   Method best = Method::Device;
@@ -325,7 +377,8 @@ Method PerfModel::choose(std::size_t block_bytes,
       best_us = us;
     }
   }
-  cache.emplace(key, best);
+  slot.store(tag | 0x4u | static_cast<std::uint64_t>(best),
+             std::memory_order_release);
   return best;
 }
 

@@ -7,13 +7,18 @@
 //   T_staged  = T_gpu-pack + T_d2h + T_cpu-cpu + T_h2d + T_gpu-unpack (Eq.3)
 // Transfers are estimated by 1-D interpolation over message size;
 // pack/unpack kernels by 2-D interpolation over {contiguous block length,
-// object size}. Model queries are pure, so results are cached; the paper
-// measures ~277 ns per cached selection.
+// object size}. Model queries are pure functions of (block, total), so
+// each PerfModel instance carries a fixed-size, lock-free, direct-mapped
+// cache of its choose() results: a hit is a single atomic load (~277 ns
+// per the paper), a miss runs the three-method interpolation (~2 us) and
+// publishes the winner. Process-wide hit/miss counters are exposed below
+// and surfaced through tempi::SendStats.
 #pragma once
 
 #include "vcuda/clock.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -62,14 +67,20 @@ SystemPerf builtin_perf();
 class PerfModel {
 public:
   PerfModel() : PerfModel(builtin_perf()) {}
-  explicit PerfModel(SystemPerf perf) : perf_(std::move(perf)) {}
+  explicit PerfModel(SystemPerf perf);
+  PerfModel(const PerfModel &other);            ///< copies start cache-cold
+  PerfModel &operator=(const PerfModel &other); ///< ditto
+  PerfModel(PerfModel &&other) noexcept;        ///< moves keep the cache
+  PerfModel &operator=(PerfModel &&other) noexcept;
+  ~PerfModel();
 
   /// Estimated end-to-end Send/Recv latency (us) of `m` for objects with
   /// `block_bytes`-long contiguous blocks totalling `total_bytes`.
   [[nodiscard]] double estimate_us(Method m, double block_bytes,
                                    double total_bytes) const;
 
-  /// The method with the lowest estimate. Charges the calling thread's
+  /// The method with the lowest estimate. Thread-safe: consults this
+  /// instance's lock-free choice cache first. Charges the calling thread's
   /// virtual clock for the query (cached: ~277 ns; uncached: ~2 us).
   [[nodiscard]] Method choose(std::size_t block_bytes,
                               std::size_t total_bytes) const;
@@ -77,11 +88,25 @@ public:
   [[nodiscard]] const SystemPerf &perf() const { return perf_; }
 
 private:
+  struct ChoiceCache; // fixed-size lock-free cache, defined in the .cpp
   SystemPerf perf_;
+  std::unique_ptr<ChoiceCache> cache_;
 };
 
-/// Virtual cost charged per cached / uncached model selection.
+/// Virtual cost charged per cached / uncached model selection, and per
+/// packer-level method-memo hit (steady-state sends that skip the model
+/// entirely; see Packer::cached_method).
 inline constexpr vcuda::VirtualNs kModelQueryCachedNs = 277;
 inline constexpr vcuda::VirtualNs kModelQueryUncachedNs = 2000;
+inline constexpr vcuda::VirtualNs kMethodMemoHitNs = 60;
+
+/// Process-wide choose() cache counters, aggregated over every PerfModel
+/// instance (tests, the overhead bench, and tempi::SendStats).
+struct ModelCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+ModelCacheStats model_cache_stats();
+void reset_model_cache_stats();
 
 } // namespace tempi

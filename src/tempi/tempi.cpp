@@ -16,16 +16,43 @@
 #include "tempi/translate.hpp"
 #include "vcuda/runtime.hpp"
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <string_view>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace tempi {
 
 namespace {
+
+/// One slot of the open-addressed datatype-handle cache (the per-send fast
+/// path). Slots are seqlock-published: `seq` is even when stable, odd while
+/// a writer owns the slot, so a reader that sees consistent even `seq`
+/// around its field loads got an untorn (dt, packer, gen) triple. Any
+/// commit or free bumps the global generation, invalidating every slot at
+/// once; raw packer pointers stay safe because freed packers are retired,
+/// not destroyed (see State::retired_packers).
+struct HandleSlot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<MPI_Datatype> dt{nullptr};
+  std::atomic<const Packer *> packer{nullptr};
+  std::atomic<std::uint64_t> gen{0};
+};
+
+constexpr std::size_t kHandleSlots = 64; // power of two
+constexpr std::size_t kHandleProbes = 4;
+
+std::uint64_t mix_handle(MPI_Datatype dt) {
+  // One xor-multiply round: enough dispersion for 64 slots, and this runs
+  // on every interposed send.
+  auto x = reinterpret_cast<std::uintptr_t>(dt) >> 4; // drop alignment bits
+  x = (x ^ (x >> 33)) * 0xbf58476d1ce4e5b9ull;
+  return x ^ (x >> 29);
+}
 
 struct State {
   interpose::MpiTable next; ///< the system MPI (dlsym view)
@@ -35,12 +62,25 @@ struct State {
   std::unordered_map<MPI_Datatype, std::shared_ptr<const Packer>> packers;
   std::unordered_map<MPI_Datatype, std::shared_ptr<const BlockListPacker>>
       blocklist_packers;
+  /// Packers of freed datatypes, kept alive so raw pointers held by the
+  /// handle cache and in-flight ops never dangle. Drained only at the
+  /// quiescent points (Finalize, uninstall); a Packer is ~200 bytes, so
+  /// even commit/free-heavy runs retire kilobytes, not megabytes.
+  std::vector<std::shared_ptr<const Packer>> retired_packers;
   std::atomic<bool> blocklist_fallback{false};
+
+  std::array<HandleSlot, kHandleSlots> handle_cache;
+  std::atomic<std::uint64_t> handle_gen{1};
 
   std::shared_mutex model_mutex;
   PerfModel model;
+  /// Bumped whenever the model is replaced; packer method memos keyed on
+  /// an older generation miss and re-consult the model.
+  std::atomic<std::uint64_t> model_gen{1};
 
   std::atomic<SendMode> mode{SendMode::Auto};
+
+  std::atomic<std::uint64_t> method_memo_hits{0};
 
   std::atomic<std::uint64_t> sends_oneshot{0};
   std::atomic<std::uint64_t> sends_device{0};
@@ -75,6 +115,71 @@ std::shared_ptr<const Packer> lookup_packer(MPI_Datatype dt) {
   return it == s.packers.end() ? nullptr : it->second;
 }
 
+/// The per-send fast path: probe the handle cache (a couple of loads on a
+/// hit, absences included), fall back to the authoritative map and refresh
+/// a slot on a miss.
+const Packer *lookup_packer_fast(MPI_Datatype dt) {
+  State &s = state();
+  const std::uint64_t gen = s.handle_gen.load(std::memory_order_acquire);
+  const std::size_t home =
+      static_cast<std::size_t>(mix_handle(dt)) & (kHandleSlots - 1);
+  for (std::size_t p = 0; p < kHandleProbes; ++p) {
+    HandleSlot &slot = s.handle_cache[(home + p) & (kHandleSlots - 1)];
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) {
+      continue; // mid-write
+    }
+    const MPI_Datatype d = slot.dt.load(std::memory_order_relaxed);
+    const Packer *pk = slot.packer.load(std::memory_order_relaxed);
+    const std::uint64_t g = slot.gen.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) {
+      continue; // torn by a concurrent writer
+    }
+    if (d == dt && g == gen) {
+      return pk; // pk may be nullptr: cached absence
+    }
+  }
+  const Packer *pk = nullptr;
+  {
+    const std::shared_lock<std::shared_mutex> lock(s.packers_mutex);
+    const auto it = s.packers.find(dt);
+    pk = it == s.packers.end() ? nullptr : it->second.get();
+  }
+  // Refresh the first reusable probe slot — one already holding this
+  // handle or invalidated by a generation bump — so hot handles sharing a
+  // home do not evict each other; fall back to the home slot when the
+  // whole window is live with other current-generation handles.
+  std::size_t victim = home;
+  for (std::size_t p = 0; p < kHandleProbes; ++p) {
+    const std::size_t idx = (home + p) & (kHandleSlots - 1);
+    const HandleSlot &slot = s.handle_cache[idx];
+    if (slot.dt.load(std::memory_order_relaxed) == dt ||
+        slot.gen.load(std::memory_order_relaxed) != gen) {
+      victim = idx;
+      break;
+    }
+  }
+  HandleSlot &slot = s.handle_cache[victim];
+  std::uint64_t expected = slot.seq.load(std::memory_order_relaxed);
+  if ((expected & 1) == 0 &&
+      slot.seq.compare_exchange_strong(expected, expected + 1,
+                                       std::memory_order_acquire)) {
+    slot.dt.store(dt, std::memory_order_relaxed);
+    slot.packer.store(pk, std::memory_order_relaxed);
+    slot.gen.store(gen, std::memory_order_relaxed);
+    slot.seq.store(expected + 2, std::memory_order_release);
+  }
+  return pk;
+}
+
+/// Invalidate every handle-cache slot (any commit/free; callers hold the
+/// packers_mutex unique lock so the bump and the map change are atomic
+/// with respect to slow-path readers).
+void bump_handle_generation(State &s) {
+  s.handle_gen.fetch_add(1, std::memory_order_release);
+}
+
 std::shared_ptr<const BlockListPacker> lookup_blocklist(MPI_Datatype dt) {
   State &s = state();
   const std::shared_lock<std::shared_mutex> lock(s.packers_mutex);
@@ -96,6 +201,7 @@ int tempi_Init(int *argc, char ***argv) {
     if (auto perf = load_perf(perf_file_path())) {
       const std::unique_lock<std::shared_mutex> lock(s.model_mutex);
       s.model = PerfModel(std::move(*perf));
+      s.model_gen.fetch_add(1, std::memory_order_release);
       support::log_info("tempi: loaded system measurements from ",
                         perf_file_path());
     } else {
@@ -130,6 +236,9 @@ int tempi_Init(int *argc, char ***argv) {
 int tempi_Finalize() {
   State &s = state();
   drain_buffer_cache(); // this rank's cached intermediates
+  // Retired packers are NOT cleared here: Finalize is per rank, and other
+  // ranks of this process may still be mid-send with raw packer pointers.
+  // uninstall() is the process-wide quiescent point that destroys them.
   return s.next.Finalize();
 }
 
@@ -174,6 +283,7 @@ int tempi_Type_commit(MPI_Datatype *datatype) {
   {
     const std::unique_lock<std::shared_mutex> lock(s.packers_mutex);
     s.packers.emplace(dt, std::move(packer));
+    bump_handle_generation(s); // invalidate cached absences for this handle
   }
   return MPI_SUCCESS;
 }
@@ -182,7 +292,14 @@ int tempi_Type_free(MPI_Datatype *datatype) {
   State &s = state();
   if (datatype != nullptr && *datatype != nullptr) {
     const std::unique_lock<std::shared_mutex> lock(s.packers_mutex);
-    s.packers.erase(*datatype);
+    const auto it = s.packers.find(*datatype);
+    if (it != s.packers.end()) {
+      // Retire, don't destroy: raw pointers from the handle cache may
+      // still be riding in in-flight operations.
+      s.retired_packers.push_back(std::move(it->second));
+      s.packers.erase(it);
+      bump_handle_generation(s);
+    }
     s.blocklist_packers.erase(*datatype);
   }
   return s.next.Type_free(datatype);
@@ -241,7 +358,7 @@ bool try_blocklist_unpack(const void *inbuf, int insize, int *position,
 int tempi_Pack(const void *inbuf, int incount, MPI_Datatype datatype,
                void *outbuf, int outsize, int *position, MPI_Comm comm) {
   State &s = state();
-  const auto packer = lookup_packer(datatype);
+  const Packer *packer = lookup_packer_fast(datatype);
   if (!packer || incount == 0 ||
       !(device_resident(inbuf) || device_resident(outbuf))) {
     int rc = MPI_SUCCESS;
@@ -271,7 +388,7 @@ int tempi_Pack(const void *inbuf, int incount, MPI_Datatype datatype,
 int tempi_Unpack(const void *inbuf, int insize, int *position, void *outbuf,
                  int outcount, MPI_Datatype datatype, MPI_Comm comm) {
   State &s = state();
-  const auto packer = lookup_packer(datatype);
+  const Packer *packer = lookup_packer_fast(datatype);
   if (!packer || outcount == 0 ||
       !(device_resident(inbuf) || device_resident(outbuf))) {
     int rc = MPI_SUCCESS;
@@ -316,10 +433,23 @@ std::optional<Method> acceleration_method(const Packer *packer,
   case SendMode::ForceStaged: return Method::Staged;
   case SendMode::Auto: break;
   }
-  const std::shared_lock<std::shared_mutex> lock(s.model_mutex);
-  return s.model.choose(
-      static_cast<std::size_t>(packer->block().block_bytes()),
-      packer->packed_bytes(count));
+  // Steady state: the packer remembers the model's choice per (count,
+  // model generation) — one atomic load, no model lock, no interpolation.
+  const std::uint64_t gen = s.model_gen.load(std::memory_order_acquire);
+  if (const auto memo = packer->cached_method(count, gen)) {
+    vcuda::this_thread_timeline().advance(kMethodMemoHitNs);
+    s.method_memo_hits.fetch_add(1, std::memory_order_relaxed);
+    return *memo;
+  }
+  Method m = Method::Device;
+  {
+    const std::shared_lock<std::shared_mutex> lock(s.model_mutex);
+    m = s.model.choose(
+        static_cast<std::size_t>(packer->block().block_bytes()),
+        packer->packed_bytes(count));
+  }
+  packer->remember_method(count, gen, m);
+  return m;
 }
 
 /// Sec. 8 extension gate shared by the blocking and non-blocking paths:
@@ -339,19 +469,25 @@ blocklist_acceleration(MPI_Datatype datatype, const void *buf, int count) {
 int tempi_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
                int tag, MPI_Comm comm) {
   State &s = state();
-  const auto packer = lookup_packer(datatype);
-  const auto method = acceleration_method(packer.get(), buf, count);
+  const Packer *packer = lookup_packer_fast(datatype);
+  const auto method = acceleration_method(packer, buf, count);
   if (!method) {
     if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
-      const auto bytes = static_cast<int>(bl->packed_bytes(count));
-      CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
-                                      static_cast<std::size_t>(bytes));
+      const std::size_t bytes = bl->packed_bytes(count);
+      if (bytes > kMaxWireBytes) {
+        return MPI_ERR_COUNT; // the wire leg's count is a C int
+      }
+      CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device, bytes);
+      if (dev.get() == nullptr && bytes > 0) {
+        return MPI_ERR_OTHER; // lease failed; do not pack into null
+      }
       if (bl->pack(dev.get(), buf, count, vcuda::default_stream()) !=
           vcuda::Error::Success) {
         return MPI_ERR_OTHER;
       }
       s.sends_device.fetch_add(1, std::memory_order_relaxed);
-      return s.next.Send(dev.get(), bytes, MPI_BYTE, dest, tag, comm);
+      return s.next.Send(dev.get(), static_cast<int>(bytes), MPI_BYTE, dest,
+                         tag, comm);
     }
     s.sends_forwarded.fetch_add(1, std::memory_order_relaxed);
     return s.next.Send(buf, count, datatype, dest, tag, comm);
@@ -374,15 +510,20 @@ int tempi_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
 int tempi_Recv(void *buf, int count, MPI_Datatype datatype, int source,
                int tag, MPI_Comm comm, MPI_Status *status) {
   State &s = state();
-  const auto packer = lookup_packer(datatype);
-  const auto method = acceleration_method(packer.get(), buf, count);
+  const Packer *packer = lookup_packer_fast(datatype);
+  const auto method = acceleration_method(packer, buf, count);
   if (!method) {
     if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
-      const auto bytes = static_cast<int>(bl->packed_bytes(count));
-      CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device,
-                                      static_cast<std::size_t>(bytes));
-      const int rc =
-          s.next.Recv(dev.get(), bytes, MPI_BYTE, source, tag, comm, status);
+      const std::size_t bytes = bl->packed_bytes(count);
+      if (bytes > kMaxWireBytes) {
+        return MPI_ERR_COUNT; // the wire leg's count is a C int
+      }
+      CachedBuffer dev = lease_buffer(vcuda::MemorySpace::Device, bytes);
+      if (dev.get() == nullptr && bytes > 0) {
+        return MPI_ERR_OTHER; // lease failed; do not receive into null
+      }
+      const int rc = s.next.Recv(dev.get(), static_cast<int>(bytes), MPI_BYTE,
+                                 source, tag, comm, status);
       if (rc != MPI_SUCCESS) {
         return rc;
       }
@@ -425,8 +566,8 @@ int tempi_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
   if (dest == MPI_PROC_NULL) {
     return s.next.Isend(buf, count, datatype, dest, tag, comm, request);
   }
-  const auto packer = lookup_packer(datatype);
-  const auto method = acceleration_method(packer.get(), buf, count);
+  const Packer *packer = lookup_packer_fast(datatype);
+  const auto method = acceleration_method(packer, buf, count);
   if (!method) {
     if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
       s.isends_device.fetch_add(1, std::memory_order_relaxed);
@@ -460,8 +601,8 @@ int tempi_Irecv(void *buf, int count, MPI_Datatype datatype, int source,
   if (source == MPI_PROC_NULL) {
     return s.next.Irecv(buf, count, datatype, source, tag, comm, request);
   }
-  const auto packer = lookup_packer(datatype);
-  const auto method = acceleration_method(packer.get(), buf, count);
+  const Packer *packer = lookup_packer_fast(datatype);
+  const auto method = acceleration_method(packer, buf, count);
   if (!method) {
     if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
       s.irecvs_accelerated.fetch_add(1, std::memory_order_relaxed);
@@ -552,6 +693,8 @@ void uninstall() {
   {
     const std::unique_lock<std::shared_mutex> lock(s.packers_mutex);
     s.packers.clear();
+    s.retired_packers.clear(); // quiescent: the request pool was drained
+    bump_handle_generation(s);
   }
   s.installed = false;
   support::log_info("tempi: interposer removed");
@@ -580,6 +723,8 @@ void set_perf_model(PerfModel model) {
   State &s = state();
   const std::unique_lock<std::shared_mutex> lock(s.model_mutex);
   s.model = std::move(model);
+  // New tables, new generation: every packer method memo goes stale.
+  s.model_gen.fetch_add(1, std::memory_order_release);
 }
 
 const PerfModel &perf_model() {
@@ -589,6 +734,10 @@ const PerfModel &perf_model() {
 
 std::shared_ptr<const Packer> find_packer(MPI_Datatype datatype) {
   return lookup_packer(datatype);
+}
+
+const Packer *find_packer_fast(MPI_Datatype datatype) {
+  return lookup_packer_fast(datatype);
 }
 
 SendStats send_stats() {
@@ -604,6 +753,9 @@ SendStats send_stats() {
       s.isends_forwarded.load(std::memory_order_relaxed),
       s.irecvs_accelerated.load(std::memory_order_relaxed),
       s.irecvs_forwarded.load(std::memory_order_relaxed),
+      model_cache_stats().hits,
+      model_cache_stats().misses,
+      s.method_memo_hits.load(std::memory_order_relaxed),
   };
 }
 
@@ -619,6 +771,8 @@ void reset_send_stats() {
   s.isends_forwarded.store(0, std::memory_order_relaxed);
   s.irecvs_accelerated.store(0, std::memory_order_relaxed);
   s.irecvs_forwarded.store(0, std::memory_order_relaxed);
+  s.method_memo_hits.store(0, std::memory_order_relaxed);
+  reset_model_cache_stats();
 }
 
 } // namespace tempi

@@ -72,6 +72,16 @@ const PerfModel &perf_model();
 /// The packer TEMPI built for a committed datatype, if any (tests/benches).
 std::shared_ptr<const Packer> find_packer(MPI_Datatype datatype);
 
+/// Hot-path datatype lookup: the open-addressed handle cache every
+/// interposed Send/Recv/Isend/Irecv consults — a hit is a couple of atomic
+/// loads, no map probe, no shared_ptr refcount bump. Returns the raw
+/// committed packer (or nullptr; absences are cached too). The pointer
+/// stays valid until tempi::uninstall() even if the type is freed
+/// meanwhile: freed packers are retired to a graveyard rather than
+/// destroyed, so an in-flight operation never observes a dangling engine.
+/// Exposed for tests and the overhead bench.
+const Packer *find_packer_fast(MPI_Datatype datatype);
+
 /// Sec. 8 extension: when a datatype is not expressible as a canonical
 /// strided block (indexed/hindexed/struct), optionally fall back to a
 /// generic GPU blocklist packer (the prior-work representation whose
@@ -101,6 +111,12 @@ struct SendStats {
   std::uint64_t isend_forwarded = 0; ///< non-blocking system fall-through
   std::uint64_t irecv_accelerated = 0;
   std::uint64_t irecv_forwarded = 0;
+
+  /// PerfModel::choose cache traffic (all instances; see perf_model.hpp)
+  /// and packer-level method-memo hits, which skip the model entirely.
+  std::uint64_t model_cache_hits = 0;
+  std::uint64_t model_cache_misses = 0;
+  std::uint64_t method_memo_hits = 0;
 };
 SendStats send_stats();
 void reset_send_stats();

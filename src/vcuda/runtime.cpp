@@ -40,6 +40,29 @@ std::set<Stream *> &live_streams() {
   return s;
 }
 
+constexpr int kStreamPoolSize = 4;
+
+struct ThreadStreamPool {
+  std::vector<Stream> streams;
+  unsigned next = 0;
+  ThreadStreamPool() {
+    streams.reserve(kStreamPoolSize);
+    for (int i = 0; i < kStreamPoolSize; ++i) {
+      streams.emplace_back(t_current_device);
+    }
+  }
+};
+
+/// Non-null once this thread has touched its pool; lets DeviceSynchronize
+/// skip pool construction on threads that never used pool streams.
+thread_local ThreadStreamPool *t_stream_pool = nullptr;
+
+ThreadStreamPool &this_thread_stream_pool() {
+  thread_local ThreadStreamPool pool;
+  t_stream_pool = &pool;
+  return pool;
+}
+
 void host_advance(VirtualNs ns) { this_thread_timeline().advance(ns); }
 
 MemcpyKind infer_kind(const void *dst, const void *src) {
@@ -146,6 +169,13 @@ Error DeviceSynchronize() {
   if (default_stream()->ready_at() > latest) {
     latest = default_stream()->ready_at();
   }
+  if (t_stream_pool != nullptr) { // only if this thread ever used the pool
+    for (const Stream &s : t_stream_pool->streams) {
+      if (s.device() == t_current_device && s.ready_at() > latest) {
+        latest = s.ready_at();
+      }
+    }
+  }
   tl.wait_until(latest);
   tl.advance(p.stream_sync_ns);
   counters64().stream_syncs.fetch_add(1, std::memory_order_relaxed);
@@ -238,6 +268,21 @@ Error StreamDestroy(StreamHandle stream) {
 StreamHandle default_stream() {
   thread_local Stream stream(t_current_device);
   return &stream;
+}
+
+int stream_pool_size() { return kStreamPoolSize; }
+
+StreamHandle pool_stream(int i) {
+  int idx = i % kStreamPoolSize;
+  if (idx < 0) {
+    idx += kStreamPoolSize;
+  }
+  return &this_thread_stream_pool().streams[static_cast<std::size_t>(idx)];
+}
+
+StreamHandle next_pool_stream() {
+  ThreadStreamPool &pool = this_thread_stream_pool();
+  return &pool.streams[pool.next++ % kStreamPoolSize];
 }
 
 Error StreamSynchronize(StreamHandle stream) {

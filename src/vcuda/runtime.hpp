@@ -106,6 +106,18 @@ Error EventElapsedTime(float *ms, EventHandle start, EventHandle stop);
 /// "per-thread default stream"); never destroyed by the user.
 StreamHandle default_stream();
 
+/// A small per-thread (per-rank) pool of streams, distinct from
+/// default_stream(), for pipelining independent operations: consecutive
+/// messages' pack/D2H legs enqueue on different streams so their modeled
+/// device work overlaps, and a batch completion (Waitall) pays one sync
+/// per pool stream instead of serializing every leg on one stream.
+/// Streams are created lazily per thread and never destroyed by the user.
+int stream_pool_size();
+/// The pool stream at index `i` modulo the pool size.
+StreamHandle pool_stream(int i);
+/// Round-robin: each call hands out the calling thread's next pool stream.
+StreamHandle next_pool_stream();
+
 // --- data movement -----------------------------------------------------------
 
 Error MemcpyAsync(void *dst, const void *src, std::size_t bytes,

@@ -74,6 +74,29 @@ TEST(Interposer, CommitFallsBackForIndexedTypes) {
   MPI_Type_free(&t);
 }
 
+TEST(Interposer, FastLookupTracksCommitAndFree) {
+  tempi::ScopedInterposer guard;
+  sysmpi::ensure_self_context();
+  MPI_Datatype t = committed_vector(16, 4, 32);
+  // The handle cache and the authoritative map must agree, including on
+  // repeat (cached) lookups.
+  EXPECT_EQ(tempi::find_packer_fast(t), tempi::find_packer(t).get());
+  EXPECT_EQ(tempi::find_packer_fast(t), tempi::find_packer(t).get());
+  const tempi::Packer *before_free = tempi::find_packer_fast(t);
+  ASSERT_NE(before_free, nullptr);
+  MPI_Type_free(&t);
+  // Freeing bumps the generation: the stale slot must not resolve.
+  EXPECT_EQ(tempi::find_packer_fast(t), nullptr);
+  // The retired packer itself stays valid (graveyard, not destroyed):
+  // reading through the old pointer is safe until uninstall.
+  EXPECT_EQ(before_free->block().block_bytes(), 4);
+  // A fresh commit (possibly reusing the handle) resolves again.
+  MPI_Datatype t2 = committed_vector(8, 2, 6);
+  EXPECT_EQ(tempi::find_packer_fast(t2), tempi::find_packer(t2).get());
+  EXPECT_NE(tempi::find_packer_fast(t2), nullptr);
+  MPI_Type_free(&t2);
+}
+
 TEST(Interposer, DoubleCommitIsIdempotent) {
   tempi::ScopedInterposer guard;
   sysmpi::ensure_self_context();

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <random>
 #include <tuple>
 
 namespace {
@@ -178,6 +179,173 @@ TEST(Packer, UnpackSlowerThanPackForSmallBlocks) {
   packer.unpack(obj.get(), packed.get(), 1, vcuda::default_stream());
   const vcuda::VirtualNs unpack_ns = vcuda::virtual_now() - t1;
   EXPECT_GT(unpack_ns, pack_ns);
+  MPI_Type_free(&t);
+}
+
+TEST(PackPlan, MatchesRecomputeSelection) {
+  // The commit-time plan must agree exactly with the per-call recompute it
+  // replaced: same word size, same geometry for every dynamic count.
+  MPI_Datatype types[3] = {nullptr, nullptr, nullptr};
+  MPI_Type_vector(13, 100, 128, MPI_FLOAT, &types[0]);
+  const int sizes[3] = {8, 16, 32}, subsizes[3] = {3, 5, 20},
+            starts[3] = {2, 4, 7};
+  MPI_Type_create_subarray(3, sizes, subsizes, starts, MPI_ORDER_C, MPI_FLOAT,
+                           &types[1]);
+  MPI_Type_vector(7, 3, 11, MPI_BYTE, &types[2]);
+  for (MPI_Datatype &t : types) {
+    MPI_Type_commit(&t);
+    const tempi::Packer packer = make_packer(t);
+    const tempi::PackPlan &plan = packer.plan();
+    const tempi::StridedBlock &sb = packer.block();
+    EXPECT_EQ(plan.word_size, tempi::select_word_size(sb));
+    for (int count : {1, 2, 7, 64}) {
+      const vcuda::LaunchConfig want =
+          tempi::make_launch_config(sb, plan.word_size, count);
+      const vcuda::LaunchConfig got = tempi::launch_config_for(plan, count);
+      EXPECT_EQ(got.block.x, want.block.x);
+      EXPECT_EQ(got.block.y, want.block.y);
+      EXPECT_EQ(got.block.z, want.block.z);
+      EXPECT_EQ(got.grid.x, want.grid.x);
+      EXPECT_EQ(got.grid.y, want.grid.y);
+      EXPECT_EQ(got.grid.z, want.grid.z);
+    }
+    MPI_Type_free(&t);
+  }
+}
+
+TEST(PackPlan, PlanDrivenPackMatchesRecomputePathForRandomTypes) {
+  // Plan-driven launches (Packer::pack) must be byte-identical to the
+  // recompute-per-call launch_pack path for randomly drawn vector types.
+  std::mt19937 rng(20210623); // the paper's conference date as seed
+  std::uniform_int_distribution<int> counts(1, 40);
+  std::uniform_int_distribution<int> blocks(1, 32);
+  std::uniform_int_distribution<int> pads(0, 17);
+  std::uniform_int_distribution<int> objs(1, 4);
+  for (int round = 0; round < 25; ++round) {
+    const int vcount = counts(rng);
+    const int blocklen = blocks(rng);
+    const int stride = blocklen + pads(rng);
+    const int objcount = objs(rng);
+    MPI_Datatype t = nullptr;
+    ASSERT_EQ(MPI_Type_vector(vcount, blocklen, stride, MPI_INT, &t),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+    const tempi::Packer packer = make_packer(t);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+
+    const std::size_t span = static_cast<std::size_t>(extent) * objcount + 64;
+    SpaceBuffer src(vcuda::MemorySpace::Device, span);
+    fill_pattern(src.get(), span, static_cast<std::uint32_t>(round * 977));
+    SpaceBuffer via_plan(vcuda::MemorySpace::Device,
+                         packer.packed_bytes(objcount));
+    SpaceBuffer via_recompute(vcuda::MemorySpace::Device,
+                              packer.packed_bytes(objcount));
+
+    ASSERT_EQ(packer.pack(via_plan.get(), src.get(), objcount,
+                          vcuda::default_stream()),
+              vcuda::Error::Success);
+    ASSERT_EQ(tempi::launch_pack(packer.block(), extent, via_recompute.get(),
+                                 src.get(), objcount,
+                                 vcuda::default_stream()),
+              vcuda::Error::Success);
+    vcuda::StreamSynchronize(vcuda::default_stream());
+    EXPECT_EQ(std::memcmp(via_plan.get(), via_recompute.get(),
+                          packer.packed_bytes(objcount)),
+              0)
+        << "vector(" << vcount << "," << blocklen << "," << stride
+        << ") x" << objcount;
+    MPI_Type_free(&t);
+  }
+}
+
+TEST(PackerDma, UniformStrideFoldsBatchIntoOneCopy) {
+  // A 2-D subarray spanning the full outer dimension has extent ==
+  // rows * pitch, so consecutive objects continue the row grid and any
+  // count folds into a single Memcpy2DAsync.
+  const int sizes[2] = {16, 64}, subsizes[2] = {16, 24}, starts[2] = {0, 8};
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_create_subarray(2, sizes, subsizes, starts, MPI_ORDER_C,
+                                     MPI_BYTE, &t),
+            MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+  const tempi::Packer packer = make_packer(t);
+  ASSERT_TRUE(packer.dma_capable());
+  EXPECT_TRUE(packer.plan().dma_uniform);
+
+  constexpr int kCount = 5;
+  MPI_Aint lb = 0, extent = 0;
+  MPI_Type_get_extent(t, &lb, &extent);
+  SpaceBuffer src(vcuda::MemorySpace::Device,
+                  static_cast<std::size_t>(extent) * kCount + 64);
+  fill_pattern(src.get(), src.size());
+  SpaceBuffer dst(vcuda::MemorySpace::Device, packer.packed_bytes(kCount));
+  vcuda::reset_counters();
+  ASSERT_EQ(packer.pack_dma(dst.get(), src.get(), kCount,
+                            vcuda::default_stream()),
+            vcuda::Error::Success);
+  EXPECT_EQ(vcuda::counters().memcpy_async_calls, 1u); // folded, not kCount
+  const auto expect = reference_pack(src.get(), kCount, *t);
+  EXPECT_EQ(std::memcmp(dst.get(), expect.data(), expect.size()), 0);
+
+  // And the DMA unpack must invert it, also in one call.
+  SpaceBuffer back(vcuda::MemorySpace::Device,
+                   static_cast<std::size_t>(extent) * kCount + 64);
+  std::memset(back.get(), 0, back.size());
+  vcuda::reset_counters();
+  ASSERT_EQ(packer.unpack_dma(back.get(), dst.get(), kCount,
+                              vcuda::default_stream()),
+            vcuda::Error::Success);
+  EXPECT_EQ(vcuda::counters().memcpy_async_calls, 1u);
+  EXPECT_EQ(reference_pack(back.get(), kCount, *t), expect);
+  MPI_Type_free(&t);
+}
+
+TEST(PackerDma, NonUniformStrideStillCopiesPerObject) {
+  // A plain vector's extent ends at the last block, so object strides are
+  // not uniform row strides: one DMA call per object remains.
+  MPI_Datatype t = nullptr;
+  ASSERT_EQ(MPI_Type_vector(8, 16, 48, MPI_BYTE, &t), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Type_commit(&t), MPI_SUCCESS);
+  const tempi::Packer packer = make_packer(t);
+  ASSERT_TRUE(packer.dma_capable());
+  EXPECT_FALSE(packer.plan().dma_uniform);
+
+  constexpr int kCount = 3;
+  MPI_Aint lb = 0, extent = 0;
+  MPI_Type_get_extent(t, &lb, &extent);
+  SpaceBuffer src(vcuda::MemorySpace::Device,
+                  static_cast<std::size_t>(extent) * kCount + 64);
+  fill_pattern(src.get(), src.size());
+  SpaceBuffer dst(vcuda::MemorySpace::Device, packer.packed_bytes(kCount));
+  vcuda::reset_counters();
+  ASSERT_EQ(packer.pack_dma(dst.get(), src.get(), kCount,
+                            vcuda::default_stream()),
+            vcuda::Error::Success);
+  EXPECT_EQ(vcuda::counters().memcpy_async_calls,
+            static_cast<std::uint64_t>(kCount));
+  const auto expect = reference_pack(src.get(), kCount, *t);
+  EXPECT_EQ(std::memcmp(dst.get(), expect.data(), expect.size()), 0);
+  MPI_Type_free(&t);
+}
+
+TEST(PackerMemo, RemembersMethodPerCountAndGeneration) {
+  MPI_Datatype t = nullptr;
+  MPI_Type_vector(64, 8, 16, MPI_BYTE, &t);
+  MPI_Type_commit(&t);
+  const tempi::Packer packer = make_packer(t);
+
+  EXPECT_FALSE(packer.cached_method(1, 1).has_value()); // cold
+  packer.remember_method(1, 1, tempi::Method::OneShot);
+  ASSERT_TRUE(packer.cached_method(1, 1).has_value());
+  EXPECT_EQ(*packer.cached_method(1, 1), tempi::Method::OneShot);
+  // A different count or a newer model generation must miss.
+  EXPECT_FALSE(packer.cached_method(2, 1).has_value());
+  EXPECT_FALSE(packer.cached_method(1, 2).has_value());
+  // Re-remembering under the new generation replaces the slot.
+  packer.remember_method(1, 2, tempi::Method::Staged);
+  EXPECT_EQ(*packer.cached_method(1, 2), tempi::Method::Staged);
+  EXPECT_FALSE(packer.cached_method(1, 1).has_value());
   MPI_Type_free(&t);
 }
 

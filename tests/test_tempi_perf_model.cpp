@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 namespace {
 
@@ -127,6 +130,100 @@ TEST(Model, CachedQueriesAreCheaper) {
   const vcuda::VirtualNs hit = vcuda::virtual_now() - t1;
   EXPECT_EQ(miss, tempi::kModelQueryUncachedNs);
   EXPECT_EQ(hit, tempi::kModelQueryCachedNs);
+}
+
+// The argmin of estimate_us over the three methods: what choose() must
+// return regardless of cache state.
+tempi::Method argmin_method(const tempi::PerfModel &model, double block,
+                            double total) {
+  tempi::Method best = tempi::Method::Device;
+  double best_us = model.estimate_us(tempi::Method::Device, block, total);
+  for (const tempi::Method m :
+       {tempi::Method::OneShot, tempi::Method::Staged}) {
+    const double us = model.estimate_us(m, block, total);
+    if (us < best_us) {
+      best = m;
+      best_us = us;
+    }
+  }
+  return best;
+}
+
+TEST(ModelCache, CachedChoiceMatchesUncachedAcrossGrid) {
+  // Sweep a grid twice: the second pass is all cache hits and must agree
+  // with both the first (uncached) pass and the direct argmin.
+  const tempi::PerfModel model;
+  for (std::size_t block : {1u, 3u, 8u, 24u, 100u, 512u, 1024u}) {
+    for (std::size_t total = 128; total <= (8u << 20); total *= 4) {
+      const tempi::Method uncached = model.choose(block, total);
+      const tempi::Method cached = model.choose(block, total);
+      EXPECT_EQ(cached, uncached) << "block " << block << " total " << total;
+      EXPECT_EQ(cached, argmin_method(model, static_cast<double>(block),
+                                      static_cast<double>(total)))
+          << "block " << block << " total " << total;
+    }
+  }
+}
+
+TEST(ModelCache, IndependentInstancesAgree) {
+  // The cache is per instance; a cold model must reproduce a warm one.
+  const tempi::PerfModel warm;
+  for (std::size_t block : {2u, 16u, 128u}) {
+    for (std::size_t total : {1024u, 65536u, 4u << 20}) {
+      (void)warm.choose(block, total); // warm the cache
+    }
+  }
+  const tempi::PerfModel cold;
+  for (std::size_t block : {2u, 16u, 128u}) {
+    for (std::size_t total : {1024u, 65536u, 4u << 20}) {
+      EXPECT_EQ(warm.choose(block, total), cold.choose(block, total));
+    }
+  }
+}
+
+TEST(ModelCache, ConcurrentChooseIsConsistent) {
+  // Many threads hammer the same keys; every result must equal the argmin
+  // (the lock-free cache may race benignly, never return a wrong method).
+  const tempi::PerfModel model;
+  const std::vector<std::pair<std::size_t, std::size_t>> keys = {
+      {1, 4096},  {8, 65536},   {24, 123456}, {64, 1 << 20},
+      {256, 512}, {512, 99999}, {1024, 8 << 20}};
+  std::vector<tempi::Method> expected;
+  expected.reserve(keys.size());
+  for (const auto &[b, t] : keys) {
+    expected.push_back(argmin_method(model, static_cast<double>(b),
+                                     static_cast<double>(t)));
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 200; ++round) {
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          if (model.choose(keys[i].first, keys[i].second) != expected[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread &t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ModelCache, HitMissCountersAdvance) {
+  tempi::reset_model_cache_stats();
+  const tempi::PerfModel model;
+  (void)model.choose(7, 777777); // cold: a miss
+  const tempi::ModelCacheStats after_miss = tempi::model_cache_stats();
+  EXPECT_EQ(after_miss.misses, 1u);
+  EXPECT_EQ(after_miss.hits, 0u);
+  (void)model.choose(7, 777777); // warm: a hit
+  const tempi::ModelCacheStats after_hit = tempi::model_cache_stats();
+  EXPECT_EQ(after_hit.misses, 1u);
+  EXPECT_EQ(after_hit.hits, 1u);
 }
 
 TEST(PerfFile, SaveLoadRoundtrip) {
