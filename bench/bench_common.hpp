@@ -13,10 +13,19 @@
 #include "vcuda/runtime.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 
 namespace bench {
+
+/// CI smoke mode (TEMPI_BENCH_SMOKE=1): every bench shrinks to one rep at
+/// tiny sizes so `ctest` exercises it end-to-end without real sweep cost;
+/// numbers printed under smoke are not the reproduction target.
+inline bool smoke_mode() {
+  const char *env = std::getenv("TEMPI_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
 
 /// A committed 2-D strided datatype over MPI_BYTE: `blocks` runs of
 /// `block_bytes`, `pitch_bytes` apart.

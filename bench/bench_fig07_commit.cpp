@@ -139,7 +139,7 @@ Timings measure(const Config &cfg, int iters) {
 
 int main() {
   sysmpi::ensure_self_context();
-  constexpr int kIters = 2000;
+  const int kIters = bench::smoke_mode() ? 100 : 2000;
 
   std::printf("Fig. 7 — type creation & commit latency (wall us, trimean "
               "of %d)\n\n", kIters);

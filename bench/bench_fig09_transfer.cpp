@@ -91,11 +91,12 @@ std::vector<double> copy_us(bool d2h, const std::vector<double> &sizes,
 
 int main() {
   sysmpi::ensure_self_context();
+  const bool smoke = bench::smoke_mode();
   std::vector<double> sizes;
-  for (int p = 0; p <= 20; ++p) {
+  for (int p = 0; p <= (smoke ? 12 : 20); ++p) {
     sizes.push_back(static_cast<double>(1 << p));
   }
-  constexpr int kIters = 7;
+  const int kIters = smoke ? 1 : 7;
 
   const std::vector<double> d2h = copy_us(true, sizes, kIters);
   const std::vector<double> h2d = copy_us(false, sizes, kIters);

@@ -50,9 +50,14 @@ double kernel_us(bool oneshot, bool is_pack, long long total,
 }
 
 void print_panel(const char *title, bool oneshot, bool is_pack) {
-  const std::vector<long long> totals = {64, 64 * 1024, 256 * 1024,
-                                         1024 * 1024, 4 * 1024 * 1024};
-  const std::vector<long long> blocks = {1, 2, 4, 8, 16, 32, 64, 128};
+  const bool smoke = bench::smoke_mode();
+  const std::vector<long long> totals =
+      smoke ? std::vector<long long>{64, 64 * 1024}
+            : std::vector<long long>{64, 64 * 1024, 256 * 1024, 1024 * 1024,
+                                     4 * 1024 * 1024};
+  const std::vector<long long> blocks =
+      smoke ? std::vector<long long>{1, 16, 128}
+            : std::vector<long long>{1, 2, 4, 8, 16, 32, 64, 128};
   std::printf("%s (virtual us)\n", title);
   std::printf("%10s", "block(B)");
   for (const long long t : totals) {

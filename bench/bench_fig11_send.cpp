@@ -14,8 +14,13 @@
 int main() {
   tempi::install();
 
-  const std::vector<long long> objects = {1024, 1024 * 1024, 4 * 1024 * 1024};
-  const std::vector<long long> blocks = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const bool smoke = bench::smoke_mode();
+  const std::vector<long long> objects =
+      smoke ? std::vector<long long>{1024}
+            : std::vector<long long>{1024, 1024 * 1024, 4 * 1024 * 1024};
+  const std::vector<long long> blocks =
+      smoke ? std::vector<long long>{1, 16, 256}
+            : std::vector<long long>{1, 2, 4, 8, 16, 32, 64, 128, 256};
 
   std::printf("Fig. 11a — Send/Recv latency (virtual us), device-resident "
               "2-D objects, pitch = 2x block\n\n");
@@ -32,12 +37,13 @@ int main() {
     for (const long long block : blocks) {
       const long long nblocks = object / block;
       Row r{object, block, 0, 0, 0, 0};
+      const int rounds = smoke ? 1 : 3;
       r.oneshot = bench::send_latency_us(tempi::SendMode::ForceOneShot,
-                                         nblocks, block, 2 * block);
+                                         nblocks, block, 2 * block, rounds);
       r.device = bench::send_latency_us(tempi::SendMode::ForceDevice,
-                                        nblocks, block, 2 * block);
+                                        nblocks, block, 2 * block, rounds);
       r.autosel = bench::send_latency_us(tempi::SendMode::Auto, nblocks,
-                                         block, 2 * block);
+                                         block, 2 * block, rounds);
       // The baseline walks every contiguous block through the driver; one
       // round is plenty (deterministic virtual time, and 4M-block objects
       // are seconds of virtual latency per round).

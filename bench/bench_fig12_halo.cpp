@@ -79,11 +79,14 @@ Result run(const halo::Config &cfg, int ranks_per_node, int iters) {
 } // namespace
 
 int main(int argc, char **argv) {
-  const std::vector<int> nodes = {1, 2, 4, 8};
-  const std::vector<int> rpns = {1, 2, 6};
+  const bool smoke = bench::smoke_mode();
+  const std::vector<int> nodes = smoke ? std::vector<int>{2}
+                                       : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> rpns = smoke ? std::vector<int>{1}
+                                      : std::vector<int>{1, 2, 6};
   // Larger bricks approach the paper's 256^3 scale (and its speedup
   // magnitudes) at the cost of runtime; 24 keeps the default run fast.
-  const int brick = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int brick = argc > 1 ? std::atoi(argv[1]) : (smoke ? 8 : 24);
 
   std::printf("Fig. 12 — 3D halo exchange, %d^3 points/rank, 8 doubles/"
               "point, radius 3, 26 neighbors, periodic\n\n", brick);

@@ -76,14 +76,17 @@ Result run(const halo::Config &cfg, int ranks_per_node, int iters) {
 } // namespace
 
 int main(int argc, char **argv) {
-  const int brick = argc > 1 ? std::atoi(argv[1]) : 24;
-  const int iters = argc > 2 ? std::atoi(argv[2]) : 2;
+  const bool smoke = bench::smoke_mode();
+  const int brick = argc > 1 ? std::atoi(argv[1]) : (smoke ? 8 : 24);
+  const int iters = argc > 2 ? std::atoi(argv[2]) : (smoke ? 1 : 2);
   if (brick < 1 || iters < 1) {
     std::fprintf(stderr, "usage: %s [brick>=1] [iters>=1]\n", argv[0]);
     return 2;
   }
-  const std::vector<int> nodes = {1, 2, 4};
-  const std::vector<int> rpns = {1, 2, 6};
+  const std::vector<int> nodes = smoke ? std::vector<int>{1, 2}
+                                       : std::vector<int>{1, 2, 4};
+  const std::vector<int> rpns = smoke ? std::vector<int>{1}
+                                      : std::vector<int>{1, 2, 6};
 
   std::printf("Fig. 12 (non-blocking) — halo exchange via Isend/Irecv/"
               "Waitall, %d^3 points/rank, 8 doubles/point, radius 3\n\n",

@@ -46,6 +46,10 @@ struct AsyncOp {
   PackPipeline pipe;
   vcuda::StreamHandle stream = nullptr;
 
+  /// Pipelined receive only: the per-chunk state machine (Wait/Test drive
+  /// its legs; its chunk leases live inside it until the op retires).
+  std::unique_ptr<ChunkedRecv> chunked;
+
   MPI_Request inner = MPI_REQUEST_NULL; ///< send: the system transfer
   MPI_Status wire_status{};             ///< recv: status of the wire leg
 };
@@ -123,7 +127,19 @@ void fill_recv_status(const AsyncOp &op, MPI_Status *status) {
     return;
   }
   *status = op.wire_status;
-  status->count_bytes = static_cast<long long>(wire_count(op));
+  // pipe.bytes, not wire_count(): a pipelined receive's total can exceed
+  // the single-leg int limit.
+  status->count_bytes = static_cast<long long>(op.pipe.bytes);
+}
+
+/// Drain whatever stream work an op may still have enqueued (the chunked
+/// machine owns its own streams) before its buffers return to the cache.
+void drain_op_streams(AsyncOp &op) {
+  if (op.chunked) {
+    op.chunked->synchronize();
+  } else {
+    vcuda::StreamSynchronize(op.stream);
+  }
 }
 
 /// Retire an op that has reached Complete.
@@ -136,6 +152,25 @@ void retire(std::unique_ptr<AsyncOp> op, MPI_Request *request) {
 /// Blocking wire leg + unpack for a receive op; `sync` controls whether
 /// the stream is synchronized here (Waitall defers it to batch).
 int complete_recv(AsyncOp &op, const interpose::MpiTable &next, bool sync) {
+  if (op.chunked) {
+    // Pipelined: drive every remaining wire leg; each leg's unpack is
+    // enqueued without a sync, overlapping the next leg's wire wait.
+    int rc = MPI_SUCCESS;
+    while (!op.chunked->done() &&
+           (rc = op.chunked->step(next)) == MPI_SUCCESS) {
+    }
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    op.chunked->fill_status(&op.wire_status);
+    op.pipe.bytes = op.chunked->bytes_received();
+    op.phase = OpPhase::UnpackPending;
+    if (sync) {
+      op.chunked->synchronize();
+      op.phase = OpPhase::Complete;
+    }
+    return MPI_SUCCESS;
+  }
   const int rc = next.Recv(op.pipe.wire.get(), wire_count(op), MPI_BYTE,
                            op.peer, op.tag, op.comm, &op.wire_status);
   if (rc != MPI_SUCCESS) {
@@ -168,7 +203,32 @@ int complete_send(AsyncOp &op, const interpose::MpiTable &next) {
 
 int start_isend(const Packer *packer, Method method, const void *buf,
                 int count, int dest, int tag, MPI_Comm comm,
-                const interpose::MpiTable &next, MPI_Request *request) {
+                const interpose::MpiTable &next, MPI_Request *request,
+                std::size_t chunk_bytes) {
+  if (method == Method::Pipelined) {
+    // Every chunk leg is a buffered send, so posting them eagerly here
+    // preserves the engine's deadlock discipline (a rank blocking in a
+    // receive before Wait cannot stall its peers) while the pack/wire
+    // overlap still happens inside the call. The returned ticket is an
+    // already-transferred op; Wait/Test just reclaim it.
+    const int rc = send_pipelined(*packer, buf, count, dest, tag, comm,
+                                  chunk_bytes, next);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    auto op = std::make_unique<AsyncOp>();
+    op->kind = AsyncOp::Kind::Send;
+    op->method = method;
+    op->packer = packer;
+    op->count = count;
+    op->peer = dest;
+    op->tag = tag;
+    op->comm = comm;
+    op->phase = OpPhase::TransferPosted; // inner stays MPI_REQUEST_NULL
+    pool().isends.fetch_add(1, std::memory_order_relaxed);
+    *request = insert(std::move(op));
+    return MPI_SUCCESS;
+  }
   auto op = std::make_unique<AsyncOp>();
   op->kind = AsyncOp::Kind::Send;
   op->method = method;
@@ -270,6 +330,15 @@ int start_irecv(const Packer *packer, Method method, void *buf, int count,
   auto op = make_recv_op(count, source, tag, comm, buf);
   op->method = method;
   op->packer = packer;
+  if (method == Method::Pipelined) {
+    // Chunk leases happen lazily inside the machine (the first leg sizes
+    // them); Wait/Test drive the legs.
+    op->chunked =
+        std::make_unique<ChunkedRecv>(*packer, buf, count, source, tag, comm);
+    pool().irecvs.fetch_add(1, std::memory_order_relaxed);
+    *request = insert(std::move(op));
+    return MPI_SUCCESS;
+  }
   // A failed lease must not enter the pool: Wait would post the wire
   // transfer into a null buffer.
   const int rc = start_recv(*op->packer, method, count, &op->pipe);
@@ -324,7 +393,7 @@ int wait(MPI_Request *request, MPI_Status *status,
     } else {
       // complete_recv may fail after enqueuing stream legs; drain them
       // before the op's intermediates return to the cache.
-      vcuda::StreamSynchronize(op->stream);
+      drain_op_streams(*op);
     }
   }
   // On error the op is still retired: the application cannot retry a
@@ -344,6 +413,28 @@ int test(MPI_Request *request, int *flag, MPI_Status *status,
     // buffered, so a posted send can always complete here.
     *flag = 1;
     return wait(request, status, next);
+  }
+  if (op->chunked) {
+    // Pipelined: consume every leg that has already arrived (each step
+    // enqueues its unpack, overlapping later legs' wire time), and only
+    // report completion once the terminating short leg is in.
+    while (!op->chunked->done() && op->chunked->ready(next)) {
+      const int rc = op->chunked->step(next);
+      if (rc != MPI_SUCCESS) {
+        op->chunked->synchronize();
+        std::unique_ptr<AsyncOp> owned = extract(*request);
+        retire(std::move(owned), request);
+        *flag = 1; // completed, though with an error
+        return rc;
+      }
+    }
+    if (!op->chunked->done()) {
+      vcuda::this_thread_timeline().advance(kPollSweepNs);
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    *flag = 1;
+    return wait(request, status, next); // complete_recv finishes instantly
   }
   int matched = 0;
   const int prc = next.Iprobe(op->peer, op->tag, op->comm, &matched, nullptr);
@@ -406,18 +497,22 @@ int waitall(int count, MPI_Request *requests, MPI_Status *statuses,
     } else {
       rc = complete_recv(*op, next, /*sync=*/false);
       ++unpacks_batched;
-      bool seen = false;
-      for (vcuda::StreamHandle s : streams) {
-        seen = seen || s == op->stream;
-      }
-      if (!seen) {
-        streams.push_back(op->stream);
+      if (op->chunked) {
+        op->chunked->append_streams(streams);
+      } else {
+        bool seen = false;
+        for (vcuda::StreamHandle s : streams) {
+          seen = seen || s == op->stream;
+        }
+        if (!seen) {
+          streams.push_back(op->stream);
+        }
       }
     }
     if (rc != MPI_SUCCESS) {
       // Drain any legs the failing op enqueued before its buffers return
       // to the cache (bail() syncs only after this retire).
-      vcuda::StreamSynchronize(op->stream);
+      drain_op_streams(*op);
       retire(std::move(op), &requests[i]);
       return bail(rc);
     }
@@ -514,7 +609,14 @@ std::size_t drain(const interpose::MpiTable &next) {
     }
     // A receive that was never matched (or a send that never reached the
     // wire) cannot be finished without the application: fail loudly and
-    // release the op's resources rather than leaking pool state.
+    // release the op's resources rather than leaking pool state. No
+    // stream drain here, deliberately: the op's pool streams are
+    // thread-local to rank threads that have typically exited by
+    // uninstall time (touching them would be use-after-free), and every
+    // "async" leg already executed its byte movement synchronously at
+    // enqueue — only virtual completion bookkeeping remains, which is
+    // moot for an abandoned op whose user buffer is undefined per the
+    // uninstall contract.
     ++dropped;
     support::log_error(
         "tempi: uninstall dropped an in-flight non-blocking ",

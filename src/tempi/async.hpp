@@ -63,14 +63,25 @@ struct AsyncOp; // opaque outside async.cpp
 
 /// Start an accelerated non-blocking send with a canonical packer; fills
 /// `*request` with a pool ticket. `method` comes from the same PerfModel
-/// selection the blocking path uses. The raw packer pointer must stay
-/// valid until the op completes — tempi.cpp guarantees this by retiring
-/// freed packers instead of destroying them (see find_packer_fast).
+/// selection the blocking path uses; for Method::Pipelined, `chunk_bytes`
+/// is the chosen wire-leg target and every chunk leg is posted eagerly at
+/// Isend time (the legs are buffered sends, so — like the monolithic
+/// eager transfer — this can never stall on the receiver; the chunk
+/// overlap still happens inside the call). The raw packer pointer must
+/// stay valid until the op completes — tempi.cpp guarantees this by
+/// retiring freed packers instead of destroying them (see
+/// find_packer_fast).
 int start_isend(const Packer *packer, Method method, const void *buf,
                 int count, int dest, int tag, MPI_Comm comm,
-                const interpose::MpiTable &next, MPI_Request *request);
+                const interpose::MpiTable &next, MPI_Request *request,
+                std::size_t chunk_bytes = 0);
 
 /// Start an accelerated non-blocking receive (wire matched at Wait/Test).
+/// For Method::Pipelined the op carries a ChunkedRecv state machine:
+/// Wait drives every remaining wire leg to completion, while Test makes
+/// progress one arrived leg at a time (chunk unpacks overlap later legs'
+/// wire time) and only reports completion once the terminating short leg
+/// has been consumed.
 int start_irecv(const Packer *packer, Method method, void *buf, int count,
                 int source, int tag, MPI_Comm comm,
                 const interpose::MpiTable &next, MPI_Request *request);

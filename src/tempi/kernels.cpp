@@ -255,6 +255,154 @@ vcuda::Error launch_unpack(const PackPlan &plan, const StridedBlock &sb,
   });
 }
 
+namespace {
+
+/// Blocks (dimension-0 rows) per object: the packed stream is the
+/// concatenation of these blocks in dimension-1-fastest order, so a
+/// global block index addresses any aligned sub-range of the stream.
+long long blocks_per_object(const StridedBlock &sb) {
+  long long n = 1;
+  for (int d = 1; d < sb.ndims(); ++d) {
+    n *= sb.counts[static_cast<std::size_t>(d)];
+  }
+  return n;
+}
+
+/// Range variant of for_each_kernel_block: visit global blocks
+/// [g0, g1), invoking fn(src_block_offset, range_relative_dst_offset,
+/// block_bytes). Block g lives in object g / blocks_per_object at the
+/// dimension-1-fastest index decomposition of g % blocks_per_object —
+/// exactly the order the whole-message iteration emits, so a range's
+/// packed bytes equal the same slice of the full pack.
+template <typename Fn>
+void for_each_kernel_block_range(const StridedBlock &sb, long long extent,
+                                 long long g0, long long g1, Fn &&fn) {
+  const long long block = sb.counts.empty() ? 0 : sb.counts[0];
+  if (block == 0 || g1 <= g0) {
+    return;
+  }
+  const long long per_obj = blocks_per_object(sb);
+  for (long long g = g0; g < g1; ++g) {
+    const long long obj = g / per_obj;
+    long long rem = g % per_obj;
+    long long src_off = obj * extent + sb.start;
+    for (int d = 1; d < sb.ndims(); ++d) {
+      const long long c = sb.counts[static_cast<std::size_t>(d)];
+      src_off += (rem % c) * sb.strides[static_cast<std::size_t>(d)];
+      rem /= c;
+    }
+    fn(src_off, (g - g0) * block, block);
+  }
+}
+
+/// Geometry/cost for a ranged launch: the equivalent whole objects the
+/// range spans (cost scales with bytes; geometry only shapes the model).
+vcuda::KernelCost ranged_cost(const StridedBlock &sb, long long n_blocks,
+                              bool is_pack, vcuda::MemorySpace src_space,
+                              vcuda::MemorySpace dst_space) {
+  vcuda::KernelCost cost;
+  cost.total_bytes =
+      static_cast<std::size_t>(n_blocks) * static_cast<std::size_t>(
+                                               sb.block_bytes());
+  const bool strided = sb.ndims() > 1;
+  const vcuda::MemorySpace gov = governing_space(src_space, dst_space);
+  const std::size_t stride_block =
+      strided ? static_cast<std::size_t>(sb.block_bytes()) : 0;
+  if (is_pack) {
+    cost.src = {stride_block, /*is_write=*/false, gov};
+    cost.dst = {0, /*is_write=*/true, gov};
+  } else {
+    cost.src = {0, /*is_write=*/false, gov};
+    cost.dst = {stride_block, /*is_write=*/true, gov};
+  }
+  return cost;
+}
+
+} // namespace
+
+vcuda::Error launch_pack_range(const PackPlan &plan, const StridedBlock &sb,
+                               long long extent, void *dst, const void *src,
+                               long long first_block, long long n_blocks,
+                               vcuda::StreamHandle stream) {
+  assert(first_block >= 0 && n_blocks >= 0);
+  if (n_blocks == 0) {
+    return vcuda::Error::Success;
+  }
+  if (plan.contiguous) {
+    // 1-D objects: block g is the whole object g (one copy per block,
+    // exactly as the whole-message contiguous path does).
+    const auto bytes = static_cast<std::size_t>(sb.counts[0]);
+    auto *out = static_cast<std::byte *>(dst);
+    const auto *in = static_cast<const std::byte *>(src) + sb.start;
+    for (long long g = first_block; g < first_block + n_blocks; ++g) {
+      const vcuda::Error e = vcuda::MemcpyAsync(
+          out + (g - first_block) * sb.counts[0], in + g * extent, bytes,
+          vcuda::MemcpyKind::Default, stream);
+      if (e != vcuda::Error::Success) {
+        return e;
+      }
+    }
+    return vcuda::Error::Success;
+  }
+  const long long per_obj = blocks_per_object(sb);
+  const int eq_objs =
+      static_cast<int>((n_blocks + per_obj - 1) / per_obj); // geometry only
+  const vcuda::LaunchConfig cfg = launch_config_for(plan, eq_objs);
+  const vcuda::KernelCost cost =
+      ranged_cost(sb, n_blocks, /*is_pack=*/true, space_of(src),
+                  space_of(dst));
+  auto *out = static_cast<std::byte *>(dst);
+  const auto *in = static_cast<const std::byte *>(src);
+  return vcuda::LaunchKernel(
+      cfg, cost, stream, [&sb, extent, first_block, n_blocks, out, in] {
+        for_each_kernel_block_range(
+            sb, extent, first_block, first_block + n_blocks,
+            [out, in](long long s, long long d, long long n) {
+              std::memcpy(out + d, in + s, static_cast<std::size_t>(n));
+            });
+      });
+}
+
+vcuda::Error launch_unpack_range(const PackPlan &plan, const StridedBlock &sb,
+                                 long long extent, void *dst, const void *src,
+                                 long long first_block, long long n_blocks,
+                                 vcuda::StreamHandle stream) {
+  assert(first_block >= 0 && n_blocks >= 0);
+  if (n_blocks == 0) {
+    return vcuda::Error::Success;
+  }
+  if (plan.contiguous) {
+    const auto bytes = static_cast<std::size_t>(sb.counts[0]);
+    auto *out = static_cast<std::byte *>(dst) + sb.start;
+    const auto *in = static_cast<const std::byte *>(src);
+    for (long long g = first_block; g < first_block + n_blocks; ++g) {
+      const vcuda::Error e = vcuda::MemcpyAsync(
+          out + g * extent, in + (g - first_block) * sb.counts[0], bytes,
+          vcuda::MemcpyKind::Default, stream);
+      if (e != vcuda::Error::Success) {
+        return e;
+      }
+    }
+    return vcuda::Error::Success;
+  }
+  const long long per_obj = blocks_per_object(sb);
+  const int eq_objs = static_cast<int>((n_blocks + per_obj - 1) / per_obj);
+  const vcuda::LaunchConfig cfg = launch_config_for(plan, eq_objs);
+  const vcuda::KernelCost cost =
+      ranged_cost(sb, n_blocks, /*is_pack=*/false, space_of(src),
+                  space_of(dst));
+  auto *out = static_cast<std::byte *>(dst);
+  const auto *in = static_cast<const std::byte *>(src);
+  return vcuda::LaunchKernel(
+      cfg, cost, stream, [&sb, extent, first_block, n_blocks, out, in] {
+        for_each_kernel_block_range(
+            sb, extent, first_block, first_block + n_blocks,
+            [out, in](long long s, long long d, long long n) {
+              std::memcpy(out + s, in + d, static_cast<std::size_t>(n));
+            });
+      });
+}
+
 vcuda::Error launch_pack(const StridedBlock &sb, long long extent, void *dst,
                          const void *src, int count,
                          vcuda::StreamHandle stream) {

@@ -79,6 +79,25 @@ vcuda::Error launch_unpack(const PackPlan &plan, const StridedBlock &sb,
                            long long extent, void *dst, const void *src,
                            int count, vcuda::StreamHandle stream);
 
+/// Ranged (chunked) launches over an element sub-range of the packed
+/// stream, addressed in *global blocks* (dimension-0 rows, the packed
+/// stream's natural unit: block g of a message is row g % rows_per_object
+/// of object g / rows_per_object, and the stream concatenates blocks in
+/// ascending g). launch_pack_range gathers blocks
+/// [first_block, first_block + n_blocks) into `dst` (which receives
+/// n_blocks * block_bytes packed bytes at offset 0); launch_unpack_range
+/// scatters a chunk back into the same blocks of `dst`. These are the
+/// per-chunk legs of the Pipelined method — block granularity lets one
+/// large object (count == 1) split into many wire legs.
+vcuda::Error launch_pack_range(const PackPlan &plan, const StridedBlock &sb,
+                               long long extent, void *dst, const void *src,
+                               long long first_block, long long n_blocks,
+                               vcuda::StreamHandle stream);
+vcuda::Error launch_unpack_range(const PackPlan &plan, const StridedBlock &sb,
+                                 long long extent, void *dst, const void *src,
+                                 long long first_block, long long n_blocks,
+                                 vcuda::StreamHandle stream);
+
 /// Recompute-per-call variants (the pre-plan path): build the plan on the
 /// spot and launch. Kept as the reference the plan-driven launches are
 /// tested and benchmarked against.

@@ -2,11 +2,15 @@
 
 #include "sysmpi/mpi.hpp"
 
+#include <algorithm>
+#include <atomic>
+
 namespace tempi {
 
 vcuda::MemorySpace intermediate_space(Method m) {
   switch (m) {
-  case Method::Device: return vcuda::MemorySpace::Device;
+  case Method::Device:
+  case Method::Pipelined: return vcuda::MemorySpace::Device;
   case Method::OneShot:
   case Method::Staged: return vcuda::MemorySpace::Pinned;
   }
@@ -15,11 +19,13 @@ vcuda::MemorySpace intermediate_space(Method m) {
 
 namespace {
 
-/// Size the pipeline for `count` objects; rejects packs the int-count wire
-/// leg cannot express rather than wrapping.
+/// Size the pipeline for `count` objects; rejects packs the single wire
+/// leg cannot express rather than wrapping. The limit is injectable
+/// (wire_chunk_limit) so tests can exercise the rejection — and the
+/// Pipelined method's multi-leg alternative — without gigabyte payloads.
 int size_pipeline(const Packer &packer, int count, PackPipeline *pipe) {
   pipe->bytes = packer.packed_bytes(count);
-  return pipe->bytes > kMaxWireBytes ? MPI_ERR_COUNT : MPI_SUCCESS;
+  return pipe->bytes > wire_chunk_limit() ? MPI_ERR_COUNT : MPI_SUCCESS;
 }
 
 bool lease_failed(const CachedBuffer &buf, std::size_t bytes) {
@@ -30,6 +36,9 @@ bool lease_failed(const CachedBuffer &buf, std::size_t bytes) {
 
 int start_pack(const Packer &packer, Method m, const void *buf, int count,
                vcuda::StreamHandle stream, PackPipeline *pipe) {
+  if (m == Method::Pipelined) {
+    return MPI_ERR_OTHER; // chunked transfers use send_pipelined/ChunkedRecv
+  }
   if (const int rc = size_pipeline(packer, count, pipe); rc != MPI_SUCCESS) {
     return rc;
   }
@@ -65,6 +74,9 @@ int start_pack(const Packer &packer, Method m, const void *buf, int count,
 }
 
 int start_recv(const Packer &packer, Method m, int count, PackPipeline *pipe) {
+  if (m == Method::Pipelined) {
+    return MPI_ERR_OTHER; // chunked transfers use send_pipelined/ChunkedRecv
+  }
   if (const int rc = size_pipeline(packer, count, pipe); rc != MPI_SUCCESS) {
     return rc;
   }
@@ -98,6 +110,11 @@ int start_unpack(const Packer &packer, Method m, void *buf, int count,
 int send_with_method(const Packer &packer, Method m, const void *buf,
                      int count, int dest, int tag, MPI_Comm comm,
                      const interpose::MpiTable &next) {
+  if (m == Method::Pipelined) {
+    return send_pipelined(packer, buf, count, dest, tag, comm,
+                          fallback_chunk_bytes(packer.packed_bytes(count)),
+                          next);
+  }
   // Pool streams keep this message's legs off the default stream, so it
   // neither waits for nor delays unrelated work enqueued there.
   vcuda::StreamHandle stream = vcuda::next_pool_stream();
@@ -114,6 +131,20 @@ int send_with_method(const Packer &packer, Method m, const void *buf,
 int recv_with_method(const Packer &packer, Method m, void *buf, int count,
                      int source, int tag, MPI_Comm comm, MPI_Status *status,
                      const interpose::MpiTable &next) {
+  if (m == Method::Pipelined) {
+    ChunkedRecv cr(packer, buf, count, source, tag, comm);
+    int rc = MPI_SUCCESS;
+    while (!cr.done() && (rc = cr.step(next)) == MPI_SUCCESS) {
+    }
+    // Drain the enqueued unpack legs on the error path too, before the
+    // chunk leases return to the cache.
+    cr.synchronize();
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    cr.fill_status(status);
+    return MPI_SUCCESS;
+  }
   vcuda::StreamHandle stream = vcuda::next_pool_stream();
   PackPipeline pipe;
   const int rrc = start_recv(packer, m, count, &pipe);
@@ -142,6 +173,341 @@ int recv_with_method(const Packer &packer, Method m, void *buf, int count,
     status->count_bytes = static_cast<long long>(packer.packed_bytes(count));
   }
   return MPI_SUCCESS;
+}
+
+// --- the Pipelined (chunked) method ------------------------------------------
+
+namespace {
+
+struct PipelineCounters {
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> recvs{0};
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> over_ceiling_bytes{0};
+};
+
+PipelineCounters &pipeline_counters() {
+  static PipelineCounters c;
+  return c;
+}
+
+} // namespace
+
+PipelineStats pipeline_stats() {
+  const PipelineCounters &c = pipeline_counters();
+  return PipelineStats{
+      c.sends.load(std::memory_order_relaxed),
+      c.recvs.load(std::memory_order_relaxed),
+      c.chunks.load(std::memory_order_relaxed),
+      c.over_ceiling_bytes.load(std::memory_order_relaxed),
+  };
+}
+
+void reset_pipeline_stats() {
+  PipelineCounters &c = pipeline_counters();
+  c.sends.store(0, std::memory_order_relaxed);
+  c.recvs.store(0, std::memory_order_relaxed);
+  c.chunks.store(0, std::memory_order_relaxed);
+  c.over_ceiling_bytes.store(0, std::memory_order_relaxed);
+}
+
+int send_pipelined(const Packer &packer, const void *buf, int count,
+                   int dest, int tag, MPI_Comm comm, std::size_t chunk_target,
+                   const interpose::MpiTable &next) {
+  const std::size_t limit = wire_chunk_limit();
+  const auto blk = static_cast<std::size_t>(packer.wire_block_bytes());
+  const std::size_t total = packer.packed_bytes(count);
+  const long long total_blocks = packer.total_blocks(count);
+  if (blk == 0 || count <= 0 || total_blocks <= 0) {
+    return MPI_ERR_ARG; // the acceleration gate filters empty payloads
+  }
+  if (blk > limit) {
+    // Chunks split at block (dimension-0 row) boundaries; one contiguous
+    // block beyond the wire limit keeps the historical rejection.
+    return MPI_ERR_COUNT;
+  }
+  if (const std::size_t o = chunk_bytes_override(); o != 0) {
+    chunk_target = o; // TEMPI_CHUNK_BYTES is authoritative
+  } else if (chunk_target == 0) {
+    chunk_target = fallback_chunk_bytes(total);
+  }
+  // Whole blocks per leg, at least one, never exceeding the wire limit.
+  const long long blocks_per_leg = std::min<long long>(
+      std::max<long long>(
+          static_cast<long long>(std::min(chunk_target, limit) / blk), 1),
+      total_blocks);
+  const std::size_t chunk = static_cast<std::size_t>(blocks_per_leg) * blk;
+  const long long full_legs = total_blocks / blocks_per_leg;
+  const long long rem_blocks = total_blocks % blocks_per_leg;
+  // Wire protocol: full legs carry exactly `chunk` bytes; the final leg is
+  // strictly smaller, so an evenly divided message appends an empty
+  // terminator leg. The receiver keys termination off "leg < first leg".
+  const long long legs = full_legs + 1; // remainder leg or empty terminator
+
+  PipelineCounters &pc = pipeline_counters();
+  pc.sends.fetch_add(1, std::memory_order_relaxed);
+  if (total > limit) {
+    pc.over_ceiling_bytes.fetch_add(total, std::memory_order_relaxed);
+  }
+
+  // Two chunk-sized wire leases ping-pong: while leg i rides the wire,
+  // leg i+1 packs into the other buffer on the other stream. The system
+  // MPI copies the payload out before Send returns, so a slot is reusable
+  // as soon as its Send completes.
+  vcuda::StreamHandle stream[2] = {vcuda::next_pool_stream(),
+                                   vcuda::next_pool_stream()};
+  CachedBuffer slot[2];
+  for (int s = 0; s < 2; ++s) {
+    slot[s] = lease_buffer(vcuda::MemorySpace::Device, chunk);
+    if (lease_failed(slot[s], chunk)) {
+      return MPI_ERR_OTHER;
+    }
+  }
+  const auto leg_blocks = [&](long long leg) {
+    return leg < full_legs ? blocks_per_leg : rem_blocks;
+  };
+  // Prologue: pack leg 0 before entering the steady-state loop.
+  int rc = packer.pack_range_async(slot[0].get(), buf, 0, leg_blocks(0),
+                                   stream[0]) == vcuda::Error::Success
+               ? MPI_SUCCESS
+               : MPI_ERR_OTHER;
+  for (long long leg = 0; rc == MPI_SUCCESS && leg < legs; ++leg) {
+    const int s = static_cast<int>(leg & 1);
+    // The wire must not depart before this leg's pack completes.
+    vcuda::StreamSynchronize(stream[s]);
+    // Enqueue the next leg's pack *before* the blocking send: the stream
+    // runs ahead of the host, so the pack overlaps this leg's wire time.
+    if (leg + 1 < legs && leg_blocks(leg + 1) > 0) {
+      if (packer.pack_range_async(slot[1 - s].get(), buf,
+                                  (leg + 1) * blocks_per_leg,
+                                  leg_blocks(leg + 1),
+                                  stream[1 - s]) != vcuda::Error::Success) {
+        rc = MPI_ERR_OTHER;
+        break;
+      }
+    }
+    const std::size_t leg_bytes =
+        static_cast<std::size_t>(leg_blocks(leg)) * blk;
+    rc = next.Send(slot[s].get(), static_cast<int>(leg_bytes), MPI_BYTE,
+                   dest, tag, comm);
+    if (rc != MPI_SUCCESS) {
+      break;
+    }
+    pc.chunks.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Drain both streams before the leases return to the cache (also covers
+  // the error path, where a pack for the next leg may still be enqueued).
+  vcuda::StreamSynchronize(stream[0]);
+  vcuda::StreamSynchronize(stream[1]);
+  return rc;
+}
+
+ChunkedRecv::ChunkedRecv(const Packer &packer, void *buf, int count,
+                         int source, int tag, MPI_Comm comm)
+    : packer_(packer), buf_(buf), count_(count), peer_(source), tag_(tag),
+      comm_(comm), expected_(packer.packed_bytes(count)) {
+  stream_[0] = vcuda::next_pool_stream();
+  stream_[1] = vcuda::next_pool_stream();
+  pipeline_counters().recvs.fetch_add(1, std::memory_order_relaxed);
+}
+
+int ChunkedRecv::first_step(const interpose::MpiTable &next) {
+  // The first leg defines the chunk size. Its lease must hold any legal
+  // first leg: the sender's chunk is bounded by the wire limit and by the
+  // message itself (a larger first leg means the sender is shipping more
+  // than we can unpack — the system MPI's truncation error reports it).
+  const std::size_t cap =
+      std::min(std::max<std::size_t>(expected_, 1), wire_chunk_limit());
+  slot_[0] = lease_buffer(vcuda::MemorySpace::Device, cap);
+  if (lease_failed(slot_[0], cap)) {
+    return MPI_ERR_OTHER;
+  }
+  const int rc = next.Recv(slot_[0].get(), static_cast<int>(cap), MPI_BYTE,
+                           peer_, tag_, comm_, &first_status_);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  started_ = true;
+  // Later legs belong to the same message: lock the match to the first
+  // leg's source/tag (MPI_ANY_SOURCE / MPI_ANY_TAG must not re-wildcard).
+  peer_ = first_status_.MPI_SOURCE;
+  tag_ = first_status_.MPI_TAG;
+  chunk_ = static_cast<std::size_t>(first_status_.count_bytes);
+  pipeline_counters().chunks.fetch_add(1, std::memory_order_relaxed);
+  legs_ = 1;
+  if (chunk_ == 0) {
+    done_ = true; // degenerate: an empty message
+    return MPI_SUCCESS;
+  }
+  if (chunk_ > expected_) {
+    return MPI_ERR_TRUNCATE;
+  }
+  const auto blk = static_cast<std::size_t>(packer_.wire_block_bytes());
+  if (blk == 0 || chunk_ % blk != 0) {
+    // Legs are whole *sender* blocks; if they are not whole receiver
+    // blocks, fall back to accumulating the packed stream and unpacking
+    // once — correct, though no longer pipelined.
+    accumulate_ = true;
+    CachedBuffer all =
+        lease_buffer(vcuda::MemorySpace::Device,
+                     std::max<std::size_t>(expected_, 1));
+    if (lease_failed(all, expected_)) {
+      return MPI_ERR_OTHER;
+    }
+    vcuda::MemcpyAsync(all.get(), slot_[0].get(), chunk_,
+                       vcuda::MemcpyKind::DeviceToDevice, stream_[0]);
+    // The first-leg lease returns to the cache; drain the copy that read
+    // from it first.
+    vcuda::StreamSynchronize(stream_[0]);
+    slot_[0] = std::move(all);
+  }
+  received_ = chunk_;
+  if (!accumulate_) {
+    slot_[1] = lease_buffer(vcuda::MemorySpace::Device, chunk_);
+    if (lease_failed(slot_[1], chunk_)) {
+      return MPI_ERR_OTHER;
+    }
+    if (const int urc = unpack_leg(chunk_, 0); urc != MPI_SUCCESS) {
+      return urc;
+    }
+  }
+  return MPI_SUCCESS;
+}
+
+int ChunkedRecv::unpack_leg(std::size_t leg_bytes, int slot) {
+  const auto blk = static_cast<std::size_t>(packer_.wire_block_bytes());
+  const auto n = static_cast<long long>(leg_bytes / blk);
+  if (static_cast<std::size_t>(n) * blk != leg_bytes) {
+    return MPI_ERR_OTHER; // partial receiver block; cannot scatter it
+  }
+  if (blocks_done_ + n > packer_.total_blocks(count_)) {
+    return MPI_ERR_TRUNCATE;
+  }
+  const vcuda::Error e = packer_.unpack_range_async(
+      buf_, slot_[slot].get(), blocks_done_, n, stream_[slot]);
+  if (e != vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  blocks_done_ += n;
+  return MPI_SUCCESS;
+}
+
+int ChunkedRecv::step(const interpose::MpiTable &next) {
+  if (done_) {
+    return MPI_SUCCESS;
+  }
+  if (!started_) {
+    return first_step(next);
+  }
+  const int s = legs_ & 1;
+  MPI_Status leg_status;
+  int rc = MPI_SUCCESS;
+  if (accumulate_) {
+    // Fallback: receive straight into the full-size buffer at the running
+    // offset; a single unpack happens when the terminator arrives.
+    if (received_ + chunk_ > std::max<std::size_t>(expected_, 1)) {
+      // The next leg could overrun the accumulation buffer; receive into
+      // a scratch lease sized to the remaining budget to let the system
+      // MPI report the truncation precisely.
+      const std::size_t room = expected_ - received_;
+      CachedBuffer scratch = lease_buffer(vcuda::MemorySpace::Device,
+                                          std::max<std::size_t>(room, 1));
+      if (lease_failed(scratch, room)) {
+        return MPI_ERR_OTHER;
+      }
+      rc = next.Recv(scratch.get(), static_cast<int>(room), MPI_BYTE, peer_,
+                     tag_, comm_, &leg_status);
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+      vcuda::MemcpyAsync(static_cast<std::byte *>(slot_[0].get()) + received_,
+                         scratch.get(),
+                         static_cast<std::size_t>(leg_status.count_bytes),
+                         vcuda::MemcpyKind::DeviceToDevice, stream_[0]);
+      vcuda::StreamSynchronize(stream_[0]); // scratch returns to the cache
+    } else {
+      rc = next.Recv(static_cast<std::byte *>(slot_[0].get()) + received_,
+                     static_cast<int>(chunk_), MPI_BYTE, peer_, tag_, comm_,
+                     &leg_status);
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+    }
+  } else {
+    // Before reusing this slot, its unpack from two legs ago must have
+    // drained; the other slot's unpack keeps overlapping this wire wait.
+    vcuda::StreamSynchronize(stream_[s]);
+    rc = next.Recv(slot_[s].get(), static_cast<int>(chunk_), MPI_BYTE, peer_,
+                   tag_, comm_, &leg_status);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  const auto leg_bytes = static_cast<std::size_t>(leg_status.count_bytes);
+  pipeline_counters().chunks.fetch_add(1, std::memory_order_relaxed);
+  ++legs_;
+  if (received_ + leg_bytes > expected_) {
+    return MPI_ERR_TRUNCATE;
+  }
+  if (leg_bytes > 0 && !accumulate_) {
+    if (const int urc = unpack_leg(leg_bytes, s); urc != MPI_SUCCESS) {
+      return urc;
+    }
+  }
+  received_ += leg_bytes;
+  if (leg_bytes < chunk_) {
+    done_ = true;
+    if (accumulate_) {
+      const auto blk = static_cast<std::size_t>(packer_.wire_block_bytes());
+      if (blk == 0 || received_ % blk != 0) {
+        return MPI_ERR_OTHER; // stream ends mid-block
+      }
+      const vcuda::Error e = packer_.unpack_range_async(
+          buf_, slot_[0].get(), 0, static_cast<long long>(received_ / blk),
+          stream_[0]);
+      if (e != vcuda::Error::Success) {
+        return MPI_ERR_OTHER;
+      }
+    }
+  }
+  return MPI_SUCCESS;
+}
+
+bool ChunkedRecv::ready(const interpose::MpiTable &next) const {
+  if (done_) {
+    return false;
+  }
+  int flag = 0;
+  if (next.Iprobe(peer_, tag_, comm_, &flag, nullptr) != MPI_SUCCESS) {
+    return false;
+  }
+  return flag != 0;
+}
+
+void ChunkedRecv::append_streams(
+    std::vector<vcuda::StreamHandle> &streams) const {
+  for (vcuda::StreamHandle s : stream_) {
+    bool seen = false;
+    for (vcuda::StreamHandle have : streams) {
+      seen = seen || have == s;
+    }
+    if (!seen && s != nullptr) {
+      streams.push_back(s);
+    }
+  }
+}
+
+void ChunkedRecv::synchronize() {
+  vcuda::StreamSynchronize(stream_[0]);
+  vcuda::StreamSynchronize(stream_[1]);
+}
+
+void ChunkedRecv::fill_status(MPI_Status *status) const {
+  if (status == MPI_STATUS_IGNORE) {
+    return;
+  }
+  *status = first_status_;
+  status->count_bytes = static_cast<long long>(received_);
 }
 
 } // namespace tempi

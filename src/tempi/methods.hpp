@@ -24,6 +24,9 @@
 #include "tempi/packer.hpp"
 #include "tempi/perf_model.hpp"
 
+#include <cstdint>
+#include <vector>
+
 namespace tempi {
 
 /// The intermediate buffers of one in-flight accelerated operation. The
@@ -39,10 +42,9 @@ struct PackPipeline {
   [[nodiscard]] int wire_count() const { return static_cast<int>(bytes); }
 };
 
-/// Largest packed payload the contiguous wire leg can carry: the system
-/// MPI transfer count is a C int. start_pack/start_recv fail with
-/// MPI_ERR_COUNT beyond this instead of silently wrapping (>2 GiB packs).
-inline constexpr std::size_t kMaxWireBytes = 2147483647u; // INT_MAX
+// kMaxWireBytes and the injectable wire_chunk_limit() the monolithic
+// methods enforce (MPI_ERR_COUNT beyond it) live in perf_model.hpp; the
+// Pipelined method below carries larger messages as multiple wire legs.
 
 /// Where the packed intermediate lives for a method's wire leg.
 vcuda::MemorySpace intermediate_space(Method m);
@@ -74,5 +76,126 @@ int send_with_method(const Packer &packer, Method m, const void *buf,
 int recv_with_method(const Packer &packer, Method m, void *buf, int count,
                      int source, int tag, MPI_Comm comm, MPI_Status *status,
                      const interpose::MpiTable &next);
+
+// --- the Pipelined (chunked) method ------------------------------------------
+//
+// One message is split at block boundaries (dimension-0 rows, the packed
+// stream's natural unit — so even a single count==1 object splits) into
+// wire legs of up to `chunk` packed bytes and pipelined: while leg i
+// rides the wire, leg i+1 packs (sender) and leg i-1 unpacks (receiver),
+// double-buffering two chunk-sized wire leases instead of one
+// whole-message buffer. All legs share (source, tag, comm), so the system
+// MPI's per-pair ordering keeps reassembly trivial, and messages above
+// the wire-chunk limit — which the monolithic methods reject with
+// MPI_ERR_COUNT — are carried as multiple ordered legs.
+//
+// Wire protocol: every leg except the last carries exactly `chunk` bytes
+// (a whole number of blocks); the final leg is strictly smaller, with an
+// empty terminator leg appended when the total divides evenly. The
+// receiver therefore needs no out-of-band chunk size: the first leg's
+// actual byte count *is* the chunk, and any shorter leg ends the message.
+//
+// Framing contract: unlike the monolithic methods — whose one-message
+// wire format lets sender and receiver pick methods independently, even
+// when one side falls through to the system path — multi-leg framing
+// must be run by BOTH endpoints of a message. Auto mode therefore only
+// selects Pipelined above the wire-chunk limit, where the decision is
+// forced identically on both accelerated endpoints by the payload size
+// itself and where the monolithic methods could not carry the message at
+// all (a peer receiving such a message into a buffer TEMPI cannot
+// accelerate — host-resident, untranslatable type — stays outside the
+// contract, exactly as it was outside the monolithic sender's 2 GiB
+// reach); under the
+// limit, pipelining is an explicit opt-in (SendMode::ForcePipelined /
+// TEMPI_METHOD=pipelined) for symmetric SPMD deployments where every
+// rank runs the same configuration against the same payloads. A single
+// contiguous block whose packed size exceeds the wire-chunk limit cannot
+// be split and still fails with MPI_ERR_COUNT.
+
+/// Send `count` objects chunked over the wire, overlapping each leg's
+/// pack with the previous leg's transfer. `chunk_target` is the model- or
+/// override-chosen leg size in bytes (rounded down to whole blocks and
+/// clamped to the wire-chunk limit; 0 = fallback_chunk_bytes). Runs every
+/// leg to completion: the system MPI's sends are buffered, so this never
+/// blocks on the receiver, which is what lets the request engine post
+/// pipelined sends eagerly at Isend time.
+int send_pipelined(const Packer &packer, const void *buf, int count,
+                   int dest, int tag, MPI_Comm comm, std::size_t chunk_target,
+                   const interpose::MpiTable &next);
+
+/// Receiver-side per-chunk state machine, driven leg by leg so the
+/// blocking path (recv_with_method) and the request engine (Wait/Test in
+/// async.cpp) share one implementation. Each step() blocks for one wire
+/// leg and enqueues its unpack without synchronizing; the unpack of leg
+/// i-1 thus overlaps the wire wait of leg i. Call synchronize() before
+/// releasing the machine (even on error) so no stream work references the
+/// leased chunk buffers when they return to the cache.
+class ChunkedRecv {
+public:
+  ChunkedRecv(const Packer &packer, void *buf, int count, int source,
+              int tag, MPI_Comm comm);
+
+  /// Receive the next wire leg (blocking) and enqueue its unpack.
+  /// Returns MPI_SUCCESS and flips done() after the final (short) leg.
+  int step(const interpose::MpiTable &next);
+
+  /// True if the next leg has already arrived, so step() would not block
+  /// on the wire (Test-driven progress in the request engine).
+  [[nodiscard]] bool ready(const interpose::MpiTable &next) const;
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] std::size_t bytes_received() const { return received_; }
+
+  /// Streams carrying still-unsynchronized unpack legs (Waitall batches
+  /// the final sync across requests).
+  void append_streams(std::vector<vcuda::StreamHandle> &streams) const;
+
+  /// Synchronize the unpack streams (idempotent).
+  void synchronize();
+
+  /// Publish MPI_SOURCE/MPI_TAG of the message (from the first leg) and
+  /// the logical received byte count. Call only after done().
+  void fill_status(MPI_Status *status) const;
+
+private:
+  int first_step(const interpose::MpiTable &next);
+  int unpack_leg(std::size_t leg_bytes, int slot);
+
+  const Packer &packer_;
+  void *buf_;
+  int count_;
+  int peer_;       ///< locked to the first leg's source (MPI_ANY_SOURCE)
+  int tag_;        ///< locked to the first leg's tag (MPI_ANY_TAG)
+  MPI_Comm comm_;
+
+  std::size_t expected_ = 0; ///< packed_bytes(count_): the unpack budget
+  std::size_t chunk_ = 0;    ///< first leg's size; legs < chunk_ terminate
+  std::size_t received_ = 0;
+  long long blocks_done_ = 0;
+  long long legs_ = 0;
+  bool started_ = false;
+  bool done_ = false;
+  /// Sender/receiver block sizes disagree (legs are not whole receiver
+  /// blocks): legs accumulate into one full-size buffer, unpacked once
+  /// at the end — correct, though no longer pipelined.
+  bool accumulate_ = false;
+
+  CachedBuffer slot_[2]; ///< ping-pong chunk leases (or [0] = full buffer)
+  vcuda::StreamHandle stream_[2] = {nullptr, nullptr};
+  MPI_Status first_status_{};
+};
+
+/// Process-wide Pipelined counters (tests, benches, tempi::SendStats).
+struct PipelineStats {
+  std::uint64_t sends = 0;  ///< pipelined sends started
+  std::uint64_t recvs = 0;  ///< pipelined receives started
+  std::uint64_t chunks = 0; ///< wire legs issued (both sides, terminators
+                            ///< included)
+  /// Packed bytes carried by sends larger than the wire-chunk limit —
+  /// traffic that used to fail with MPI_ERR_COUNT.
+  std::uint64_t over_ceiling_bytes = 0;
+};
+PipelineStats pipeline_stats();
+void reset_pipeline_stats();
 
 } // namespace tempi

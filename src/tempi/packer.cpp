@@ -32,6 +32,22 @@ vcuda::Error Packer::unpack_async(void *dst, const void *src, int count,
   return launch_unpack(plan_, sb_, extent_, dst, src, count, stream);
 }
 
+vcuda::Error Packer::pack_range_async(void *dst, const void *src,
+                                      long long first_block,
+                                      long long n_blocks,
+                                      vcuda::StreamHandle stream) const {
+  return launch_pack_range(plan_, sb_, extent_, dst, src, first_block,
+                           n_blocks, stream);
+}
+
+vcuda::Error Packer::unpack_range_async(void *dst, const void *src,
+                                        long long first_block,
+                                        long long n_blocks,
+                                        vcuda::StreamHandle stream) const {
+  return launch_unpack_range(plan_, sb_, extent_, dst, src, first_block,
+                             n_blocks, stream);
+}
+
 vcuda::Error Packer::pack_dma(void *dst, const void *src, int count,
                               vcuda::StreamHandle stream) const {
   assert(dma_capable());

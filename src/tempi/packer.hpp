@@ -15,6 +15,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -59,6 +60,30 @@ public:
   vcuda::Error unpack_async(void *dst, const void *src, int count,
                             vcuda::StreamHandle stream) const;
 
+  /// Ranged halves (the Pipelined method's per-chunk legs), addressed in
+  /// global blocks of the packed stream (see launch_pack_range): pack
+  /// blocks [first_block, first_block + n_blocks) into `dst` (a
+  /// chunk-sized wire buffer), or scatter a chunk's packed bytes into the
+  /// same blocks of `dst`. Asynchronous, like the _async halves above.
+  vcuda::Error pack_range_async(void *dst, const void *src,
+                                long long first_block, long long n_blocks,
+                                vcuda::StreamHandle stream) const;
+  vcuda::Error unpack_range_async(void *dst, const void *src,
+                                  long long first_block, long long n_blocks,
+                                  vcuda::StreamHandle stream) const;
+
+  /// Packed bytes per block (the chunking granularity) and blocks per
+  /// `count` objects of the packed stream.
+  [[nodiscard]] long long wire_block_bytes() const {
+    return sb_.block_bytes();
+  }
+  [[nodiscard]] long long total_blocks(int count) const {
+    return sb_.block_bytes() > 0
+               ? static_cast<long long>(packed_bytes(count)) /
+                     sb_.block_bytes()
+               : 0;
+  }
+
   /// Sec. 8 extension ("evaluate the use of the GPU DMA engine for
   /// non-contiguous data, e.g. cudaMemcpy2D"): pack/unpack a 2-D strided
   /// block through cudaMemcpy2DAsync instead of a kernel — the Wang et al.
@@ -71,14 +96,15 @@ public:
   vcuda::Error unpack_dma(void *dst, const void *src, int count,
                           vcuda::StreamHandle stream) const;
 
-  /// Steady-state method memo: Auto-mode sends remember the perf model's
-  /// choice per (count, model generation), so a repeat send skips the
-  /// model entirely — the hot path is one atomic load. A slot packs
-  /// (generation, count, method) into a single 64-bit word so a reader can
-  /// never observe a torn pairing; a stale generation simply misses.
-  /// Defined inline: this sits on the per-message critical path.
-  [[nodiscard]] std::optional<Method>
-  cached_method(int count, std::uint64_t model_generation) const {
+  /// Steady-state transfer memo: Auto-mode sends remember the perf
+  /// model's choice per (count, model generation) — including the
+  /// Pipelined chunk size — so a repeat send skips the model entirely:
+  /// the hot path is one atomic load. A slot packs (generation, chunk,
+  /// count, method) into a single 64-bit word so a reader can never
+  /// observe a torn pairing; a stale generation simply misses. Defined
+  /// inline: this sits on the per-message critical path.
+  [[nodiscard]] std::optional<TransferChoice>
+  cached_transfer(int count, std::uint64_t model_generation) const {
     if (count <= 0 || count >= (1 << kMemoCountBits)) {
       return std::nullopt;
     }
@@ -86,32 +112,62 @@ public:
         memo_[static_cast<std::size_t>(count) & (kMemoSlots - 1)].load(
             std::memory_order_acquire);
     const std::uint64_t want =
-        ((model_generation & kMemoGenMask) << (3 + kMemoCountBits)) |
+        ((model_generation & kMemoGenMask) << kMemoGenShift) |
         (static_cast<std::uint64_t>(count) << 3) | 0x4u;
-    if ((v & ~std::uint64_t{0x3}) != want) {
+    if ((v & ~(kMemoChunkMask << kMemoChunkShift | std::uint64_t{0x3})) !=
+        want) {
       return std::nullopt;
     }
-    return static_cast<Method>(v & 0x3u);
+    const auto m = static_cast<Method>(v & 0x3u);
+    const auto chunk_log2 =
+        static_cast<unsigned>((v >> kMemoChunkShift) & kMemoChunkMask);
+    return TransferChoice{m, m == Method::Pipelined
+                                 ? std::size_t{1} << chunk_log2
+                                 : 0};
   }
-  void remember_method(int count, std::uint64_t model_generation,
-                       Method m) const {
+  void remember_transfer(int count, std::uint64_t model_generation,
+                         TransferChoice choice) const {
     if (count <= 0 || count >= (1 << kMemoCountBits)) {
       return;
     }
+    // The chunk is memoized as its floor log2 (the model emits powers of
+    // two); monolithic methods carry 0.
+    std::uint64_t chunk_log2 = 0;
+    if (choice.method == Method::Pipelined && choice.chunk_bytes > 0) {
+      chunk_log2 = static_cast<std::uint64_t>(
+          std::bit_width(choice.chunk_bytes) - 1);
+    }
     const std::uint64_t v =
-        ((model_generation & kMemoGenMask) << (3 + kMemoCountBits)) |
+        ((model_generation & kMemoGenMask) << kMemoGenShift) |
+        ((chunk_log2 & kMemoChunkMask) << kMemoChunkShift) |
         (static_cast<std::uint64_t>(count) << 3) | 0x4u |
-        static_cast<std::uint64_t>(m);
+        static_cast<std::uint64_t>(choice.method);
     memo_[static_cast<std::size_t>(count) & (kMemoSlots - 1)].store(
         v, std::memory_order_release);
   }
 
+  /// Method-only views of the memo (compatibility; tests and the
+  /// overhead bench use these).
+  [[nodiscard]] std::optional<Method>
+  cached_method(int count, std::uint64_t model_generation) const {
+    const auto c = cached_transfer(count, model_generation);
+    return c ? std::optional<Method>(c->method) : std::nullopt;
+  }
+  void remember_method(int count, std::uint64_t model_generation,
+                       Method m) const {
+    remember_transfer(count, model_generation, TransferChoice{m, 0});
+  }
+
 private:
   static constexpr int kMemoSlots = 8; // power of two, direct-mapped
-  // Slot layout: [63:31] generation (33 bits) | [30:3] count (28 bits) |
-  // bit 2 valid | [1:0] method. Counts >= 2^28 bypass the memo.
+  // Slot layout: [63:37] generation (27 bits) | [36:31] chunk log2 (6
+  // bits) | [30:3] count (28 bits) | bit 2 valid | [1:0] method. Counts
+  // >= 2^28 bypass the memo.
   static constexpr int kMemoCountBits = 28;
-  static constexpr std::uint64_t kMemoGenMask = (std::uint64_t{1} << 33) - 1;
+  static constexpr std::uint64_t kMemoGenMask = (std::uint64_t{1} << 27) - 1;
+  static constexpr int kMemoChunkShift = 3 + kMemoCountBits;
+  static constexpr std::uint64_t kMemoChunkMask = 0x3F;
+  static constexpr int kMemoGenShift = kMemoChunkShift + 6;
 
   StridedBlock sb_;
   long long extent_ = 0;

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <fstream>
@@ -18,8 +19,55 @@ const char *method_name(Method m) {
   case Method::OneShot: return "one-shot";
   case Method::Device: return "device";
   case Method::Staged: return "staged";
+  case Method::Pipelined: return "pipelined";
   }
   return "?";
+}
+
+// --- pipeline configuration --------------------------------------------------
+
+namespace {
+
+std::atomic<std::size_t> g_wire_chunk_limit{kMaxWireBytes};
+std::atomic<std::size_t> g_chunk_bytes_override{0};
+std::atomic<std::uint64_t> g_transfer_config_gen{1};
+
+} // namespace
+
+std::size_t wire_chunk_limit() {
+  return g_wire_chunk_limit.load(std::memory_order_relaxed);
+}
+
+std::size_t set_wire_chunk_limit(std::size_t bytes) {
+  bytes = std::clamp<std::size_t>(bytes, 1, kMaxWireBytes);
+  const std::size_t prev =
+      g_wire_chunk_limit.exchange(bytes, std::memory_order_relaxed);
+  g_transfer_config_gen.fetch_add(1, std::memory_order_release);
+  return prev;
+}
+
+std::size_t chunk_bytes_override() {
+  return g_chunk_bytes_override.load(std::memory_order_relaxed);
+}
+
+void set_chunk_bytes_override(std::size_t bytes) {
+  g_chunk_bytes_override.store(bytes, std::memory_order_relaxed);
+  g_transfer_config_gen.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t transfer_config_generation() {
+  return g_transfer_config_gen.load(std::memory_order_acquire);
+}
+
+std::size_t fallback_chunk_bytes(std::size_t total_bytes) {
+  const std::size_t limit = wire_chunk_limit();
+  if (const std::size_t o = chunk_bytes_override(); o != 0) {
+    return std::min(o, limit);
+  }
+  const std::size_t quarter = std::max<std::size_t>(total_bytes / 4, 1);
+  const std::size_t target = std::bit_floor(quarter);
+  const std::size_t floor = std::min<std::size_t>(64 * 1024, limit);
+  return std::clamp(target, floor, limit);
 }
 
 namespace {
@@ -343,8 +391,54 @@ double PerfModel::estimate_us(Method m, double block_bytes,
            perf_.d2h.query(total_bytes) + perf_.cpu_cpu.query(total_bytes) +
            perf_.h2d.query(total_bytes) +
            perf_.device_unpack.query(block_bytes, total_bytes);
+  case Method::Pipelined:
+    return best_pipelined(block_bytes, total_bytes).us;
   }
   return 0.0;
+}
+
+double PerfModel::estimate_pipelined_us(double block_bytes, double total_bytes,
+                                        double chunk_bytes) const {
+  if (chunk_bytes <= 0.0 || total_bytes <= 0.0) {
+    return 0.0;
+  }
+  chunk_bytes = std::min(chunk_bytes, total_bytes);
+  const double legs = std::ceil(total_bytes / chunk_bytes);
+  const double p = perf_.device_pack.query(block_bytes, chunk_bytes);
+  const double w = perf_.gpu_gpu.query(chunk_bytes);
+  const double u = perf_.device_unpack.query(block_bytes, chunk_bytes);
+  return p + w + u + (legs - 1.0) * std::max({p, w, u});
+}
+
+PerfModel::PipelinedEstimate
+PerfModel::best_pipelined(double block_bytes, double total_bytes) const {
+  const std::size_t limit = wire_chunk_limit();
+  PipelinedEstimate best{0, 0.0};
+  const auto consider = [&](std::size_t chunk) {
+    const double us =
+        estimate_pipelined_us(block_bytes, total_bytes,
+                              static_cast<double>(chunk));
+    if (best.chunk_bytes == 0 || us < best.us) {
+      best = {chunk, us};
+    }
+  };
+  if (const std::size_t o = chunk_bytes_override(); o != 0) {
+    // The override is authoritative: model only the forced chunk size.
+    consider(std::bit_floor(std::min(o, limit)));
+    return best;
+  }
+  // Power-of-two candidates from 64 KiB up to the wire-chunk limit (the
+  // chunk may not exceed one leg); ~2x steps keep the miss-path cost at a
+  // few dozen interpolations, amortized by the choice cache.
+  const std::size_t first =
+      std::min<std::size_t>(64 * 1024, std::bit_floor(limit));
+  for (std::size_t chunk = first; chunk <= limit; chunk *= 2) {
+    consider(chunk);
+    if (static_cast<double>(chunk) >= total_bytes) {
+      break; // larger chunks degenerate to a single leg
+    }
+  }
+  return best;
 }
 
 Method PerfModel::choose(std::size_t block_bytes,
@@ -380,6 +474,60 @@ Method PerfModel::choose(std::size_t block_bytes,
   slot.store(tag | 0x4u | static_cast<std::uint64_t>(best),
              std::memory_order_release);
   return best;
+}
+
+TransferChoice PerfModel::choose_transfer(std::size_t block_bytes,
+                                          std::size_t total_bytes) const {
+  const std::size_t limit = wire_chunk_limit();
+  if (total_bytes <= limit) {
+    // Within the single-leg limit the monolithic wire format is kept:
+    // its one-message framing is what lets sender and receiver choose
+    // methods independently (a peer may fall through to the system path
+    // — host-resident buffer, different block shape — and still
+    // reassemble correctly). Multi-leg framing is only sound when both
+    // endpoints run it, so under the limit it stays an explicit opt-in
+    // (SendMode::ForcePipelined / TEMPI_METHOD=pipelined) for symmetric
+    // SPMD deployments.
+    return TransferChoice{choose(block_bytes, total_bytes), 0};
+  }
+  // Transfer entries share the choice-cache array under a salted key (so
+  // they never collide with choose() tags) that folds in the transfer
+  // config generation: changing the wire-chunk limit or the chunk
+  // override strands old entries rather than serving them. Slot layout:
+  // bits [63:9] tag | [8:3] log2(chunk) | bit 2 valid | [1:0] method.
+  constexpr std::uint64_t kTransferSalt = 0xA5A5A5A55A5A5A5Aull;
+  const std::uint64_t h = mix64(
+      mix64(block_bytes ^ kTransferSalt) ^
+      (static_cast<std::uint64_t>(total_bytes) + 0x9e3779b97f4a7c15ull) ^
+      (transfer_config_generation() * 0xff51afd7ed558ccdull));
+  std::atomic<std::uint64_t> &slot =
+      cache_->slots[h & (ChoiceCache::kSlots - 1)];
+  const std::uint64_t tag = h & ~std::uint64_t{0x1FF};
+  const std::uint64_t v = slot.load(std::memory_order_acquire);
+  if ((v & ~std::uint64_t{0x1FF}) == tag && (v & 0x4u) != 0) {
+    vcuda::this_thread_timeline().advance(kModelQueryCachedNs);
+    g_model_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    const auto m = static_cast<Method>(v & 0x3u);
+    const auto chunk_log2 = static_cast<unsigned>((v >> 3) & 0x3Fu);
+    return TransferChoice{m, m == Method::Pipelined
+                                 ? std::size_t{1} << chunk_log2
+                                 : 0};
+  }
+  vcuda::this_thread_timeline().advance(kModelQueryUncachedNs);
+  g_model_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  // Above the wire-chunk limit no single leg can carry the message:
+  // Pipelined is the only valid method, and the model's job is picking
+  // its chunk size.
+  const PipelinedEstimate pipe = best_pipelined(
+      static_cast<double>(block_bytes), static_cast<double>(total_bytes));
+  const TransferChoice choice{Method::Pipelined,
+                              std::max<std::size_t>(pipe.chunk_bytes, 1)};
+  const auto chunk_log2 =
+      static_cast<std::uint64_t>(std::bit_width(choice.chunk_bytes) - 1);
+  slot.store(tag | (chunk_log2 << 3) | 0x4u |
+                 static_cast<std::uint64_t>(choice.method),
+             std::memory_order_release);
+  return choice;
 }
 
 } // namespace tempi

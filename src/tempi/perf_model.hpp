@@ -25,8 +25,52 @@
 
 namespace tempi {
 
-enum class Method { OneShot, Device, Staged };
+/// The paper's three monolithic methods plus the chunked Pipelined path
+/// (device-space chunk buffers, one wire leg per chunk, pack/wire/unpack
+/// overlapped). Values fit in 2 bits: the choice cache and the packer
+/// method memo store a Method in the low bits of one atomic word.
+enum class Method { OneShot, Device, Staged, Pipelined };
 const char *method_name(Method m);
+
+/// Largest packed payload one contiguous wire leg can carry: the system
+/// MPI transfer count is a C int. Monolithic methods fail with
+/// MPI_ERR_COUNT beyond the (possibly lowered, see set_wire_chunk_limit)
+/// limit instead of silently wrapping; the Pipelined method carries such
+/// messages as multiple ordered wire legs instead.
+inline constexpr std::size_t kMaxWireBytes = 2147483647u; // INT_MAX
+
+/// The effective per-leg wire ceiling. Defaults to kMaxWireBytes;
+/// injectable (clamped to [1, kMaxWireBytes]) so tests can exercise the
+/// multi-leg >limit path with tiny messages instead of allocating
+/// gigabytes. Returns the previous value. Changing it bumps the transfer
+/// config generation, invalidating memoized transfer choices.
+std::size_t wire_chunk_limit();
+std::size_t set_wire_chunk_limit(std::size_t bytes);
+
+/// TEMPI_CHUNK_BYTES override for the Pipelined chunk size (0 = none:
+/// the model picks). Clamped to the wire-chunk limit at use time.
+std::size_t chunk_bytes_override();
+void set_chunk_bytes_override(std::size_t bytes);
+
+/// Bumped by set_wire_chunk_limit / set_chunk_bytes_override so cached
+/// transfer choices (choice cache slots, packer memos) keyed on an older
+/// generation miss and re-consult the model.
+std::uint64_t transfer_config_generation();
+
+/// A transfer decision: the method, and for Pipelined the model-chosen
+/// target wire-leg size (a power of two; the send path rounds it to whole
+/// contiguous blocks and clamps it to the wire-chunk limit). chunk_bytes
+/// is 0 for the monolithic methods.
+struct TransferChoice {
+  Method method = Method::Device;
+  std::size_t chunk_bytes = 0;
+};
+
+/// Model-free chunk target for forced-Pipelined sends (TEMPI_METHOD=
+/// pipelined or a forced monolithic method upgraded above the wire-chunk
+/// limit): the override if set, else ~4 legs rounded down to a power of
+/// two, clamped to [64 KiB, wire_chunk_limit()].
+std::size_t fallback_chunk_bytes(std::size_t total_bytes);
 
 /// Piecewise-linear interpolation table over message size (log-spaced).
 struct Table1D {
@@ -75,15 +119,56 @@ public:
   ~PerfModel();
 
   /// Estimated end-to-end Send/Recv latency (us) of `m` for objects with
-  /// `block_bytes`-long contiguous blocks totalling `total_bytes`.
+  /// `block_bytes`-long contiguous blocks totalling `total_bytes`. For
+  /// Method::Pipelined this is the best pipelined estimate over the
+  /// candidate chunk sizes (see estimate_pipelined_us).
   [[nodiscard]] double estimate_us(Method m, double block_bytes,
                                    double total_bytes) const;
 
-  /// The method with the lowest estimate. Thread-safe: consults this
-  /// instance's lock-free choice cache first. Charges the calling thread's
-  /// virtual clock for the query (cached: ~277 ns; uncached: ~2 us).
+  /// Pipelined (chunked) estimate with an explicit chunk size: a 3-stage
+  /// pipeline of per-chunk pack, wire, and unpack legs,
+  ///   T = p + w + u + (C-1) * max(p, w, u),   C = ceil(total / chunk),
+  /// where the per-chunk stage times come from the device-method tables
+  /// (pipelined chunks ride device-space buffers and the CUDA-aware wire).
+  /// The per-chunk latency floors (kernel launch/sync, the ~6 us GPU wire
+  /// floor) are inside the table queries, so shrinking chunks naturally
+  /// stops paying off.
+  [[nodiscard]] double estimate_pipelined_us(double block_bytes,
+                                             double total_bytes,
+                                             double chunk_bytes) const;
+
+  /// The monolithic method with the lowest estimate (never Pipelined;
+  /// kept for compatibility — full transfers use choose_transfer).
+  /// Thread-safe: consults this instance's lock-free choice cache first.
+  /// Charges the calling thread's virtual clock for the query (cached:
+  /// ~277 ns; uncached: ~2 us).
   [[nodiscard]] Method choose(std::size_t block_bytes,
                               std::size_t total_bytes) const;
+
+  /// Full transfer decision. Within the wire-chunk limit this is the
+  /// monolithic argmin (same cache as choose()): the one-message wire
+  /// format is what lets a peer that independently fell through to the
+  /// system path (host buffer, untranslatable type) still reassemble
+  /// correctly, so Auto never switches framing under the limit —
+  /// under-limit pipelining is an explicit opt-in via
+  /// SendMode::ForcePipelined / TEMPI_METHOD=pipelined for symmetric
+  /// SPMD apps. Above the limit no single leg can carry the message:
+  /// the choice is Pipelined with the model-chosen chunk size, cached in
+  /// the same lock-free choice cache under a salted key whose slots also
+  /// carry the chunk size, so a steady-state hit is still one atomic
+  /// load.
+  [[nodiscard]] TransferChoice choose_transfer(std::size_t block_bytes,
+                                               std::size_t total_bytes) const;
+
+  /// The best pipelined chunk size and its estimate for this message
+  /// (what choose_transfer uses above the limit; benches sweep it to
+  /// compare against the monolithic estimates at any size).
+  struct PipelinedEstimate {
+    std::size_t chunk_bytes = 0;
+    double us = 0.0;
+  };
+  [[nodiscard]] PipelinedEstimate best_pipelined(double block_bytes,
+                                                 double total_bytes) const;
 
   [[nodiscard]] const SystemPerf &perf() const { return perf_; }
 

@@ -85,11 +85,13 @@ struct State {
   std::atomic<std::uint64_t> sends_oneshot{0};
   std::atomic<std::uint64_t> sends_device{0};
   std::atomic<std::uint64_t> sends_staged{0};
+  std::atomic<std::uint64_t> sends_pipelined{0};
   std::atomic<std::uint64_t> sends_forwarded{0};
 
   std::atomic<std::uint64_t> isends_oneshot{0};
   std::atomic<std::uint64_t> isends_device{0};
   std::atomic<std::uint64_t> isends_staged{0};
+  std::atomic<std::uint64_t> isends_pipelined{0};
   std::atomic<std::uint64_t> isends_forwarded{0};
   std::atomic<std::uint64_t> irecvs_accelerated{0};
   std::atomic<std::uint64_t> irecvs_forwarded{0};
@@ -216,15 +218,31 @@ int tempi_Init(int *argc, char ***argv) {
         s.mode = SendMode::ForceDevice;
       } else if (mode == "staged") {
         s.mode = SendMode::ForceStaged;
+      } else if (mode == "pipelined") {
+        s.mode = SendMode::ForcePipelined;
       } else if (mode == "system") {
         s.mode = SendMode::System;
       } else if (mode == "auto") {
         s.mode = SendMode::Auto;
       } else {
-        support::log_warn("tempi: unknown TEMPI_METHOD '", env,
-                          "' (want auto|oneshot|device|staged|system)");
+        support::log_warn(
+            "tempi: unknown TEMPI_METHOD '", env,
+            "' (want auto|oneshot|device|staged|pipelined|system)");
       }
       support::log_info("tempi: TEMPI_METHOD=", env);
+    }
+    if (const char *env = std::getenv("TEMPI_CHUNK_BYTES")) {
+      // No-recompile chunk tuning for the pipelined path (mirrors
+      // TEMPI_METHOD): a positive byte count forces the wire-leg size.
+      char *end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        set_chunk_bytes_override(static_cast<std::size_t>(v));
+        support::log_info("tempi: TEMPI_CHUNK_BYTES=", env);
+      } else {
+        support::log_warn("tempi: ignoring TEMPI_CHUNK_BYTES '", env,
+                          "' (want a positive byte count)");
+      }
     }
     if (const char *env = std::getenv("TEMPI_BLOCKLIST")) {
       s.blocklist_fallback = std::string_view(env) == "1";
@@ -418,38 +436,54 @@ int tempi_Unpack(const void *inbuf, int insize, int *position, void *outbuf,
 /// Shared Send/Recv gate: TEMPI takes over only for non-contiguous,
 /// translatable datatypes on device-resident buffers. Zero-size payloads
 /// (empty types or count 0) forward too: there is nothing to pack, and the
-/// kernels reject zero-volume launches.
-std::optional<Method> acceleration_method(const Packer *packer,
-                                          const void *buf, int count) {
+/// kernels reject zero-volume launches. Returns the method plus, for
+/// Method::Pipelined, the chosen wire-leg target.
+std::optional<TransferChoice> acceleration_method(const Packer *packer,
+                                                  const void *buf,
+                                                  int count) {
   State &s = state();
   if (packer == nullptr || packer->contiguous() || count == 0 ||
       packer->packed_bytes(count) == 0 || !device_resident(buf)) {
     return std::nullopt;
   }
+  const std::size_t total = packer->packed_bytes(count);
+  // Forced monolithic methods upgrade to Pipelined above the wire-chunk
+  // limit: no single leg can carry the message, and multiple ordered legs
+  // beat the historical MPI_ERR_COUNT.
+  const auto forced = [&](Method m) -> TransferChoice {
+    if (total > wire_chunk_limit() || m == Method::Pipelined) {
+      return TransferChoice{Method::Pipelined, fallback_chunk_bytes(total)};
+    }
+    return TransferChoice{m, 0};
+  };
   switch (s.mode.load(std::memory_order_relaxed)) {
   case SendMode::System: return std::nullopt;
-  case SendMode::ForceOneShot: return Method::OneShot;
-  case SendMode::ForceDevice: return Method::Device;
-  case SendMode::ForceStaged: return Method::Staged;
+  case SendMode::ForceOneShot: return forced(Method::OneShot);
+  case SendMode::ForceDevice: return forced(Method::Device);
+  case SendMode::ForceStaged: return forced(Method::Staged);
+  case SendMode::ForcePipelined: return forced(Method::Pipelined);
   case SendMode::Auto: break;
   }
-  // Steady state: the packer remembers the model's choice per (count,
-  // model generation) — one atomic load, no model lock, no interpolation.
-  const std::uint64_t gen = s.model_gen.load(std::memory_order_acquire);
-  if (const auto memo = packer->cached_method(count, gen)) {
+  // Steady state: the packer remembers the model's choice — method and
+  // chunk — per (count, generation): one atomic load, no model lock, no
+  // interpolation. The generation folds in the transfer config (wire
+  // limit, chunk override) so tuning knobs invalidate stale choices.
+  const std::uint64_t gen =
+      (s.model_gen.load(std::memory_order_acquire) << 16) ^
+      transfer_config_generation();
+  if (const auto memo = packer->cached_transfer(count, gen)) {
     vcuda::this_thread_timeline().advance(kMethodMemoHitNs);
     s.method_memo_hits.fetch_add(1, std::memory_order_relaxed);
     return *memo;
   }
-  Method m = Method::Device;
+  TransferChoice choice;
   {
     const std::shared_lock<std::shared_mutex> lock(s.model_mutex);
-    m = s.model.choose(
-        static_cast<std::size_t>(packer->block().block_bytes()),
-        packer->packed_bytes(count));
+    choice = s.model.choose_transfer(
+        static_cast<std::size_t>(packer->block().block_bytes()), total);
   }
-  packer->remember_method(count, gen, m);
-  return m;
+  packer->remember_transfer(count, gen, choice);
+  return choice;
 }
 
 /// Sec. 8 extension gate shared by the blocking and non-blocking paths:
@@ -492,7 +526,7 @@ int tempi_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
     s.sends_forwarded.fetch_add(1, std::memory_order_relaxed);
     return s.next.Send(buf, count, datatype, dest, tag, comm);
   }
-  switch (*method) {
+  switch (method->method) {
   case Method::OneShot:
     s.sends_oneshot.fetch_add(1, std::memory_order_relaxed);
     break;
@@ -502,9 +536,13 @@ int tempi_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
   case Method::Staged:
     s.sends_staged.fetch_add(1, std::memory_order_relaxed);
     break;
+  case Method::Pipelined:
+    s.sends_pipelined.fetch_add(1, std::memory_order_relaxed);
+    return send_pipelined(*packer, buf, count, dest, tag, comm,
+                          method->chunk_bytes, s.next);
   }
-  return send_with_method(*packer, *method, buf, count, dest, tag, comm,
-                          s.next);
+  return send_with_method(*packer, method->method, buf, count, dest, tag,
+                          comm, s.next);
 }
 
 int tempi_Recv(void *buf, int count, MPI_Datatype datatype, int source,
@@ -534,28 +572,51 @@ int tempi_Recv(void *buf, int count, MPI_Datatype datatype, int source,
     }
     return s.next.Recv(buf, count, datatype, source, tag, comm, status);
   }
-  return recv_with_method(*packer, *method, buf, count, source, tag, comm,
-                          status, s.next);
+  return recv_with_method(*packer, method->method, buf, count, source, tag,
+                          comm, status, s.next);
 }
 
+// --- non-blocking entry points (the request engine, async.hpp) ---------------
+
+int tempi_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
+                int tag, MPI_Comm comm, MPI_Request *request);
+int tempi_Irecv(void *buf, int count, MPI_Datatype datatype, int source,
+                int tag, MPI_Comm comm, MPI_Request *request);
+int tempi_Waitall(int count, MPI_Request *requests, MPI_Status *statuses);
+
 /// Extension beyond the paper's Send/Recv scope: MPI_Sendrecv decomposes
-/// into an accelerated send and an accelerated receive. Safe because the
-/// system MPI's sends are buffered (send-then-receive cannot deadlock),
-/// and both halves reuse the Sec. 4 machinery unchanged.
+/// into Isend + Irecv + Waitall rather than a serialized blocking Send
+/// then Recv, so both directions' pipelines overlap — the receive's wire
+/// buffer is matched while the send side still has legs in flight, and
+/// Waitall's batched sync covers the unpack legs of both. Deadlock-free
+/// because the send transfer is posted eagerly (buffered sends).
 int tempi_Sendrecv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
                    int dest, int sendtag, void *recvbuf, int recvcount,
                    MPI_Datatype recvtype, int source, int recvtag,
                    MPI_Comm comm, MPI_Status *status) {
-  const int rc = tempi_Send(sendbuf, sendcount, sendtype, dest, sendtag,
-                            comm);
-  if (rc != MPI_SUCCESS) {
-    return rc;
+  MPI_Request reqs[2] = {MPI_REQUEST_NULL, MPI_REQUEST_NULL};
+  const int src = tempi_Isend(sendbuf, sendcount, sendtype, dest, sendtag,
+                              comm, &reqs[0]);
+  if (src != MPI_SUCCESS) {
+    return src;
   }
-  return tempi_Recv(recvbuf, recvcount, recvtype, source, recvtag, comm,
-                    status);
+  const int rrc = tempi_Irecv(recvbuf, recvcount, recvtype, source, recvtag,
+                              comm, &reqs[1]);
+  if (rrc != MPI_SUCCESS) {
+    // The posted send is buffered; reclaim its request before failing.
+    tempi_Waitall(1, reqs, MPI_STATUSES_IGNORE);
+    return rrc;
+  }
+  MPI_Status statuses[2];
+  const int wrc = tempi_Waitall(2, reqs, statuses);
+  if (wrc != MPI_SUCCESS) {
+    return wrc;
+  }
+  if (status != MPI_STATUS_IGNORE) {
+    *status = statuses[1]; // the receive's status, per MPI_Sendrecv
+  }
+  return MPI_SUCCESS;
 }
-
-// --- non-blocking entry points (the request engine, async.hpp) ---------------
 
 int tempi_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
                 int tag, MPI_Comm comm, MPI_Request *request) {
@@ -577,7 +638,7 @@ int tempi_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
     s.isends_forwarded.fetch_add(1, std::memory_order_relaxed);
     return s.next.Isend(buf, count, datatype, dest, tag, comm, request);
   }
-  switch (*method) {
+  switch (method->method) {
   case Method::OneShot:
     s.isends_oneshot.fetch_add(1, std::memory_order_relaxed);
     break;
@@ -587,9 +648,12 @@ int tempi_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
   case Method::Staged:
     s.isends_staged.fetch_add(1, std::memory_order_relaxed);
     break;
+  case Method::Pipelined:
+    s.isends_pipelined.fetch_add(1, std::memory_order_relaxed);
+    break;
   }
-  return async::start_isend(packer, *method, buf, count, dest, tag, comm,
-                            s.next, request);
+  return async::start_isend(packer, method->method, buf, count, dest, tag,
+                            comm, s.next, request, method->chunk_bytes);
 }
 
 int tempi_Irecv(void *buf, int count, MPI_Datatype datatype, int source,
@@ -613,8 +677,8 @@ int tempi_Irecv(void *buf, int count, MPI_Datatype datatype, int source,
     return s.next.Irecv(buf, count, datatype, source, tag, comm, request);
   }
   s.irecvs_accelerated.fetch_add(1, std::memory_order_relaxed);
-  return async::start_irecv(packer, *method, buf, count, source, tag, comm,
-                            s.next, request);
+  return async::start_irecv(packer, method->method, buf, count, source, tag,
+                            comm, s.next, request);
 }
 
 int tempi_Wait(MPI_Request *request, MPI_Status *status) {
@@ -742,6 +806,7 @@ const Packer *find_packer_fast(MPI_Datatype datatype) {
 
 SendStats send_stats() {
   State &s = state();
+  const PipelineStats pipe = pipeline_stats();
   return SendStats{
       s.sends_oneshot.load(std::memory_order_relaxed),
       s.sends_device.load(std::memory_order_relaxed),
@@ -756,6 +821,10 @@ SendStats send_stats() {
       model_cache_stats().hits,
       model_cache_stats().misses,
       s.method_memo_hits.load(std::memory_order_relaxed),
+      s.sends_pipelined.load(std::memory_order_relaxed),
+      s.isends_pipelined.load(std::memory_order_relaxed),
+      pipe.chunks,
+      pipe.over_ceiling_bytes,
   };
 }
 
@@ -764,15 +833,18 @@ void reset_send_stats() {
   s.sends_oneshot.store(0, std::memory_order_relaxed);
   s.sends_device.store(0, std::memory_order_relaxed);
   s.sends_staged.store(0, std::memory_order_relaxed);
+  s.sends_pipelined.store(0, std::memory_order_relaxed);
   s.sends_forwarded.store(0, std::memory_order_relaxed);
   s.isends_oneshot.store(0, std::memory_order_relaxed);
   s.isends_device.store(0, std::memory_order_relaxed);
   s.isends_staged.store(0, std::memory_order_relaxed);
+  s.isends_pipelined.store(0, std::memory_order_relaxed);
   s.isends_forwarded.store(0, std::memory_order_relaxed);
   s.irecvs_accelerated.store(0, std::memory_order_relaxed);
   s.irecvs_forwarded.store(0, std::memory_order_relaxed);
   s.method_memo_hits.store(0, std::memory_order_relaxed);
   reset_model_cache_stats();
+  reset_pipeline_stats();
 }
 
 } // namespace tempi

@@ -28,11 +28,12 @@ namespace tempi {
 
 /// How MPI_Send/MPI_Recv pick their packing method.
 enum class SendMode {
-  Auto,         ///< model-based selection (the paper's "auto")
-  ForceOneShot, ///< always the one-shot method
-  ForceDevice,  ///< always the device method
-  ForceStaged,  ///< always the staged method
-  System,       ///< do not accelerate Send/Recv (baseline datatype path)
+  Auto,           ///< model-based selection (the paper's "auto")
+  ForceOneShot,   ///< always the one-shot method
+  ForceDevice,    ///< always the device method
+  ForceStaged,    ///< always the staged method
+  ForcePipelined, ///< always the chunked pipelined method
+  System,         ///< do not accelerate Send/Recv (baseline datatype path)
 };
 
 /// Install TEMPI's partial MPI implementation over the active table.
@@ -117,6 +118,16 @@ struct SendStats {
   std::uint64_t model_cache_hits = 0;
   std::uint64_t model_cache_misses = 0;
   std::uint64_t method_memo_hits = 0;
+
+  /// Pipelined (chunked) path counters. `pipelined`/`isend_pipelined`
+  /// count blocking and non-blocking pipelined sends; the rest mirror
+  /// tempi::pipeline_stats(): wire legs issued (both sides) and packed
+  /// bytes carried by sends above the single-leg wire limit — traffic
+  /// that used to fail with MPI_ERR_COUNT.
+  std::uint64_t pipelined = 0;
+  std::uint64_t isend_pipelined = 0;
+  std::uint64_t pipeline_chunks = 0;
+  std::uint64_t pipeline_over_ceiling_bytes = 0;
 };
 SendStats send_stats();
 void reset_send_stats();

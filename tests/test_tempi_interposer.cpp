@@ -232,8 +232,54 @@ TEST(Interposer, SendModeControlsMethod) {
   tempi::ScopedInterposer guard;
   tempi::set_send_mode(tempi::SendMode::ForceDevice);
   EXPECT_EQ(tempi::send_mode(), tempi::SendMode::ForceDevice);
+  tempi::set_send_mode(tempi::SendMode::ForcePipelined);
+  EXPECT_EQ(tempi::send_mode(), tempi::SendMode::ForcePipelined);
   tempi::set_send_mode(tempi::SendMode::Auto);
   EXPECT_EQ(tempi::send_mode(), tempi::SendMode::Auto);
+}
+
+TEST(Interposer, PipelineCountersTrackChunkedSends) {
+  tempi::ScopedInterposer guard;
+  tempi::set_send_mode(tempi::SendMode::ForcePipelined);
+  tempi::reset_send_stats();
+  const tempi::SendStats before = tempi::send_stats();
+  EXPECT_EQ(before.pipelined, 0u);
+  EXPECT_EQ(before.isend_pipelined, 0u);
+  EXPECT_EQ(before.pipeline_chunks, 0u);
+  EXPECT_EQ(before.pipeline_over_ceiling_bytes, 0u);
+
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1;
+  sysmpi::run_ranks(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = committed_vector(512, 16, 48);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    SpaceBuffer buf(vcuda::MemorySpace::Device,
+                    static_cast<std::size_t>(extent) + 64);
+    if (rank == 0) {
+      fill_pattern(buf.get(), buf.size());
+      MPI_Send(buf.get(), 1, t, 1, 0, MPI_COMM_WORLD);
+    } else {
+      MPI_Recv(buf.get(), 1, t, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+
+  const tempi::SendStats after = tempi::send_stats();
+  EXPECT_EQ(after.pipelined, 1u);
+  // Sender legs (data + terminator) and the receiver's mirror of them.
+  EXPECT_GE(after.pipeline_chunks, 4u);
+  // The message fits the default 2 GiB wire ceiling: nothing oversized.
+  EXPECT_EQ(after.pipeline_over_ceiling_bytes, 0u);
+
+  tempi::reset_send_stats();
+  const tempi::SendStats cleared = tempi::send_stats();
+  EXPECT_EQ(cleared.pipelined, 0u);
+  EXPECT_EQ(cleared.pipeline_chunks, 0u);
+  tempi::set_send_mode(tempi::SendMode::Auto);
 }
 
 } // namespace
