@@ -170,7 +170,11 @@ PhaseTimes Exchanger::exchange(void *grid) {
   times.pack_us = (MPI_Wtime() - t0) * 1e6;
 
   // Phase 2: neighbor all-to-all of packed bytes. The counts arrays are
-  // symmetric because every region pairs with a congruent opposite.
+  // symmetric because every region pairs with a congruent opposite. With
+  // TEMPI installed this call is serviced by the collectives engine: the
+  // device-resident MPI_BYTE slices ship as per-peer legs through the
+  // request engine (self-neighbors short-circuit as device copies), with
+  // each leg's wire path chosen by the netmodel-aware perf model.
   t0 = MPI_Wtime();
   // Receive-slot byte counts follow the (reversed) recv enumeration; with
   // congruent faces the counts vector is its own mirror, but compute it

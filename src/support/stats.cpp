@@ -48,6 +48,16 @@ double min(std::span<const double> samples) {
   return *std::min_element(samples.begin(), samples.end());
 }
 
+double geomean(std::span<const double> samples) {
+  assert(!samples.empty());
+  double log_sum = 0.0;
+  for (const double v : samples) {
+    assert(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
 double Sampler::trimean() const { return support::trimean(samples_); }
 double Sampler::mean() const { return support::mean(samples_); }
 double Sampler::median() const { return support::median(samples_); }

@@ -27,6 +27,11 @@ double median(std::span<const double> samples);
 /// Minimum of a non-empty sample.
 double min(std::span<const double> samples);
 
+/// Geometric mean of a non-empty, strictly-positive sample (the right
+/// aggregate for speedup ratios: bench pass gates summarize sweeps with
+/// it so one outlier configuration cannot mask a regression elsewhere).
+double geomean(std::span<const double> samples);
+
 /// Accumulates timing samples and reports robust summaries.
 class Sampler {
 public:

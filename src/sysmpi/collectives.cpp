@@ -12,14 +12,12 @@
 
 namespace sysmpi {
 
-namespace {
-
-/// Reserved tag for the current collective on `comm` (consumes one slot of
-/// the per-rank sequence, which all ranks advance identically).
 int next_collective_tag(MPI_Comm comm) {
   const std::uint64_t seq = comm->collective_seq++;
   return -1 - static_cast<int>(seq & 0x3FFFFFFu);
 }
+
+namespace {
 
 template <typename T>
 void apply_op_typed(OpKind kind, T *inout, const T *in, int count) {

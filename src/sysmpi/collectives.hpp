@@ -11,6 +11,14 @@
 
 namespace sysmpi {
 
+/// Reserve the tag of the current collective on `comm`, consuming one
+/// slot of the per-rank sequence (which every rank advances identically).
+/// Exported because TEMPI's collectives engine must derive the exact tag
+/// — and consume the exact sequence slots — a system-path rank does for
+/// the same call; one definition keeps that interoperability invariant in
+/// one place.
+int next_collective_tag(MPI_Comm comm);
+
 int barrier_impl(MPI_Comm comm);
 int bcast_impl(void *buf, int count, MPI_Datatype dt, int root, MPI_Comm comm);
 int allreduce_impl(const void *sendbuf, void *recvbuf, int count,

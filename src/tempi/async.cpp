@@ -50,6 +50,13 @@ struct AsyncOp {
   /// its legs; its chunk leases live inside it until the op retires).
   std::unique_ptr<ChunkedRecv> chunked;
 
+  /// Collectives-engine legs: the payload is pre-packed contiguous bytes,
+  /// so completion moves wire bytes without pack/unpack kernels (see
+  /// start_isend_packed/start_irecv_packed). Pipelined packed receives
+  /// carry the contiguous mirror of ChunkedRecv.
+  bool packed = false;
+  std::unique_ptr<PackedChunkRecv> packed_chunked;
+
   MPI_Request inner = MPI_REQUEST_NULL; ///< send: the system transfer
   MPI_Status wire_status{};             ///< recv: status of the wire leg
 };
@@ -152,6 +159,47 @@ void retire(std::unique_ptr<AsyncOp> op, MPI_Request *request) {
 /// Blocking wire leg + unpack for a receive op; `sync` controls whether
 /// the stream is synchronized here (Waitall defers it to batch).
 int complete_recv(AsyncOp &op, const interpose::MpiTable &next, bool sync) {
+  if (op.packed) {
+    // Pre-packed destination (collectives-engine leg): the wire bytes land
+    // in place, no unpack kernels.
+    if (op.packed_chunked) {
+      int rc = MPI_SUCCESS;
+      while (!op.packed_chunked->done() &&
+             (rc = op.packed_chunked->step(next)) == MPI_SUCCESS) {
+      }
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+      op.packed_chunked->fill_status(&op.wire_status);
+      op.pipe.bytes = op.packed_chunked->bytes_received();
+      op.phase = OpPhase::Complete; // no stream work to drain
+      return MPI_SUCCESS;
+    }
+    if (op.method == Method::Staged) {
+      const int rc = next.Recv(op.pipe.wire.get(), wire_count(op), MPI_BYTE,
+                               op.peer, op.tag, op.comm, &op.wire_status);
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+      op.pipe.bytes = static_cast<std::size_t>(op.wire_status.count_bytes);
+      vcuda::MemcpyAsync(op.recv_buf, op.pipe.wire.get(), op.pipe.bytes,
+                         vcuda::MemcpyKind::HostToDevice, op.stream);
+      op.phase = OpPhase::UnpackPending;
+      if (sync) {
+        vcuda::StreamSynchronize(op.stream);
+        op.phase = OpPhase::Complete;
+      }
+      return MPI_SUCCESS;
+    }
+    const int rc = next.Recv(op.recv_buf, wire_count(op), MPI_BYTE, op.peer,
+                             op.tag, op.comm, &op.wire_status);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    op.pipe.bytes = static_cast<std::size_t>(op.wire_status.count_bytes);
+    op.phase = OpPhase::Complete; // direct landing: nothing left to drain
+    return MPI_SUCCESS;
+  }
   if (op.chunked) {
     // Pipelined: drive every remaining wire leg; each leg's unpack is
     // enqueued without a sync, overlapping the next leg's wire wait.
@@ -266,6 +314,60 @@ int start_isend(const Packer *packer, Method method, const void *buf,
   return MPI_SUCCESS;
 }
 
+int start_isend_packed(const void *bytes, std::size_t nbytes, Method method,
+                       std::size_t chunk_bytes, int dest, int tag,
+                       MPI_Comm comm, const interpose::MpiTable &next,
+                       MPI_Request *request) {
+  if (nbytes > kMaxWireBytes && method != Method::Pipelined) {
+    return MPI_ERR_COUNT; // one contiguous leg cannot carry it
+  }
+  auto op = std::make_unique<AsyncOp>();
+  op->kind = AsyncOp::Kind::Send;
+  op->method = method;
+  op->packed = true;
+  op->count = 0;
+  op->peer = dest;
+  op->tag = tag;
+  op->comm = comm;
+  op->pipe.bytes = nbytes;
+  if (method == Method::Pipelined) {
+    // Ordered sub-slice legs, posted eagerly (buffered sends) — the same
+    // deadlock discipline as pipelined Isends.
+    const int rc = send_packed_pipelined(bytes, nbytes, dest, tag, comm,
+                                         chunk_bytes, next);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  } else if (method == Method::Staged) {
+    // Stage the device slice through a pinned lease onto the CPU wire.
+    op->stream = vcuda::next_pool_stream();
+    op->pipe.wire = lease_buffer(vcuda::MemorySpace::Pinned, nbytes);
+    if (op->pipe.wire.get() == nullptr && nbytes > 0) {
+      return MPI_ERR_OTHER;
+    }
+    vcuda::MemcpyAsync(op->pipe.wire.get(), bytes, nbytes,
+                       vcuda::MemcpyKind::DeviceToHost, op->stream);
+    vcuda::StreamSynchronize(op->stream);
+    const int rc = next.Isend(op->pipe.wire.get(), wire_count(*op), MPI_BYTE,
+                              dest, tag, comm, &op->inner);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  } else {
+    // Device (the default): the slice is already wire-ready; the system
+    // MPI buffers it at post time, so no lease is pinned to the op.
+    const int rc = next.Isend(bytes, wire_count(*op), MPI_BYTE, dest, tag,
+                              comm, &op->inner);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  op->phase = OpPhase::TransferPosted;
+  pool().isends.fetch_add(1, std::memory_order_relaxed);
+  *request = insert(std::move(op));
+  return MPI_SUCCESS;
+}
+
 int start_isend_blocklist(std::shared_ptr<const BlockListPacker> packer,
                           const void *buf, int count, int dest, int tag,
                           MPI_Comm comm, const interpose::MpiTable &next,
@@ -323,6 +425,33 @@ std::unique_ptr<AsyncOp> make_recv_op(int count, int source, int tag,
 }
 
 } // namespace
+
+int start_irecv_packed(void *bytes, std::size_t nbytes, Method method,
+                       int source, int tag, MPI_Comm comm,
+                       const interpose::MpiTable & /*next*/,
+                       MPI_Request *request) {
+  if (nbytes > kMaxWireBytes && method != Method::Pipelined) {
+    return MPI_ERR_COUNT;
+  }
+  auto op = make_recv_op(0, source, tag, comm, bytes);
+  op->method = method;
+  op->packed = true;
+  op->pipe.bytes = nbytes;
+  if (method == Method::Pipelined) {
+    op->packed_chunked =
+        std::make_unique<PackedChunkRecv>(bytes, nbytes, source, tag, comm);
+  } else if (method == Method::Staged) {
+    // A failed lease must not enter the pool (Wait would receive into a
+    // null buffer).
+    op->pipe.wire = lease_buffer(vcuda::MemorySpace::Pinned, nbytes);
+    if (op->pipe.wire.get() == nullptr && nbytes > 0) {
+      return MPI_ERR_OTHER;
+    }
+  }
+  pool().irecvs.fetch_add(1, std::memory_order_relaxed);
+  *request = insert(std::move(op));
+  return MPI_SUCCESS;
+}
 
 int start_irecv(const Packer *packer, Method method, void *buf, int count,
                 int source, int tag, MPI_Comm comm,
@@ -429,6 +558,26 @@ int test(MPI_Request *request, int *flag, MPI_Status *status,
       }
     }
     if (!op->chunked->done()) {
+      vcuda::this_thread_timeline().advance(kPollSweepNs);
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    *flag = 1;
+    return wait(request, status, next); // complete_recv finishes instantly
+  }
+  if (op->packed_chunked) {
+    // Pre-packed pipelined receive: same incremental progress, with legs
+    // landing straight in the destination slice (no stream work to drain).
+    while (!op->packed_chunked->done() && op->packed_chunked->ready(next)) {
+      const int rc = op->packed_chunked->step(next);
+      if (rc != MPI_SUCCESS) {
+        std::unique_ptr<AsyncOp> owned = extract(*request);
+        retire(std::move(owned), request);
+        *flag = 1; // completed, though with an error
+        return rc;
+      }
+    }
+    if (!op->packed_chunked->done()) {
       vcuda::this_thread_timeline().advance(kPollSweepNs);
       *flag = 0;
       return MPI_SUCCESS;

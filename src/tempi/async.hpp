@@ -86,6 +86,30 @@ int start_irecv(const Packer *packer, Method method, void *buf, int count,
                 int source, int tag, MPI_Comm comm,
                 const interpose::MpiTable &next, MPI_Request *request);
 
+/// Collectives-engine legs (tempi/collectives.*): the payload is already
+/// contiguous packed bytes — a staging-lease slice or a contiguous user
+/// slice — so the op owns only the wire leg. Method::Device ships the
+/// slice straight on the CUDA-aware wire, Method::Staged stages it
+/// through a pinned lease on the op's pool stream, and Method::Pipelined
+/// (legs above the wire-chunk limit) splits the slice into ordered
+/// sub-slice legs under the PR 3 framing (posted eagerly at start time,
+/// like pipelined Isends). The send-side slice must stay valid until the
+/// call returns (the system MPI buffers it); the receive-side slice must
+/// stay valid until the op completes.
+int start_isend_packed(const void *bytes, std::size_t nbytes, Method method,
+                       std::size_t chunk_bytes, int dest, int tag,
+                       MPI_Comm comm, const interpose::MpiTable &next,
+                       MPI_Request *request);
+
+/// Receive-side mirror: the wire is matched lazily at Wait/Test.
+/// Method::Device lands the leg directly in the slice; Method::Staged
+/// rides a pinned lease plus an H2D copy batched by Waitall's single
+/// sync; Method::Pipelined carries a PackedChunkRecv state machine whose
+/// legs Wait drives to completion and Test consumes as they arrive.
+int start_irecv_packed(void *bytes, std::size_t nbytes, Method method,
+                       int source, int tag, MPI_Comm comm,
+                       const interpose::MpiTable &next, MPI_Request *request);
+
 /// Blocklist (Sec. 8 extension) variants; always the device method.
 int start_isend_blocklist(std::shared_ptr<const BlockListPacker> packer,
                           const void *buf, int count, int dest, int tag,

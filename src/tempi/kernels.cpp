@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 #include <cstring>
+#include <limits>
+#include <vector>
 
 namespace tempi {
 
@@ -400,6 +402,119 @@ vcuda::Error launch_unpack_range(const PackPlan &plan, const StridedBlock &sb,
             [out, in](long long s, long long d, long long n) {
               std::memcpy(out + s, in + d, static_cast<std::size_t>(n));
             });
+      });
+}
+
+namespace {
+
+/// Shared shape computation for a span table: total objects (geometry) and
+/// total packed bytes (cost). Zero-count spans contribute nothing.
+void span_totals(const StridedBlock &sb, std::span<const PackSpan> spans,
+                 long long *objects, std::size_t *bytes) {
+  *objects = 0;
+  *bytes = 0;
+  for (const PackSpan &s : spans) {
+    *objects += std::max(s.count, 0);
+  }
+  *bytes = static_cast<std::size_t>(*objects) *
+           static_cast<std::size_t>(sb.size());
+}
+
+} // namespace
+
+vcuda::Error launch_pack_spans(const PackPlan &plan, const StridedBlock &sb,
+                               long long extent, void *dst, const void *src,
+                               std::span<const PackSpan> spans,
+                               vcuda::StreamHandle stream) {
+  long long objects = 0;
+  std::size_t bytes = 0;
+  span_totals(sb, spans, &objects, &bytes);
+  if (objects == 0) {
+    return vcuda::Error::Success;
+  }
+  auto *out = static_cast<std::byte *>(dst);
+  const auto *in = static_cast<const std::byte *>(src);
+  if (plan.contiguous) {
+    // 1-D objects: one async copy per object, continuing across spans —
+    // the same shape as launch_pack's contiguous path.
+    const auto blk = static_cast<std::size_t>(sb.counts[0]);
+    for (const PackSpan &s : spans) {
+      for (int i = 0; i < s.count; ++i) {
+        const vcuda::Error e = vcuda::MemcpyAsync(
+            out + s.packed_offset + static_cast<long long>(i) * sb.counts[0],
+            in + s.obj_offset + i * extent + sb.start, blk,
+            vcuda::MemcpyKind::Default, stream);
+        if (e != vcuda::Error::Success) {
+          return e;
+        }
+      }
+    }
+    return vcuda::Error::Success;
+  }
+  const int eq_objs = static_cast<int>(
+      std::min<long long>(objects, std::numeric_limits<int>::max()));
+  const vcuda::LaunchConfig cfg = launch_config_for(plan, eq_objs);
+  vcuda::KernelCost cost = pack_cost(sb, 1, space_of(src), space_of(dst));
+  cost.total_bytes = bytes;
+  // The table is copied into the launch closure: the kernel body must not
+  // reference caller-stack storage once enqueued.
+  std::vector<PackSpan> table(spans.begin(), spans.end());
+  return vcuda::LaunchKernel(
+      cfg, cost, stream, [&sb, extent, out, in, table = std::move(table)] {
+        for (const PackSpan &s : table) {
+          for_each_kernel_block(
+              sb, extent, s.count,
+              [out, in, &s](long long so, long long d, long long n) {
+                std::memcpy(out + s.packed_offset + d, in + s.obj_offset + so,
+                            static_cast<std::size_t>(n));
+              });
+        }
+      });
+}
+
+vcuda::Error launch_unpack_spans(const PackPlan &plan, const StridedBlock &sb,
+                                 long long extent, void *dst, const void *src,
+                                 std::span<const PackSpan> spans,
+                                 vcuda::StreamHandle stream) {
+  long long objects = 0;
+  std::size_t bytes = 0;
+  span_totals(sb, spans, &objects, &bytes);
+  if (objects == 0) {
+    return vcuda::Error::Success;
+  }
+  auto *out = static_cast<std::byte *>(dst);
+  const auto *in = static_cast<const std::byte *>(src);
+  if (plan.contiguous) {
+    const auto blk = static_cast<std::size_t>(sb.counts[0]);
+    for (const PackSpan &s : spans) {
+      for (int i = 0; i < s.count; ++i) {
+        const vcuda::Error e = vcuda::MemcpyAsync(
+            out + s.obj_offset + i * extent + sb.start,
+            in + s.packed_offset + static_cast<long long>(i) * sb.counts[0],
+            blk, vcuda::MemcpyKind::Default, stream);
+        if (e != vcuda::Error::Success) {
+          return e;
+        }
+      }
+    }
+    return vcuda::Error::Success;
+  }
+  const int eq_objs = static_cast<int>(
+      std::min<long long>(objects, std::numeric_limits<int>::max()));
+  const vcuda::LaunchConfig cfg = launch_config_for(plan, eq_objs);
+  vcuda::KernelCost cost = unpack_cost(sb, 1, space_of(src), space_of(dst));
+  cost.total_bytes = bytes;
+  std::vector<PackSpan> table(spans.begin(), spans.end());
+  return vcuda::LaunchKernel(
+      cfg, cost, stream, [&sb, extent, out, in, table = std::move(table)] {
+        for (const PackSpan &s : table) {
+          for_each_kernel_block(
+              sb, extent, s.count,
+              [out, in, &s](long long so, long long d, long long n) {
+                std::memcpy(out + s.obj_offset + so, in + s.packed_offset + d,
+                            static_cast<std::size_t>(n));
+              });
+        }
       });
 }
 

@@ -18,6 +18,7 @@
 #include "vcuda/runtime.hpp"
 
 #include <cstddef>
+#include <span>
 
 namespace tempi {
 
@@ -96,6 +97,33 @@ vcuda::Error launch_pack_range(const PackPlan &plan, const StridedBlock &sb,
 vcuda::Error launch_unpack_range(const PackPlan &plan, const StridedBlock &sb,
                                  long long extent, void *dst, const void *src,
                                  long long first_block, long long n_blocks,
+                                 vcuda::StreamHandle stream);
+
+/// One slice of a fused multi-peer pack/unpack pass (the collectives
+/// engine): `count` objects whose first object lives `obj_offset` bytes
+/// into the object-side buffer, with their packed bytes at `packed_offset`
+/// of the staging buffer. Unlike launch_pack_range — whose single uniform
+/// object stride addresses one message — a span table carries a distinct
+/// (offset, count) pair per peer, so one kernel pass packs every outgoing
+/// per-peer block of an Alltoallv-style exchange into one staging lease.
+struct PackSpan {
+  long long obj_offset = 0;    ///< byte offset of the first object
+  long long packed_offset = 0; ///< byte offset into the packed staging
+  int count = 0;               ///< objects in this span
+};
+
+/// Fused span launches: a single kernel pass (per the object-count-driven
+/// geometry of the whole table) gathers every span into `dst`
+/// (launch_pack_spans) or scatters the staging bytes back out
+/// (launch_unpack_spans). Zero-count spans are skipped; an empty table is
+/// a no-op. Asynchronous like the ranged launches.
+vcuda::Error launch_pack_spans(const PackPlan &plan, const StridedBlock &sb,
+                               long long extent, void *dst, const void *src,
+                               std::span<const PackSpan> spans,
+                               vcuda::StreamHandle stream);
+vcuda::Error launch_unpack_spans(const PackPlan &plan, const StridedBlock &sb,
+                                 long long extent, void *dst, const void *src,
+                                 std::span<const PackSpan> spans,
                                  vcuda::StreamHandle stream);
 
 /// Recompute-per-call variants (the pre-plan path): build the plan on the

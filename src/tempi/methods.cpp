@@ -302,6 +302,111 @@ int send_pipelined(const Packer &packer, const void *buf, int count,
   return rc;
 }
 
+int send_packed_pipelined(const void *bytes, std::size_t total, int dest,
+                          int tag, MPI_Comm comm, std::size_t chunk_target,
+                          const interpose::MpiTable &next) {
+  const std::size_t limit = wire_chunk_limit();
+  if (const std::size_t o = chunk_bytes_override(); o != 0) {
+    chunk_target = o; // TEMPI_CHUNK_BYTES is authoritative
+  } else if (chunk_target == 0) {
+    chunk_target = fallback_chunk_bytes(total);
+  }
+  // Clamp to the wire limit and the payload: at least one *full* leg must
+  // precede the strictly-shorter final leg, or the receiver would treat
+  // the lone data leg as full and wait for a terminator forever.
+  const std::size_t chunk = std::min(
+      {std::max<std::size_t>(chunk_target, 1), limit,
+       std::max<std::size_t>(total, 1)});
+
+  PipelineCounters &pc = pipeline_counters();
+  pc.sends.fetch_add(1, std::memory_order_relaxed);
+  if (total > limit) {
+    pc.over_ceiling_bytes.fetch_add(total, std::memory_order_relaxed);
+  }
+  const auto *p = static_cast<const std::byte *>(bytes);
+  const std::size_t full_legs = total / chunk;
+  for (std::size_t leg = 0; leg < full_legs; ++leg) {
+    const int rc = next.Send(p + leg * chunk, static_cast<int>(chunk),
+                             MPI_BYTE, dest, tag, comm);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    pc.chunks.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Final leg: the remainder (strictly smaller than `chunk`), or an empty
+  // terminator on even division — also the whole message when total == 0.
+  const std::size_t rem = total - full_legs * chunk;
+  const int rc = next.Send(p + full_legs * chunk, static_cast<int>(rem),
+                           MPI_BYTE, dest, tag, comm);
+  if (rc == MPI_SUCCESS) {
+    pc.chunks.fetch_add(1, std::memory_order_relaxed);
+  }
+  return rc;
+}
+
+PackedChunkRecv::PackedChunkRecv(void *dst, std::size_t expected, int source,
+                                 int tag, MPI_Comm comm)
+    : dst_(dst), expected_(expected), peer_(source), tag_(tag), comm_(comm) {
+  pipeline_counters().recvs.fetch_add(1, std::memory_order_relaxed);
+}
+
+int PackedChunkRecv::step(const interpose::MpiTable &next) {
+  if (done_) {
+    return MPI_SUCCESS;
+  }
+  // First leg: any legal chunk fits under min(expected, limit). Later
+  // legs: full legs carry exactly chunk_; near the end the cap shrinks to
+  // the remaining budget so an overrunning sender gets the system MPI's
+  // precise truncation error.
+  const std::size_t cap =
+      started_ ? std::min(chunk_, expected_ - received_)
+               : std::min(std::max<std::size_t>(expected_, 1),
+                          wire_chunk_limit());
+  MPI_Status st;
+  const int rc = next.Recv(static_cast<std::byte *>(dst_) + received_,
+                           static_cast<int>(cap), MPI_BYTE, peer_, tag_,
+                           comm_, &st);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  const auto leg = static_cast<std::size_t>(st.count_bytes);
+  pipeline_counters().chunks.fetch_add(1, std::memory_order_relaxed);
+  if (!started_) {
+    started_ = true;
+    // Later legs belong to the same message: lock the match to the first
+    // leg's source/tag (MPI_ANY_SOURCE / MPI_ANY_TAG must not re-wildcard).
+    peer_ = st.MPI_SOURCE;
+    tag_ = st.MPI_TAG;
+    first_status_ = st;
+    chunk_ = leg;
+    received_ = leg;
+    done_ = leg == 0; // degenerate: an empty message
+    return MPI_SUCCESS;
+  }
+  received_ += leg;
+  done_ = leg < chunk_;
+  return MPI_SUCCESS;
+}
+
+bool PackedChunkRecv::ready(const interpose::MpiTable &next) const {
+  if (done_) {
+    return false;
+  }
+  int flag = 0;
+  if (next.Iprobe(peer_, tag_, comm_, &flag, nullptr) != MPI_SUCCESS) {
+    return false;
+  }
+  return flag != 0;
+}
+
+void PackedChunkRecv::fill_status(MPI_Status *status) const {
+  if (status == MPI_STATUS_IGNORE) {
+    return;
+  }
+  *status = first_status_;
+  status->count_bytes = static_cast<long long>(received_);
+}
+
 ChunkedRecv::ChunkedRecv(const Packer &packer, void *buf, int count,
                          int source, int tag, MPI_Comm comm)
     : packer_(packer), buf_(buf), count_(count), peer_(source), tag_(tag),

@@ -185,6 +185,62 @@ private:
   MPI_Status first_status_{};
 };
 
+// --- pre-packed (collectives-engine) legs ------------------------------------
+//
+// The collectives engine (tempi/collectives.*) packs every peer's blocks
+// with one fused kernel pass, so its per-peer wire legs carry bytes that
+// are already contiguous. These helpers mirror send_pipelined/ChunkedRecv
+// for that case: legs are plain sub-slices (no pack/unpack kernels, no
+// chunk leases) under the same PR 3 framing — full legs of exactly the
+// first leg's size, a strictly-shorter final leg, an empty terminator on
+// even division — so a pre-packed sender and a packer-driven receiver (or
+// vice versa) still interoperate leg for leg.
+
+/// Send `total` pre-packed bytes as ordered wire legs of up to
+/// `chunk_target` bytes (0 = fallback_chunk_bytes; the TEMPI_CHUNK_BYTES
+/// override is authoritative; the chunk is clamped to the wire limit and
+/// to the payload so at least one full leg precedes the terminator).
+/// Every leg is a buffered send, preserving the request engine's eager
+/// deadlock discipline.
+int send_packed_pipelined(const void *bytes, std::size_t total, int dest,
+                          int tag, MPI_Comm comm, std::size_t chunk_target,
+                          const interpose::MpiTable &next);
+
+/// Receiver-side state machine for a pre-packed destination: wire legs
+/// land directly at a running offset of `dst` (no unpack kernels), driven
+/// leg by leg like ChunkedRecv so Wait can run it to completion and Test
+/// can consume arrived legs incrementally.
+class PackedChunkRecv {
+public:
+  PackedChunkRecv(void *dst, std::size_t expected, int source, int tag,
+                  MPI_Comm comm);
+
+  /// Receive the next wire leg (blocking) into the running offset.
+  int step(const interpose::MpiTable &next);
+
+  /// True if the next leg has already arrived (Test-driven progress).
+  [[nodiscard]] bool ready(const interpose::MpiTable &next) const;
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] std::size_t bytes_received() const { return received_; }
+
+  /// Publish MPI_SOURCE/MPI_TAG (from the first leg) and the received
+  /// byte count. Call only after done().
+  void fill_status(MPI_Status *status) const;
+
+private:
+  void *dst_;
+  std::size_t expected_;
+  std::size_t chunk_ = 0; ///< first leg's size; legs < chunk_ terminate
+  std::size_t received_ = 0;
+  int peer_; ///< locked to the first leg's source (MPI_ANY_SOURCE)
+  int tag_;  ///< locked to the first leg's tag (MPI_ANY_TAG)
+  MPI_Comm comm_;
+  bool started_ = false;
+  bool done_ = false;
+  MPI_Status first_status_{};
+};
+
 /// Process-wide Pipelined counters (tests, benches, tempi::SendStats).
 struct PipelineStats {
   std::uint64_t sends = 0;  ///< pipelined sends started

@@ -48,6 +48,18 @@ vcuda::Error Packer::unpack_range_async(void *dst, const void *src,
                              n_blocks, stream);
 }
 
+vcuda::Error Packer::pack_spans_async(void *dst, const void *src,
+                                      std::span<const PackSpan> spans,
+                                      vcuda::StreamHandle stream) const {
+  return launch_pack_spans(plan_, sb_, extent_, dst, src, spans, stream);
+}
+
+vcuda::Error Packer::unpack_spans_async(void *dst, const void *src,
+                                        std::span<const PackSpan> spans,
+                                        vcuda::StreamHandle stream) const {
+  return launch_unpack_spans(plan_, sb_, extent_, dst, src, spans, stream);
+}
+
 vcuda::Error Packer::pack_dma(void *dst, const void *src, int count,
                               vcuda::StreamHandle stream) const {
   assert(dma_capable());

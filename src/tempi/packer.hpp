@@ -72,6 +72,17 @@ public:
                                   long long first_block, long long n_blocks,
                                   vcuda::StreamHandle stream) const;
 
+  /// Fused span halves (the collectives engine's per-peer offset tables,
+  /// see launch_pack_spans): one kernel pass gathers every peer's objects
+  /// into one staging lease, or scatters a received staging lease back
+  /// into every peer's objects. Asynchronous, like the _async halves.
+  vcuda::Error pack_spans_async(void *dst, const void *src,
+                                std::span<const PackSpan> spans,
+                                vcuda::StreamHandle stream) const;
+  vcuda::Error unpack_spans_async(void *dst, const void *src,
+                                  std::span<const PackSpan> spans,
+                                  vcuda::StreamHandle stream) const;
+
   /// Packed bytes per block (the chunking granularity) and blocks per
   /// `count` objects of the packed stream.
   [[nodiscard]] long long wire_block_bytes() const {

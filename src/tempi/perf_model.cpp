@@ -530,4 +530,62 @@ TransferChoice PerfModel::choose_transfer(std::size_t block_bytes,
   return choice;
 }
 
+TransferChoice PerfModel::choose_leg(std::size_t leg_bytes,
+                                     bool same_node) const {
+  const std::size_t limit = wire_chunk_limit();
+  // Leg entries share the choice-cache array under their own salt (never
+  // colliding with choose()/choose_transfer tags) that folds in the peer's
+  // placement and the transfer config generation. Slot layout matches
+  // choose_transfer: bits [63:9] tag | [8:3] log2(chunk) | bit 2 valid |
+  // [1:0] method.
+  constexpr std::uint64_t kLegSalt = 0x3CB5ECF3C7A1D52Bull;
+  const std::uint64_t h = mix64(
+      mix64(leg_bytes ^ kLegSalt) ^
+      (same_node ? 0x9E3779B97F4A7C15ull : 0x85EBCA6B0F1BBCDDull) ^
+      (transfer_config_generation() * 0xff51afd7ed558ccdull));
+  std::atomic<std::uint64_t> &slot =
+      cache_->slots[h & (ChoiceCache::kSlots - 1)];
+  const std::uint64_t tag = h & ~std::uint64_t{0x1FF};
+  const std::uint64_t v = slot.load(std::memory_order_acquire);
+  if ((v & ~std::uint64_t{0x1FF}) == tag && (v & 0x4u) != 0) {
+    vcuda::this_thread_timeline().advance(kModelQueryCachedNs);
+    g_model_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    const auto m = static_cast<Method>(v & 0x3u);
+    const auto chunk_log2 = static_cast<unsigned>((v >> 3) & 0x3Fu);
+    return TransferChoice{m, m == Method::Pipelined
+                                 ? std::size_t{1} << chunk_log2
+                                 : 0};
+  }
+  vcuda::this_thread_timeline().advance(kModelQueryUncachedNs);
+  g_model_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  TransferChoice choice;
+  if (leg_bytes > limit) {
+    // Only multi-leg framing can carry this leg; the payload is already
+    // packed, so legs are plain sub-slices and the largest in-limit chunk
+    // minimizes per-leg latency floors.
+    choice = TransferChoice{Method::Pipelined, std::bit_floor(limit)};
+  } else {
+    const sysmpi::NetParams &net = sysmpi::net_params();
+    const auto b = static_cast<double>(leg_bytes);
+    const double device_us = vcuda::ns_to_us(
+        sysmpi::transfer_duration(net, leg_bytes, true, true, same_node));
+    const double staged_us =
+        perf_.d2h.query(b) +
+        vcuda::ns_to_us(sysmpi::transfer_duration(net, leg_bytes, false,
+                                                  false, same_node)) +
+        perf_.h2d.query(b);
+    choice = TransferChoice{
+        device_us <= staged_us ? Method::Device : Method::Staged, 0};
+  }
+  std::uint64_t chunk_log2 = 0;
+  if (choice.method == Method::Pipelined && choice.chunk_bytes > 0) {
+    chunk_log2 =
+        static_cast<std::uint64_t>(std::bit_width(choice.chunk_bytes) - 1);
+  }
+  slot.store(tag | (chunk_log2 << 3) | 0x4u |
+                 static_cast<std::uint64_t>(choice.method),
+             std::memory_order_release);
+  return choice;
+}
+
 } // namespace tempi

@@ -160,6 +160,23 @@ public:
   [[nodiscard]] TransferChoice choose_transfer(std::size_t block_bytes,
                                                std::size_t total_bytes) const;
 
+  /// Per-peer wire-leg decision for the collectives engine
+  /// (tempi/collectives.*): the fused pack/unpack passes are shared
+  /// across peers, so per peer only the wire path of the already-packed
+  /// contiguous bytes differs — ship the device staging slice straight on
+  /// the CUDA-aware wire (Method::Device) or stage it through pinned host
+  /// memory onto the CPU wire (Method::Staged). Wire terms come from the
+  /// sysmpi netmodel's intra/inter-node parameters (the peer's placement
+  /// is known at call time); the D2H/H2D copies from the measured tables.
+  /// A leg above the wire-chunk limit returns Method::Pipelined with the
+  /// largest in-limit power-of-two chunk (pre-packed legs to one peer
+  /// serialize on the pair channel, so the fewest legs win; the
+  /// TEMPI_CHUNK_BYTES override still applies at send time). Results are
+  /// cached in the same lock-free choice cache under a leg-specific salt
+  /// that folds in `same_node` and the transfer config generation.
+  [[nodiscard]] TransferChoice choose_leg(std::size_t leg_bytes,
+                                          bool same_node) const;
+
   /// The best pipelined chunk size and its estimate for this message
   /// (what choose_transfer uses above the limit; benches sweep it to
   /// compare against the monolithic estimates at any size).

@@ -6,10 +6,13 @@
 #include "tempi/tempi.hpp"
 
 #include "support/log.hpp"
+#include "sysmpi/types.hpp"
+#include "sysmpi/world.hpp"
 #include "tempi/async.hpp"
 #include "tempi/blocklist_packer.hpp"
 #include "tempi/buffer_cache.hpp"
 #include "tempi/canonicalize.hpp"
+#include "tempi/collectives.hpp"
 #include "tempi/measure.hpp"
 #include "tempi/methods.hpp"
 #include "tempi/strided_block.hpp"
@@ -102,12 +105,6 @@ struct State {
 State &state() {
   static State s;
   return s;
-}
-
-bool device_resident(const void *p) {
-  vcuda::MemorySpace space = vcuda::MemorySpace::Pageable;
-  vcuda::PointerGetAttributes(&space, nullptr, p);
-  return space == vcuda::MemorySpace::Device;
 }
 
 std::shared_ptr<const Packer> lookup_packer(MPI_Datatype dt) {
@@ -433,6 +430,49 @@ int tempi_Unpack(const void *inbuf, int insize, int *position, void *outbuf,
   return MPI_SUCCESS;
 }
 
+/// True when `buf`'s side of a multi-leg call gives TEMPI something to
+/// accelerate. For the collectives engine (`for_collectives`) that means
+/// a device-resident buffer the engine can express as packed wire legs —
+/// a canonical packer or a contiguous datatype it slices directly;
+/// blocklist types are deliberately excluded, the engine has no blocklist
+/// leg, so they keep the system MPI's native collectives. For the
+/// Sendrecv decomposition it means whatever Isend/Irecv would accelerate:
+/// a canonical packer or (when the Sec. 8 fallback is enabled) a
+/// blocklist packer.
+bool side_accelerable(const void *buf, MPI_Datatype dt,
+                      bool for_collectives) {
+  if (buf == nullptr || dt == nullptr || !device_resident(buf)) {
+    return false;
+  }
+  if (for_collectives) {
+    return dt->is_contiguous() || lookup_packer_fast(dt) != nullptr;
+  }
+  if (lookup_packer_fast(dt) != nullptr) {
+    return true;
+  }
+  State &s = state();
+  return s.blocklist_fallback.load(std::memory_order_relaxed) &&
+         lookup_blocklist(dt) != nullptr;
+}
+
+/// The one guarded system-path gate shared by every multi-leg entry point
+/// (MPI_Sendrecv's Isend+Irecv decomposition and the collectives engine):
+/// true when TEMPI cannot add value — the interposer is not installed,
+/// forcing says System, or neither side is accelerable. Callers forward
+/// to the system MPI in one place instead of re-deriving the check on
+/// each (error) path.
+bool fallthrough_to_sysmpi(const void *sendbuf, MPI_Datatype sendtype,
+                           const void *recvbuf, MPI_Datatype recvtype,
+                           bool for_collectives) {
+  State &s = state();
+  if (!s.installed ||
+      s.mode.load(std::memory_order_relaxed) == SendMode::System) {
+    return true;
+  }
+  return !side_accelerable(sendbuf, sendtype, for_collectives) &&
+         !side_accelerable(recvbuf, recvtype, for_collectives);
+}
+
 /// Shared Send/Recv gate: TEMPI takes over only for non-contiguous,
 /// translatable datatypes on device-resident buffers. Zero-size payloads
 /// (empty types or count 0) forward too: there is nothing to pack, and the
@@ -594,6 +634,16 @@ int tempi_Sendrecv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
                    int dest, int sendtag, void *recvbuf, int recvcount,
                    MPI_Datatype recvtype, int source, int recvtag,
                    MPI_Comm comm, MPI_Status *status) {
+  // Host-only / forced-system calls take the system MPI's own Sendrecv
+  // through the shared gate instead of riding the decomposition below —
+  // whose error paths previously re-entered the request engine even when
+  // TEMPI had nothing to accelerate on either side.
+  if (fallthrough_to_sysmpi(sendbuf, sendtype, recvbuf, recvtype,
+                            /*for_collectives=*/false)) {
+    return state().next.Sendrecv(sendbuf, sendcount, sendtype, dest, sendtag,
+                                 recvbuf, recvcount, recvtype, source,
+                                 recvtag, comm, status);
+  }
   MPI_Request reqs[2] = {MPI_REQUEST_NULL, MPI_REQUEST_NULL};
   const int src = tempi_Isend(sendbuf, sendcount, sendtype, dest, sendtag,
                               comm, &reqs[0]);
@@ -712,7 +762,94 @@ int tempi_Test(MPI_Request *request, int *flag, MPI_Status *status) {
   return s.next.Test(request, flag, status);
 }
 
+// --- interposed collectives (the collectives engine, collectives.hpp) --------
+//
+// Each entry point takes the shared fallthrough gate, so disabled-engine,
+// forced-system, and host-only calls forward to the system MPI in one
+// place; everything else is serviced by the engine, which stays per-rank
+// wire- and tag-compatible with system-path peers of the same call.
+
+int tempi_Alltoallv(const void *sendbuf, const int *sendcounts,
+                    const int *sdispls, MPI_Datatype sendtype, void *recvbuf,
+                    const int *recvcounts, const int *rdispls,
+                    MPI_Datatype recvtype, MPI_Comm comm) {
+  State &s = state();
+  if (!coll::enabled() ||
+      fallthrough_to_sysmpi(sendbuf, sendtype, recvbuf, recvtype,
+                            /*for_collectives=*/true)) {
+    coll::note_fallback();
+    return s.next.Alltoallv(sendbuf, sendcounts, sdispls, sendtype, recvbuf,
+                            recvcounts, rdispls, recvtype, comm);
+  }
+  return coll::alltoallv(sendbuf, sendcounts, sdispls, sendtype, recvbuf,
+                         recvcounts, rdispls, recvtype, comm, s.next);
+}
+
+int tempi_Neighbor_alltoallv(const void *sendbuf, const int *sendcounts,
+                             const int *sdispls, MPI_Datatype sendtype,
+                             void *recvbuf, const int *recvcounts,
+                             const int *rdispls, MPI_Datatype recvtype,
+                             MPI_Comm comm) {
+  State &s = state();
+  if (comm == nullptr || !comm->is_graph || !coll::enabled() ||
+      fallthrough_to_sysmpi(sendbuf, sendtype, recvbuf, recvtype,
+                            /*for_collectives=*/true)) {
+    coll::note_fallback();
+    return s.next.Neighbor_alltoallv(sendbuf, sendcounts, sdispls, sendtype,
+                                     recvbuf, recvcounts, rdispls, recvtype,
+                                     comm);
+  }
+  return coll::neighbor_alltoallv(sendbuf, sendcounts, sdispls, sendtype,
+                                  recvbuf, recvcounts, rdispls, recvtype,
+                                  comm, s.next);
+}
+
+int tempi_Gatherv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void *recvbuf, const int *recvcounts, const int *displs,
+                  MPI_Datatype recvtype, int root, MPI_Comm comm) {
+  State &s = state();
+  // Receive-side arguments are significant only at the root; a non-root
+  // rank gates on its send side alone (the engine is per-rank compatible
+  // with system-path peers, so ranks may decide independently).
+  const bool is_root = comm != nullptr && comm->my_rank == root;
+  const bool fallthrough =
+      !coll::enabled() || comm == nullptr || root < 0 ||
+      root >= comm->size() ||
+      (is_root ? fallthrough_to_sysmpi(sendbuf, sendtype, recvbuf, recvtype,
+                                       /*for_collectives=*/true)
+               : fallthrough_to_sysmpi(sendbuf, sendtype, nullptr, nullptr,
+                                       /*for_collectives=*/true));
+  if (fallthrough) {
+    coll::note_fallback();
+    return s.next.Gatherv(sendbuf, sendcount, sendtype, recvbuf, recvcounts,
+                          displs, recvtype, root, comm);
+  }
+  return coll::gatherv(sendbuf, sendcount, sendtype, recvbuf, recvcounts,
+                       displs, recvtype, root, comm, s.next);
+}
+
+int tempi_Allgather(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
+                    void *recvbuf, int recvcount, MPI_Datatype recvtype,
+                    MPI_Comm comm) {
+  State &s = state();
+  if (!coll::enabled() ||
+      fallthrough_to_sysmpi(sendbuf, sendtype, recvbuf, recvtype,
+                            /*for_collectives=*/true)) {
+    coll::note_fallback();
+    return s.next.Allgather(sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                            recvtype, comm);
+  }
+  return coll::allgather(sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                         recvtype, comm, s.next);
+}
+
 } // namespace
+
+bool device_resident(const void *p) {
+  vcuda::MemorySpace space = vcuda::MemorySpace::Pageable;
+  vcuda::PointerGetAttributes(&space, nullptr, p);
+  return space == vcuda::MemorySpace::Device;
+}
 
 void install() {
   State &s = state();
@@ -736,9 +873,21 @@ void install() {
   table.Waitall = tempi_Waitall;
   table.Waitany = tempi_Waitany;
   table.Test = tempi_Test;
+  table.Alltoallv = tempi_Alltoallv;
+  table.Neighbor_alltoallv = tempi_Neighbor_alltoallv;
+  table.Gatherv = tempi_Gatherv;
+  table.Allgather = tempi_Allgather;
+  // The collectives engine's kill-switch (mirrors TEMPI_METHOD): decided
+  // and logged at install time so a deployment can see — without
+  // relinking — whether collectives ride the engine or the system path.
+  if (const char *env = std::getenv("TEMPI_COLL")) {
+    coll::set_enabled(std::string_view(env) != "0");
+    support::log_info("tempi: TEMPI_COLL=", env);
+  }
   interpose::install(table);
   s.installed = true;
-  support::log_info("tempi: interposer installed");
+  support::log_info("tempi: interposer installed (collectives engine ",
+                    coll::enabled() ? "on" : "off", ")");
 }
 
 void uninstall() {
@@ -807,6 +956,7 @@ const Packer *find_packer_fast(MPI_Datatype datatype) {
 SendStats send_stats() {
   State &s = state();
   const PipelineStats pipe = pipeline_stats();
+  const coll::CollStats coll = coll::coll_stats();
   return SendStats{
       s.sends_oneshot.load(std::memory_order_relaxed),
       s.sends_device.load(std::memory_order_relaxed),
@@ -825,6 +975,10 @@ SendStats send_stats() {
       s.isends_pipelined.load(std::memory_order_relaxed),
       pipe.chunks,
       pipe.over_ceiling_bytes,
+      coll.alltoallv,
+      coll.neighbor,
+      coll.fallback,
+      coll.peer_legs,
   };
 }
 
@@ -845,6 +999,7 @@ void reset_send_stats() {
   s.method_memo_hits.store(0, std::memory_order_relaxed);
   reset_model_cache_stats();
   reset_pipeline_stats();
+  coll::reset_coll_stats();
 }
 
 } // namespace tempi

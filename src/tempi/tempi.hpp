@@ -12,9 +12,11 @@
 //   });
 //
 // TEMPI overrides: Init, Finalize, Type_commit, Type_free, Pack, Unpack,
-// Send, Recv, Sendrecv, Isend, Irecv, Wait, Waitall, Waitany, Test.
-// Everything else falls through to the system MPI. Non-blocking operations
-// on accelerated datatypes are owned by the request engine (async.hpp).
+// Send, Recv, Sendrecv, Isend, Irecv, Wait, Waitall, Waitany, Test,
+// Alltoallv, Neighbor_alltoallv, Allgather, Gatherv. Everything else
+// falls through to the system MPI. Non-blocking operations on accelerated
+// datatypes are owned by the request engine (async.hpp); the dense
+// exchange collectives by the collectives engine (collectives.hpp).
 #pragma once
 
 #include "interpose/table.hpp"
@@ -69,6 +71,12 @@ SendMode send_mode();
 /// Replace the performance model (e.g. after measure_system()).
 void set_perf_model(PerfModel model);
 const PerfModel &perf_model();
+
+/// True when `p` is device-resident per the virtual CUDA registry — the
+/// residency test every interposer gate uses. Exposed so the collectives
+/// engine (collectives.cpp) and tests share one definition with the
+/// Send/Recv gates instead of drifting copies.
+bool device_resident(const void *p);
 
 /// The packer TEMPI built for a committed datatype, if any (tests/benches).
 std::shared_ptr<const Packer> find_packer(MPI_Datatype datatype);
@@ -128,6 +136,18 @@ struct SendStats {
   std::uint64_t isend_pipelined = 0;
   std::uint64_t pipeline_chunks = 0;
   std::uint64_t pipeline_over_ceiling_bytes = 0;
+
+  /// Collectives-engine counters (tempi/collectives.*). `coll_alltoallv`
+  /// counts engine-serviced MPI_Alltoallv/MPI_Allgather/MPI_Gatherv calls
+  /// (the latter two reduce onto the same exchange core); `coll_neighbor`
+  /// counts engine-serviced MPI_Neighbor_alltoallv; `coll_fallback`
+  /// counts interposed collective calls the shared gate forwarded to the
+  /// system path; `coll_peer_legs` counts per-peer legs fanned out by
+  /// engine-serviced calls (wire legs plus self-exchange copies).
+  std::uint64_t coll_alltoallv = 0;
+  std::uint64_t coll_neighbor = 0;
+  std::uint64_t coll_fallback = 0;
+  std::uint64_t coll_peer_legs = 0;
 };
 SendStats send_stats();
 void reset_send_stats();

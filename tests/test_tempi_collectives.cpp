@@ -1,0 +1,559 @@
+// The collectives engine (tempi/collectives.*): result equivalence
+// against the system path for random derived datatypes, self-exchange,
+// zero-count peers, dist-graph neighbor topologies (including aliased and
+// self edges), per-rank interoperability with system-path peers,
+// oversized-peer pipelined legs under an injected wire limit, the
+// TEMPI_COLL kill-switch, and the engine counters.
+#include "sysmpi/mpi.hpp"
+#include "sysmpi/world.hpp"
+#include "tempi/collectives.hpp"
+#include "tempi/methods.hpp"
+#include "tempi/packer.hpp"
+#include "tempi/perf_model.hpp"
+#include "tempi/tempi.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <random>
+#include <vector>
+
+namespace {
+
+using testing_helpers::fill_pattern;
+using testing_helpers::SpaceBuffer;
+
+struct Rng {
+  std::mt19937 gen;
+  explicit Rng(unsigned seed) : gen(seed) {}
+  int uniform(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(gen);
+  }
+};
+
+MPI_Datatype random_named(Rng &rng) {
+  switch (rng.uniform(0, 3)) {
+  case 0: return MPI_BYTE;
+  case 1: return MPI_SHORT;
+  case 2: return MPI_FLOAT;
+  default: return MPI_DOUBLE;
+  }
+}
+
+/// Random nested strided type (the test_property_random_types generator
+/// family): contiguous / vector / hvector / subarray nestings over random
+/// named types, committed.
+MPI_Datatype random_strided_type(Rng &rng, int levels) {
+  MPI_Datatype cur = random_named(rng);
+  bool owned = false;
+  for (int level = 0; level < levels; ++level) {
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(cur, &lb, &extent);
+    MPI_Datatype next = nullptr;
+    switch (rng.uniform(0, 3)) {
+    case 0: {
+      MPI_Type_contiguous(rng.uniform(1, 4), cur, &next);
+      break;
+    }
+    case 1: {
+      const int blocklen = rng.uniform(1, 3);
+      const int stride = blocklen + rng.uniform(0, 3);
+      MPI_Type_vector(rng.uniform(1, 4), blocklen, stride, cur, &next);
+      break;
+    }
+    case 2: {
+      const int blocklen = rng.uniform(1, 3);
+      const MPI_Aint stride = extent * blocklen + rng.uniform(0, 2) * extent;
+      MPI_Type_create_hvector(rng.uniform(1, 4), blocklen, stride, cur,
+                              &next);
+      break;
+    }
+    default: {
+      const int sub = rng.uniform(1, 3);
+      const int size = sub + rng.uniform(0, 3);
+      const int start = rng.uniform(0, size - sub);
+      const int sizes[1] = {size}, subsizes[1] = {sub}, starts[1] = {start};
+      MPI_Type_create_subarray(1, sizes, subsizes, starts, MPI_ORDER_C, cur,
+                               &next);
+      break;
+    }
+    }
+    if (owned) {
+      MPI_Type_free(&cur);
+    }
+    cur = next;
+    owned = true;
+  }
+  MPI_Type_commit(&cur);
+  return cur;
+}
+
+/// Run one MPI_Alltoallv exchange on `ranks` ranks (two per virtual node,
+/// so legs mix intra- and inter-node paths) with deterministic per-peer
+/// counts — including zero-count peers — and return every rank's full
+/// receive buffer. `space(rank)` picks each rank's buffer residency so
+/// engine ranks and system-path ranks can mix in one call.
+std::vector<std::vector<std::byte>>
+run_alltoallv(bool engine, int ranks, unsigned type_seed,
+              const std::function<vcuda::MemorySpace(int)> &space) {
+  tempi::coll::set_enabled(engine);
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(ranks));
+  sysmpi::RunConfig cfg;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = 2;
+  sysmpi::run_ranks(cfg, [&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    Rng rng(type_seed); // the same type on every rank
+    MPI_Datatype t = random_strided_type(rng, rng.uniform(1, 3));
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    int P = 0;
+    MPI_Comm_size(MPI_COMM_WORLD, &P);
+    // Counts vary per (rank, peer) with zeros included; displacements
+    // leave one-object gaps so misplaced bytes are caught.
+    std::vector<int> scounts(P), sdispls(P), rcounts(P), rdispls(P);
+    int soff = 0, roff = 0;
+    for (int p = 0; p < P; ++p) {
+      scounts[p] = (rank + p) % 3;
+      sdispls[p] = soff;
+      soff += scounts[p] + 1;
+      rcounts[p] = (p + rank) % 3; // == peer p's scounts for me
+      rdispls[p] = roff;
+      roff += rcounts[p] + 1;
+    }
+    SpaceBuffer sbuf(space(rank),
+                     static_cast<std::size_t>(soff) * extent + 64);
+    SpaceBuffer rbuf(space(rank),
+                     static_cast<std::size_t>(roff) * extent + 64);
+    fill_pattern(sbuf.get(), sbuf.size(), static_cast<unsigned>(rank) + 1);
+    std::memset(rbuf.get(), 0, rbuf.size());
+    ASSERT_EQ(MPI_Alltoallv(sbuf.get(), scounts.data(), sdispls.data(), t,
+                            rbuf.get(), rcounts.data(), rdispls.data(), t,
+                            MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    out[static_cast<std::size_t>(rank)].assign(rbuf.bytes(),
+                                               rbuf.bytes() + rbuf.size());
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+  tempi::coll::set_enabled(true);
+  return out;
+}
+
+vcuda::MemorySpace all_device(int) { return vcuda::MemorySpace::Device; }
+
+class CollectivesRandomTypes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CollectivesRandomTypes, AlltoallvMatchesSystemPath) {
+  tempi::ScopedInterposer guard;
+  const auto engine = run_alltoallv(true, 4, GetParam(), all_device);
+  const auto system = run_alltoallv(false, 4, GetParam(), all_device);
+  for (std::size_t r = 0; r < engine.size(); ++r) {
+    EXPECT_EQ(engine[r], system[r]) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectivesRandomTypes,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Collectives, SelfExchangeSingleRank) {
+  // A one-rank alltoallv is all self-exchange: the engine short-circuits
+  // the leg as a device copy between the fused pack and unpack passes.
+  tempi::ScopedInterposer guard;
+  tempi::reset_send_stats();
+  const auto engine = run_alltoallv(true, 1, 7u, all_device);
+  const tempi::SendStats stats = tempi::send_stats();
+  EXPECT_EQ(stats.coll_alltoallv, 1u);
+  EXPECT_EQ(stats.coll_peer_legs, 1u); // the self pair is one copy leg
+  const auto system = run_alltoallv(false, 1, 7u, all_device);
+  EXPECT_EQ(engine[0], system[0]);
+}
+
+TEST(Collectives, MixedResidencyRanksInteroperate) {
+  // Per-rank contract: rank 0 (host buffers) falls through to the system
+  // path while the others ride the engine — one collective, byte-equal
+  // results everywhere, because the wire carries packed bytes under the
+  // same tags either way.
+  tempi::ScopedInterposer guard;
+  const auto space = [](int rank) {
+    return rank == 0 ? vcuda::MemorySpace::Pageable
+                     : vcuda::MemorySpace::Device;
+  };
+  const auto mixed = run_alltoallv(true, 4, 8u, space);
+  const auto system = run_alltoallv(false, 4, 8u, space);
+  for (std::size_t r = 0; r < mixed.size(); ++r) {
+    EXPECT_EQ(mixed[r], system[r]) << "rank " << r;
+  }
+}
+
+TEST(Collectives, HostOnlyCallsFallThrough) {
+  tempi::ScopedInterposer guard;
+  tempi::reset_send_stats();
+  const auto host = [](int) { return vcuda::MemorySpace::Pageable; };
+  run_alltoallv(true, 2, 9u, host);
+  const tempi::SendStats stats = tempi::send_stats();
+  EXPECT_EQ(stats.coll_alltoallv, 0u);
+  EXPECT_EQ(stats.coll_fallback, 2u); // one per rank
+}
+
+TEST(Collectives, KillSwitchDisablesEngine) {
+  tempi::ScopedInterposer guard;
+  tempi::reset_send_stats();
+  EXPECT_TRUE(tempi::coll::enabled());
+  run_alltoallv(false, 2, 10u, all_device); // device buffers, engine off
+  const tempi::SendStats stats = tempi::send_stats();
+  EXPECT_EQ(stats.coll_alltoallv, 0u);
+  EXPECT_EQ(stats.coll_fallback, 2u);
+  EXPECT_TRUE(tempi::coll::enabled()); // run_alltoallv restored it
+}
+
+/// Neighbor exchange over an explicit dist-graph, engine vs system path.
+/// The graph includes self edges and repeated edges when `aliased`.
+void check_neighbor(bool aliased, unsigned type_seed) {
+  std::vector<std::vector<std::byte>> results[2];
+  for (const bool engine : {true, false}) {
+    tempi::coll::set_enabled(engine);
+    auto &out = results[engine ? 0 : 1];
+    out.assign(4, {});
+    sysmpi::RunConfig cfg;
+    cfg.ranks = 4;
+    cfg.ranks_per_node = 2;
+    sysmpi::run_ranks(cfg, [&](int rank) {
+      MPI_Init(nullptr, nullptr);
+      Rng rng(type_seed);
+      MPI_Datatype t = random_strided_type(rng, rng.uniform(1, 3));
+      MPI_Aint lb = 0, extent = 0;
+      MPI_Type_get_extent(t, &lb, &extent);
+      int P = 0;
+      MPI_Comm_size(MPI_COMM_WORLD, &P);
+      // Ring edges; aliased adds a self edge and duplicates the ring
+      // successor, exercising j-th-message-by-order pairing.
+      std::vector<int> dsts{(rank + 1) % P};
+      std::vector<int> srcs{(rank - 1 + P) % P};
+      if (aliased) {
+        dsts = {rank, (rank + 1) % P, (rank + 1) % P};
+        srcs = {rank, (rank - 1 + P) % P, (rank - 1 + P) % P};
+      }
+      MPI_Comm graph = MPI_COMM_NULL;
+      MPI_Dist_graph_create_adjacent(
+          MPI_COMM_WORLD, static_cast<int>(srcs.size()), srcs.data(), nullptr,
+          static_cast<int>(dsts.size()), dsts.data(), nullptr, MPI_INFO_NULL,
+          0, &graph);
+      const int n = static_cast<int>(dsts.size());
+      std::vector<int> counts(n), sdispls(n), rdispls(n);
+      int off = 0;
+      for (int i = 0; i < n; ++i) {
+        counts[i] = 1 + (rank + i) % 2;
+        sdispls[i] = off;
+        rdispls[i] = off;
+        off += 3;
+      }
+      // Receive counts must match what the matched sender ships: with the
+      // symmetric construction above every slot pairs with a congruent
+      // opposite slot of the same index, but the peer's count depends on
+      // *its* rank, so recompute it.
+      std::vector<int> rcounts(n);
+      for (int i = 0; i < n; ++i) {
+        rcounts[i] = 1 + (srcs[static_cast<std::size_t>(i)] + i) % 2;
+      }
+      SpaceBuffer sbuf(vcuda::MemorySpace::Device,
+                       static_cast<std::size_t>(off) * extent + 64);
+      SpaceBuffer rbuf(vcuda::MemorySpace::Device,
+                       static_cast<std::size_t>(off) * extent + 64);
+      fill_pattern(sbuf.get(), sbuf.size(), static_cast<unsigned>(rank) + 1);
+      std::memset(rbuf.get(), 0, rbuf.size());
+      ASSERT_EQ(MPI_Neighbor_alltoallv(sbuf.get(), counts.data(),
+                                       sdispls.data(), t, rbuf.get(),
+                                       rcounts.data(), rdispls.data(), t,
+                                       graph),
+                MPI_SUCCESS);
+      out[static_cast<std::size_t>(rank)].assign(rbuf.bytes(),
+                                                 rbuf.bytes() + rbuf.size());
+      MPI_Comm_free(&graph);
+      MPI_Type_free(&t);
+      MPI_Finalize();
+    });
+  }
+  tempi::coll::set_enabled(true);
+  for (std::size_t r = 0; r < results[0].size(); ++r) {
+    EXPECT_EQ(results[0][r], results[1][r]) << "rank " << r;
+  }
+}
+
+TEST(Collectives, NeighborRingMatchesSystemPath) {
+  tempi::ScopedInterposer guard;
+  tempi::reset_send_stats();
+  check_neighbor(/*aliased=*/false, 11u);
+  EXPECT_EQ(tempi::send_stats().coll_neighbor, 4u); // engine run only
+}
+
+TEST(Collectives, NeighborSelfAndAliasedEdgesMatchSystemPath) {
+  tempi::ScopedInterposer guard;
+  check_neighbor(/*aliased=*/true, 12u);
+}
+
+TEST(Collectives, OversizedPeerLegsPipelineUnderInjectedLimit) {
+  // Per-peer legs above the wire-chunk limit must ship as ordered PR 3
+  // legs (send_packed_pipelined / PackedChunkRecv) — scaled down via the
+  // injectable limit so kilobytes exercise the >2 GiB machinery.
+  tempi::ScopedInterposer guard;
+  const std::size_t old_limit = tempi::set_wire_chunk_limit(4096);
+  tempi::reset_send_stats();
+  std::vector<std::vector<std::byte>> out(2);
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1;
+  sysmpi::run_ranks(cfg, [&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    // 1024 blocks x 16 B = 16 KiB packed per peer: 4x the injected limit.
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(1024, 16, 48, MPI_BYTE, &t);
+    MPI_Type_commit(&t);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    const int counts[2] = {1, 1};
+    const int displs[2] = {0, 1};
+    SpaceBuffer sbuf(vcuda::MemorySpace::Device,
+                     2 * static_cast<std::size_t>(extent) + 64);
+    SpaceBuffer rbuf(vcuda::MemorySpace::Device,
+                     2 * static_cast<std::size_t>(extent) + 64);
+    fill_pattern(sbuf.get(), sbuf.size(), static_cast<unsigned>(rank) + 1);
+    std::memset(rbuf.get(), 0, rbuf.size());
+    ASSERT_EQ(MPI_Alltoallv(sbuf.get(), counts, displs, t, rbuf.get(),
+                            counts, displs, t, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    out[static_cast<std::size_t>(rank)].assign(rbuf.bytes(),
+                                               rbuf.bytes() + rbuf.size());
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+  const tempi::SendStats stats = tempi::send_stats();
+  tempi::set_wire_chunk_limit(old_limit);
+  EXPECT_EQ(stats.coll_alltoallv, 2u);
+  // Each rank's non-self leg (16 KiB over a 4 KiB limit) pipelines on
+  // both sides: at least 5 sender legs (4 full + terminator) plus the
+  // receiver's mirror of them, per direction.
+  EXPECT_GE(stats.pipeline_chunks, 20u);
+  EXPECT_GE(stats.pipeline_over_ceiling_bytes, 2u * 16384u);
+
+  // Byte-exactness vs the system path (run with the default limit).
+  tempi::coll::set_enabled(false);
+  std::vector<std::vector<std::byte>> sys(2);
+  sysmpi::run_ranks(cfg, [&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(1024, 16, 48, MPI_BYTE, &t);
+    MPI_Type_commit(&t);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    const int counts[2] = {1, 1};
+    const int displs[2] = {0, 1};
+    SpaceBuffer sbuf(vcuda::MemorySpace::Device,
+                     2 * static_cast<std::size_t>(extent) + 64);
+    SpaceBuffer rbuf(vcuda::MemorySpace::Device,
+                     2 * static_cast<std::size_t>(extent) + 64);
+    fill_pattern(sbuf.get(), sbuf.size(), static_cast<unsigned>(rank) + 1);
+    std::memset(rbuf.get(), 0, rbuf.size());
+    ASSERT_EQ(MPI_Alltoallv(sbuf.get(), counts, displs, t, rbuf.get(),
+                            counts, displs, t, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    sys[static_cast<std::size_t>(rank)].assign(rbuf.bytes(),
+                                               rbuf.bytes() + rbuf.size());
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+  tempi::coll::set_enabled(true);
+  EXPECT_EQ(out[0], sys[0]);
+  EXPECT_EQ(out[1], sys[1]);
+}
+
+/// Gatherv / Allgather (thin reductions onto the exchange core) vs the
+/// system path, device buffers, derived types.
+TEST(Collectives, GathervMatchesSystemPath) {
+  tempi::ScopedInterposer guard;
+  std::vector<std::byte> results[2];
+  for (const bool engine : {true, false}) {
+    tempi::coll::set_enabled(engine);
+    auto &root_out = results[engine ? 0 : 1];
+    sysmpi::RunConfig cfg;
+    cfg.ranks = 4;
+    cfg.ranks_per_node = 2;
+    sysmpi::run_ranks(cfg, [&](int rank) {
+      MPI_Init(nullptr, nullptr);
+      Rng rng(13u);
+      MPI_Datatype t = random_strided_type(rng, 2);
+      MPI_Aint lb = 0, extent = 0;
+      MPI_Type_get_extent(t, &lb, &extent);
+      int P = 0;
+      MPI_Comm_size(MPI_COMM_WORLD, &P);
+      std::vector<int> rcounts(P), displs(P);
+      int off = 0;
+      for (int p = 0; p < P; ++p) {
+        rcounts[p] = 1 + p % 2;
+        displs[p] = off;
+        off += rcounts[p] + 1;
+      }
+      const int mine = rcounts[rank];
+      SpaceBuffer sbuf(vcuda::MemorySpace::Device,
+                       static_cast<std::size_t>(mine) * extent + 64);
+      SpaceBuffer rbuf(vcuda::MemorySpace::Device,
+                       static_cast<std::size_t>(off) * extent + 64);
+      fill_pattern(sbuf.get(), sbuf.size(), static_cast<unsigned>(rank) + 1);
+      std::memset(rbuf.get(), 0, rbuf.size());
+      ASSERT_EQ(MPI_Gatherv(sbuf.get(), mine, t, rbuf.get(), rcounts.data(),
+                            displs.data(), t, 1, MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      if (rank == 1) {
+        root_out.assign(rbuf.bytes(), rbuf.bytes() + rbuf.size());
+      }
+      MPI_Type_free(&t);
+      MPI_Finalize();
+    });
+  }
+  tempi::coll::set_enabled(true);
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(Collectives, AllgatherMatchesSystemPath) {
+  tempi::ScopedInterposer guard;
+  std::vector<std::vector<std::byte>> results[2];
+  for (const bool engine : {true, false}) {
+    tempi::coll::set_enabled(engine);
+    auto &out = results[engine ? 0 : 1];
+    out.assign(4, {});
+    sysmpi::RunConfig cfg;
+    cfg.ranks = 4;
+    cfg.ranks_per_node = 2;
+    sysmpi::run_ranks(cfg, [&](int rank) {
+      MPI_Init(nullptr, nullptr);
+      Rng rng(14u);
+      MPI_Datatype t = random_strided_type(rng, 2);
+      MPI_Aint lb = 0, extent = 0;
+      MPI_Type_get_extent(t, &lb, &extent);
+      int P = 0;
+      MPI_Comm_size(MPI_COMM_WORLD, &P);
+      constexpr int kCount = 2;
+      SpaceBuffer sbuf(vcuda::MemorySpace::Device,
+                       kCount * static_cast<std::size_t>(extent) + 64);
+      SpaceBuffer rbuf(vcuda::MemorySpace::Device,
+                       static_cast<std::size_t>(P) * kCount * extent + 64);
+      fill_pattern(sbuf.get(), sbuf.size(), static_cast<unsigned>(rank) + 1);
+      std::memset(rbuf.get(), 0, rbuf.size());
+      ASSERT_EQ(MPI_Allgather(sbuf.get(), kCount, t, rbuf.get(), kCount, t,
+                              MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      out[static_cast<std::size_t>(rank)].assign(rbuf.bytes(),
+                                                 rbuf.bytes() + rbuf.size());
+      MPI_Type_free(&t);
+      MPI_Finalize();
+    });
+  }
+  tempi::coll::set_enabled(true);
+  for (std::size_t r = 0; r < results[0].size(); ++r) {
+    EXPECT_EQ(results[0][r], results[1][r]) << "rank " << r;
+  }
+}
+
+TEST(Collectives, SpanPassMatchesPerPeerPacks) {
+  // The fused span kernel (launch_pack_spans) must byte-match packing
+  // each peer's objects separately — it is the same packed stream, just
+  // one launch.
+  tempi::ScopedInterposer guard;
+  sysmpi::ensure_self_context();
+  MPI_Datatype t = nullptr;
+  MPI_Type_vector(16, 8, 24, MPI_BYTE, &t);
+  MPI_Type_commit(&t);
+  const auto packer = tempi::find_packer(t);
+  ASSERT_NE(packer, nullptr);
+  MPI_Aint lb = 0, extent = 0;
+  MPI_Type_get_extent(t, &lb, &extent);
+  const int counts[3] = {2, 0, 3};
+  const long long displs[3] = {0, 2, 3}; // extent units, with a gap
+  const std::size_t size = packer->packed_bytes(1);
+
+  SpaceBuffer src(vcuda::MemorySpace::Device, 8 * extent + 64);
+  fill_pattern(src.get(), src.size());
+  std::vector<tempi::PackSpan> spans;
+  std::size_t off = 0;
+  for (int i = 0; i < 3; ++i) {
+    spans.push_back(tempi::PackSpan{displs[i] * extent,
+                                    static_cast<long long>(off), counts[i]});
+    off += static_cast<std::size_t>(counts[i]) * size;
+  }
+  SpaceBuffer fused(vcuda::MemorySpace::Device, off);
+  ASSERT_EQ(packer->pack_spans_async(fused.get(), src.get(), spans,
+                                     vcuda::default_stream()),
+            vcuda::Error::Success);
+  vcuda::StreamSynchronize(vcuda::default_stream());
+
+  SpaceBuffer per_peer(vcuda::MemorySpace::Device, off);
+  std::size_t pos = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    ASSERT_EQ(packer->pack(per_peer.bytes() + pos,
+                           static_cast<const std::byte *>(src.get()) +
+                               displs[i] * extent,
+                           counts[i], vcuda::default_stream()),
+              vcuda::Error::Success);
+    pos += static_cast<std::size_t>(counts[i]) * size;
+  }
+  EXPECT_EQ(std::memcmp(fused.get(), per_peer.get(), off), 0);
+
+  // And the scatter pass inverts it.
+  SpaceBuffer dst(vcuda::MemorySpace::Device, 8 * extent + 64);
+  std::memset(dst.get(), 0, dst.size());
+  ASSERT_EQ(packer->unpack_spans_async(dst.get(), fused.get(), spans,
+                                       vcuda::default_stream()),
+            vcuda::Error::Success);
+  vcuda::StreamSynchronize(vcuda::default_stream());
+  SpaceBuffer rt(vcuda::MemorySpace::Device, off);
+  ASSERT_EQ(packer->pack_spans_async(rt.get(), dst.get(), spans,
+                                     vcuda::default_stream()),
+            vcuda::Error::Success);
+  vcuda::StreamSynchronize(vcuda::default_stream());
+  EXPECT_EQ(std::memcmp(rt.get(), fused.get(), off), 0);
+  MPI_Type_free(&t);
+}
+
+TEST(Collectives, EnvKillSwitchReadAtInstall) {
+  // TEMPI_COLL mirrors TEMPI_METHOD: no-recompile disabling, decided (and
+  // logged) at install time.
+  setenv("TEMPI_COLL", "0", 1);
+  tempi::install();
+  EXPECT_FALSE(tempi::coll::enabled());
+  tempi::uninstall();
+  setenv("TEMPI_COLL", "1", 1);
+  tempi::install();
+  EXPECT_TRUE(tempi::coll::enabled());
+  tempi::uninstall();
+  unsetenv("TEMPI_COLL");
+}
+
+TEST(Collectives, ChooseLegIsCachedAndPlacementAware) {
+  const tempi::PerfModel model;
+  tempi::reset_model_cache_stats();
+  const tempi::TransferChoice inter = model.choose_leg(1 << 20, false);
+  const tempi::TransferChoice intra = model.choose_leg(1 << 20, true);
+  EXPECT_NE(inter.method, tempi::Method::Pipelined);
+  EXPECT_NE(intra.method, tempi::Method::Pipelined);
+  const auto misses = tempi::model_cache_stats().misses;
+  EXPECT_GE(misses, 2u); // distinct salted keys per placement
+  // Repeat queries hit the lock-free cache.
+  const tempi::TransferChoice again = model.choose_leg(1 << 20, false);
+  EXPECT_EQ(again.method, inter.method);
+  EXPECT_GT(tempi::model_cache_stats().hits, 0u);
+  // Over-limit legs pipeline with an in-limit chunk.
+  const std::size_t old_limit = tempi::set_wire_chunk_limit(4096);
+  const tempi::TransferChoice big = model.choose_leg(64 * 1024, false);
+  tempi::set_wire_chunk_limit(old_limit);
+  EXPECT_EQ(big.method, tempi::Method::Pipelined);
+  EXPECT_GT(big.chunk_bytes, 0u);
+  EXPECT_LE(big.chunk_bytes, 4096u);
+}
+
+} // namespace

@@ -31,11 +31,18 @@ TEST(Interposer, InstallAndUninstallSwapTables) {
     tempi::ScopedInterposer guard;
     EXPECT_TRUE(interpose::interposed());
     EXPECT_NE(interpose::active_table().Send, system_send);
+    // The collectives engine owns the dense exchange collectives.
+    EXPECT_NE(interpose::active_table().Alltoallv,
+              interpose::system_table().Alltoallv);
+    EXPECT_NE(interpose::active_table().Neighbor_alltoallv,
+              interpose::system_table().Neighbor_alltoallv);
+    EXPECT_NE(interpose::active_table().Allgather,
+              interpose::system_table().Allgather);
+    EXPECT_NE(interpose::active_table().Gatherv,
+              interpose::system_table().Gatherv);
     // Uncovered symbols fall through: same function pointer as the system.
     EXPECT_EQ(interpose::active_table().Barrier,
               interpose::system_table().Barrier);
-    EXPECT_EQ(interpose::active_table().Alltoallv,
-              interpose::system_table().Alltoallv);
     EXPECT_EQ(interpose::active_table().Type_vector,
               interpose::system_table().Type_vector);
   }
@@ -280,6 +287,59 @@ TEST(Interposer, PipelineCountersTrackChunkedSends) {
   EXPECT_EQ(cleared.pipelined, 0u);
   EXPECT_EQ(cleared.pipeline_chunks, 0u);
   tempi::set_send_mode(tempi::SendMode::Auto);
+}
+
+TEST(Interposer, CollCountersTrackEngineAndFallback) {
+  tempi::ScopedInterposer guard;
+  tempi::reset_send_stats();
+  const tempi::SendStats before = tempi::send_stats();
+  EXPECT_EQ(before.coll_alltoallv, 0u);
+  EXPECT_EQ(before.coll_neighbor, 0u);
+  EXPECT_EQ(before.coll_fallback, 0u);
+  EXPECT_EQ(before.coll_peer_legs, 0u);
+
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1;
+  sysmpi::run_ranks(cfg, [](int rank) {
+    (void)rank;
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = committed_vector(8, 4, 16);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    SpaceBuffer dev_s(vcuda::MemorySpace::Device,
+                      2 * static_cast<std::size_t>(extent) + 64);
+    SpaceBuffer dev_r(vcuda::MemorySpace::Device,
+                      2 * static_cast<std::size_t>(extent) + 64);
+    fill_pattern(dev_s.get(), dev_s.size());
+    const int counts[2] = {1, 1};
+    const int displs[2] = {0, 1};
+    // Device buffers + packer: engine-serviced (one alltoallv, 2 send +
+    // 2 recv legs per rank, the self pair collapsing into one copy).
+    MPI_Alltoallv(dev_s.get(), counts, displs, t, dev_r.get(), counts,
+                  displs, t, MPI_COMM_WORLD);
+    // Host buffers: the shared gate forwards to the system path.
+    std::vector<std::byte> host_s(2 * static_cast<std::size_t>(extent) + 64);
+    std::vector<std::byte> host_r(2 * static_cast<std::size_t>(extent) + 64);
+    MPI_Alltoallv(host_s.data(), counts, displs, t, host_r.data(), counts,
+                  displs, t, MPI_COMM_WORLD);
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+
+  const tempi::SendStats after = tempi::send_stats();
+  EXPECT_EQ(after.coll_alltoallv, 2u); // one engine call per rank
+  EXPECT_EQ(after.coll_neighbor, 0u);
+  EXPECT_EQ(after.coll_fallback, 2u); // one host-only call per rank
+  // Each engine rank fans out 2 send + 2 recv slots, minus the self pair
+  // collapsed into one copy leg: 3 legs per rank.
+  EXPECT_EQ(after.coll_peer_legs, 6u);
+
+  tempi::reset_send_stats();
+  const tempi::SendStats cleared = tempi::send_stats();
+  EXPECT_EQ(cleared.coll_alltoallv, 0u);
+  EXPECT_EQ(cleared.coll_fallback, 0u);
+  EXPECT_EQ(cleared.coll_peer_legs, 0u);
 }
 
 } // namespace
