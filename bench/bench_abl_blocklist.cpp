@@ -86,6 +86,10 @@ int main() {
                 bl_us, base_us / bl_us, bl->metadata_bytes(),
                 100.0 * static_cast<double>(bl->metadata_bytes()) /
                     static_cast<double>(kBlocks * 4));
+    bench::emit_json("abl_blocklist",
+                     "indexed 64Ki x 4B blocks, blocklist kernel vs "
+                     "baseline per-block loop",
+                     base_us / bl_us);
     vcuda::Free(flat);
     vcuda::Free(obj);
     MPI_Type_free(&t);

@@ -82,6 +82,9 @@ int main() {
               "(paper: 277 ns added per selection)\n",
               static_cast<unsigned long long>(miss), hits.trimean());
 
+  bench::emit_json("abl_cache",
+                   "16KiB strided Send/Recv, buffer cache on vs off",
+                   without_cache / with_cache);
   tempi::uninstall();
   return 0;
 }

@@ -94,6 +94,22 @@ int main() {
   tempi::simplify(full);
   report("full fixed-point", full);
 
+  // Headline: raw IR pack latency over canonicalized pack latency.
+  double raw_us = 0.0, canon_us = 0.0;
+  const MPI_Aint extent = static_cast<MPI_Aint>(kA0) * kA1 * kA2;
+  if (const auto sb = tempi::to_strided_block(*raw)) {
+    raw_us = pack_us(tempi::Packer(*sb, extent, sb->size()));
+  }
+  if (const auto sb = tempi::to_strided_block(full)) {
+    canon_us = pack_us(tempi::Packer(*sb, extent, sb->size()));
+  }
+  if (raw_us > 0.0 && canon_us > 0.0) {
+    bench::emit_json("abl_canonical",
+                     "hv(hv(vec)) deep construction, canonicalized pack vs "
+                     "raw-IR pack",
+                     raw_us / canon_us);
+  }
+
   MPI_Type_free(&t);
   std::printf("\nThe canonical form exposes the 400 B dense rows; the raw "
               "IR packs 4 B words at ~1/32 the effective bandwidth.\n");

@@ -266,6 +266,10 @@ int main() {
   std::printf("paper headline: cached selection adds ~277 ns; cached "
               "resources amortize to tens or hundreds of ns per message.\n");
 
+  bench::emit_json("abl_overhead",
+                   "steady-state send setup (lookup+selection+plan+lease), "
+                   "pre-PR recompute path vs table-driven, 1 rank",
+                   setup_old1 / setup_new1);
   MPI_Type_free(&t);
   tempi::uninstall();
   return 0;

@@ -125,6 +125,31 @@ inline double send_latency_us(tempi::SendMode mode, long long blocks,
   return result;
 }
 
+/// Machine-readable result sidecar: each bench writes BENCH_<name>.json
+/// (name, config, headline geomean speedup, smoke flag) into the working
+/// directory alongside its stdout report, so the perf trajectory is
+/// tracked across PRs instead of living only in CI logs. Call once, at
+/// the end, with the bench's headline ratio.
+inline void emit_json(const std::string &name, const std::string &config,
+                      double geomean_speedup) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE *f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"name\": \"%s\",\n"
+               "  \"config\": \"%s\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"geomean_speedup\": %.4f\n"
+               "}\n",
+               name.c_str(), config.c_str(), smoke_mode() ? "true" : "false",
+               geomean_speedup);
+  std::fclose(f);
+}
+
 /// Pretty-print helpers.
 inline std::string human_bytes(double b) {
   char buf[32];

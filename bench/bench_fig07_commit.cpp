@@ -147,6 +147,7 @@ int main() {
               "create(us)", "commit(us)", "commit(TEMPI)", "slowdown");
 
   const std::vector<Config> cfgs = configs();
+  std::vector<double> slowdowns;
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
     const Timings base = measure(cfgs[i], kIters);
     Timings with_tempi;
@@ -154,6 +155,7 @@ int main() {
       tempi::ScopedInterposer guard;
       with_tempi = measure(cfgs[i], kIters);
     }
+    slowdowns.push_back(with_tempi.commit_us / base.commit_us);
     std::printf("%3zu %-14s %10.2f %10.2f %14.2f %9.1fx\n", i,
                 cfgs[i].family, base.create_us, base.commit_us,
                 with_tempi.commit_us,
@@ -162,5 +164,11 @@ int main() {
   std::printf("\nTEMPI slows commit (translation + canonicalization + "
               "kernel selection runs at commit time); the paper reports "
               "3.8-8.3x. This is a one-time cost at startup.\n");
+  // The headline here is a *cost* ratio (>1 = commit slower with TEMPI),
+  // tracked so commit-time work does not silently balloon across PRs.
+  bench::emit_json("fig07_commit",
+                   "commit slowdown with TEMPI installed (one-time cost; "
+                   "lower is better)",
+                   support::geomean(slowdowns));
   return 0;
 }

@@ -130,5 +130,11 @@ int main() {
   }
   std::printf("\nstaged beats device anywhere: %s (paper: no)\n",
               staged_ever_wins ? "YES (mismatch!)" : "no");
+  // Headline: the small-message CUDA-aware penalty (GPU wire floor over
+  // pinned-host wire floor) the method models hinge on.
+  bench::emit_json("fig09_transfer",
+                   "small-message wire floors: gpu-gpu over cpu-cpu "
+                   "ping-pong latency at 1 B",
+                   gpu.front() / cpu.front());
   return 0;
 }

@@ -78,6 +78,14 @@ int main() {
   std::printf("Paper headline: up to 59,000x vs baseline for large objects "
               "with small blocks.\n");
 
+  std::vector<double> speedups;
+  for (const Row &r : rows) {
+    speedups.push_back(r.baseline / r.autosel);
+  }
+  bench::emit_json("fig11_send",
+                   "auto Send/Recv vs system baseline across the Fig. 11 "
+                   "object/block sweep",
+                   support::geomean(speedups));
   tempi::uninstall();
   return 0;
 }

@@ -131,6 +131,10 @@ int main(int argc, char **argv) {
   const double geomean = std::exp(log_speedup_sum / configs);
   std::printf("\ngeometric-mean speedup over the forwarded baseline: %.1fx\n",
               geomean);
+  bench::emit_json("fig12_isend",
+                   "halo traffic via Isend/Irecv/Waitall, request engine "
+                   "vs forwarded baseline",
+                   geomean);
   std::printf("Paper (Fig. 12 / Sec. 6.4): the non-blocking datatype path "
               "dominates the baseline exchange; TEMPI's engine packs with "
               "kernels and batches unpacks at Waitall, so speedup is "

@@ -68,7 +68,18 @@
   X(Wait, int, (MPI_Request *, MPI_Status *))                                  \
   X(Waitall, int, (int, MPI_Request *, MPI_Status *))                          \
   X(Waitany, int, (int, MPI_Request *, int *, MPI_Status *))                   \
+  X(Waitsome, int, (int, MPI_Request *, int *, int *, MPI_Status *))           \
   X(Test, int, (MPI_Request *, int *, MPI_Status *))                           \
+  X(Testall, int, (int, MPI_Request *, int *, MPI_Status *))                   \
+  X(Testany, int, (int, MPI_Request *, int *, int *, MPI_Status *))            \
+  X(Testsome, int, (int, MPI_Request *, int *, int *, MPI_Status *))           \
+  X(Send_init, int,                                                            \
+    (const void *, int, MPI_Datatype, int, int, MPI_Comm, MPI_Request *))      \
+  X(Recv_init, int,                                                            \
+    (void *, int, MPI_Datatype, int, int, MPI_Comm, MPI_Request *))            \
+  X(Start, int, (MPI_Request *))                                               \
+  X(Startall, int, (int, MPI_Request *))                                       \
+  X(Request_free, int, (MPI_Request *))                                        \
   X(Probe, int, (int, int, MPI_Comm, MPI_Status *))                            \
   X(Iprobe, int, (int, int, MPI_Comm, int *, MPI_Status *))                    \
   X(Barrier, int, (MPI_Comm))                                                  \

@@ -326,9 +326,18 @@ int sys_Sendrecv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
 } // namespace
 
 /// Request object: sends complete eagerly at Isend time; receives are
-/// matched lazily at Wait/Test.
+/// matched lazily at Wait/Test. Persistent requests (MPI_Send_init /
+/// MPI_Recv_init) store the frozen call arguments and toggle `active`
+/// across Start -> Wait/Test cycles instead of being destroyed on
+/// completion; only MPI_Request_free retires them.
 struct Request {
-  enum class Kind { SendDone, RecvPending, RecvDone };
+  enum class Kind {
+    SendDone,
+    RecvPending,
+    RecvDone,
+    PersistentSend,
+    PersistentRecv,
+  };
   Kind kind = Kind::SendDone;
   void *buf = nullptr;
   int count = 0;
@@ -337,6 +346,11 @@ struct Request {
   int tag = MPI_ANY_TAG;
   MPI_Comm comm = nullptr;
   MPI_Status status{};
+  bool active = false; ///< persistent only: armed by Start, cleared at
+                       ///< completion
+  [[nodiscard]] bool persistent() const {
+    return kind == Kind::PersistentSend || kind == Kind::PersistentRecv;
+  }
 };
 
 namespace {
@@ -385,6 +399,27 @@ void complete_request(MPI_Request *request, MPI_Status *status) {
   *request = MPI_REQUEST_NULL;
 }
 
+/// Complete a persistent request's current arming (blocking for an active
+/// receive); the handle survives, toggled back to inactive. A Wait/Test on
+/// an inactive persistent request completes immediately with an empty
+/// status, per MPI.
+int complete_persistent(Request &r, MPI_Status *status) {
+  if (r.active && r.kind == Request::Kind::PersistentRecv) {
+    const int rc = recv_impl(r.buf, r.count, r.datatype, r.peer, r.tag, r.comm,
+                             &r.status);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  } else if (!r.active) {
+    r.status = MPI_Status{}; // empty status: never armed or already done
+  }
+  r.active = false;
+  if (status != MPI_STATUS_IGNORE) {
+    *status = r.status;
+  }
+  return MPI_SUCCESS;
+}
+
 int sys_Wait(MPI_Request *request, MPI_Status *status) {
   if (request == nullptr) {
     return MPI_ERR_ARG;
@@ -393,6 +428,9 @@ int sys_Wait(MPI_Request *request, MPI_Status *status) {
     return MPI_SUCCESS;
   }
   Request &r = **request;
+  if (r.persistent()) {
+    return complete_persistent(r, status);
+  }
   if (r.kind == Request::Kind::RecvPending) {
     const int rc = recv_impl(r.buf, r.count, r.datatype, r.peer, r.tag, r.comm,
                              &r.status);
@@ -426,9 +464,13 @@ int sys_Waitany(int count, MPI_Request *requests, int *index,
   if (count < 0 || (count > 0 && requests == nullptr) || index == nullptr) {
     return MPI_ERR_ARG;
   }
+  // Inactive persistent requests are ignored like null entries, per MPI;
+  // otherwise a completed-and-disarmed channel would be "won" forever.
   bool any_active = false;
   for (int i = 0; i < count; ++i) {
-    any_active = any_active || requests[i] != MPI_REQUEST_NULL;
+    any_active = any_active ||
+                 (requests[i] != MPI_REQUEST_NULL &&
+                  !(requests[i]->persistent() && !requests[i]->active));
   }
   if (!any_active) {
     *index = MPI_UNDEFINED;
@@ -438,7 +480,8 @@ int sys_Waitany(int count, MPI_Request *requests, int *index,
   // against the mailbox. A small virtual cost accrues per sweep.
   while (true) {
     for (int i = 0; i < count; ++i) {
-      if (requests[i] == MPI_REQUEST_NULL) {
+      if (requests[i] == MPI_REQUEST_NULL ||
+          (requests[i]->persistent() && !requests[i]->active)) {
         continue;
       }
       int flag = 0;
@@ -504,6 +547,24 @@ int sys_Test(MPI_Request *request, int *flag, MPI_Status *status) {
     return MPI_SUCCESS;
   }
   Request &r = **request;
+  if (r.persistent()) {
+    if (r.active && r.kind == Request::Kind::PersistentRecv &&
+        !try_recv_impl(r.buf, r.count, r.datatype, r.peer, r.tag, r.comm,
+                       &r.status)) {
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    if (r.active && r.kind == Request::Kind::PersistentRecv) {
+      r.active = false;
+      if (status != MPI_STATUS_IGNORE) {
+        *status = r.status;
+      }
+      *flag = 1;
+      return MPI_SUCCESS;
+    }
+    *flag = 1;
+    return complete_persistent(r, status);
+  }
   if (r.kind == Request::Kind::RecvPending) {
     if (!try_recv_impl(r.buf, r.count, r.datatype, r.peer, r.tag, r.comm,
                        &r.status)) {
@@ -515,6 +576,208 @@ int sys_Test(MPI_Request *request, int *flag, MPI_Status *status) {
   *flag = 1;
   complete_request(request, status);
   return MPI_SUCCESS;
+}
+
+// --- persistent requests and the remaining completion calls ------------------
+
+int sys_Send_init(const void *buf, int count, MPI_Datatype datatype, int dest,
+                  int tag, MPI_Comm comm, MPI_Request *request) {
+  if (request == nullptr || comm == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  auto *r = new Request();
+  r->kind = Request::Kind::PersistentSend;
+  r->buf = const_cast<void *>(buf);
+  r->count = count;
+  r->datatype = datatype;
+  type_retain(datatype);
+  r->peer = dest;
+  r->tag = tag;
+  r->comm = comm;
+  *request = r;
+  return MPI_SUCCESS;
+}
+
+int sys_Recv_init(void *buf, int count, MPI_Datatype datatype, int source,
+                  int tag, MPI_Comm comm, MPI_Request *request) {
+  if (request == nullptr || comm == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  auto *r = new Request();
+  r->kind = Request::Kind::PersistentRecv;
+  r->buf = buf;
+  r->count = count;
+  r->datatype = datatype;
+  type_retain(datatype);
+  r->peer = source;
+  r->tag = tag;
+  r->comm = comm;
+  *request = r;
+  return MPI_SUCCESS;
+}
+
+int sys_Start(MPI_Request *request) {
+  if (request == nullptr || *request == MPI_REQUEST_NULL) {
+    return MPI_ERR_ARG;
+  }
+  Request &r = **request;
+  if (!r.persistent() || r.active) {
+    return MPI_ERR_ARG; // not a persistent request, or already armed
+  }
+  if (r.kind == Request::Kind::PersistentSend) {
+    // Sends are buffered: the transfer completes eagerly at Start, exactly
+    // like sys_Isend; Wait/Test merely disarm the request.
+    const int rc = send_impl(r.buf, r.count, r.datatype, r.peer, r.tag,
+                             r.comm);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  r.active = true; // receives are matched lazily at Wait/Test
+  return MPI_SUCCESS;
+}
+
+int sys_Startall(int count, MPI_Request *requests) {
+  if (count < 0 || (count > 0 && requests == nullptr)) {
+    return MPI_ERR_ARG;
+  }
+  for (int i = 0; i < count; ++i) {
+    const int rc = sys_Start(&requests[i]);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  return MPI_SUCCESS;
+}
+
+int sys_Request_free(MPI_Request *request) {
+  if (request == nullptr || *request == MPI_REQUEST_NULL) {
+    return MPI_ERR_ARG;
+  }
+  // Never blocks: sends (persistent or not) completed eagerly at
+  // Start/Isend time, and a pending or armed receive is discarded without
+  // waiting for a matching message — freeing must not hang on a sender
+  // that never comes.
+  Request &r = **request;
+  if (r.datatype != nullptr) {
+    type_release(r.datatype);
+  }
+  delete *request;
+  *request = MPI_REQUEST_NULL;
+  return MPI_SUCCESS;
+}
+
+int sys_Testall(int count, MPI_Request *requests, int *flag,
+                MPI_Status *statuses) {
+  if (count < 0 || (count > 0 && requests == nullptr) || flag == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  // Each entry is tested (and, when complete, retired) individually;
+  // statuses land per entry as completions happen, so by the time *flag
+  // rises every slot is filled. Entries that are already done — null
+  // slots and disarmed persistent requests — count as complete WITHOUT
+  // touching their status slot, so a status written by the poll that
+  // actually completed the entry survives later flag=0 polls.
+  int done = 0;
+  for (int i = 0; i < count; ++i) {
+    if (requests[i] == MPI_REQUEST_NULL ||
+        (requests[i]->persistent() && !requests[i]->active)) {
+      ++done;
+      continue;
+    }
+    MPI_Status *status =
+        statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+    int f = 0;
+    const int rc = sys_Test(&requests[i], &f, status);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    done += f;
+  }
+  *flag = done == count ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int sys_Testany(int count, MPI_Request *requests, int *index, int *flag,
+                MPI_Status *status) {
+  if (count < 0 || (count > 0 && requests == nullptr) || index == nullptr ||
+      flag == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  bool any_active = false;
+  for (int i = 0; i < count; ++i) {
+    if (requests[i] == MPI_REQUEST_NULL ||
+        (requests[i]->persistent() && !requests[i]->active)) {
+      continue; // inactive persistent requests are ignored, per MPI —
+                // reporting them as completions would livelock drain loops
+    }
+    any_active = true;
+    int f = 0;
+    const int rc = sys_Test(&requests[i], &f, status);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    if (f != 0) {
+      *index = i;
+      *flag = 1;
+      return MPI_SUCCESS;
+    }
+  }
+  *index = MPI_UNDEFINED;
+  *flag = any_active ? 0 : 1;
+  return MPI_SUCCESS;
+}
+
+int sys_Testsome(int incount, MPI_Request *requests, int *outcount,
+                 int *indices, MPI_Status *statuses) {
+  if (incount < 0 || (incount > 0 && requests == nullptr) ||
+      outcount == nullptr || indices == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  bool any_active = false;
+  int done = 0;
+  for (int i = 0; i < incount; ++i) {
+    if (requests[i] == MPI_REQUEST_NULL ||
+        (requests[i]->persistent() && !requests[i]->active)) {
+      continue; // inactive persistent: ignored, per MPI (see sys_Testany)
+    }
+    any_active = true;
+    MPI_Status *status = statuses == MPI_STATUSES_IGNORE
+                             ? MPI_STATUS_IGNORE
+                             : &statuses[done];
+    int f = 0;
+    const int rc = sys_Test(&requests[i], &f, status);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    if (f != 0) {
+      indices[done++] = i;
+    }
+  }
+  *outcount = any_active ? done : MPI_UNDEFINED;
+  return MPI_SUCCESS;
+}
+
+int sys_Waitsome(int incount, MPI_Request *requests, int *outcount,
+                 int *indices, MPI_Status *statuses) {
+  if (incount < 0 || (incount > 0 && requests == nullptr) ||
+      outcount == nullptr || indices == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  // Poll sweeps until at least one request completes (mirroring
+  // sys_Waitany), returning every completion the successful sweep found.
+  while (true) {
+    const int rc = sys_Testsome(incount, requests, outcount, indices,
+                                statuses);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    if (*outcount == MPI_UNDEFINED || *outcount > 0) {
+      return MPI_SUCCESS;
+    }
+    vcuda::this_thread_timeline().advance(100);
+    std::this_thread::yield();
+  }
 }
 
 // --- collectives --------------------------------------------------------------
@@ -693,7 +956,16 @@ interpose::MpiTable make_system_table() {
   t.Wait = sys_Wait;
   t.Waitall = sys_Waitall;
   t.Waitany = sys_Waitany;
+  t.Waitsome = sys_Waitsome;
   t.Test = sys_Test;
+  t.Testall = sys_Testall;
+  t.Testany = sys_Testany;
+  t.Testsome = sys_Testsome;
+  t.Send_init = sys_Send_init;
+  t.Recv_init = sys_Recv_init;
+  t.Start = sys_Start;
+  t.Startall = sys_Startall;
+  t.Request_free = sys_Request_free;
   t.Probe = sys_Probe;
   t.Iprobe = sys_Iprobe;
   t.Barrier = sys_Barrier;

@@ -166,8 +166,48 @@ inline int MPI_Waitany(int count, MPI_Request *requests, int *index,
                        MPI_Status *status) {
   return interpose::active_table().Waitany(count, requests, index, status);
 }
+inline int MPI_Waitsome(int incount, MPI_Request *requests, int *outcount,
+                        int *indices, MPI_Status *statuses) {
+  return interpose::active_table().Waitsome(incount, requests, outcount,
+                                            indices, statuses);
+}
 inline int MPI_Test(MPI_Request *request, int *flag, MPI_Status *status) {
   return interpose::active_table().Test(request, flag, status);
+}
+inline int MPI_Testall(int count, MPI_Request *requests, int *flag,
+                       MPI_Status *statuses) {
+  return interpose::active_table().Testall(count, requests, flag, statuses);
+}
+inline int MPI_Testany(int count, MPI_Request *requests, int *index, int *flag,
+                       MPI_Status *status) {
+  return interpose::active_table().Testany(count, requests, index, flag,
+                                           status);
+}
+inline int MPI_Testsome(int incount, MPI_Request *requests, int *outcount,
+                        int *indices, MPI_Status *statuses) {
+  return interpose::active_table().Testsome(incount, requests, outcount,
+                                            indices, statuses);
+}
+inline int MPI_Send_init(const void *buf, int count, MPI_Datatype datatype,
+                         int dest, int tag, MPI_Comm comm,
+                         MPI_Request *request) {
+  return interpose::active_table().Send_init(buf, count, datatype, dest, tag,
+                                             comm, request);
+}
+inline int MPI_Recv_init(void *buf, int count, MPI_Datatype datatype,
+                         int source, int tag, MPI_Comm comm,
+                         MPI_Request *request) {
+  return interpose::active_table().Recv_init(buf, count, datatype, source, tag,
+                                             comm, request);
+}
+inline int MPI_Start(MPI_Request *request) {
+  return interpose::active_table().Start(request);
+}
+inline int MPI_Startall(int count, MPI_Request *requests) {
+  return interpose::active_table().Startall(count, requests);
+}
+inline int MPI_Request_free(MPI_Request *request) {
+  return interpose::active_table().Request_free(request);
 }
 inline int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status *status) {
   return interpose::active_table().Probe(source, tag, comm, status);

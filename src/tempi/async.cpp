@@ -61,16 +61,52 @@ struct AsyncOp {
   MPI_Status wire_status{};             ///< recv: status of the wire leg
 };
 
+/// One frozen persistent channel (MPI_Send_init/MPI_Recv_init). Unlike an
+/// AsyncOp it survives completion: Start arms it, Wait/Test disarm it, and
+/// only request_free retires it. The packer rides as a shared_ptr — the
+/// graveyard pin — so MPI_Type_free between init and free can never
+/// invalidate the recorded graphs' engine.
+struct PersistentChannel {
+  bool is_send = true;
+  std::shared_ptr<const Packer> packer;
+  Method method = Method::Device;
+  const void *send_buf = nullptr;
+  void *recv_buf = nullptr;
+  int count = 0;
+  int peer = MPI_ANY_SOURCE;
+  int tag = MPI_ANY_TAG;
+  MPI_Comm comm = nullptr;
+
+  PersistentProgram prog; ///< monolithic program (pinned leases + graph)
+  std::unique_ptr<PipelinedSendProgram> pipeprog; ///< pipelined send only
+  std::uint64_t leg_graph_count = 0; ///< pipelined: graphs per replay
+
+  /// Pipelined receive only: rebuilt per arming (the sender's first leg
+  /// sizes its chunks, which cannot be frozen at init).
+  std::unique_ptr<ChunkedRecv> chunked;
+
+  bool active = false;
+  MPI_Request inner = MPI_REQUEST_NULL; ///< send: wire leg of this arming
+  MPI_Status wire_status{};             ///< recv: status of this arming
+};
+
 namespace {
 
 struct Pool {
   std::mutex mutex;
   std::unordered_map<MPI_Request, std::unique_ptr<AsyncOp>> ops;
+  std::unordered_map<MPI_Request, std::unique_ptr<PersistentChannel>>
+      channels;
 
   std::atomic<std::uint64_t> isends{0};
   std::atomic<std::uint64_t> irecvs{0};
   std::atomic<std::uint64_t> completions{0};
   std::atomic<std::uint64_t> batched_syncs{0};
+
+  std::atomic<std::uint64_t> p_inits{0};
+  std::atomic<std::uint64_t> p_starts{0};
+  std::atomic<std::uint64_t> p_replays{0};
+  std::atomic<std::uint64_t> p_graph_launches{0};
 };
 
 Pool &pool() {
@@ -97,6 +133,13 @@ AsyncOp *find(MPI_Request ticket) {
   const std::lock_guard<std::mutex> lock(p.mutex);
   const auto it = p.ops.find(ticket);
   return it == p.ops.end() ? nullptr : it->second.get();
+}
+
+PersistentChannel *find_channel(MPI_Request ticket) {
+  Pool &p = pool();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  const auto it = p.channels.find(ticket);
+  return it == p.channels.end() ? nullptr : it->second.get();
 }
 
 /// Remove the op from the pool; the unique_ptr keeps it alive until the
@@ -245,6 +288,81 @@ int complete_send(AsyncOp &op, const interpose::MpiTable &next) {
     op.phase = OpPhase::Complete;
   }
   return rc;
+}
+
+/// Publish an armed-and-completed channel's status (sends: empty, as the
+/// system MPI does; receives: the wire status with the logical byte
+/// count).
+void fill_channel_status(const PersistentChannel &ch, MPI_Status *status) {
+  if (status == MPI_STATUS_IGNORE) {
+    return;
+  }
+  if (ch.is_send) {
+    *status = MPI_Status{};
+    return;
+  }
+  *status = ch.wire_status;
+  status->count_bytes =
+      ch.chunked ? static_cast<long long>(ch.chunked->bytes_received())
+                 : static_cast<long long>(ch.packer->packed_bytes(ch.count));
+}
+
+/// Drive an armed channel's current arming to completion. With
+/// sync=false (the Waitall batch) a receive's unpack replay is launched
+/// but the channel stays armed until the caller fences its stream and
+/// disarms it; everything else disarms here.
+int complete_channel(PersistentChannel &ch, const interpose::MpiTable &next,
+                     bool sync) {
+  if (!ch.active) {
+    return MPI_SUCCESS;
+  }
+  Pool &p = pool();
+  if (ch.is_send) {
+    // The wire leg was posted eagerly at Start; reclaim it.
+    const int rc = ch.inner == MPI_REQUEST_NULL
+                       ? MPI_SUCCESS
+                       : next.Wait(&ch.inner, MPI_STATUS_IGNORE);
+    ch.active = false; // disarm even on error; the arming cannot be retried
+    return rc;
+  }
+  if (ch.chunked) {
+    int rc = MPI_SUCCESS;
+    while (!ch.chunked->done() &&
+           (rc = ch.chunked->step(next)) == MPI_SUCCESS) {
+    }
+    if (rc != MPI_SUCCESS) {
+      ch.chunked->synchronize();
+      ch.active = false;
+      return rc;
+    }
+    ch.chunked->fill_status(&ch.wire_status);
+    if (sync) {
+      ch.chunked->synchronize();
+      ch.active = false;
+    }
+    return MPI_SUCCESS;
+  }
+  // Monolithic receive: wire bytes land in the pinned lease, then the
+  // recorded [H2D +] unpack chain replays with one graph launch.
+  const int rc = next.Recv(ch.prog.pipe.wire.get(), ch.prog.pipe.wire_count(),
+                           MPI_BYTE, ch.peer, ch.tag, ch.comm,
+                           &ch.wire_status);
+  if (rc != MPI_SUCCESS) {
+    ch.active = false;
+    return rc;
+  }
+  if (vcuda::GraphLaunch(ch.prog.graph, ch.prog.stream) !=
+      vcuda::Error::Success) {
+    ch.active = false;
+    return MPI_ERR_OTHER;
+  }
+  p.p_replays.fetch_add(1, std::memory_order_relaxed);
+  p.p_graph_launches.fetch_add(1, std::memory_order_relaxed);
+  if (sync) {
+    vcuda::StreamFence(ch.prog.stream);
+    ch.active = false;
+  }
+  return MPI_SUCCESS;
 }
 
 } // namespace
@@ -499,12 +617,260 @@ int start_irecv_blocklist(std::shared_ptr<const BlockListPacker> packer,
   return MPI_SUCCESS;
 }
 
+int send_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
+              const void *buf, int count, int dest, int tag, MPI_Comm comm,
+              const interpose::MpiTable & /*next*/, MPI_Request *request) {
+  auto ch = std::make_unique<PersistentChannel>();
+  ch->is_send = true;
+  ch->packer = std::move(packer);
+  ch->method = choice.method;
+  ch->send_buf = buf;
+  ch->count = count;
+  ch->peer = dest;
+  ch->tag = tag;
+  ch->comm = comm;
+  int rc = MPI_SUCCESS;
+  if (choice.method == Method::Pipelined) {
+    ch->pipeprog = std::make_unique<PipelinedSendProgram>();
+    rc = record_pipelined_send(*ch->packer, buf, count, choice.chunk_bytes,
+                               ch->pipeprog.get());
+    for (vcuda::GraphHandle g : ch->pipeprog->leg_graphs) {
+      ch->leg_graph_count += g != nullptr ? 1 : 0;
+    }
+  } else {
+    rc = record_persistent_send(*ch->packer, choice.method, buf, count,
+                                &ch->prog);
+  }
+  if (rc != MPI_SUCCESS) {
+    return rc; // the half-built channel releases its leases/graphs here
+  }
+  Pool &p = pool();
+  p.p_inits.fetch_add(1, std::memory_order_relaxed);
+  const MPI_Request ticket = reinterpret_cast<MPI_Request>(ch.get());
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  p.channels.emplace(ticket, std::move(ch));
+  *request = ticket;
+  return MPI_SUCCESS;
+}
+
+int recv_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
+              void *buf, int count, int source, int tag, MPI_Comm comm,
+              const interpose::MpiTable & /*next*/, MPI_Request *request) {
+  auto ch = std::make_unique<PersistentChannel>();
+  ch->is_send = false;
+  ch->packer = std::move(packer);
+  ch->method = choice.method;
+  ch->recv_buf = buf;
+  ch->count = count;
+  ch->peer = source;
+  ch->tag = tag;
+  ch->comm = comm;
+  if (choice.method != Method::Pipelined) {
+    const int rc = record_persistent_recv(*ch->packer, choice.method, buf,
+                                          count, &ch->prog);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  Pool &p = pool();
+  p.p_inits.fetch_add(1, std::memory_order_relaxed);
+  const MPI_Request ticket = reinterpret_cast<MPI_Request>(ch.get());
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  p.channels.emplace(ticket, std::move(ch));
+  *request = ticket;
+  return MPI_SUCCESS;
+}
+
+int start(MPI_Request *request, const interpose::MpiTable &next) {
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  PersistentChannel *ch = find_channel(*request);
+  if (ch == nullptr || ch->active) {
+    return MPI_ERR_ARG; // not a channel, or Start on an armed channel
+  }
+  Pool &p = pool();
+  p.p_starts.fetch_add(1, std::memory_order_relaxed);
+  if (!ch->is_send) {
+    if (ch->method == Method::Pipelined) {
+      ch->chunked = std::make_unique<ChunkedRecv>(
+          *ch->packer, ch->recv_buf, ch->count, ch->peer, ch->tag, ch->comm);
+    }
+    ch->active = true; // the wire is matched lazily at Wait/Test
+    return MPI_SUCCESS;
+  }
+  if (ch->method == Method::Pipelined) {
+    // Per-leg graph replays, same framing and overlap as send_pipelined;
+    // every leg is a buffered send, so the eager-post deadlock discipline
+    // holds.
+    const int rc = replay_pipelined_send(*ch->pipeprog, ch->peer, ch->tag,
+                                         ch->comm, next);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    p.p_replays.fetch_add(1, std::memory_order_relaxed);
+    p.p_graph_launches.fetch_add(ch->leg_graph_count,
+                                 std::memory_order_relaxed);
+    ch->inner = MPI_REQUEST_NULL; // all legs already on the wire
+    ch->active = true;
+    return MPI_SUCCESS;
+  }
+  // Monolithic send: replay the pack graph into the pinned wire lease,
+  // fence (the wire must not depart before the pack completes), and post
+  // the transfer eagerly — the whole per-send setup is one graph launch.
+  if (vcuda::GraphLaunch(ch->prog.graph, ch->prog.stream) !=
+      vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  p.p_replays.fetch_add(1, std::memory_order_relaxed);
+  p.p_graph_launches.fetch_add(1, std::memory_order_relaxed);
+  vcuda::StreamFence(ch->prog.stream);
+  const int rc = next.Isend(ch->prog.pipe.wire.get(),
+                            ch->prog.pipe.wire_count(), MPI_BYTE, ch->peer,
+                            ch->tag, ch->comm, &ch->inner);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  ch->active = true;
+  return MPI_SUCCESS;
+}
+
+int startall(int count, MPI_Request *requests,
+             const interpose::MpiTable &next) {
+  if (count < 0 || (count > 0 && requests == nullptr)) {
+    return MPI_ERR_ARG;
+  }
+  for (int i = 0; i < count; ++i) {
+    // owns(), not find_channel(): a plain pool ticket must fail cleanly in
+    // start() (MPI_ERR_ARG), never reach next.Start, which would
+    // reinterpret the AsyncOp pointer as a system request.
+    const int rc = owns(requests[i]) ? start(&requests[i], next)
+                                     : next.Start(&requests[i]);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  return MPI_SUCCESS;
+}
+
+int request_free(MPI_Request *request, const interpose::MpiTable &next) {
+  if (request == nullptr || *request == MPI_REQUEST_NULL) {
+    return MPI_ERR_ARG;
+  }
+  // Request_free never blocks, matching sys_Request_free: send-side wire
+  // work was posted eagerly (buffered) and is reclaimed instantly, while
+  // a receive whose completion would need an unmatched message is
+  // discarded. The one exception is a multi-leg receive that already
+  // consumed legs: its sender posted every leg eagerly, so completing it
+  // cannot block, and discarding it would strand ordered legs for the
+  // next matcher on the pair channel.
+  if (find(*request) != nullptr) {
+    std::unique_ptr<AsyncOp> op = extract(*request);
+    int rc = MPI_SUCCESS;
+    if (op->kind == AsyncOp::Kind::Send) {
+      rc = complete_send(*op, next);
+    } else if ((op->chunked && op->chunked->bytes_received() > 0) ||
+               (op->packed_chunked &&
+                op->packed_chunked->bytes_received() > 0)) {
+      rc = complete_recv(*op, next, /*sync=*/true);
+    }
+    drain_op_streams(*op);
+    retire(std::move(op), request);
+    return rc;
+  }
+  std::unique_ptr<PersistentChannel> ch;
+  {
+    Pool &p = pool();
+    const std::lock_guard<std::mutex> lock(p.mutex);
+    const auto it = p.channels.find(*request);
+    if (it == p.channels.end()) {
+      return MPI_ERR_ARG; // caller must check owns() first
+    }
+    ch = std::move(it->second);
+    p.channels.erase(it);
+  }
+  // The channel is destroyed when `ch` leaves scope no matter what
+  // happens below, so the handle must be nulled on every path — leaving
+  // it set would hand the application a dangling pointer.
+  *request = MPI_REQUEST_NULL;
+  if (ch->active) {
+    support::log_warn("tempi: MPI_Request_free on an armed persistent ",
+                      ch->is_send ? "send" : "receive", " (peer ", ch->peer,
+                      ", tag ", ch->tag, ")");
+    if (ch->is_send) {
+      // The arming's wire leg is already out; reclaim it (instant).
+      const int rc = ch->inner == MPI_REQUEST_NULL
+                         ? MPI_SUCCESS
+                         : next.Wait(&ch->inner, MPI_STATUS_IGNORE);
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+    } else if (ch->chunked && ch->chunked->bytes_received() > 0) {
+      // Mid-message pipelined receive: finish it (cannot block, see above).
+      const int rc = complete_channel(*ch, next, /*sync=*/true);
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+    }
+    // Any other armed receive is just a lazy match that never happened:
+    // discard the arming, exactly as the system MPI discards a pending
+    // Irecv on free.
+  }
+  return MPI_SUCCESS; // destruction unpins leases and destroys graphs
+}
+
+std::size_t persistent_open() {
+  Pool &p = pool();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  return p.channels.size();
+}
+
+PersistentStats persistent_stats() {
+  Pool &p = pool();
+  return PersistentStats{
+      p.p_inits.load(std::memory_order_relaxed),
+      p.p_starts.load(std::memory_order_relaxed),
+      p.p_replays.load(std::memory_order_relaxed),
+      p.p_graph_launches.load(std::memory_order_relaxed),
+  };
+}
+
+void reset_persistent_stats() {
+  Pool &p = pool();
+  p.p_inits.store(0, std::memory_order_relaxed);
+  p.p_starts.store(0, std::memory_order_relaxed);
+  p.p_replays.store(0, std::memory_order_relaxed);
+  p.p_graph_launches.store(0, std::memory_order_relaxed);
+}
+
 bool owns(MPI_Request request) {
-  return request != MPI_REQUEST_NULL && find(request) != nullptr;
+  if (request == MPI_REQUEST_NULL) {
+    return false;
+  }
+  Pool &p = pool();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  return p.ops.contains(request) || p.channels.contains(request);
 }
 
 int wait(MPI_Request *request, MPI_Status *status,
          const interpose::MpiTable &next) {
+  if (PersistentChannel *ch = find_channel(*request)) {
+    // Persistent tickets re-arm rather than retire: the handle survives,
+    // and waiting on an inactive channel completes immediately with an
+    // empty status, per MPI.
+    if (!ch->active) {
+      if (status != MPI_STATUS_IGNORE) {
+        *status = MPI_Status{};
+      }
+      return MPI_SUCCESS;
+    }
+    const int rc = complete_channel(*ch, next, /*sync=*/true);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    fill_channel_status(*ch, status);
+    return MPI_SUCCESS;
+  }
   std::unique_ptr<AsyncOp> op = extract(*request);
   if (!op) {
     return MPI_ERR_ARG; // caller must check owns() first
@@ -533,6 +899,54 @@ int wait(MPI_Request *request, MPI_Status *status,
 
 int test(MPI_Request *request, int *flag, MPI_Status *status,
          const interpose::MpiTable &next) {
+  if (PersistentChannel *ch = find_channel(*request)) {
+    if (!ch->active) {
+      *flag = 1; // inactive persistent tickets test as complete (empty)
+      if (status != MPI_STATUS_IGNORE) {
+        *status = MPI_Status{};
+      }
+      return MPI_SUCCESS;
+    }
+    if (ch->is_send) {
+      // The wire legs were posted eagerly at Start (buffered sends), so an
+      // armed send can always complete here.
+      *flag = 1;
+      return wait(request, status, next);
+    }
+    if (ch->chunked) {
+      // Pipelined persistent receive: consume arrived legs incrementally,
+      // exactly like a pipelined Irecv.
+      while (!ch->chunked->done() && ch->chunked->ready(next)) {
+        const int rc = ch->chunked->step(next);
+        if (rc != MPI_SUCCESS) {
+          ch->chunked->synchronize();
+          ch->active = false;
+          *flag = 1; // completed, though with an error
+          return rc;
+        }
+      }
+      if (!ch->chunked->done()) {
+        vcuda::this_thread_timeline().advance(kPollSweepNs);
+        *flag = 0;
+        return MPI_SUCCESS;
+      }
+      *flag = 1;
+      return wait(request, status, next); // finishes instantly
+    }
+    int matched = 0;
+    const int prc = next.Iprobe(ch->peer, ch->tag, ch->comm, &matched,
+                                nullptr);
+    if (prc != MPI_SUCCESS) {
+      return prc;
+    }
+    if (matched == 0) {
+      vcuda::this_thread_timeline().advance(kPollSweepNs);
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    *flag = 1;
+    return wait(request, status, next);
+  }
   AsyncOp *op = find(*request);
   if (op == nullptr) {
     return MPI_ERR_ARG;
@@ -599,6 +1013,54 @@ int test(MPI_Request *request, int *flag, MPI_Status *status,
   return wait(request, status, next);
 }
 
+namespace {
+
+/// One non-blocking completion probe of a mixed-array entry — TEMPI
+/// tickets (ops and channels) through test(), everything else through the
+/// system table. Already-done entries (null slots, disarmed persistent
+/// tickets) report Inactive WITHOUT being re-tested or touching the
+/// status: Testall counts them complete but must not clobber statuses
+/// written by the poll that completed them, and the *some/*any calls
+/// ignore them outright (reporting them as completions would livelock
+/// drain loops once a channel completed and disarmed).
+enum class EntryProbe { Inactive, Pending, Completed };
+
+int probe_entry(MPI_Request *request, MPI_Status *status,
+                const interpose::MpiTable &next, EntryProbe *probe) {
+  *probe = EntryProbe::Inactive;
+  if (*request == MPI_REQUEST_NULL) {
+    return MPI_SUCCESS;
+  }
+  if (PersistentChannel *ch = find_channel(*request)) {
+    if (!ch->active) {
+      return MPI_SUCCESS; // disarmed: ignored, per MPI
+    }
+  } else if (find(*request) == nullptr) {
+    // A system request: a one-element Testany distinguishes an inactive
+    // persistent request (flag = 1, index = MPI_UNDEFINED) from a real
+    // completion, which plain Test cannot.
+    int flag = 0;
+    int idx = MPI_UNDEFINED;
+    const int rc = next.Testany(1, request, &idx, &flag, status);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    *probe = flag == 0              ? EntryProbe::Pending
+             : idx == MPI_UNDEFINED ? EntryProbe::Inactive
+                                    : EntryProbe::Completed;
+    return MPI_SUCCESS;
+  }
+  int flag = 0;
+  const int rc = test(request, &flag, status, next);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  *probe = flag != 0 ? EntryProbe::Completed : EntryProbe::Pending;
+  return MPI_SUCCESS;
+}
+
+} // namespace
+
 int waitall(int count, MPI_Request *requests, MPI_Status *statuses,
             const interpose::MpiTable &next) {
   if (count < 0 || (count > 0 && requests == nullptr)) {
@@ -608,28 +1070,75 @@ int waitall(int count, MPI_Request *requests, MPI_Status *statuses,
   // legs — TEMPI receives pipeline on the stream without a host sync.
   std::vector<std::unique_ptr<AsyncOp>> pending(
       static_cast<std::size_t>(count));
+  std::vector<PersistentChannel *> pending_ch(static_cast<std::size_t>(count),
+                                              nullptr);
   std::vector<vcuda::StreamHandle> streams;
+  std::vector<vcuda::StreamHandle> fence_streams; ///< channel streams
   int unpacks_batched = 0;
   // On any failure, ops already extracted must still be retired so the
   // application is not left holding dangling pool tickets. Their enqueued
   // unpack legs must drain first: retiring returns the intermediates to
   // the cache, which is only safe once no stream work references them.
+  // Channels stay in the pool (persistent handles survive) but must be
+  // drained and disarmed too.
   const auto bail = [&](int rc) {
     for (vcuda::StreamHandle s : streams) {
       vcuda::StreamSynchronize(s);
+    }
+    for (vcuda::StreamHandle s : fence_streams) {
+      vcuda::StreamFence(s);
     }
     for (int i = 0; i < count; ++i) {
       if (pending[static_cast<std::size_t>(i)]) {
         retire(std::move(pending[static_cast<std::size_t>(i)]),
                &requests[i]);
       }
+      if (pending_ch[static_cast<std::size_t>(i)] != nullptr) {
+        pending_ch[static_cast<std::size_t>(i)]->active = false;
+      }
     }
     return rc;
+  };
+  const auto note_stream = [](std::vector<vcuda::StreamHandle> &list,
+                              vcuda::StreamHandle s) {
+    bool seen = false;
+    for (vcuda::StreamHandle have : list) {
+      seen = seen || have == s;
+    }
+    if (!seen && s != nullptr) {
+      list.push_back(s);
+    }
   };
   for (int i = 0; i < count; ++i) {
     MPI_Status *status =
         statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
     if (requests[i] == MPI_REQUEST_NULL) {
+      continue;
+    }
+    if (PersistentChannel *ch = find_channel(requests[i])) {
+      if (!ch->active) {
+        if (status != MPI_STATUS_IGNORE) {
+          *status = MPI_Status{}; // inactive: completes immediately, empty
+        }
+        continue;
+      }
+      const int rc = complete_channel(*ch, next, /*sync=*/false);
+      if (rc != MPI_SUCCESS) {
+        return bail(rc);
+      }
+      if (ch->active) {
+        // A receive whose unpack replay is still on its stream: fence and
+        // publish in passes 2/3, batched with everything else.
+        ++unpacks_batched;
+        if (ch->chunked) {
+          ch->chunked->append_streams(fence_streams);
+        } else {
+          note_stream(fence_streams, ch->prog.stream);
+        }
+        pending_ch[static_cast<std::size_t>(i)] = ch;
+      } else if (status != MPI_STATUS_IGNORE) {
+        fill_channel_status(*ch, status); // sends disarm inside pass 1
+      }
       continue;
     }
     std::unique_ptr<AsyncOp> op = extract(requests[i]);
@@ -668,15 +1177,26 @@ int waitall(int count, MPI_Request *requests, MPI_Status *statuses,
     pending[static_cast<std::size_t>(i)] = std::move(op);
   }
   // Pass 2: one host synchronization per stream covers every batched
-  // unpack leg (the pipelining payoff of the request engine).
+  // unpack leg (the pipelining payoff of the request engine). Channel
+  // streams take the cheaper pre-armed fence.
   for (vcuda::StreamHandle s : streams) {
     vcuda::StreamSynchronize(s);
+  }
+  for (vcuda::StreamHandle s : fence_streams) {
+    vcuda::StreamFence(s);
   }
   if (unpacks_batched > 1) {
     pool().batched_syncs.fetch_add(1, std::memory_order_relaxed);
   }
-  // Pass 3: publish statuses and retire.
+  // Pass 3: publish statuses, retire ops, disarm channels.
   for (int i = 0; i < count; ++i) {
+    if (PersistentChannel *ch = pending_ch[static_cast<std::size_t>(i)]) {
+      ch->active = false;
+      if (statuses != MPI_STATUSES_IGNORE) {
+        fill_channel_status(*ch, &statuses[i]);
+      }
+      continue;
+    }
     std::unique_ptr<AsyncOp> &op = pending[static_cast<std::size_t>(i)];
     if (!op) {
       continue;
@@ -699,36 +1219,128 @@ int waitany(int count, MPI_Request *requests, int *index, MPI_Status *status,
   if (count < 0 || (count > 0 && requests == nullptr) || index == nullptr) {
     return MPI_ERR_ARG;
   }
-  bool any_active = false;
-  for (int i = 0; i < count; ++i) {
-    any_active = any_active || requests[i] != MPI_REQUEST_NULL;
-  }
-  if (!any_active) {
-    *index = MPI_UNDEFINED;
-    return MPI_SUCCESS;
-  }
   // Fair poll across TEMPI tickets and system requests, mirroring the
   // system MPI's Waitany sweep (including its per-sweep virtual cost).
+  // Inactive persistent entries are ignored like null slots, per MPI —
+  // otherwise a completed-and-disarmed channel would be "won" forever.
   while (true) {
+    bool any_active = false;
     for (int i = 0; i < count; ++i) {
-      if (requests[i] == MPI_REQUEST_NULL) {
-        continue;
-      }
-      int flag = 0;
-      const int rc = owns(requests[i])
-                         ? test(&requests[i], &flag, status, next)
-                         : next.Test(&requests[i], &flag, status);
+      EntryProbe probe = EntryProbe::Inactive;
+      const int rc = probe_entry(&requests[i], status, next, &probe);
       if (rc != MPI_SUCCESS) {
         return rc;
       }
-      if (flag != 0) {
+      any_active = any_active || probe != EntryProbe::Inactive;
+      if (probe == EntryProbe::Completed) {
         *index = i;
         return MPI_SUCCESS;
       }
     }
+    if (!any_active) {
+      *index = MPI_UNDEFINED;
+      return MPI_SUCCESS;
+    }
     vcuda::this_thread_timeline().advance(kPollSweepNs);
     std::this_thread::yield();
   }
+}
+
+int testsome(int incount, MPI_Request *requests, int *outcount, int *indices,
+             MPI_Status *statuses, const interpose::MpiTable &next) {
+  if (incount < 0 || (incount > 0 && requests == nullptr) ||
+      outcount == nullptr || indices == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  bool any_active = false;
+  int done = 0;
+  for (int i = 0; i < incount; ++i) {
+    MPI_Status *status = statuses == MPI_STATUSES_IGNORE
+                             ? MPI_STATUS_IGNORE
+                             : &statuses[done];
+    EntryProbe probe = EntryProbe::Inactive;
+    const int rc = probe_entry(&requests[i], status, next, &probe);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    any_active = any_active || probe != EntryProbe::Inactive;
+    if (probe == EntryProbe::Completed) {
+      indices[done++] = i;
+    }
+  }
+  *outcount = any_active ? done : MPI_UNDEFINED;
+  return MPI_SUCCESS;
+}
+
+int waitsome(int incount, MPI_Request *requests, int *outcount, int *indices,
+             MPI_Status *statuses, const interpose::MpiTable &next) {
+  if (incount < 0 || (incount > 0 && requests == nullptr) ||
+      outcount == nullptr || indices == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  // Poll sweeps until at least one entry completes, returning everything
+  // the successful sweep found (mirroring waitany's fair sweep).
+  while (true) {
+    const int rc = testsome(incount, requests, outcount, indices, statuses,
+                            next);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    if (*outcount == MPI_UNDEFINED || *outcount > 0) {
+      return MPI_SUCCESS;
+    }
+    vcuda::this_thread_timeline().advance(kPollSweepNs);
+    std::this_thread::yield();
+  }
+}
+
+int testall(int count, MPI_Request *requests, int *flag,
+            MPI_Status *statuses, const interpose::MpiTable &next) {
+  if (count < 0 || (count > 0 && requests == nullptr) || flag == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  // Already-done entries (null slots, disarmed persistent tickets) count
+  // as complete without touching their status slot — probe_entry reports
+  // them Inactive — so a status written by the poll that completed the
+  // entry survives later flag=0 polls instead of being clobbered empty.
+  int done = 0;
+  for (int i = 0; i < count; ++i) {
+    MPI_Status *status =
+        statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+    EntryProbe probe = EntryProbe::Inactive;
+    const int rc = probe_entry(&requests[i], status, next, &probe);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    done += probe != EntryProbe::Pending ? 1 : 0;
+  }
+  *flag = done == count ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int testany(int count, MPI_Request *requests, int *index, int *flag,
+            MPI_Status *status, const interpose::MpiTable &next) {
+  if (count < 0 || (count > 0 && requests == nullptr) || index == nullptr ||
+      flag == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  bool any_active = false;
+  for (int i = 0; i < count; ++i) {
+    EntryProbe probe = EntryProbe::Inactive;
+    const int rc = probe_entry(&requests[i], status, next, &probe);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    any_active = any_active || probe != EntryProbe::Inactive;
+    if (probe == EntryProbe::Completed) {
+      *index = i;
+      *flag = 1;
+      return MPI_SUCCESS;
+    }
+  }
+  *index = MPI_UNDEFINED;
+  *flag = any_active ? 0 : 1;
+  return MPI_SUCCESS;
 }
 
 std::size_t in_flight() {
@@ -741,12 +1353,35 @@ std::size_t drain(const interpose::MpiTable &next) {
   // Take the whole pool in one shot; uninstall runs with no MPI traffic in
   // flight on other threads (see tempi::uninstall's contract).
   std::unordered_map<MPI_Request, std::unique_ptr<AsyncOp>> orphans;
+  std::unordered_map<MPI_Request, std::unique_ptr<PersistentChannel>>
+      orphan_channels;
   {
     Pool &p = pool();
     const std::lock_guard<std::mutex> lock(p.mutex);
     orphans.swap(p.ops);
+    orphan_channels.swap(p.channels);
   }
   std::size_t dropped = 0;
+  for (auto &[ticket, ch] : orphan_channels) {
+    (void)ticket;
+    // Un-freed persistent channels hold pinned leases and recorded graphs
+    // for their whole lifetime — leaking them past uninstall would trip
+    // the ASan leak check, so they are released here, loudly: every
+    // channel should have seen MPI_Request_free.
+    if (ch->active && ch->is_send && ch->inner != MPI_REQUEST_NULL) {
+      next.Wait(&ch->inner, MPI_STATUS_IGNORE); // buffered; reclaim quietly
+    }
+    ++dropped;
+    support::log_error(
+        "tempi: uninstall dropped an un-freed persistent ",
+        ch->is_send ? "send" : "receive", " channel (peer ", ch->peer,
+        ", tag ", ch->tag, ", ", ch->active ? "ARMED" : "inactive",
+        "); call MPI_Request_free on every persistent request before "
+        "tempi::uninstall()");
+    // Same stream caveat as ops below: no stream drain — the byte movement
+    // already happened synchronously; destroying the channel returns its
+    // leases and destroys its graphs.
+  }
   for (auto &[ticket, op] : orphans) {
     (void)ticket;
     if (op->kind == AsyncOp::Kind::Send &&

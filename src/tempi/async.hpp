@@ -120,7 +120,71 @@ int start_irecv_blocklist(std::shared_ptr<const BlockListPacker> packer,
                           MPI_Comm comm, const interpose::MpiTable &next,
                           MPI_Request *request);
 
-/// True if `request` is a live pool ticket (a TEMPI-owned op).
+// --- persistent channels (MPI_Send_init / MPI_Recv_init / MPI_Start) ---------
+//
+// A persistent channel freezes at init time everything the per-send hot
+// path normally re-derives: the packer (held by shared_ptr, so a
+// MPI_Type_free'd datatype's engine stays alive until the channel is
+// freed — the graveyard pin), the PerfModel method choice
+// (choose_persistent's exhaustive search), the staging/wire leases
+// (pinned for the channel lifetime), and the pack/unpack launch sequence
+// (recorded as vcuda graphs). MPI_Start then replays pre-baked work:
+// sender-side it launches the pack graph, fences, and posts the wire
+// eagerly (the same buffered-send deadlock discipline as Isend);
+// receiver-side it arms the channel and the wire is matched lazily at
+// Wait/Test, which replay the unpack graph. Wait/Waitall/Test/Waitany and
+// the *some/*all completion calls all work unchanged on persistent
+// tickets, which re-arm (active -> inactive) instead of retiring; only
+// request_free releases the channel. Completion calls on an INACTIVE
+// persistent ticket complete immediately with an empty status.
+
+/// Create a frozen send channel. `choice` comes from
+/// PerfModel::choose_persistent (or the forced mode); Method::Pipelined
+/// records one pack graph per wire leg (see record_pipelined_send).
+int send_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
+              const void *buf, int count, int dest, int tag, MPI_Comm comm,
+              const interpose::MpiTable &next, MPI_Request *request);
+
+/// Create a frozen receive channel. A Pipelined choice (only selected
+/// above the wire-chunk limit) re-arms a ChunkedRecv per Start instead of
+/// replaying a graph: its leg sizes follow the sender's first leg, which
+/// cannot be frozen at init time.
+int recv_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
+              void *buf, int count, int source, int tag, MPI_Comm comm,
+              const interpose::MpiTable &next, MPI_Request *request);
+
+/// Arm a channel (near-O(1) replay). Precondition: owns(*request) and the
+/// channel is inactive (double-Start is MPI_ERR_ARG).
+int start(MPI_Request *request, const interpose::MpiTable &next);
+
+/// Arm a mixed array: TEMPI channels replay, system persistent requests
+/// forward to next.Start.
+int startall(int count, MPI_Request *requests,
+             const interpose::MpiTable &next);
+
+/// Release an owned ticket. For a channel: unpin its leases, destroy its
+/// graphs, null the handle; an armed channel completes its current arming
+/// first (a send's wire leg is buffered and instant; a receive blocks,
+/// mirroring the system MPI's deferred deallocation). A plain Isend/Irecv
+/// pool ticket is completed and retired the same way — freeing one is
+/// legal MPI.
+int request_free(MPI_Request *request, const interpose::MpiTable &next);
+
+/// Number of live persistent channels (tests, the uninstall leak check).
+std::size_t persistent_open();
+
+/// Monotonic persistent-path counters (surfaced via tempi::SendStats).
+struct PersistentStats {
+  std::uint64_t inits = 0;          ///< channels created (accelerated)
+  std::uint64_t starts = 0;         ///< Start/Startall arms on channels
+  std::uint64_t replay_hits = 0;    ///< arms/completions served by replay
+  std::uint64_t graph_launches = 0; ///< vcuda graph launches by channels
+};
+PersistentStats persistent_stats();
+void reset_persistent_stats();
+
+/// True if `request` is a live pool ticket (a TEMPI-owned op) or a live
+/// persistent channel.
 bool owns(MPI_Request request);
 
 /// Drive `*request` to completion (blocking), fill `status`, release the
@@ -141,6 +205,36 @@ int waitall(int count, MPI_Request *requests, MPI_Status *statuses,
 /// Waitany over a mixed array; polls TEMPI and system requests fairly.
 int waitany(int count, MPI_Request *requests, int *index, MPI_Status *status,
             const interpose::MpiTable &next);
+
+// The remaining MPI completion calls, over the same mixed TEMPI/system
+// arrays. Semantics note shared with sysmpi: entries are tested (and,
+// when complete, retired — persistent tickets re-arm instead) one by
+// one, so statuses land per entry as completions happen. Inactive
+// persistent tickets follow MPI: Wait/Test treat them as immediately
+// complete with an empty status, Testall counts them complete without
+// touching their status slot (a status written by the poll that actually
+// completed the entry survives later flag=0 polls), and the *some/*any
+// calls IGNORE them like null slots (reporting them as completions would
+// livelock drain loops once a channel completed and disarmed).
+
+/// Block until at least one active request completes; returns every
+/// completion the successful poll sweep found (outcount = MPI_UNDEFINED
+/// when no entry is active).
+int waitsome(int incount, MPI_Request *requests, int *outcount, int *indices,
+             MPI_Status *statuses, const interpose::MpiTable &next);
+
+/// Non-blocking: *flag = 1 once every entry has completed.
+int testall(int count, MPI_Request *requests, int *flag,
+            MPI_Status *statuses, const interpose::MpiTable &next);
+
+/// Non-blocking: complete at most one entry (*index = MPI_UNDEFINED and
+/// *flag = 1 when nothing is active).
+int testany(int count, MPI_Request *requests, int *index, int *flag,
+            MPI_Status *status, const interpose::MpiTable &next);
+
+/// Non-blocking Waitsome: one sweep, no blocking.
+int testsome(int incount, MPI_Request *requests, int *outcount, int *indices,
+             MPI_Status *statuses, const interpose::MpiTable &next);
 
 /// Number of TEMPI-owned operations currently in flight (tests,
 /// uninstall-time drain check).

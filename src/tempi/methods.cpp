@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 
 namespace tempi {
 
@@ -211,9 +212,8 @@ void reset_pipeline_stats() {
   c.over_ceiling_bytes.store(0, std::memory_order_relaxed);
 }
 
-int send_pipelined(const Packer &packer, const void *buf, int count,
-                   int dest, int tag, MPI_Comm comm, std::size_t chunk_target,
-                   const interpose::MpiTable &next) {
+int plan_pipeline_frame(const Packer &packer, int count,
+                        std::size_t chunk_target, PipelineFrame *frame) {
   const std::size_t limit = wire_chunk_limit();
   const auto blk = static_cast<std::size_t>(packer.wire_block_bytes());
   const std::size_t total = packer.packed_bytes(count);
@@ -232,21 +232,34 @@ int send_pipelined(const Packer &packer, const void *buf, int count,
     chunk_target = fallback_chunk_bytes(total);
   }
   // Whole blocks per leg, at least one, never exceeding the wire limit.
-  const long long blocks_per_leg = std::min<long long>(
+  frame->blocks_per_leg = std::min<long long>(
       std::max<long long>(
           static_cast<long long>(std::min(chunk_target, limit) / blk), 1),
       total_blocks);
-  const std::size_t chunk = static_cast<std::size_t>(blocks_per_leg) * blk;
-  const long long full_legs = total_blocks / blocks_per_leg;
-  const long long rem_blocks = total_blocks % blocks_per_leg;
+  frame->chunk = static_cast<std::size_t>(frame->blocks_per_leg) * blk;
+  frame->full_legs = total_blocks / frame->blocks_per_leg;
+  frame->rem_blocks = total_blocks % frame->blocks_per_leg;
   // Wire protocol: full legs carry exactly `chunk` bytes; the final leg is
   // strictly smaller, so an evenly divided message appends an empty
   // terminator leg. The receiver keys termination off "leg < first leg".
-  const long long legs = full_legs + 1; // remainder leg or empty terminator
+  frame->legs = frame->full_legs + 1; // remainder leg or empty terminator
+  return MPI_SUCCESS;
+}
+
+int send_pipelined(const Packer &packer, const void *buf, int count,
+                   int dest, int tag, MPI_Comm comm, std::size_t chunk_target,
+                   const interpose::MpiTable &next) {
+  const auto blk = static_cast<std::size_t>(packer.wire_block_bytes());
+  const std::size_t total = packer.packed_bytes(count);
+  PipelineFrame f;
+  if (const int rc = plan_pipeline_frame(packer, count, chunk_target, &f);
+      rc != MPI_SUCCESS) {
+    return rc;
+  }
 
   PipelineCounters &pc = pipeline_counters();
   pc.sends.fetch_add(1, std::memory_order_relaxed);
-  if (total > limit) {
+  if (total > wire_chunk_limit()) {
     pc.over_ceiling_bytes.fetch_add(total, std::memory_order_relaxed);
   }
 
@@ -258,36 +271,33 @@ int send_pipelined(const Packer &packer, const void *buf, int count,
                                    vcuda::next_pool_stream()};
   CachedBuffer slot[2];
   for (int s = 0; s < 2; ++s) {
-    slot[s] = lease_buffer(vcuda::MemorySpace::Device, chunk);
-    if (lease_failed(slot[s], chunk)) {
+    slot[s] = lease_buffer(vcuda::MemorySpace::Device, f.chunk);
+    if (lease_failed(slot[s], f.chunk)) {
       return MPI_ERR_OTHER;
     }
   }
-  const auto leg_blocks = [&](long long leg) {
-    return leg < full_legs ? blocks_per_leg : rem_blocks;
-  };
   // Prologue: pack leg 0 before entering the steady-state loop.
-  int rc = packer.pack_range_async(slot[0].get(), buf, 0, leg_blocks(0),
+  int rc = packer.pack_range_async(slot[0].get(), buf, 0, f.leg_blocks(0),
                                    stream[0]) == vcuda::Error::Success
                ? MPI_SUCCESS
                : MPI_ERR_OTHER;
-  for (long long leg = 0; rc == MPI_SUCCESS && leg < legs; ++leg) {
+  for (long long leg = 0; rc == MPI_SUCCESS && leg < f.legs; ++leg) {
     const int s = static_cast<int>(leg & 1);
     // The wire must not depart before this leg's pack completes.
     vcuda::StreamSynchronize(stream[s]);
     // Enqueue the next leg's pack *before* the blocking send: the stream
     // runs ahead of the host, so the pack overlaps this leg's wire time.
-    if (leg + 1 < legs && leg_blocks(leg + 1) > 0) {
+    if (leg + 1 < f.legs && f.leg_blocks(leg + 1) > 0) {
       if (packer.pack_range_async(slot[1 - s].get(), buf,
-                                  (leg + 1) * blocks_per_leg,
-                                  leg_blocks(leg + 1),
+                                  (leg + 1) * f.blocks_per_leg,
+                                  f.leg_blocks(leg + 1),
                                   stream[1 - s]) != vcuda::Error::Success) {
         rc = MPI_ERR_OTHER;
         break;
       }
     }
     const std::size_t leg_bytes =
-        static_cast<std::size_t>(leg_blocks(leg)) * blk;
+        static_cast<std::size_t>(f.leg_blocks(leg)) * blk;
     rc = next.Send(slot[s].get(), static_cast<int>(leg_bytes), MPI_BYTE,
                    dest, tag, comm);
     if (rc != MPI_SUCCESS) {
@@ -341,6 +351,166 @@ int send_packed_pipelined(const void *bytes, std::size_t total, int dest,
   if (rc == MPI_SUCCESS) {
     pc.chunks.fetch_add(1, std::memory_order_relaxed);
   }
+  return rc;
+}
+
+// --- persistent-channel replay programs --------------------------------------
+
+PersistentProgram::~PersistentProgram() {
+  if (graph != nullptr) {
+    vcuda::GraphDestroy(graph);
+  }
+}
+
+PipelinedSendProgram::~PipelinedSendProgram() {
+  for (vcuda::GraphHandle g : leg_graphs) {
+    if (g != nullptr) {
+      vcuda::GraphDestroy(g);
+    }
+  }
+}
+
+namespace {
+
+/// Run `record` between Begin/EndCapture on `stream`, cleaning up the
+/// half-open capture when recording fails.
+int capture_on(vcuda::StreamHandle stream, vcuda::GraphHandle *graph,
+               const std::function<int()> &record) {
+  if (vcuda::GraphBeginCapture(stream) != vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  const int rc = record();
+  vcuda::GraphHandle g = nullptr;
+  if (vcuda::GraphEndCapture(stream, &g) != vcuda::Error::Success) {
+    return MPI_ERR_OTHER;
+  }
+  if (rc != MPI_SUCCESS) {
+    vcuda::GraphDestroy(g);
+    return rc;
+  }
+  *graph = g;
+  return MPI_SUCCESS;
+}
+
+} // namespace
+
+int record_persistent_send(const Packer &packer, Method m, const void *buf,
+                           int count, PersistentProgram *prog) {
+  if (m == Method::Pipelined) {
+    return MPI_ERR_OTHER; // pipelined channels use record_pipelined_send
+  }
+  prog->stream = vcuda::next_pool_stream();
+  // start_pack leases the pipeline and enqueues the pack leg(s); under
+  // capture the leases happen live (they are pinned to the channel) while
+  // the kernel/copy chain is recorded instead of executed.
+  return capture_on(prog->stream, &prog->graph, [&] {
+    return start_pack(packer, m, buf, count, prog->stream, &prog->pipe);
+  });
+}
+
+int record_persistent_recv(const Packer &packer, Method m, void *buf,
+                           int count, PersistentProgram *prog) {
+  if (m == Method::Pipelined) {
+    return MPI_ERR_OTHER; // pipelined receives re-arm a ChunkedRecv instead
+  }
+  prog->stream = vcuda::next_pool_stream();
+  // The wire lease is acquired live (the transfer lands in it every
+  // replay); only the [H2D +] unpack chain is recorded.
+  if (const int rc = start_recv(packer, m, count, &prog->pipe);
+      rc != MPI_SUCCESS) {
+    return rc;
+  }
+  return capture_on(prog->stream, &prog->graph, [&] {
+    return start_unpack(packer, m, buf, count, prog->pipe, prog->stream);
+  });
+}
+
+int record_pipelined_send(const Packer &packer, const void *buf, int count,
+                          std::size_t chunk_target,
+                          PipelinedSendProgram *prog) {
+  if (const int rc =
+          plan_pipeline_frame(packer, count, chunk_target, &prog->frame);
+      rc != MPI_SUCCESS) {
+    return rc;
+  }
+  const PipelineFrame &f = prog->frame;
+  prog->stream[0] = vcuda::next_pool_stream();
+  prog->stream[1] = vcuda::next_pool_stream();
+  for (int s = 0; s < 2; ++s) {
+    prog->slot[s] = lease_buffer(vcuda::MemorySpace::Device, f.chunk);
+    if (lease_failed(prog->slot[s], f.chunk)) {
+      return MPI_ERR_OTHER;
+    }
+  }
+  prog->leg_graphs.assign(static_cast<std::size_t>(f.legs), nullptr);
+  for (long long leg = 0; leg < f.legs; ++leg) {
+    if (f.leg_blocks(leg) == 0) {
+      continue; // the empty terminator replays as a bare zero-byte send
+    }
+    const int s = static_cast<int>(leg & 1);
+    const int rc = capture_on(
+        prog->stream[s], &prog->leg_graphs[static_cast<std::size_t>(leg)],
+        [&] {
+          return packer.pack_range_async(prog->slot[s].get(), buf,
+                                         leg * f.blocks_per_leg,
+                                         f.leg_blocks(leg),
+                                         prog->stream[s]) ==
+                         vcuda::Error::Success
+                     ? MPI_SUCCESS
+                     : MPI_ERR_OTHER;
+        });
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  return MPI_SUCCESS;
+}
+
+int replay_pipelined_send(const PipelinedSendProgram &prog, int dest, int tag,
+                          MPI_Comm comm, const interpose::MpiTable &next) {
+  const PipelineFrame &f = prog.frame;
+  const std::size_t blk = f.blocks_per_leg > 0
+                              ? f.chunk / static_cast<std::size_t>(
+                                              f.blocks_per_leg)
+                              : 0;
+  PipelineCounters &pc = pipeline_counters();
+  pc.sends.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t total =
+      static_cast<std::size_t>(f.full_legs) * f.chunk +
+      static_cast<std::size_t>(f.rem_blocks) * blk;
+  if (total > wire_chunk_limit()) {
+    pc.over_ceiling_bytes.fetch_add(total, std::memory_order_relaxed);
+  }
+  const auto launch_leg = [&](long long leg) {
+    vcuda::GraphHandle g = prog.leg_graphs[static_cast<std::size_t>(leg)];
+    return g == nullptr ||
+           vcuda::GraphLaunch(g, prog.stream[leg & 1]) ==
+               vcuda::Error::Success;
+  };
+  // Same overlap discipline as send_pipelined — replay leg i+1's pack
+  // graph before leg i's blocking send — with the per-leg launch + cold
+  // sync replaced by a graph launch + pre-armed fence.
+  int rc = launch_leg(0) ? MPI_SUCCESS : MPI_ERR_OTHER;
+  for (long long leg = 0; rc == MPI_SUCCESS && leg < f.legs; ++leg) {
+    const int s = static_cast<int>(leg & 1);
+    vcuda::StreamFence(prog.stream[s]);
+    if (leg + 1 < f.legs && !launch_leg(leg + 1)) {
+      rc = MPI_ERR_OTHER;
+      break;
+    }
+    const std::size_t leg_bytes =
+        static_cast<std::size_t>(f.leg_blocks(leg)) * blk;
+    rc = next.Send(prog.slot[s].get(), static_cast<int>(leg_bytes), MPI_BYTE,
+                   dest, tag, comm);
+    if (rc != MPI_SUCCESS) {
+      break;
+    }
+    pc.chunks.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The slots are channel-pinned (not returning to the cache), but the
+  // error path must still drain any replayed-but-unsent pack work.
+  vcuda::StreamFence(prog.stream[0]);
+  vcuda::StreamFence(prog.stream[1]);
   return rc;
 }
 

@@ -112,6 +112,30 @@ int recv_with_method(const Packer &packer, Method m, void *buf, int count,
 // contiguous block whose packed size exceeds the wire-chunk limit cannot
 // be split and still fails with MPI_ERR_COUNT.
 
+/// The frozen leg layout of one pipelined message: every full leg carries
+/// exactly `chunk` bytes (a whole number of blocks), the final leg is
+/// strictly smaller (an empty terminator on even division). Shared by
+/// send_pipelined and the persistent-channel recorder so the wire framing
+/// cannot drift between the live and replayed paths.
+struct PipelineFrame {
+  std::size_t chunk = 0;        ///< bytes per full leg
+  long long blocks_per_leg = 0;
+  long long full_legs = 0;      ///< legs carrying exactly `chunk`
+  long long rem_blocks = 0;     ///< blocks on the final (short) leg
+  long long legs = 0;           ///< full_legs + 1: remainder or terminator
+  [[nodiscard]] long long leg_blocks(long long leg) const {
+    return leg < full_legs ? blocks_per_leg : rem_blocks;
+  }
+};
+
+/// Compute the frame for `count` objects with target leg size
+/// `chunk_target` (0 = fallback_chunk_bytes; the TEMPI_CHUNK_BYTES
+/// override is authoritative; legs are whole blocks clamped to the
+/// wire-chunk limit). Fails with MPI_ERR_ARG on empty payloads and
+/// MPI_ERR_COUNT when a single contiguous block exceeds the wire limit.
+int plan_pipeline_frame(const Packer &packer, int count,
+                        std::size_t chunk_target, PipelineFrame *frame);
+
 /// Send `count` objects chunked over the wire, overlapping each leg's
 /// pack with the previous leg's transfer. `chunk_target` is the model- or
 /// override-chosen leg size in bytes (rounded down to whole blocks and
@@ -240,6 +264,69 @@ private:
   bool done_ = false;
   MPI_Status first_status_{};
 };
+
+// --- persistent-channel replay programs --------------------------------------
+//
+// MPI_Send_init/MPI_Recv_init freeze a channel: the method choice is made
+// once (PerfModel::choose_persistent), the staging/wire leases are
+// acquired once and stay pinned for the channel's lifetime, and the
+// pack/unpack launch sequence is recorded once as a vcuda graph — so
+// every MPI_Start replays pre-baked work (one graph launch + a pre-armed
+// fence) instead of paying per-kernel driver costs, lease probes, and
+// model queries per send.
+
+/// Frozen monolithic (one-shot/device/staged) program: the pinned
+/// pipeline, the channel's dedicated stream, and one recorded graph
+/// (sender: pack legs [+ D2H]; receiver: [H2D +] unpack legs).
+struct PersistentProgram {
+  PackPipeline pipe; ///< leases pinned until the channel is freed
+  vcuda::StreamHandle stream = nullptr;
+  vcuda::GraphHandle graph = nullptr;
+  PersistentProgram() = default;
+  PersistentProgram(const PersistentProgram &) = delete;
+  PersistentProgram &operator=(const PersistentProgram &) = delete;
+  ~PersistentProgram();
+};
+
+/// Record the sender-side program: lease intermediates sized for `count`
+/// objects and capture the pack leg(s) of `m` (not executed until
+/// replay). The user buffer pointer is frozen into the graph, per MPI
+/// persistent semantics.
+int record_persistent_send(const Packer &packer, Method m, const void *buf,
+                           int count, PersistentProgram *prog);
+
+/// Record the receiver-side program: lease the wire (and staged-method
+/// staging) intermediates and capture the unpack leg(s) of `m`. Replay
+/// order at completion: wire bytes land in prog->pipe.wire, then the
+/// graph scatters them into the user buffer.
+int record_persistent_recv(const Packer &packer, Method m, void *buf,
+                           int count, PersistentProgram *prog);
+
+/// Frozen pipelined send program: per-leg pack graphs over two ping-pong
+/// chunk leases on two fixed pool streams — the per-launch-overhead
+/// worst case (L legs used to pay L kernel launches + L cold syncs; the
+/// replay pays L graph launches + L pre-armed fences).
+struct PipelinedSendProgram {
+  PipelineFrame frame;
+  CachedBuffer slot[2];
+  vcuda::StreamHandle stream[2] = {nullptr, nullptr};
+  /// One graph per leg; the empty terminator leg records none (nullptr).
+  std::vector<vcuda::GraphHandle> leg_graphs;
+  PipelinedSendProgram() = default;
+  PipelinedSendProgram(const PipelinedSendProgram &) = delete;
+  PipelinedSendProgram &operator=(const PipelinedSendProgram &) = delete;
+  ~PipelinedSendProgram();
+};
+
+int record_pipelined_send(const Packer &packer, const void *buf, int count,
+                          std::size_t chunk_target,
+                          PipelinedSendProgram *prog);
+
+/// Replay the program: identical wire framing and pack/wire overlap to
+/// send_pipelined, with every leg's kernel chain replayed from its
+/// recorded graph.
+int replay_pipelined_send(const PipelinedSendProgram &prog, int dest, int tag,
+                          MPI_Comm comm, const interpose::MpiTable &next);
 
 /// Process-wide Pipelined counters (tests, benches, tempi::SendStats).
 struct PipelineStats {

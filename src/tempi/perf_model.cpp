@@ -530,6 +530,60 @@ TransferChoice PerfModel::choose_transfer(std::size_t block_bytes,
   return choice;
 }
 
+TransferChoice PerfModel::choose_persistent(std::size_t block_bytes,
+                                            std::size_t total_bytes) const {
+  const std::size_t limit = wire_chunk_limit();
+  const auto b = static_cast<double>(block_bytes);
+  const auto t = static_cast<double>(total_bytes);
+  vcuda::this_thread_timeline().advance(kModelQueryUncachedNs);
+  if (total_bytes <= limit) {
+    // Same framing contract as choose_transfer: under the limit the
+    // monolithic one-message wire format is kept (the peer may be a
+    // system-path rank), so the exhaustive part is evaluating every
+    // method at the exact operand instead of a cache-quantized entry.
+    Method best = Method::Device;
+    double best_us = estimate_us(Method::Device, b, t);
+    for (const Method m : {Method::OneShot, Method::Staged}) {
+      const double us = estimate_us(m, b, t);
+      if (us < best_us) {
+        best = m;
+        best_us = us;
+      }
+    }
+    return TransferChoice{best, 0};
+  }
+  // Above the limit only multi-leg framing can carry the message; sweep a
+  // denser chunk grid than best_pipelined (powers of two plus their 3/2
+  // midpoints) — the cost is paid once per channel, not per send.
+  vcuda::this_thread_timeline().advance(kModelQueryUncachedNs);
+  if (const std::size_t o = chunk_bytes_override(); o != 0) {
+    return TransferChoice{Method::Pipelined,
+                          std::max<std::size_t>(std::min(o, limit), 1)};
+  }
+  PipelinedEstimate best{0, 0.0};
+  const auto consider = [&](std::size_t chunk) {
+    if (chunk == 0 || chunk > limit) {
+      return;
+    }
+    const double us =
+        estimate_pipelined_us(b, t, static_cast<double>(chunk));
+    if (best.chunk_bytes == 0 || us < best.us) {
+      best = {chunk, us};
+    }
+  };
+  const std::size_t first =
+      std::min<std::size_t>(64 * 1024, std::bit_floor(limit));
+  for (std::size_t chunk = first; chunk <= limit; chunk *= 2) {
+    consider(chunk);
+    consider(chunk + chunk / 2); // the 3/2 midpoint pow2 steps skip
+    if (static_cast<double>(chunk) >= t) {
+      break; // larger chunks degenerate to a single leg
+    }
+  }
+  return TransferChoice{Method::Pipelined,
+                        std::max<std::size_t>(best.chunk_bytes, 1)};
+}
+
 TransferChoice PerfModel::choose_leg(std::size_t leg_bytes,
                                      bool same_node) const {
   const std::size_t limit = wire_chunk_limit();

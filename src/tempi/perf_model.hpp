@@ -160,6 +160,20 @@ public:
   [[nodiscard]] TransferChoice choose_transfer(std::size_t block_bytes,
                                                std::size_t total_bytes) const;
 
+  /// Channel-freeze decision for the persistent-operation fast path
+  /// (MPI_Send_init/MPI_Recv_init). The choice is made once and replayed
+  /// for the channel's whole lifetime, so unlike choose_transfer this can
+  /// afford an exhaustive search instead of the cached heuristic: direct
+  /// interpolation of every monolithic method at the exact (block, total)
+  /// under the wire-chunk limit, and above it a denser pipelined chunk
+  /// sweep (power-of-two candidates plus their 3/2 midpoints, not just
+  /// powers of two). Deliberately bypasses the choice cache both ways —
+  /// nothing is read from it (a quantized hit could shadow the exact
+  /// argmin) and nothing is published to it (channel decisions must not
+  /// evict hot per-send entries). Charges uncached model-query time.
+  [[nodiscard]] TransferChoice
+  choose_persistent(std::size_t block_bytes, std::size_t total_bytes) const;
+
   /// Per-peer wire-leg decision for the collectives engine
   /// (tempi/collectives.*): the fused pack/unpack passes are shared
   /// across peers, so per peer only the wire path of the already-packed

@@ -82,8 +82,10 @@ struct State {
   std::atomic<std::uint64_t> model_gen{1};
 
   std::atomic<SendMode> mode{SendMode::Auto};
+  std::atomic<bool> persistent_enabled{true};
 
   std::atomic<std::uint64_t> method_memo_hits{0};
+  std::atomic<std::uint64_t> persistent_forwarded{0};
 
   std::atomic<std::uint64_t> sends_oneshot{0};
   std::atomic<std::uint64_t> sends_device{0};
@@ -762,6 +764,127 @@ int tempi_Test(MPI_Request *request, int *flag, MPI_Status *status) {
   return s.next.Test(request, flag, status);
 }
 
+int tempi_Waitsome(int incount, MPI_Request *requests, int *outcount,
+                   int *indices, MPI_Status *statuses) {
+  return async::waitsome(incount, requests, outcount, indices, statuses,
+                         state().next);
+}
+
+int tempi_Testall(int count, MPI_Request *requests, int *flag,
+                  MPI_Status *statuses) {
+  return async::testall(count, requests, flag, statuses, state().next);
+}
+
+int tempi_Testany(int count, MPI_Request *requests, int *index, int *flag,
+                  MPI_Status *status) {
+  return async::testany(count, requests, index, flag, status, state().next);
+}
+
+int tempi_Testsome(int incount, MPI_Request *requests, int *outcount,
+                   int *indices, MPI_Status *statuses) {
+  return async::testsome(incount, requests, outcount, indices, statuses,
+                         state().next);
+}
+
+// --- persistent operations (the channel fast path, async.hpp) ----------------
+
+/// Shared Send_init/Recv_init gate: the same acceleration criterion as
+/// Send/Isend, but the choice is frozen — forced modes behave as they do
+/// per send (upgrading to Pipelined above the wire limit), while Auto
+/// runs PerfModel::choose_persistent's exhaustive uncached search instead
+/// of the memoized heuristic. Returns nullopt to fall through.
+std::optional<TransferChoice> persistent_choice(const Packer *packer,
+                                                const void *buf, int count) {
+  State &s = state();
+  if (!s.persistent_enabled.load(std::memory_order_relaxed) ||
+      packer == nullptr || packer->contiguous() || count == 0 ||
+      packer->packed_bytes(count) == 0 || !device_resident(buf)) {
+    return std::nullopt;
+  }
+  const std::size_t total = packer->packed_bytes(count);
+  const auto forced = [&](Method m) -> TransferChoice {
+    if (total > wire_chunk_limit() || m == Method::Pipelined) {
+      return TransferChoice{Method::Pipelined, fallback_chunk_bytes(total)};
+    }
+    return TransferChoice{m, 0};
+  };
+  switch (s.mode.load(std::memory_order_relaxed)) {
+  case SendMode::System: return std::nullopt;
+  case SendMode::ForceOneShot: return forced(Method::OneShot);
+  case SendMode::ForceDevice: return forced(Method::Device);
+  case SendMode::ForceStaged: return forced(Method::Staged);
+  case SendMode::ForcePipelined: return forced(Method::Pipelined);
+  case SendMode::Auto: break;
+  }
+  const std::shared_lock<std::shared_mutex> lock(s.model_mutex);
+  return s.model.choose_persistent(
+      static_cast<std::size_t>(packer->block().block_bytes()), total);
+}
+
+int tempi_Send_init(const void *buf, int count, MPI_Datatype datatype,
+                    int dest, int tag, MPI_Comm comm, MPI_Request *request) {
+  State &s = state();
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (dest != MPI_PROC_NULL) {
+    // The channel co-owns the packer (shared_ptr), so MPI_Type_free
+    // between init and Request_free can never strand the replay program.
+    std::shared_ptr<const Packer> packer = lookup_packer(datatype);
+    const auto choice = persistent_choice(packer.get(), buf, count);
+    if (choice) {
+      return async::send_init(std::move(packer), *choice, buf, count, dest,
+                              tag, comm, s.next, request);
+    }
+  }
+  s.persistent_forwarded.fetch_add(1, std::memory_order_relaxed);
+  return s.next.Send_init(buf, count, datatype, dest, tag, comm, request);
+}
+
+int tempi_Recv_init(void *buf, int count, MPI_Datatype datatype, int source,
+                    int tag, MPI_Comm comm, MPI_Request *request) {
+  State &s = state();
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (source != MPI_PROC_NULL) {
+    std::shared_ptr<const Packer> packer = lookup_packer(datatype);
+    const auto choice = persistent_choice(packer.get(), buf, count);
+    if (choice) {
+      return async::recv_init(std::move(packer), *choice, buf, count, source,
+                              tag, comm, s.next, request);
+    }
+  }
+  s.persistent_forwarded.fetch_add(1, std::memory_order_relaxed);
+  return s.next.Recv_init(buf, count, datatype, source, tag, comm, request);
+}
+
+int tempi_Start(MPI_Request *request) {
+  State &s = state();
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (async::owns(*request)) {
+    return async::start(request, s.next);
+  }
+  return s.next.Start(request);
+}
+
+int tempi_Startall(int count, MPI_Request *requests) {
+  return async::startall(count, requests, state().next);
+}
+
+int tempi_Request_free(MPI_Request *request) {
+  State &s = state();
+  if (request == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  if (async::owns(*request)) {
+    return async::request_free(request, s.next);
+  }
+  return s.next.Request_free(request);
+}
+
 // --- interposed collectives (the collectives engine, collectives.hpp) --------
 //
 // Each entry point takes the shared fallthrough gate, so disabled-engine,
@@ -872,7 +995,16 @@ void install() {
   table.Wait = tempi_Wait;
   table.Waitall = tempi_Waitall;
   table.Waitany = tempi_Waitany;
+  table.Waitsome = tempi_Waitsome;
   table.Test = tempi_Test;
+  table.Testall = tempi_Testall;
+  table.Testany = tempi_Testany;
+  table.Testsome = tempi_Testsome;
+  table.Send_init = tempi_Send_init;
+  table.Recv_init = tempi_Recv_init;
+  table.Start = tempi_Start;
+  table.Startall = tempi_Startall;
+  table.Request_free = tempi_Request_free;
   table.Alltoallv = tempi_Alltoallv;
   table.Neighbor_alltoallv = tempi_Neighbor_alltoallv;
   table.Gatherv = tempi_Gatherv;
@@ -884,10 +1016,22 @@ void install() {
     coll::set_enabled(std::string_view(env) != "0");
     support::log_info("tempi: TEMPI_COLL=", env);
   }
+  // The persistent fast path's kill-switch (same pattern as TEMPI_COLL):
+  // decided and logged at install time so a deployment can see — without
+  // relinking — whether Send_init/Recv_init freeze channels or forward.
+  if (const char *env = std::getenv("TEMPI_PERSISTENT")) {
+    s.persistent_enabled.store(std::string_view(env) != "0",
+                               std::memory_order_relaxed);
+    support::log_info("tempi: TEMPI_PERSISTENT=", env);
+  }
   interpose::install(table);
   s.installed = true;
   support::log_info("tempi: interposer installed (collectives engine ",
-                    coll::enabled() ? "on" : "off", ")");
+                    coll::enabled() ? "on" : "off", ", persistent path ",
+                    s.persistent_enabled.load(std::memory_order_relaxed)
+                        ? "on"
+                        : "off",
+                    ")");
 }
 
 void uninstall() {
@@ -897,10 +1041,14 @@ void uninstall() {
   }
   interpose::uninstall();
   // Drain the request engine rather than leaking in-flight pool state
-  // (see the uninstall contract in tempi.hpp).
-  if (async::in_flight() > 0) {
+  // (see the uninstall contract in tempi.hpp). Persistent channels count
+  // too: each un-freed channel still pins its staging/wire leases and its
+  // recorded graphs, which the Debug+ASan job would flag as leaks.
+  if (async::in_flight() > 0 || async::persistent_open() > 0) {
     support::log_warn("tempi: uninstall with ", async::in_flight(),
-                      " non-blocking operation(s) still in flight");
+                      " non-blocking operation(s) still in flight and ",
+                      async::persistent_open(),
+                      " persistent channel(s) never freed");
     async::drain(s.next);
   }
   {
@@ -924,6 +1072,14 @@ bool blocklist_fallback() {
 std::shared_ptr<const BlockListPacker>
 find_blocklist_packer(MPI_Datatype datatype) {
   return lookup_blocklist(datatype);
+}
+
+void set_persistent_enabled(bool enabled) {
+  state().persistent_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool persistent_enabled() {
+  return state().persistent_enabled.load(std::memory_order_relaxed);
 }
 
 void set_send_mode(SendMode mode) {
@@ -957,6 +1113,7 @@ SendStats send_stats() {
   State &s = state();
   const PipelineStats pipe = pipeline_stats();
   const coll::CollStats coll = coll::coll_stats();
+  const async::PersistentStats pers = async::persistent_stats();
   return SendStats{
       s.sends_oneshot.load(std::memory_order_relaxed),
       s.sends_device.load(std::memory_order_relaxed),
@@ -979,6 +1136,11 @@ SendStats send_stats() {
       coll.neighbor,
       coll.fallback,
       coll.peer_legs,
+      pers.inits,
+      pers.starts,
+      pers.replay_hits,
+      pers.graph_launches,
+      s.persistent_forwarded.load(std::memory_order_relaxed),
   };
 }
 
@@ -997,9 +1159,11 @@ void reset_send_stats() {
   s.irecvs_accelerated.store(0, std::memory_order_relaxed);
   s.irecvs_forwarded.store(0, std::memory_order_relaxed);
   s.method_memo_hits.store(0, std::memory_order_relaxed);
+  s.persistent_forwarded.store(0, std::memory_order_relaxed);
   reset_model_cache_stats();
   reset_pipeline_stats();
   coll::reset_coll_stats();
+  async::reset_persistent_stats();
 }
 
 } // namespace tempi

@@ -12,11 +12,13 @@
 //   });
 //
 // TEMPI overrides: Init, Finalize, Type_commit, Type_free, Pack, Unpack,
-// Send, Recv, Sendrecv, Isend, Irecv, Wait, Waitall, Waitany, Test,
-// Alltoallv, Neighbor_alltoallv, Allgather, Gatherv. Everything else
-// falls through to the system MPI. Non-blocking operations on accelerated
-// datatypes are owned by the request engine (async.hpp); the dense
-// exchange collectives by the collectives engine (collectives.hpp).
+// Send, Recv, Sendrecv, Isend, Irecv, Wait, Waitall, Waitany, Waitsome,
+// Test, Testall, Testany, Testsome, Send_init, Recv_init, Start,
+// Startall, Request_free, Alltoallv, Neighbor_alltoallv, Allgather,
+// Gatherv. Everything else falls through to the system MPI. Non-blocking
+// operations on accelerated datatypes are owned by the request engine
+// (async.hpp), persistent operations by its channel fast path, and the
+// dense exchange collectives by the collectives engine (collectives.hpp).
 #pragma once
 
 #include "interpose/table.hpp"
@@ -53,6 +55,14 @@ void install();
 /// intermediate buffers released, and its (now dangling) request handle
 /// left for the application — waiting on such a handle afterwards is
 /// undefined, exactly as with a real MPI library torn down mid-flight.
+///
+/// The contract extends to persistent channels (MPI_Send_init /
+/// MPI_Recv_init): every channel must see MPI_Request_free first. A
+/// channel holds its staging/wire leases pinned and its recorded graphs
+/// alive for its whole lifetime, so uninstall() releases any still-open
+/// channel rather than leaking it (the Debug+ASan CI job leak-checks
+/// this), with a loud per-channel log_error naming the un-freed request's
+/// direction, peer, tag, and armed state.
 void uninstall();
 
 /// RAII install/uninstall.
@@ -90,6 +100,15 @@ std::shared_ptr<const Packer> find_packer(MPI_Datatype datatype);
 /// destroyed, so an in-flight operation never observes a dangling engine.
 /// Exposed for tests and the overhead bench.
 const Packer *find_packer_fast(MPI_Datatype datatype);
+
+/// Kill-switch for the persistent-operation fast path (mirrors the
+/// collectives engine's TEMPI_COLL): when disabled, MPI_Send_init /
+/// MPI_Recv_init fall through to the system MPI untouched. Decided from
+/// TEMPI_PERSISTENT=0|1 and logged at install time; default on. Channels
+/// created while enabled keep working after a disable (the switch gates
+/// creation, not completion).
+void set_persistent_enabled(bool enabled);
+bool persistent_enabled();
 
 /// Sec. 8 extension: when a datatype is not expressible as a canonical
 /// strided block (indexed/hindexed/struct), optionally fall back to a
@@ -148,6 +167,20 @@ struct SendStats {
   std::uint64_t coll_neighbor = 0;
   std::uint64_t coll_fallback = 0;
   std::uint64_t coll_peer_legs = 0;
+
+  /// Persistent-channel fast path (async.hpp). `persistent_init` counts
+  /// accelerated MPI_Send_init/MPI_Recv_init channels created;
+  /// `persistent_start` counts Start/Startall arms on them;
+  /// `persistent_replay_hits` counts arms/completions served by a
+  /// pre-recorded replay program; `persistent_graph_launches` counts the
+  /// vcuda graph launches those replays issued (pipelined sends launch
+  /// one graph per leg); `persistent_forwarded` counts Send_init/
+  /// Recv_init calls that fell through to the system path.
+  std::uint64_t persistent_init = 0;
+  std::uint64_t persistent_start = 0;
+  std::uint64_t persistent_replay_hits = 0;
+  std::uint64_t persistent_graph_launches = 0;
+  std::uint64_t persistent_forwarded = 0;
 };
 SendStats send_stats();
 void reset_send_stats();

@@ -99,6 +99,22 @@ struct CostParams {
   double utilization_half_bytes = 64.0 * 1024.0;
   VirtualNs kernel_fixed_ns = 1200; ///< scheduling floor per kernel
 
+  // --- graph capture/replay (cudaGraph) ---
+  // Capture is a one-time cost (TEMPI pays it at MPI_Send_init); replay
+  // charges ONE launch overhead for the whole node chain instead of one
+  // cudaLaunchKernel/cudaMemcpyAsync driver cost per node, and graph-
+  // scheduled kernels dispatch with a smaller per-node floor than a cold
+  // launch (the CUDA-graphs pitch: launch + inter-kernel gaps amortized).
+  VirtualNs graph_capture_node_ns = 700; ///< per recorded node (one-time)
+  VirtualNs graph_instantiate_ns = 25'000; ///< cudaGraphInstantiate (one-time)
+  VirtualNs graph_launch_ns = 1000;      ///< cudaGraphLaunch, whole graph
+  VirtualNs graph_node_sched_ns = 300;   ///< device dispatch floor per node
+                                         ///< in a graph (vs kernel_fixed_ns)
+  /// Completion fence a pre-built channel keeps armed (event + spin on
+  /// EventQuery): folds the stream into the host clock without the cold
+  /// cudaStreamSynchronize wake-up.
+  VirtualNs stream_fence_ns = 600;
+
   // --- misc ---
   VirtualNs host_touch_ns_per_byte = 0; ///< host loops cost real time instead
 };

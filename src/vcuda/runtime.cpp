@@ -7,6 +7,7 @@
 #include <cstring>
 #include <mutex>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 namespace vcuda {
@@ -19,6 +20,10 @@ struct Counters64 {
   std::atomic<std::uint64_t> stream_syncs{0};
   std::atomic<std::uint64_t> mallocs{0};
   std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> graph_launches{0};
+  std::atomic<std::uint64_t> graph_nodes_replayed{0};
+  std::atomic<std::uint64_t> graph_nodes_captured{0};
+  std::atomic<std::uint64_t> stream_fences{0};
 };
 
 Counters64 &counters64() {
@@ -64,6 +69,57 @@ ThreadStreamPool &this_thread_stream_pool() {
 }
 
 void host_advance(VirtualNs ns) { this_thread_timeline().advance(ns); }
+
+} // namespace
+
+/// One recorded stream operation. Kernel nodes keep their KernelCost so
+/// replay can price them with the graph dispatch discount; copy nodes keep
+/// the modeled duration computed at capture (the DMA engine's cost does
+/// not change under graphs). Bodies execute only at replay.
+struct Graph {
+  struct Node {
+    enum class Kind { Kernel, Copy };
+    Kind kind = Kind::Copy;
+    KernelCost cost{};        ///< kernel nodes
+    VirtualNs duration = 0;   ///< copy nodes
+    KernelBody body;
+  };
+  std::vector<Node> nodes;
+};
+
+namespace {
+
+/// Streams currently in capture mode. The fast-path gate is one relaxed
+/// atomic load so non-capturing traffic (every steady-state send) never
+/// touches the mutex.
+std::atomic<int> g_capturing_streams{0};
+std::mutex &capture_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::unordered_map<Stream *, Graph *> &capturing_map() {
+  static std::unordered_map<Stream *, Graph *> m;
+  return m;
+}
+
+/// The open capture on `stream`, or nullptr (the common case).
+Graph *capture_target(StreamHandle stream) {
+  if (g_capturing_streams.load(std::memory_order_relaxed) == 0) {
+    return nullptr;
+  }
+  const std::lock_guard<std::mutex> lock(capture_mutex());
+  const auto it = capturing_map().find(stream);
+  return it == capturing_map().end() ? nullptr : it->second;
+}
+
+/// Record one node on a capturing stream: the host pays per-node capture
+/// bookkeeping instead of the live driver cost, and neither the stream nor
+/// the payload moves until GraphLaunch.
+void capture_node(Graph *g, Graph::Node node) {
+  host_advance(cost_params().graph_capture_node_ns);
+  counters64().graph_nodes_captured.fetch_add(1, std::memory_order_relaxed);
+  g->nodes.push_back(std::move(node));
+}
 
 MemcpyKind infer_kind(const void *dst, const void *src) {
   const MemorySpace d = memory_registry().space_of(dst);
@@ -379,6 +435,17 @@ Error MemcpyAsync(void *dst, const void *src, std::size_t bytes,
   if (kind == MemcpyKind::Default) {
     kind = infer_kind(dst, src);
   }
+  if (bytes > 0) {
+    if (Graph *g = capture_target(stream)) {
+      const VirtualNs dur =
+          memcpy_duration(p, bytes, kind, touches_pageable(dst, src));
+      capture_node(g, Graph::Node{Graph::Node::Kind::Copy, {}, dur,
+                                  [dst, src, bytes] {
+                                    std::memcpy(dst, src, bytes);
+                                  }});
+      return Error::Success;
+    }
+  }
   host_advance(p.memcpy_async_call_ns);
   counters64().memcpy_async_calls.fetch_add(1, std::memory_order_relaxed);
   if (bytes == 0) {
@@ -415,9 +482,12 @@ Error Memcpy2DAsync(void *dst, std::size_t dpitch, const void *src,
   if (kind == MemcpyKind::Default) {
     kind = infer_kind(dst, src);
   }
-  host_advance(p.memcpy_async_call_ns);
-  counters64().memcpy_async_calls.fetch_add(1, std::memory_order_relaxed);
   const std::size_t total = width * height;
+  Graph *capture = total > 0 ? capture_target(stream) : nullptr;
+  if (capture == nullptr) {
+    host_advance(p.memcpy_async_call_ns);
+    counters64().memcpy_async_calls.fetch_add(1, std::memory_order_relaxed);
+  }
   if (total == 0) {
     return Error::Success;
   }
@@ -431,12 +501,19 @@ Error Memcpy2DAsync(void *dst, std::size_t dpitch, const void *src,
                        eff) +
                    p.copy_engine_latency_ns +
                    static_cast<VirtualNs>(height) * p.dma_row_ns;
-  stream->enqueue(virtual_now(), dur);
-  auto *d = static_cast<std::byte *>(dst);
-  const auto *s = static_cast<const std::byte *>(src);
-  for (std::size_t row = 0; row < height; ++row) {
-    std::memcpy(d + row * dpitch, s + row * spitch, width);
+  const auto body = [dst, dpitch, src, spitch, width, height] {
+    auto *d = static_cast<std::byte *>(dst);
+    const auto *s = static_cast<const std::byte *>(src);
+    for (std::size_t row = 0; row < height; ++row) {
+      std::memcpy(d + row * dpitch, s + row * spitch, width);
+    }
+  };
+  if (capture != nullptr) {
+    capture_node(capture, Graph::Node{Graph::Node::Kind::Copy, {}, dur, body});
+    return Error::Success;
   }
+  stream->enqueue(virtual_now(), dur);
+  body();
   return Error::Success;
 }
 
@@ -449,6 +526,17 @@ Error MemsetAsync(void *ptr, int value, std::size_t bytes,
     stream = default_stream();
   }
   const CostParams &p = cost_params();
+  if (bytes > 0) {
+    if (Graph *g = capture_target(stream)) {
+      const VirtualNs dur =
+          memcpy_duration(p, bytes, MemcpyKind::DeviceToDevice, false);
+      capture_node(g, Graph::Node{Graph::Node::Kind::Copy, {}, dur,
+                                  [ptr, value, bytes] {
+                                    std::memset(ptr, value, bytes);
+                                  }});
+      return Error::Success;
+    }
+  }
   host_advance(p.memcpy_async_call_ns);
   if (bytes == 0) {
     return Error::Success;
@@ -473,11 +561,113 @@ Error LaunchKernel(const LaunchConfig &cfg, const KernelCost &cost,
     stream = default_stream();
   }
   const CostParams &p = cost_params();
+  if (Graph *g = capture_target(stream)) {
+    // Record, don't execute: the KernelCost rides along so replay can
+    // price the node with the graph dispatch discount.
+    capture_node(g, Graph::Node{Graph::Node::Kind::Kernel, cost, 0, body});
+    return Error::Success;
+  }
   host_advance(p.kernel_launch_ns);
   counters64().kernel_launches.fetch_add(1, std::memory_order_relaxed);
   const VirtualNs dur = kernel_duration(p, cost);
   stream->enqueue(virtual_now(), dur);
   body();
+  return Error::Success;
+}
+
+Error GraphBeginCapture(StreamHandle stream) {
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  const std::lock_guard<std::mutex> lock(capture_mutex());
+  if (capturing_map().contains(stream)) {
+    return Error::InvalidValue; // one open capture per stream
+  }
+  capturing_map().emplace(stream, new Graph());
+  g_capturing_streams.fetch_add(1, std::memory_order_relaxed);
+  return Error::Success;
+}
+
+Error GraphEndCapture(StreamHandle stream, GraphHandle *graph) {
+  if (graph == nullptr) {
+    return Error::InvalidValue;
+  }
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  Graph *g = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(capture_mutex());
+    const auto it = capturing_map().find(stream);
+    if (it == capturing_map().end()) {
+      return Error::InvalidValue; // stream was not capturing
+    }
+    g = it->second;
+    capturing_map().erase(it);
+    g_capturing_streams.fetch_sub(1, std::memory_order_relaxed);
+  }
+  host_advance(cost_params().graph_instantiate_ns); // cudaGraphInstantiate
+  *graph = g;
+  return Error::Success;
+}
+
+bool StreamIsCapturing(StreamHandle stream) {
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  return capture_target(stream) != nullptr;
+}
+
+Error GraphLaunch(GraphHandle graph, StreamHandle stream) {
+  if (graph == nullptr) {
+    return Error::InvalidValue;
+  }
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  if (capture_target(stream) != nullptr) {
+    return Error::InvalidValue; // no replay onto a capturing stream
+  }
+  const CostParams &p = cost_params();
+  // ONE driver-side cost for the whole node chain — the accounting the
+  // persistent fast path buys, versus kernel_launch_ns/memcpy_async_call_ns
+  // per node on the live path.
+  host_advance(p.graph_launch_ns);
+  Counters64 &c = counters64();
+  c.graph_launches.fetch_add(1, std::memory_order_relaxed);
+  c.graph_nodes_replayed.fetch_add(graph->nodes.size(),
+                                   std::memory_order_relaxed);
+  for (const Graph::Node &node : graph->nodes) {
+    VirtualNs dur = node.duration;
+    if (node.kind == Graph::Node::Kind::Kernel) {
+      const VirtualNs live = kernel_duration(p, node.cost);
+      // Graph-scheduled kernels swap the cold per-kernel dispatch floor
+      // for the (smaller) in-graph scheduling cost.
+      dur = live - std::min(live, p.kernel_fixed_ns) + p.graph_node_sched_ns;
+    }
+    stream->enqueue(virtual_now(), dur);
+    node.body();
+  }
+  return Error::Success;
+}
+
+std::size_t GraphNodeCount(GraphHandle graph) {
+  return graph == nullptr ? 0 : graph->nodes.size();
+}
+
+Error GraphDestroy(GraphHandle graph) {
+  delete graph;
+  return Error::Success;
+}
+
+Error StreamFence(StreamHandle stream) {
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  Timeline &tl = this_thread_timeline();
+  tl.wait_until(stream->ready_at());
+  tl.advance(cost_params().stream_fence_ns);
+  counters64().stream_fences.fetch_add(1, std::memory_order_relaxed);
   return Error::Success;
 }
 
@@ -489,6 +679,10 @@ Counters counters() {
       c.stream_syncs.load(std::memory_order_relaxed),
       c.mallocs.load(std::memory_order_relaxed),
       c.frees.load(std::memory_order_relaxed),
+      c.graph_launches.load(std::memory_order_relaxed),
+      c.graph_nodes_replayed.load(std::memory_order_relaxed),
+      c.graph_nodes_captured.load(std::memory_order_relaxed),
+      c.stream_fences.load(std::memory_order_relaxed),
   };
 }
 
@@ -499,6 +693,10 @@ void reset_counters() {
   c.stream_syncs.store(0, std::memory_order_relaxed);
   c.mallocs.store(0, std::memory_order_relaxed);
   c.frees.store(0, std::memory_order_relaxed);
+  c.graph_launches.store(0, std::memory_order_relaxed);
+  c.graph_nodes_replayed.store(0, std::memory_order_relaxed);
+  c.graph_nodes_captured.store(0, std::memory_order_relaxed);
+  c.stream_fences.store(0, std::memory_order_relaxed);
 }
 
 } // namespace vcuda

@@ -140,6 +140,47 @@ Error MemsetAsync(void *ptr, int value, std::size_t bytes,
 Error LaunchKernel(const LaunchConfig &cfg, const KernelCost &cost,
                    StreamHandle stream, const KernelBody &body);
 
+// --- graph capture & replay --------------------------------------------------
+//
+// The subset of the CUDA graph API that TEMPI's persistent-operation fast
+// path consumes: record a fixed sequence of stream operations once
+// (MPI_Send_init/MPI_Recv_init time), then replay it with ONE driver-side
+// launch overhead instead of one per node (MPI_Start time). Semantics
+// mirror cudaStreamBeginCapture: while a stream is capturing, work
+// enqueued on it is recorded, NOT executed — bodies run (and payload bytes
+// move) only at GraphLaunch. Graph-scheduled kernels also dispatch with a
+// smaller per-node device floor than a cold launch (see
+// CostParams::graph_node_sched_ns). Capture is per stream; one capture may
+// be open per stream at a time, and cross-stream capture is not modeled.
+
+struct Graph; // opaque
+using GraphHandle = Graph *;
+
+/// Put `stream` into capture mode (cudaStreamBeginCapture).
+Error GraphBeginCapture(StreamHandle stream);
+
+/// End capture and return the recorded graph (cudaStreamEndCapture +
+/// cudaGraphInstantiate; the one-time instantiation cost is charged here).
+Error GraphEndCapture(StreamHandle stream, GraphHandle *graph);
+
+/// True if `stream` is currently capturing (cudaStreamIsCapturing).
+bool StreamIsCapturing(StreamHandle stream);
+
+/// Replay the graph on `stream`: one graph_launch_ns host cost, then every
+/// node's device duration enqueues back-to-back and its body executes.
+Error GraphLaunch(GraphHandle graph, StreamHandle stream);
+
+/// Number of recorded nodes (tests, cost-model assertions).
+std::size_t GraphNodeCount(GraphHandle graph);
+
+Error GraphDestroy(GraphHandle graph);
+
+/// Fold `stream`'s completion into the host clock through a pre-armed
+/// event spin (stream_fence_ns) instead of a blocking StreamSynchronize
+/// wake-up. Used by the persistent fast path, which keeps the event
+/// recorded across replays.
+Error StreamFence(StreamHandle stream);
+
 // --- accounting --------------------------------------------------------------
 
 /// Counters for tests/ablations (per process, monotonically increasing).
@@ -149,6 +190,10 @@ struct Counters {
   std::uint64_t stream_syncs = 0;
   std::uint64_t mallocs = 0;
   std::uint64_t frees = 0;
+  std::uint64_t graph_launches = 0;      ///< GraphLaunch calls
+  std::uint64_t graph_nodes_replayed = 0; ///< nodes executed by replays
+  std::uint64_t graph_nodes_captured = 0; ///< nodes recorded by captures
+  std::uint64_t stream_fences = 0;        ///< StreamFence completions
 };
 Counters counters();
 void reset_counters();

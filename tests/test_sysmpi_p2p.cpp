@@ -299,4 +299,171 @@ TEST(P2P, ManyRanksRing) {
   });
 }
 
+TEST(P2P, PersistentSendRecvReArmAcrossIterations) {
+  run2([](int rank) {
+    MPI_Init(nullptr, nullptr);
+    std::vector<int> buf(256);
+    MPI_Request req = MPI_REQUEST_NULL;
+    if (rank == 0) {
+      ASSERT_EQ(MPI_Send_init(buf.data(), 256, MPI_INT, 1, 9, MPI_COMM_WORLD,
+                              &req),
+                MPI_SUCCESS);
+      for (int it = 0; it < 3; ++it) {
+        std::iota(buf.begin(), buf.end(), it * 1000);
+        ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        EXPECT_NE(req, MPI_REQUEST_NULL); // persistent handles survive
+      }
+    } else {
+      ASSERT_EQ(MPI_Recv_init(buf.data(), 256, MPI_INT, 0, 9, MPI_COMM_WORLD,
+                              &req),
+                MPI_SUCCESS);
+      for (int it = 0; it < 3; ++it) {
+        std::fill(buf.begin(), buf.end(), -1);
+        ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+        MPI_Status status;
+        ASSERT_EQ(MPI_Wait(&req, &status), MPI_SUCCESS);
+        EXPECT_EQ(status.MPI_SOURCE, 0);
+        EXPECT_EQ(status.MPI_TAG, 9);
+        EXPECT_EQ(buf[0], it * 1000);
+        EXPECT_EQ(buf[255], it * 1000 + 255);
+      }
+    }
+    ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    EXPECT_EQ(req, MPI_REQUEST_NULL);
+    MPI_Finalize();
+  });
+}
+
+TEST(P2P, PersistentStartValidation) {
+  sysmpi::ensure_self_context();
+  int x = 0;
+  MPI_Request req = MPI_REQUEST_NULL;
+  // Start on a non-persistent request (a plain Isend's) is erroneous.
+  ASSERT_EQ(MPI_Isend(&x, 1, MPI_INT, 0, 1, MPI_COMM_WORLD, &req),
+            MPI_SUCCESS);
+  EXPECT_EQ(MPI_Start(&req), MPI_ERR_ARG);
+  // Drain the self-send so the mailbox stays clean.
+  int y = 0;
+  MPI_Recv(&y, 1, MPI_INT, 0, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+  // Start on an armed persistent request is erroneous too.
+  ASSERT_EQ(MPI_Send_init(&x, 1, MPI_INT, 0, 2, MPI_COMM_WORLD, &req),
+            MPI_SUCCESS);
+  ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+  EXPECT_EQ(MPI_Start(&req), MPI_ERR_ARG);
+  ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+  // Inactive again: Wait completes immediately with an empty status...
+  MPI_Status status;
+  status.MPI_SOURCE = 123;
+  ASSERT_EQ(MPI_Wait(&req, &status), MPI_SUCCESS);
+  EXPECT_EQ(status.MPI_SOURCE, -1);
+  // ... while the *any/*some sweeps IGNORE inactive persistent requests
+  // like null slots (a drain loop must not rediscover them forever).
+  int flag = 0, index = 0;
+  ASSERT_EQ(MPI_Testany(1, &req, &index, &flag, MPI_STATUS_IGNORE),
+            MPI_SUCCESS);
+  EXPECT_EQ(flag, 1);
+  EXPECT_EQ(index, MPI_UNDEFINED);
+  int outcount = 0, indices[1] = {-1};
+  ASSERT_EQ(MPI_Testsome(1, &req, &outcount, indices, MPI_STATUSES_IGNORE),
+            MPI_SUCCESS);
+  EXPECT_EQ(outcount, MPI_UNDEFINED);
+  ASSERT_EQ(MPI_Waitany(1, &req, &index, MPI_STATUS_IGNORE), MPI_SUCCESS);
+  EXPECT_EQ(index, MPI_UNDEFINED);
+  ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+  MPI_Recv(&y, 1, MPI_INT, 0, 2, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+}
+
+TEST(P2P, WaitsomeReturnsEveryCompletionOfTheSweep) {
+  run2([](int rank) {
+    MPI_Init(nullptr, nullptr);
+    if (rank == 0) {
+      int a = 11, b = 22;
+      MPI_Send(&a, 1, MPI_INT, 1, 1, MPI_COMM_WORLD);
+      MPI_Send(&b, 1, MPI_INT, 1, 2, MPI_COMM_WORLD);
+    } else {
+      int a = 0, b = 0;
+      MPI_Request reqs[3] = {MPI_REQUEST_NULL, MPI_REQUEST_NULL,
+                             MPI_REQUEST_NULL};
+      ASSERT_EQ(MPI_Irecv(&a, 1, MPI_INT, 0, 1, MPI_COMM_WORLD, &reqs[0]),
+                MPI_SUCCESS);
+      ASSERT_EQ(MPI_Irecv(&b, 1, MPI_INT, 0, 2, MPI_COMM_WORLD, &reqs[2]),
+                MPI_SUCCESS);
+      int outcount = 0;
+      int indices[3] = {-1, -1, -1};
+      MPI_Status statuses[3];
+      int got = 0;
+      while (got < 2) {
+        ASSERT_EQ(MPI_Waitsome(3, reqs, &outcount, indices, statuses),
+                  MPI_SUCCESS);
+        ASSERT_NE(outcount, MPI_UNDEFINED);
+        ASSERT_GT(outcount, 0);
+        got += outcount;
+      }
+      EXPECT_EQ(a, 11);
+      EXPECT_EQ(b, 22);
+      for (MPI_Request r : reqs) {
+        EXPECT_EQ(r, MPI_REQUEST_NULL);
+      }
+      // Nothing active left: MPI_UNDEFINED.
+      ASSERT_EQ(MPI_Waitsome(3, reqs, &outcount, indices, statuses),
+                MPI_SUCCESS);
+      EXPECT_EQ(outcount, MPI_UNDEFINED);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(P2P, TestallTestanyTestsomeProgressMixedArrays) {
+  run2([](int rank) {
+    MPI_Init(nullptr, nullptr);
+    if (rank == 0) {
+      int go = 0;
+      MPI_Recv(&go, 1, MPI_INT, 1, 50, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      int v = 33;
+      MPI_Send(&v, 1, MPI_INT, 1, 51, MPI_COMM_WORLD);
+    } else {
+      int v = 0;
+      MPI_Request req = MPI_REQUEST_NULL;
+      ASSERT_EQ(MPI_Irecv(&v, 1, MPI_INT, 0, 51, MPI_COMM_WORLD, &req),
+                MPI_SUCCESS);
+      // Nothing sent yet: Testany reports no completion; Testall stays 0;
+      // Testsome returns an empty completion set.
+      int flag = 1, index = 0;
+      ASSERT_EQ(MPI_Testany(1, &req, &index, &flag, MPI_STATUS_IGNORE),
+                MPI_SUCCESS);
+      EXPECT_EQ(flag, 0);
+      ASSERT_EQ(MPI_Testall(1, &req, &flag, MPI_STATUSES_IGNORE),
+                MPI_SUCCESS);
+      EXPECT_EQ(flag, 0);
+      int outcount = -1, indices[1] = {-1};
+      ASSERT_EQ(MPI_Testsome(1, &req, &outcount, indices,
+                             MPI_STATUSES_IGNORE),
+                MPI_SUCCESS);
+      EXPECT_EQ(outcount, 0);
+      const int go = 1;
+      MPI_Send(&go, 1, MPI_INT, 0, 50, MPI_COMM_WORLD);
+      while (flag == 0) {
+        ASSERT_EQ(MPI_Testany(1, &req, &index, &flag, MPI_STATUS_IGNORE),
+                  MPI_SUCCESS);
+      }
+      EXPECT_EQ(index, 0);
+      EXPECT_EQ(v, 33);
+      EXPECT_EQ(req, MPI_REQUEST_NULL);
+      // All-null array: Testany flags complete with MPI_UNDEFINED, and
+      // Testsome reports MPI_UNDEFINED, per MPI.
+      ASSERT_EQ(MPI_Testany(1, &req, &index, &flag, MPI_STATUS_IGNORE),
+                MPI_SUCCESS);
+      EXPECT_EQ(flag, 1);
+      EXPECT_EQ(index, MPI_UNDEFINED);
+      ASSERT_EQ(MPI_Testsome(1, &req, &outcount, indices,
+                             MPI_STATUSES_IGNORE),
+                MPI_SUCCESS);
+      EXPECT_EQ(outcount, MPI_UNDEFINED);
+    }
+    MPI_Finalize();
+  });
+}
+
 } // namespace

@@ -435,4 +435,171 @@ TEST_F(TempiAsync, UninstallDrainsInFlightRequests) {
   EXPECT_EQ(tempi::async::in_flight(), 0u);
 }
 
+TEST_F(TempiAsync, WaitsomeCompletesTempiRequestsInMixedArrays) {
+  run2([&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(32, 4, 12, MPI_INT, &t);
+    MPI_Type_commit(&t);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    SpaceBuffer typed(vcuda::MemorySpace::Device,
+                      static_cast<std::size_t>(extent) + 16);
+    int plain = 0;
+    // Slot 0: TEMPI-owned typed op; slot 1: MPI_REQUEST_NULL; slot 2: a
+    // plain system request — one Waitsome loop completes the lot.
+    MPI_Request reqs[3] = {MPI_REQUEST_NULL, MPI_REQUEST_NULL,
+                           MPI_REQUEST_NULL};
+    if (rank == 0) {
+      fill_pattern(typed.get(), typed.size(), 4);
+      plain = 55;
+      ASSERT_EQ(MPI_Isend(typed.get(), 1, t, 1, 1, MPI_COMM_WORLD, &reqs[0]),
+                MPI_SUCCESS);
+      ASSERT_EQ(MPI_Isend(&plain, 1, MPI_INT, 1, 2, MPI_COMM_WORLD,
+                          &reqs[2]),
+                MPI_SUCCESS);
+    } else {
+      ASSERT_EQ(MPI_Irecv(typed.get(), 1, t, 0, 1, MPI_COMM_WORLD,
+                          &reqs[0]),
+                MPI_SUCCESS);
+      EXPECT_TRUE(tempi::async::owns(reqs[0]));
+      ASSERT_EQ(MPI_Irecv(&plain, 1, MPI_INT, 0, 2, MPI_COMM_WORLD,
+                          &reqs[2]),
+                MPI_SUCCESS);
+    }
+    int done = 0;
+    while (done < 2) {
+      int outcount = 0;
+      int indices[3] = {-1, -1, -1};
+      ASSERT_EQ(MPI_Waitsome(3, reqs, &outcount, indices,
+                             MPI_STATUSES_IGNORE),
+                MPI_SUCCESS);
+      ASSERT_NE(outcount, MPI_UNDEFINED);
+      done += outcount;
+    }
+    for (MPI_Request r : reqs) {
+      EXPECT_EQ(r, MPI_REQUEST_NULL);
+    }
+    if (rank == 1) {
+      EXPECT_EQ(plain, 55);
+    }
+    int outcount = 0;
+    int indices[3] = {-1, -1, -1};
+    ASSERT_EQ(MPI_Waitsome(3, reqs, &outcount, indices,
+                           MPI_STATUSES_IGNORE),
+              MPI_SUCCESS);
+    EXPECT_EQ(outcount, MPI_UNDEFINED); // nothing active left
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+}
+
+TEST_F(TempiAsync, TestallAndTestanyDriveTempiReceives) {
+  run2([&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(24, 8, 20, MPI_BYTE, &t);
+    MPI_Type_commit(&t);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    SpaceBuffer buf(vcuda::MemorySpace::Device,
+                    static_cast<std::size_t>(extent) + 8);
+    if (rank == 0) {
+      int go = 0;
+      MPI_Recv(&go, 1, MPI_INT, 1, 60, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      fill_pattern(buf.get(), buf.size(), 6);
+      MPI_Send(buf.get(), 1, t, 1, 61, MPI_COMM_WORLD);
+      MPI_Send(buf.get(), static_cast<int>(buf.size()), MPI_BYTE, 1, 62,
+               MPI_COMM_WORLD);
+    } else {
+      std::memset(buf.get(), 0, buf.size());
+      MPI_Request req = MPI_REQUEST_NULL;
+      ASSERT_EQ(MPI_Irecv(buf.get(), 1, t, 0, 61, MPI_COMM_WORLD, &req),
+                MPI_SUCCESS);
+      ASSERT_TRUE(tempi::async::owns(req));
+      // Unmatched yet: Testany and Testall both report no completion
+      // without consuming the request.
+      int flag = 1, index = 0;
+      ASSERT_EQ(MPI_Testany(1, &req, &index, &flag, MPI_STATUS_IGNORE),
+                MPI_SUCCESS);
+      EXPECT_EQ(flag, 0);
+      EXPECT_NE(req, MPI_REQUEST_NULL);
+      ASSERT_EQ(MPI_Testall(1, &req, &flag, MPI_STATUSES_IGNORE),
+                MPI_SUCCESS);
+      EXPECT_EQ(flag, 0);
+      const int go = 1;
+      MPI_Send(&go, 1, MPI_INT, 0, 60, MPI_COMM_WORLD);
+      while (flag == 0) {
+        ASSERT_EQ(MPI_Testall(1, &req, &flag, MPI_STATUSES_IGNORE),
+                  MPI_SUCCESS);
+      }
+      EXPECT_EQ(req, MPI_REQUEST_NULL);
+      std::vector<std::byte> raw(buf.size());
+      MPI_Recv(raw.data(), static_cast<int>(raw.size()), MPI_BYTE, 0, 62,
+               MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_EQ(reference_pack(buf.get(), 1, *t),
+                reference_pack(raw.data(), 1, *t));
+    }
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+}
+
+TEST_F(TempiAsync, TestsomeConsumesArrivalsIncrementally) {
+  run2([&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(16, 4, 12, MPI_BYTE, &t);
+    MPI_Type_commit(&t);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    SpaceBuffer a(vcuda::MemorySpace::Device,
+                  static_cast<std::size_t>(extent) + 8);
+    SpaceBuffer b(vcuda::MemorySpace::Device,
+                  static_cast<std::size_t>(extent) + 8);
+    if (rank == 0) {
+      fill_pattern(a.get(), a.size(), 1);
+      fill_pattern(b.get(), b.size(), 2);
+      // First message, handshake, then the second: the receiver observes a
+      // partial completion set in between.
+      MPI_Send(a.get(), 1, t, 1, 70, MPI_COMM_WORLD);
+      int seen = 0;
+      MPI_Recv(&seen, 1, MPI_INT, 1, 71, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      MPI_Send(b.get(), 1, t, 1, 72, MPI_COMM_WORLD);
+    } else {
+      std::memset(a.get(), 0, a.size());
+      std::memset(b.get(), 0, b.size());
+      MPI_Request reqs[2] = {MPI_REQUEST_NULL, MPI_REQUEST_NULL};
+      ASSERT_EQ(MPI_Irecv(a.get(), 1, t, 0, 70, MPI_COMM_WORLD, &reqs[0]),
+                MPI_SUCCESS);
+      ASSERT_EQ(MPI_Irecv(b.get(), 1, t, 0, 72, MPI_COMM_WORLD, &reqs[1]),
+                MPI_SUCCESS);
+      int outcount = 0;
+      int indices[2] = {-1, -1};
+      while (outcount == 0) {
+        ASSERT_EQ(MPI_Testsome(2, reqs, &outcount, indices,
+                               MPI_STATUSES_IGNORE),
+                  MPI_SUCCESS);
+      }
+      EXPECT_EQ(outcount, 1); // only the first message has arrived
+      EXPECT_EQ(indices[0], 0);
+      EXPECT_EQ(reqs[0], MPI_REQUEST_NULL);
+      EXPECT_NE(reqs[1], MPI_REQUEST_NULL);
+      const int seen = 1;
+      MPI_Send(&seen, 1, MPI_INT, 0, 71, MPI_COMM_WORLD);
+      int more = 0;
+      while (more == 0) {
+        ASSERT_EQ(MPI_Testsome(2, reqs, &more, indices,
+                               MPI_STATUSES_IGNORE),
+                  MPI_SUCCESS);
+        ASSERT_NE(more, MPI_UNDEFINED);
+      }
+      EXPECT_EQ(indices[0], 1);
+      EXPECT_EQ(reqs[1], MPI_REQUEST_NULL);
+    }
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+}
+
 } // namespace

@@ -342,4 +342,68 @@ TEST(Interposer, CollCountersTrackEngineAndFallback) {
   EXPECT_EQ(cleared.coll_peer_legs, 0u);
 }
 
+TEST(Interposer, PersistentCountersTrackChannelsAndReplays) {
+  tempi::ScopedInterposer guard;
+  tempi::reset_send_stats();
+  const tempi::SendStats before = tempi::send_stats();
+  EXPECT_EQ(before.persistent_init, 0u);
+  EXPECT_EQ(before.persistent_start, 0u);
+  EXPECT_EQ(before.persistent_replay_hits, 0u);
+  EXPECT_EQ(before.persistent_graph_launches, 0u);
+  EXPECT_EQ(before.persistent_forwarded, 0u);
+
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1;
+  sysmpi::run_ranks(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = committed_vector(64, 8, 24);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    SpaceBuffer buf(vcuda::MemorySpace::Device,
+                    static_cast<std::size_t>(extent) + 16);
+    MPI_Request req = MPI_REQUEST_NULL;
+    if (rank == 0) {
+      fill_pattern(buf.get(), buf.size());
+      EXPECT_EQ(MPI_Send_init(buf.get(), 1, t, 1, 0, MPI_COMM_WORLD, &req),
+                MPI_SUCCESS);
+    } else {
+      EXPECT_EQ(MPI_Recv_init(buf.get(), 1, t, 0, 0, MPI_COMM_WORLD, &req),
+                MPI_SUCCESS);
+    }
+    for (int it = 0; it < 3; ++it) {
+      EXPECT_EQ(MPI_Start(&req), MPI_SUCCESS);
+      EXPECT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+    }
+    // A host-buffer init falls through to the system path and counts as
+    // forwarded.
+    std::vector<std::byte> host(static_cast<std::size_t>(extent) + 16);
+    MPI_Request fwd = MPI_REQUEST_NULL;
+    EXPECT_EQ(MPI_Send_init(host.data(), 1, t, rank == 0 ? 1 : 0, 99,
+                            MPI_COMM_WORLD, &fwd),
+              MPI_SUCCESS);
+    EXPECT_EQ(MPI_Request_free(&fwd), MPI_SUCCESS);
+    EXPECT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+
+  const tempi::SendStats after = tempi::send_stats();
+  EXPECT_EQ(after.persistent_init, 2u);  // one accelerated channel per rank
+  EXPECT_EQ(after.persistent_start, 6u); // three arms per rank
+  // Send arms replay at Start, receive armings replay at completion:
+  // every arming is a replay hit backed by at least one graph launch.
+  EXPECT_EQ(after.persistent_replay_hits, 6u);
+  EXPECT_GE(after.persistent_graph_launches, 6u);
+  EXPECT_EQ(after.persistent_forwarded, 2u); // the host-buffer inits
+
+  tempi::reset_send_stats();
+  const tempi::SendStats cleared = tempi::send_stats();
+  EXPECT_EQ(cleared.persistent_init, 0u);
+  EXPECT_EQ(cleared.persistent_start, 0u);
+  EXPECT_EQ(cleared.persistent_replay_hits, 0u);
+  EXPECT_EQ(cleared.persistent_graph_launches, 0u);
+  EXPECT_EQ(cleared.persistent_forwarded, 0u);
+}
+
 } // namespace

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 namespace {
@@ -169,6 +170,117 @@ TEST(Counters, TrackCalls) {
   EXPECT_EQ(c.memcpy_async_calls, 1u);
   EXPECT_EQ(c.stream_syncs, 1u);
   EXPECT_EQ(c.mallocs, 2u);
+}
+
+TEST(Graph, CaptureRecordsWithoutExecuting) {
+  SpaceBuffer src(vcuda::MemorySpace::Device, 1024);
+  SpaceBuffer dst(vcuda::MemorySpace::Device, 1024);
+  fill_pattern(src.get(), 1024, 3);
+  std::memset(dst.get(), 0, 1024);
+
+  vcuda::StreamHandle stream = nullptr;
+  ASSERT_EQ(vcuda::StreamCreate(&stream), vcuda::Error::Success);
+  ASSERT_EQ(vcuda::GraphBeginCapture(stream), vcuda::Error::Success);
+  EXPECT_TRUE(vcuda::StreamIsCapturing(stream));
+  // One open capture per stream.
+  EXPECT_EQ(vcuda::GraphBeginCapture(stream), vcuda::Error::InvalidValue);
+  ASSERT_EQ(vcuda::MemcpyAsync(dst.get(), src.get(), 1024,
+                               vcuda::MemcpyKind::DeviceToDevice, stream),
+            vcuda::Error::Success);
+  // Recorded, not executed: payload untouched, stream idle.
+  EXPECT_NE(std::memcmp(dst.get(), src.get(), 1024), 0);
+  EXPECT_EQ(stream->ready_at(), 0u);
+  vcuda::GraphHandle graph = nullptr;
+  ASSERT_EQ(vcuda::GraphEndCapture(stream, &graph), vcuda::Error::Success);
+  EXPECT_FALSE(vcuda::StreamIsCapturing(stream));
+  EXPECT_EQ(vcuda::GraphNodeCount(graph), 1u);
+
+  // Replay moves the bytes and enqueues the node's device duration.
+  ASSERT_EQ(vcuda::GraphLaunch(graph, stream), vcuda::Error::Success);
+  EXPECT_EQ(std::memcmp(dst.get(), src.get(), 1024), 0);
+  EXPECT_GT(stream->ready_at(), 0u);
+  vcuda::StreamSynchronize(stream);
+
+  ASSERT_EQ(vcuda::GraphDestroy(graph), vcuda::Error::Success);
+  vcuda::StreamDestroy(stream);
+}
+
+TEST(Graph, ReplayChargesOneLaunchForTheWholeChain) {
+  // Three kernels recorded once: the live path pays kernel_launch_ns per
+  // kernel; the replay pays graph_launch_ns once, and each node runs with
+  // the in-graph dispatch floor instead of the cold kernel_fixed_ns.
+  const vcuda::CostParams &p = vcuda::cost_params();
+  vcuda::StreamHandle stream = nullptr;
+  ASSERT_EQ(vcuda::StreamCreate(&stream), vcuda::Error::Success);
+
+  vcuda::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {32, 1, 1};
+  vcuda::KernelCost cost;
+  cost.total_bytes = 256;
+  cost.src = {256, false, vcuda::MemorySpace::Device};
+  cost.dst = {0, true, vcuda::MemorySpace::Device};
+
+  int runs = 0;
+  ASSERT_EQ(vcuda::GraphBeginCapture(stream), vcuda::Error::Success);
+  const vcuda::VirtualNs capture_t0 = vcuda::virtual_now();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(vcuda::LaunchKernel(cfg, cost, stream, [&runs] { ++runs; }),
+              vcuda::Error::Success);
+  }
+  const vcuda::VirtualNs capture_cost = vcuda::virtual_now() - capture_t0;
+  vcuda::GraphHandle graph = nullptr;
+  ASSERT_EQ(vcuda::GraphEndCapture(stream, &graph), vcuda::Error::Success);
+  EXPECT_EQ(runs, 0); // bodies deferred to replay
+  EXPECT_EQ(vcuda::GraphNodeCount(graph), 3u);
+  EXPECT_EQ(capture_cost, 3 * p.graph_capture_node_ns);
+
+  vcuda::reset_counters();
+  const vcuda::VirtualNs t0 = vcuda::virtual_now();
+  ASSERT_EQ(vcuda::GraphLaunch(graph, stream), vcuda::Error::Success);
+  const vcuda::VirtualNs host_cost = vcuda::virtual_now() - t0;
+  EXPECT_EQ(runs, 3);
+  EXPECT_EQ(host_cost, p.graph_launch_ns); // one launch, not three
+  const vcuda::Counters c = vcuda::counters();
+  EXPECT_EQ(c.kernel_launches, 0u); // replays are not cold launches
+  EXPECT_EQ(c.graph_launches, 1u);
+  EXPECT_EQ(c.graph_nodes_replayed, 3u);
+
+  // Device-side: each node swapped kernel_fixed_ns for graph_node_sched_ns.
+  const vcuda::VirtualNs live_dur = vcuda::kernel_duration(p, cost);
+  const vcuda::VirtualNs node_dur =
+      live_dur - std::min(live_dur, p.kernel_fixed_ns) + p.graph_node_sched_ns;
+  EXPECT_EQ(stream->ready_at(), t0 + p.graph_launch_ns + 3 * node_dur);
+
+  // The pre-armed fence folds the stream in for stream_fence_ns, cheaper
+  // than a cold synchronize.
+  const vcuda::VirtualNs f0 = vcuda::virtual_now();
+  ASSERT_EQ(vcuda::StreamFence(stream), vcuda::Error::Success);
+  EXPECT_EQ(vcuda::virtual_now(), stream->ready_at() + p.stream_fence_ns);
+  EXPECT_GE(vcuda::virtual_now(), f0);
+  EXPECT_LT(p.stream_fence_ns, p.stream_sync_ns);
+
+  ASSERT_EQ(vcuda::GraphDestroy(graph), vcuda::Error::Success);
+  vcuda::StreamDestroy(stream);
+}
+
+TEST(Graph, LaunchOntoCapturingStreamIsRejected) {
+  vcuda::StreamHandle stream = nullptr;
+  ASSERT_EQ(vcuda::StreamCreate(&stream), vcuda::Error::Success);
+  ASSERT_EQ(vcuda::GraphBeginCapture(stream), vcuda::Error::Success);
+  vcuda::GraphHandle empty = nullptr;
+  ASSERT_EQ(vcuda::GraphEndCapture(stream, &empty), vcuda::Error::Success);
+
+  ASSERT_EQ(vcuda::GraphBeginCapture(stream), vcuda::Error::Success);
+  EXPECT_EQ(vcuda::GraphLaunch(empty, stream), vcuda::Error::InvalidValue);
+  vcuda::GraphHandle g2 = nullptr;
+  ASSERT_EQ(vcuda::GraphEndCapture(stream, &g2), vcuda::Error::Success);
+  EXPECT_EQ(vcuda::GraphLaunch(nullptr, stream), vcuda::Error::InvalidValue);
+  EXPECT_EQ(vcuda::GraphEndCapture(stream, &g2), vcuda::Error::InvalidValue);
+
+  vcuda::GraphDestroy(empty);
+  vcuda::GraphDestroy(g2);
+  vcuda::StreamDestroy(stream);
 }
 
 } // namespace
