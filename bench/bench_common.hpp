@@ -10,10 +10,12 @@
 #include "sysmpi/mpi.hpp"
 #include "sysmpi/world.hpp"
 #include "tempi/tempi.hpp"
+#include "tempi/trace.hpp"
 #include "vcuda/runtime.hpp"
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <string>
 
@@ -125,14 +127,39 @@ inline double send_latency_us(tempi::SendMode mode, long long blocks,
   return result;
 }
 
+/// Where the BENCH_*.json sidecars land: TEMPI_BENCH_OUT overrides, else
+/// the repo's bench/results/ directory baked in at configure time, else
+/// the working directory.
+inline std::string results_dir() {
+  if (const char *env = std::getenv("TEMPI_BENCH_OUT");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+#ifdef TEMPI_BENCH_RESULTS_DIR
+  return TEMPI_BENCH_RESULTS_DIR;
+#else
+  return ".";
+#endif
+}
+
 /// Machine-readable result sidecar: each bench writes BENCH_<name>.json
-/// (name, config, headline geomean speedup, smoke flag) into the working
-/// directory alongside its stdout report, so the perf trajectory is
-/// tracked across PRs instead of living only in CI logs. Call once, at
-/// the end, with the bench's headline ratio.
+/// (name, config, headline geomean speedup, smoke flag) into a stable
+/// results directory (see results_dir()) alongside its stdout report, so
+/// the perf trajectory is tracked across PRs instead of living only in CI
+/// logs. When tracing is armed, a "phases" object adds the per-phase
+/// pack/wire/unpack breakdown (span count + trimean) from the tracer.
+/// Call once, at the end, with the bench's headline ratio.
 inline void emit_json(const std::string &name, const std::string &config,
                       double geomean_speedup) {
-  const std::string path = "BENCH_" + name + ".json";
+  std::string dir = results_dir();
+  if (dir != ".") {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      dir = "."; // unwritable target: fall back to the working directory
+    }
+  }
+  const std::string path = dir + "/BENCH_" + name + ".json";
   std::FILE *f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench: could not write %s\n", path.c_str());
@@ -143,10 +170,28 @@ inline void emit_json(const std::string &name, const std::string &config,
                "  \"name\": \"%s\",\n"
                "  \"config\": \"%s\",\n"
                "  \"smoke\": %s,\n"
-               "  \"geomean_speedup\": %.4f\n"
-               "}\n",
+               "  \"geomean_speedup\": %.4f,\n"
+               "  \"phases\": {",
                name.c_str(), config.c_str(), smoke_mode() ? "true" : "false",
                geomean_speedup);
+  const tempi::trace::Snapshot snap = tempi::trace_snapshot();
+  const char *sep = "\n";
+  for (std::size_t p = 0; p < tempi::trace::kPhaseCount; ++p) {
+    const tempi::trace::PhaseSummary &ps = snap.phases[p];
+    if (ps.count == 0) {
+      continue;
+    }
+    std::fprintf(f,
+                 "%s    \"%s\": {\"count\": %llu, \"trimean_us\": %.3f, "
+                 "\"total_us\": %.3f}",
+                 sep,
+                 tempi::trace::phase_name(
+                     static_cast<tempi::trace::Phase>(p)),
+                 static_cast<unsigned long long>(ps.count), ps.trimean_us,
+                 ps.total_us);
+    sep = ",\n";
+  }
+  std::fprintf(f, "%s}\n}\n", sep[0] == ',' ? "\n  " : "");
   std::fclose(f);
 }
 

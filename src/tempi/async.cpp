@@ -2,6 +2,7 @@
 
 #include "support/log.hpp"
 #include "sysmpi/mpi.hpp"
+#include "tempi/trace.hpp"
 #include "vcuda/runtime.hpp"
 
 #include <atomic>
@@ -98,15 +99,15 @@ struct Pool {
   std::unordered_map<MPI_Request, std::unique_ptr<PersistentChannel>>
       channels;
 
-  std::atomic<std::uint64_t> isends{0};
-  std::atomic<std::uint64_t> irecvs{0};
-  std::atomic<std::uint64_t> completions{0};
-  std::atomic<std::uint64_t> batched_syncs{0};
+  trace::Counter isends{"tempi.engine.isends"};
+  trace::Counter irecvs{"tempi.engine.irecvs"};
+  trace::Counter completions{"tempi.engine.completions"};
+  trace::Counter batched_syncs{"tempi.engine.batched_syncs"};
 
-  std::atomic<std::uint64_t> p_inits{0};
-  std::atomic<std::uint64_t> p_starts{0};
-  std::atomic<std::uint64_t> p_replays{0};
-  std::atomic<std::uint64_t> p_graph_launches{0};
+  trace::Counter p_inits{"tempi.persistent.inits"};
+  trace::Counter p_starts{"tempi.persistent.starts"};
+  trace::Counter p_replays{"tempi.persistent.replays"};
+  trace::Counter p_graph_launches{"tempi.persistent.graph_launches"};
 };
 
 Pool &pool() {
@@ -196,7 +197,7 @@ void drain_op_streams(AsyncOp &op) {
 void retire(std::unique_ptr<AsyncOp> op, MPI_Request *request) {
   (void)op; // destruction releases the pinned intermediates
   *request = MPI_REQUEST_NULL;
-  pool().completions.fetch_add(1, std::memory_order_relaxed);
+  pool().completions.add();
 }
 
 /// Blocking wire leg + unpack for a receive op; `sync` controls whether
@@ -219,12 +220,21 @@ int complete_recv(AsyncOp &op, const interpose::MpiTable &next, bool sync) {
       return MPI_SUCCESS;
     }
     if (op.method == Method::Staged) {
-      const int rc = next.Recv(op.pipe.wire.get(), wire_count(op), MPI_BYTE,
-                               op.peer, op.tag, op.comm, &op.wire_status);
+      int rc;
+      {
+        trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Coll,
+                               op.pipe.bytes, op.peer, op.tag,
+                               static_cast<std::int8_t>(op.method));
+        rc = next.Recv(op.pipe.wire.get(), wire_count(op), MPI_BYTE, op.peer,
+                       op.tag, op.comm, &op.wire_status);
+      }
       if (rc != MPI_SUCCESS) {
         return rc;
       }
       op.pipe.bytes = static_cast<std::size_t>(op.wire_status.count_bytes);
+      trace::ScopedSpan unpack(trace::Phase::Unpack, trace::OpKind::Coll,
+                               op.pipe.bytes, op.peer, op.tag,
+                               static_cast<std::int8_t>(op.method));
       vcuda::MemcpyAsync(op.recv_buf, op.pipe.wire.get(), op.pipe.bytes,
                          vcuda::MemcpyKind::HostToDevice, op.stream);
       op.phase = OpPhase::UnpackPending;
@@ -234,8 +244,14 @@ int complete_recv(AsyncOp &op, const interpose::MpiTable &next, bool sync) {
       }
       return MPI_SUCCESS;
     }
-    const int rc = next.Recv(op.recv_buf, wire_count(op), MPI_BYTE, op.peer,
-                             op.tag, op.comm, &op.wire_status);
+    int rc;
+    {
+      trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Coll,
+                             op.pipe.bytes, op.peer, op.tag,
+                             static_cast<std::int8_t>(op.method));
+      rc = next.Recv(op.recv_buf, wire_count(op), MPI_BYTE, op.peer, op.tag,
+                     op.comm, &op.wire_status);
+    }
     if (rc != MPI_SUCCESS) {
       return rc;
     }
@@ -262,11 +278,20 @@ int complete_recv(AsyncOp &op, const interpose::MpiTable &next, bool sync) {
     }
     return MPI_SUCCESS;
   }
-  const int rc = next.Recv(op.pipe.wire.get(), wire_count(op), MPI_BYTE,
-                           op.peer, op.tag, op.comm, &op.wire_status);
+  int rc;
+  {
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Irecv,
+                           op.pipe.bytes, op.peer, op.tag,
+                           static_cast<std::int8_t>(op.method));
+    rc = next.Recv(op.pipe.wire.get(), wire_count(op), MPI_BYTE, op.peer,
+                   op.tag, op.comm, &op.wire_status);
+  }
   if (rc != MPI_SUCCESS) {
     return rc;
   }
+  trace::ScopedSpan unpack(trace::Phase::Unpack, trace::OpKind::Irecv,
+                           op.pipe.bytes, op.peer, op.tag,
+                           static_cast<std::int8_t>(op.method));
   const int urc = post_unpack(op);
   if (urc != MPI_SUCCESS) {
     return urc;
@@ -344,20 +369,29 @@ int complete_channel(PersistentChannel &ch, const interpose::MpiTable &next,
   }
   // Monolithic receive: wire bytes land in the pinned lease, then the
   // recorded [H2D +] unpack chain replays with one graph launch.
-  const int rc = next.Recv(ch.prog.pipe.wire.get(), ch.prog.pipe.wire_count(),
-                           MPI_BYTE, ch.peer, ch.tag, ch.comm,
-                           &ch.wire_status);
+  int rc;
+  {
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Persistent,
+                           ch.prog.pipe.bytes, ch.peer, ch.tag,
+                           static_cast<std::int8_t>(ch.method));
+    rc = next.Recv(ch.prog.pipe.wire.get(), ch.prog.pipe.wire_count(),
+                   MPI_BYTE, ch.peer, ch.tag, ch.comm, &ch.wire_status);
+  }
   if (rc != MPI_SUCCESS) {
     ch.active = false;
     return rc;
   }
+  trace::ScopedSpan replay(trace::Phase::GraphReplay,
+                           trace::OpKind::Persistent, ch.prog.pipe.bytes,
+                           ch.peer, ch.tag,
+                           static_cast<std::int8_t>(ch.method));
   if (vcuda::GraphLaunch(ch.prog.graph, ch.prog.stream) !=
       vcuda::Error::Success) {
     ch.active = false;
     return MPI_ERR_OTHER;
   }
-  p.p_replays.fetch_add(1, std::memory_order_relaxed);
-  p.p_graph_launches.fetch_add(1, std::memory_order_relaxed);
+  p.p_replays.add();
+  p.p_graph_launches.add();
   if (sync) {
     vcuda::StreamFence(ch.prog.stream);
     ch.active = false;
@@ -391,7 +425,7 @@ int start_isend(const Packer *packer, Method method, const void *buf,
     op->tag = tag;
     op->comm = comm;
     op->phase = OpPhase::TransferPosted; // inner stays MPI_REQUEST_NULL
-    pool().isends.fetch_add(1, std::memory_order_relaxed);
+    pool().isends.add();
     *request = insert(std::move(op));
     return MPI_SUCCESS;
   }
@@ -409,25 +443,36 @@ int start_isend(const Packer *packer, Method method, const void *buf,
 
   // PackIssued: the pack legs go onto the stream asynchronously.
   op->phase = OpPhase::PackIssued;
-  const int prc = start_pack(*op->packer, method, buf, count, op->stream,
-                             &op->pipe);
-  if (prc != MPI_SUCCESS) {
-    return prc;
+  {
+    trace::ScopedSpan pack(trace::Phase::PackLaunch, trace::OpKind::Isend, 0,
+                           dest, tag, static_cast<std::int8_t>(method));
+    const int prc = start_pack(*op->packer, method, buf, count, op->stream,
+                               &op->pipe);
+    if (prc != MPI_SUCCESS) {
+      return prc;
+    }
+    pack.set_bytes(op->pipe.bytes);
+    // TransferPosted: the wire departs only once the pack legs complete, so
+    // fold the stream into the host clock before handing bytes to the wire.
+    vcuda::StreamSynchronize(op->stream);
   }
-  // TransferPosted: the wire departs only once the pack legs complete, so
-  // fold the stream into the host clock before handing bytes to the wire.
-  vcuda::StreamSynchronize(op->stream);
   // The staged method's device-side intermediate is dead once the D2H copy
   // has landed in the wire buffer; return it now rather than pinning it
   // for the op's whole flight.
   op->pipe.stage = CachedBuffer{};
-  const int rc = next.Isend(op->pipe.wire.get(), wire_count(*op), MPI_BYTE,
-                            dest, tag, comm, &op->inner);
+  int rc;
+  {
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Isend,
+                           op->pipe.bytes, dest, tag,
+                           static_cast<std::int8_t>(method));
+    rc = next.Isend(op->pipe.wire.get(), wire_count(*op), MPI_BYTE, dest, tag,
+                    comm, &op->inner);
+  }
   if (rc != MPI_SUCCESS) {
     return rc;
   }
   op->phase = OpPhase::TransferPosted;
-  pool().isends.fetch_add(1, std::memory_order_relaxed);
+  pool().isends.add();
   *request = insert(std::move(op));
   return MPI_SUCCESS;
 }
@@ -459,13 +504,24 @@ int start_isend_packed(const void *bytes, std::size_t nbytes, Method method,
   } else if (method == Method::Staged) {
     // Stage the device slice through a pinned lease onto the CPU wire.
     op->stream = vcuda::next_pool_stream();
-    op->pipe.wire = lease_buffer(vcuda::MemorySpace::Pinned, nbytes);
+    {
+      trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::None,
+                              nbytes);
+      op->pipe.wire = lease_buffer(vcuda::MemorySpace::Pinned, nbytes);
+    }
     if (op->pipe.wire.get() == nullptr && nbytes > 0) {
       return MPI_ERR_OTHER;
     }
-    vcuda::MemcpyAsync(op->pipe.wire.get(), bytes, nbytes,
-                       vcuda::MemcpyKind::DeviceToHost, op->stream);
-    vcuda::StreamSynchronize(op->stream);
+    {
+      trace::ScopedSpan pack(trace::Phase::PackLaunch, trace::OpKind::Coll,
+                             nbytes, dest, tag,
+                             static_cast<std::int8_t>(method));
+      vcuda::MemcpyAsync(op->pipe.wire.get(), bytes, nbytes,
+                         vcuda::MemcpyKind::DeviceToHost, op->stream);
+      vcuda::StreamSynchronize(op->stream);
+    }
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Coll, nbytes,
+                           dest, tag, static_cast<std::int8_t>(method));
     const int rc = next.Isend(op->pipe.wire.get(), wire_count(*op), MPI_BYTE,
                               dest, tag, comm, &op->inner);
     if (rc != MPI_SUCCESS) {
@@ -474,6 +530,8 @@ int start_isend_packed(const void *bytes, std::size_t nbytes, Method method,
   } else {
     // Device (the default): the slice is already wire-ready; the system
     // MPI buffers it at post time, so no lease is pinned to the op.
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Coll, nbytes,
+                           dest, tag, static_cast<std::int8_t>(method));
     const int rc = next.Isend(bytes, wire_count(*op), MPI_BYTE, dest, tag,
                               comm, &op->inner);
     if (rc != MPI_SUCCESS) {
@@ -481,7 +539,7 @@ int start_isend_packed(const void *bytes, std::size_t nbytes, Method method,
     }
   }
   op->phase = OpPhase::TransferPosted;
-  pool().isends.fetch_add(1, std::memory_order_relaxed);
+  pool().isends.add();
   *request = insert(std::move(op));
   return MPI_SUCCESS;
 }
@@ -505,21 +563,34 @@ int start_isend_blocklist(std::shared_ptr<const BlockListPacker> packer,
   if (op->pipe.bytes > kMaxWireBytes) {
     return MPI_ERR_COUNT;
   }
-  op->pipe.wire = lease_buffer(vcuda::MemorySpace::Device, op->pipe.bytes);
+  {
+    trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::None,
+                            op->pipe.bytes);
+    op->pipe.wire = lease_buffer(vcuda::MemorySpace::Device, op->pipe.bytes);
+  }
   if (op->pipe.wire.get() == nullptr && op->pipe.bytes > 0) {
     return MPI_ERR_OTHER;
   }
-  if (op->blocklist->pack(op->pipe.wire.get(), buf, count, op->stream) !=
-      vcuda::Error::Success) {
-    return MPI_ERR_OTHER;
+  {
+    trace::ScopedSpan pack(trace::Phase::PackLaunch, trace::OpKind::Isend,
+                           op->pipe.bytes, dest, tag);
+    if (op->blocklist->pack(op->pipe.wire.get(), buf, count, op->stream) !=
+        vcuda::Error::Success) {
+      return MPI_ERR_OTHER;
+    }
   }
-  const int rc = next.Isend(op->pipe.wire.get(), wire_count(*op), MPI_BYTE,
-                            dest, tag, comm, &op->inner);
+  int rc;
+  {
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Isend,
+                           op->pipe.bytes, dest, tag);
+    rc = next.Isend(op->pipe.wire.get(), wire_count(*op), MPI_BYTE, dest, tag,
+                    comm, &op->inner);
+  }
   if (rc != MPI_SUCCESS) {
     return rc;
   }
   op->phase = OpPhase::TransferPosted;
-  pool().isends.fetch_add(1, std::memory_order_relaxed);
+  pool().isends.add();
   *request = insert(std::move(op));
   return MPI_SUCCESS;
 }
@@ -566,7 +637,7 @@ int start_irecv_packed(void *bytes, std::size_t nbytes, Method method,
       return MPI_ERR_OTHER;
     }
   }
-  pool().irecvs.fetch_add(1, std::memory_order_relaxed);
+  pool().irecvs.add();
   *request = insert(std::move(op));
   return MPI_SUCCESS;
 }
@@ -582,7 +653,7 @@ int start_irecv(const Packer *packer, Method method, void *buf, int count,
     // them); Wait/Test drive the legs.
     op->chunked =
         std::make_unique<ChunkedRecv>(*packer, buf, count, source, tag, comm);
-    pool().irecvs.fetch_add(1, std::memory_order_relaxed);
+    pool().irecvs.add();
     *request = insert(std::move(op));
     return MPI_SUCCESS;
   }
@@ -592,7 +663,7 @@ int start_irecv(const Packer *packer, Method method, void *buf, int count,
   if (rc != MPI_SUCCESS) {
     return rc;
   }
-  pool().irecvs.fetch_add(1, std::memory_order_relaxed);
+  pool().irecvs.add();
   *request = insert(std::move(op));
   return MPI_SUCCESS;
 }
@@ -612,7 +683,7 @@ int start_irecv_blocklist(std::shared_ptr<const BlockListPacker> packer,
   if (op->pipe.wire.get() == nullptr && op->pipe.bytes > 0) {
     return MPI_ERR_OTHER;
   }
-  pool().irecvs.fetch_add(1, std::memory_order_relaxed);
+  pool().irecvs.add();
   *request = insert(std::move(op));
   return MPI_SUCCESS;
 }
@@ -645,7 +716,7 @@ int send_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
     return rc; // the half-built channel releases its leases/graphs here
   }
   Pool &p = pool();
-  p.p_inits.fetch_add(1, std::memory_order_relaxed);
+  p.p_inits.add();
   const MPI_Request ticket = reinterpret_cast<MPI_Request>(ch.get());
   const std::lock_guard<std::mutex> lock(p.mutex);
   p.channels.emplace(ticket, std::move(ch));
@@ -673,7 +744,7 @@ int recv_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
     }
   }
   Pool &p = pool();
-  p.p_inits.fetch_add(1, std::memory_order_relaxed);
+  p.p_inits.add();
   const MPI_Request ticket = reinterpret_cast<MPI_Request>(ch.get());
   const std::lock_guard<std::mutex> lock(p.mutex);
   p.channels.emplace(ticket, std::move(ch));
@@ -690,7 +761,7 @@ int start(MPI_Request *request, const interpose::MpiTable &next) {
     return MPI_ERR_ARG; // not a channel, or Start on an armed channel
   }
   Pool &p = pool();
-  p.p_starts.fetch_add(1, std::memory_order_relaxed);
+  p.p_starts.add();
   if (!ch->is_send) {
     if (ch->method == Method::Pipelined) {
       ch->chunked = std::make_unique<ChunkedRecv>(
@@ -708,9 +779,8 @@ int start(MPI_Request *request, const interpose::MpiTable &next) {
     if (rc != MPI_SUCCESS) {
       return rc;
     }
-    p.p_replays.fetch_add(1, std::memory_order_relaxed);
-    p.p_graph_launches.fetch_add(ch->leg_graph_count,
-                                 std::memory_order_relaxed);
+    p.p_replays.add();
+    p.p_graph_launches.add(ch->leg_graph_count);
     ch->inner = MPI_REQUEST_NULL; // all legs already on the wire
     ch->active = true;
     return MPI_SUCCESS;
@@ -718,16 +788,27 @@ int start(MPI_Request *request, const interpose::MpiTable &next) {
   // Monolithic send: replay the pack graph into the pinned wire lease,
   // fence (the wire must not depart before the pack completes), and post
   // the transfer eagerly — the whole per-send setup is one graph launch.
-  if (vcuda::GraphLaunch(ch->prog.graph, ch->prog.stream) !=
-      vcuda::Error::Success) {
-    return MPI_ERR_OTHER;
+  {
+    trace::ScopedSpan replay(trace::Phase::GraphReplay,
+                             trace::OpKind::Persistent, ch->prog.pipe.bytes,
+                             ch->peer, ch->tag,
+                             static_cast<std::int8_t>(ch->method));
+    if (vcuda::GraphLaunch(ch->prog.graph, ch->prog.stream) !=
+        vcuda::Error::Success) {
+      return MPI_ERR_OTHER;
+    }
+    p.p_replays.add();
+    p.p_graph_launches.add();
+    vcuda::StreamFence(ch->prog.stream);
   }
-  p.p_replays.fetch_add(1, std::memory_order_relaxed);
-  p.p_graph_launches.fetch_add(1, std::memory_order_relaxed);
-  vcuda::StreamFence(ch->prog.stream);
-  const int rc = next.Isend(ch->prog.pipe.wire.get(),
-                            ch->prog.pipe.wire_count(), MPI_BYTE, ch->peer,
-                            ch->tag, ch->comm, &ch->inner);
+  int rc;
+  {
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Persistent,
+                           ch->prog.pipe.bytes, ch->peer, ch->tag,
+                           static_cast<std::int8_t>(ch->method));
+    rc = next.Isend(ch->prog.pipe.wire.get(), ch->prog.pipe.wire_count(),
+                    MPI_BYTE, ch->peer, ch->tag, ch->comm, &ch->inner);
+  }
   if (rc != MPI_SUCCESS) {
     return rc;
   }
@@ -828,19 +909,19 @@ std::size_t persistent_open() {
 PersistentStats persistent_stats() {
   Pool &p = pool();
   return PersistentStats{
-      p.p_inits.load(std::memory_order_relaxed),
-      p.p_starts.load(std::memory_order_relaxed),
-      p.p_replays.load(std::memory_order_relaxed),
-      p.p_graph_launches.load(std::memory_order_relaxed),
+      p.p_inits.value(),
+      p.p_starts.value(),
+      p.p_replays.value(),
+      p.p_graph_launches.value(),
   };
 }
 
 void reset_persistent_stats() {
   Pool &p = pool();
-  p.p_inits.store(0, std::memory_order_relaxed);
-  p.p_starts.store(0, std::memory_order_relaxed);
-  p.p_replays.store(0, std::memory_order_relaxed);
-  p.p_graph_launches.store(0, std::memory_order_relaxed);
+  p.p_inits.reset();
+  p.p_starts.reset();
+  p.p_replays.reset();
+  p.p_graph_launches.reset();
 }
 
 bool owns(MPI_Request request) {
@@ -1179,14 +1260,18 @@ int waitall(int count, MPI_Request *requests, MPI_Status *statuses,
   // Pass 2: one host synchronization per stream covers every batched
   // unpack leg (the pipelining payoff of the request engine). Channel
   // streams take the cheaper pre-armed fence.
-  for (vcuda::StreamHandle s : streams) {
-    vcuda::StreamSynchronize(s);
-  }
-  for (vcuda::StreamHandle s : fence_streams) {
-    vcuda::StreamFence(s);
+  {
+    trace::ScopedSpan batch(trace::Phase::Unpack, trace::OpKind::None,
+                            static_cast<std::uint64_t>(unpacks_batched));
+    for (vcuda::StreamHandle s : streams) {
+      vcuda::StreamSynchronize(s);
+    }
+    for (vcuda::StreamHandle s : fence_streams) {
+      vcuda::StreamFence(s);
+    }
   }
   if (unpacks_batched > 1) {
-    pool().batched_syncs.fetch_add(1, std::memory_order_relaxed);
+    pool().batched_syncs.add();
   }
   // Pass 3: publish statuses, retire ops, disarm channels.
   for (int i = 0; i < count; ++i) {
@@ -1414,19 +1499,19 @@ std::size_t drain(const interpose::MpiTable &next) {
 EngineStats engine_stats() {
   Pool &p = pool();
   return EngineStats{
-      p.isends.load(std::memory_order_relaxed),
-      p.irecvs.load(std::memory_order_relaxed),
-      p.completions.load(std::memory_order_relaxed),
-      p.batched_syncs.load(std::memory_order_relaxed),
+      p.isends.value(),
+      p.irecvs.value(),
+      p.completions.value(),
+      p.batched_syncs.value(),
   };
 }
 
 void reset_engine_stats() {
   Pool &p = pool();
-  p.isends.store(0, std::memory_order_relaxed);
-  p.irecvs.store(0, std::memory_order_relaxed);
-  p.completions.store(0, std::memory_order_relaxed);
-  p.batched_syncs.store(0, std::memory_order_relaxed);
+  p.isends.reset();
+  p.irecvs.reset();
+  p.completions.reset();
+  p.batched_syncs.reset();
 }
 
 } // namespace tempi::async

@@ -9,6 +9,7 @@
 #include "tempi/buffer_cache.hpp"
 #include "tempi/methods.hpp"
 #include "tempi/packer.hpp"
+#include "tempi/trace.hpp"
 #include "tempi/tempi.hpp"
 #include "vcuda/runtime.hpp"
 
@@ -25,10 +26,10 @@ namespace {
 std::atomic<bool> g_enabled{true};
 
 struct CollCounters {
-  std::atomic<std::uint64_t> alltoallv{0};
-  std::atomic<std::uint64_t> neighbor{0};
-  std::atomic<std::uint64_t> fallback{0};
-  std::atomic<std::uint64_t> peer_legs{0};
+  trace::Counter alltoallv{"tempi.coll.alltoallv"};
+  trace::Counter neighbor{"tempi.coll.neighbor"};
+  trace::Counter fallback{"tempi.coll.fallback"};
+  trace::Counter peer_legs{"tempi.coll.peer_legs"};
 };
 
 CollCounters &counters() {
@@ -117,9 +118,8 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
   const bool self_copy = smode != SideMode::Forward &&
                          rmode != SideMode::Forward &&
                          self_sends > 0 && self_sends == self_recvs;
-  counters().peer_legs.fetch_add(
-      sends.size() + recvs.size() - (self_copy ? self_sends : 0),
-      std::memory_order_relaxed);
+  counters().peer_legs.add(sends.size() + recvs.size() -
+                           (self_copy ? self_sends : 0));
 
   // Packed staging offsets (prefix sums over every slot, self included:
   // the single span pass then covers self copies too).
@@ -147,7 +147,11 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
   const Packer *rpk = nullptr;
   if (smode == SideMode::Fused) {
     spk = find_packer_fast(sendtype);
-    sstage = lease_buffer(vcuda::MemorySpace::Device, stotal);
+    {
+      trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::Coll,
+                              stotal);
+      sstage = lease_buffer(vcuda::MemorySpace::Device, stotal);
+    }
     if (lease_failed(sstage, stotal)) {
       return MPI_ERR_OTHER;
     }
@@ -160,6 +164,8 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
                                  sends[i].count});
       }
     }
+    trace::ScopedSpan pack(trace::Phase::PackLaunch, trace::OpKind::Coll,
+                           stotal, -1, tag);
     vcuda::StreamHandle pack_stream = vcuda::next_pool_stream();
     if (spk->pack_spans_async(sstage.get(), sendbuf, spans, pack_stream) !=
         vcuda::Error::Success) {
@@ -170,6 +176,8 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
   }
   if (rmode == SideMode::Fused) {
     rpk = find_packer_fast(recvtype);
+    trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::Coll,
+                            rtotal);
     rstage = lease_buffer(vcuda::MemorySpace::Device, rtotal);
     if (lease_failed(rstage, rtotal)) {
       return MPI_ERR_OTHER;
@@ -215,8 +223,13 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
     } else {
       const std::size_t bytes = static_cast<std::size_t>(s.count) *
                                 static_cast<std::size_t>(ssize);
-      const TransferChoice c =
-          model.choose_leg(bytes, peer_on_my_node(comm, s.peer));
+      TransferChoice c;
+      {
+        trace::ScopedSpan choice(trace::Phase::ModelChoice,
+                                 trace::OpKind::Coll, bytes, s.peer, tag);
+        c = model.choose_leg(bytes, peer_on_my_node(comm, s.peer));
+        choice.set_method(static_cast<std::int8_t>(c.method));
+      }
       rc = async::start_isend_packed(send_ptr(i), bytes, c.method,
                                      c.chunk_bytes, s.peer, tag, comm, next,
                                      &req);
@@ -243,8 +256,13 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
     } else {
       const std::size_t bytes = static_cast<std::size_t>(r.count) *
                                 static_cast<std::size_t>(rsize);
-      const TransferChoice c =
-          model.choose_leg(bytes, peer_on_my_node(comm, r.peer));
+      TransferChoice c;
+      {
+        trace::ScopedSpan choice(trace::Phase::ModelChoice,
+                                 trace::OpKind::Coll, bytes, r.peer, tag);
+        c = model.choose_leg(bytes, peer_on_my_node(comm, r.peer));
+        choice.set_method(static_cast<std::int8_t>(c.method));
+      }
       rc = async::start_irecv_packed(recv_ptr(i), bytes, c.method, r.peer,
                                      tag, comm, next, &req);
     }
@@ -326,6 +344,8 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
     if (tail_stream == nullptr) {
       tail_stream = vcuda::next_pool_stream();
     }
+    trace::ScopedSpan unpack(trace::Phase::Unpack, trace::OpKind::Coll,
+                             rtotal, -1, tag);
     const vcuda::Error e =
         rpk->unpack_spans_async(recvbuf, rstage.get(), spans, tail_stream);
     vcuda::StreamSynchronize(tail_stream);
@@ -367,7 +387,7 @@ int alltoallv(const void *sendbuf, const int *sendcounts, const int *sdispls,
     recvs[static_cast<std::size_t>(step)] =
         Slot{src, recvcounts[src], rdispls[src]};
   }
-  counters().alltoallv.fetch_add(1, std::memory_order_relaxed);
+  counters().alltoallv.add();
   return exchange(sendbuf, sendtype, sends, recvbuf, recvtype, recvs, comm,
                   next);
 }
@@ -395,7 +415,7 @@ int neighbor_alltoallv(const void *sendbuf, const int *sendcounts,
   for (std::size_t i = 0; i < srcs.size(); ++i) {
     recvs.push_back(Slot{srcs[i], recvcounts[i], rdispls[i]});
   }
-  counters().neighbor.fetch_add(1, std::memory_order_relaxed);
+  counters().neighbor.add();
   return exchange(sendbuf, sendtype, sends, recvbuf, recvtype, recvs, comm,
                   next);
 }
@@ -421,7 +441,7 @@ int gatherv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
       recvs.push_back(Slot{src, recvcounts[src], displs[src]});
     }
   }
-  counters().alltoallv.fetch_add(1, std::memory_order_relaxed);
+  counters().alltoallv.add();
   return exchange(sendbuf, sendtype, sends, rank == root ? recvbuf : nullptr,
                   rank == root ? recvtype : nullptr, recvs, comm, next);
 }
@@ -454,7 +474,7 @@ int allgather(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
                            static_cast<long long>(src) * recvcount});
     }
   }
-  counters().alltoallv.fetch_add(1, std::memory_order_relaxed);
+  counters().alltoallv.add();
   const int rc =
       exchange(sendbuf, sendtype, sends, rank == 0 ? recvbuf : nullptr,
                rank == 0 ? recvtype : nullptr, recvs, comm, next);
@@ -468,23 +488,21 @@ int allgather(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
 CollStats coll_stats() {
   const CollCounters &c = counters();
   return CollStats{
-      c.alltoallv.load(std::memory_order_relaxed),
-      c.neighbor.load(std::memory_order_relaxed),
-      c.fallback.load(std::memory_order_relaxed),
-      c.peer_legs.load(std::memory_order_relaxed),
+      c.alltoallv.value(),
+      c.neighbor.value(),
+      c.fallback.value(),
+      c.peer_legs.value(),
   };
 }
 
 void reset_coll_stats() {
   CollCounters &c = counters();
-  c.alltoallv.store(0, std::memory_order_relaxed);
-  c.neighbor.store(0, std::memory_order_relaxed);
-  c.fallback.store(0, std::memory_order_relaxed);
-  c.peer_legs.store(0, std::memory_order_relaxed);
+  c.alltoallv.reset();
+  c.neighbor.reset();
+  c.fallback.reset();
+  c.peer_legs.reset();
 }
 
-void note_fallback() {
-  counters().fallback.fetch_add(1, std::memory_order_relaxed);
-}
+void note_fallback() { counters().fallback.add(); }
 
 } // namespace tempi::coll

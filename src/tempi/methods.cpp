@@ -1,6 +1,7 @@
 #include "tempi/methods.hpp"
 
 #include "sysmpi/mpi.hpp"
+#include "tempi/trace.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -49,7 +50,11 @@ int start_pack(const Packer &packer, Method m, const void *buf, int count,
     // Device: pack in device memory, hand the device buffer to CUDA-aware
     // MPI. OneShot: pack straight into mapped host memory through
     // zero-copy stores, then a plain host-to-host MPI transfer.
-    pipe->wire = lease_buffer(intermediate_space(m), bytes);
+    {
+      trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::None,
+                              bytes);
+      pipe->wire = lease_buffer(intermediate_space(m), bytes);
+    }
     if (lease_failed(pipe->wire, bytes)) {
       return MPI_ERR_OTHER;
     }
@@ -60,8 +65,12 @@ int start_pack(const Packer &packer, Method m, const void *buf, int count,
   }
 
   // Staged: pack in device memory, copy down to pinned host, send from host.
-  pipe->stage = lease_buffer(vcuda::MemorySpace::Device, bytes);
-  pipe->wire = lease_buffer(vcuda::MemorySpace::Pinned, bytes);
+  {
+    trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::None,
+                            bytes);
+    pipe->stage = lease_buffer(vcuda::MemorySpace::Device, bytes);
+    pipe->wire = lease_buffer(vcuda::MemorySpace::Pinned, bytes);
+  }
   if (lease_failed(pipe->stage, bytes) || lease_failed(pipe->wire, bytes)) {
     return MPI_ERR_OTHER;
   }
@@ -81,7 +90,11 @@ int start_recv(const Packer &packer, Method m, int count, PackPipeline *pipe) {
   if (const int rc = size_pipeline(packer, count, pipe); rc != MPI_SUCCESS) {
     return rc;
   }
-  pipe->wire = lease_buffer(intermediate_space(m), pipe->bytes);
+  {
+    trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::None,
+                            pipe->bytes);
+    pipe->wire = lease_buffer(intermediate_space(m), pipe->bytes);
+  }
   if (lease_failed(pipe->wire, pipe->bytes)) {
     return MPI_ERR_OTHER;
   }
@@ -94,7 +107,11 @@ int start_unpack(const Packer &packer, Method m, void *buf, int count,
   const void *unpack_src = pipe.wire.get();
   if (m == Method::Staged) {
     // Staged only: lift the wire bytes back to device memory first.
-    pipe.stage = lease_buffer(vcuda::MemorySpace::Device, bytes);
+    {
+      trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::None,
+                              bytes);
+      pipe.stage = lease_buffer(vcuda::MemorySpace::Device, bytes);
+    }
     if (lease_failed(pipe.stage, bytes)) {
       return MPI_ERR_OTHER;
     }
@@ -120,11 +137,18 @@ int send_with_method(const Packer &packer, Method m, const void *buf,
   // neither waits for nor delays unrelated work enqueued there.
   vcuda::StreamHandle stream = vcuda::next_pool_stream();
   PackPipeline pipe;
-  const int rc = start_pack(packer, m, buf, count, stream, &pipe);
-  if (rc != MPI_SUCCESS) {
-    return rc;
+  {
+    trace::ScopedSpan span(trace::Phase::PackLaunch, trace::OpKind::Send, 0,
+                           dest, tag, static_cast<std::int8_t>(m));
+    const int rc = start_pack(packer, m, buf, count, stream, &pipe);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+    span.set_bytes(pipe.bytes);
+    vcuda::StreamSynchronize(stream);
   }
-  vcuda::StreamSynchronize(stream);
+  trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Send, pipe.bytes,
+                         dest, tag, static_cast<std::int8_t>(m));
   return next.Send(pipe.wire.get(), pipe.wire_count(), MPI_BYTE, dest, tag,
                    comm);
 }
@@ -155,11 +179,18 @@ int recv_with_method(const Packer &packer, Method m, void *buf, int count,
     return rrc;
   }
   MPI_Status wire_status;
-  const int rc = next.Recv(pipe.wire.get(), pipe.wire_count(), MPI_BYTE,
-                           source, tag, comm, &wire_status);
+  int rc;
+  {
+    trace::ScopedSpan span(trace::Phase::Wire, trace::OpKind::Recv, pipe.bytes,
+                           source, tag, static_cast<std::int8_t>(m));
+    rc = next.Recv(pipe.wire.get(), pipe.wire_count(), MPI_BYTE, source, tag,
+                   comm, &wire_status);
+  }
   if (rc != MPI_SUCCESS) {
     return rc;
   }
+  trace::ScopedSpan span(trace::Phase::Unpack, trace::OpKind::Recv, pipe.bytes,
+                         source, tag, static_cast<std::int8_t>(m));
   const int urc = start_unpack(packer, m, buf, count, pipe, stream);
   // Synchronize on the error path too: start_unpack may have enqueued the
   // staged H2D copy before failing, and the pipeline's buffers must not
@@ -181,10 +212,10 @@ int recv_with_method(const Packer &packer, Method m, void *buf, int count,
 namespace {
 
 struct PipelineCounters {
-  std::atomic<std::uint64_t> sends{0};
-  std::atomic<std::uint64_t> recvs{0};
-  std::atomic<std::uint64_t> chunks{0};
-  std::atomic<std::uint64_t> over_ceiling_bytes{0};
+  trace::Counter sends{"tempi.pipeline.sends"};
+  trace::Counter recvs{"tempi.pipeline.recvs"};
+  trace::Counter chunks{"tempi.pipeline.chunks"};
+  trace::Counter over_ceiling_bytes{"tempi.pipeline.over_ceiling_bytes"};
 };
 
 PipelineCounters &pipeline_counters() {
@@ -197,19 +228,19 @@ PipelineCounters &pipeline_counters() {
 PipelineStats pipeline_stats() {
   const PipelineCounters &c = pipeline_counters();
   return PipelineStats{
-      c.sends.load(std::memory_order_relaxed),
-      c.recvs.load(std::memory_order_relaxed),
-      c.chunks.load(std::memory_order_relaxed),
-      c.over_ceiling_bytes.load(std::memory_order_relaxed),
+      c.sends.value(),
+      c.recvs.value(),
+      c.chunks.value(),
+      c.over_ceiling_bytes.value(),
   };
 }
 
 void reset_pipeline_stats() {
   PipelineCounters &c = pipeline_counters();
-  c.sends.store(0, std::memory_order_relaxed);
-  c.recvs.store(0, std::memory_order_relaxed);
-  c.chunks.store(0, std::memory_order_relaxed);
-  c.over_ceiling_bytes.store(0, std::memory_order_relaxed);
+  c.sends.reset();
+  c.recvs.reset();
+  c.chunks.reset();
+  c.over_ceiling_bytes.reset();
 }
 
 int plan_pipeline_frame(const Packer &packer, int count,
@@ -258,9 +289,9 @@ int send_pipelined(const Packer &packer, const void *buf, int count,
   }
 
   PipelineCounters &pc = pipeline_counters();
-  pc.sends.fetch_add(1, std::memory_order_relaxed);
+  pc.sends.add();
   if (total > wire_chunk_limit()) {
-    pc.over_ceiling_bytes.fetch_add(total, std::memory_order_relaxed);
+    pc.over_ceiling_bytes.add(total);
   }
 
   // Two chunk-sized wire leases ping-pong: while leg i rides the wire,
@@ -270,8 +301,14 @@ int send_pipelined(const Packer &packer, const void *buf, int count,
   vcuda::StreamHandle stream[2] = {vcuda::next_pool_stream(),
                                    vcuda::next_pool_stream()};
   CachedBuffer slot[2];
+  {
+    trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::None,
+                            2 * f.chunk);
+    for (int s = 0; s < 2; ++s) {
+      slot[s] = lease_buffer(vcuda::MemorySpace::Device, f.chunk);
+    }
+  }
   for (int s = 0; s < 2; ++s) {
-    slot[s] = lease_buffer(vcuda::MemorySpace::Device, f.chunk);
     if (lease_failed(slot[s], f.chunk)) {
       return MPI_ERR_OTHER;
     }
@@ -283,8 +320,13 @@ int send_pipelined(const Packer &packer, const void *buf, int count,
                : MPI_ERR_OTHER;
   for (long long leg = 0; rc == MPI_SUCCESS && leg < f.legs; ++leg) {
     const int s = static_cast<int>(leg & 1);
-    // The wire must not depart before this leg's pack completes.
-    vcuda::StreamSynchronize(stream[s]);
+    {
+      // The wire must not depart before this leg's pack completes.
+      trace::ScopedSpan pack(trace::Phase::PackLaunch, trace::OpKind::Send,
+                             0, dest, tag,
+                             static_cast<std::int8_t>(Method::Pipelined));
+      vcuda::StreamSynchronize(stream[s]);
+    }
     // Enqueue the next leg's pack *before* the blocking send: the stream
     // runs ahead of the host, so the pack overlaps this leg's wire time.
     if (leg + 1 < f.legs && f.leg_blocks(leg + 1) > 0) {
@@ -298,12 +340,17 @@ int send_pipelined(const Packer &packer, const void *buf, int count,
     }
     const std::size_t leg_bytes =
         static_cast<std::size_t>(f.leg_blocks(leg)) * blk;
-    rc = next.Send(slot[s].get(), static_cast<int>(leg_bytes), MPI_BYTE,
-                   dest, tag, comm);
+    {
+      trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Send,
+                             leg_bytes, dest, tag,
+                             static_cast<std::int8_t>(Method::Pipelined));
+      rc = next.Send(slot[s].get(), static_cast<int>(leg_bytes), MPI_BYTE,
+                     dest, tag, comm);
+    }
     if (rc != MPI_SUCCESS) {
       break;
     }
-    pc.chunks.fetch_add(1, std::memory_order_relaxed);
+    pc.chunks.add();
   }
   // Drain both streams before the leases return to the cache (also covers
   // the error path, where a pack for the next leg may still be enqueued).
@@ -329,27 +376,34 @@ int send_packed_pipelined(const void *bytes, std::size_t total, int dest,
        std::max<std::size_t>(total, 1)});
 
   PipelineCounters &pc = pipeline_counters();
-  pc.sends.fetch_add(1, std::memory_order_relaxed);
+  pc.sends.add();
   if (total > limit) {
-    pc.over_ceiling_bytes.fetch_add(total, std::memory_order_relaxed);
+    pc.over_ceiling_bytes.add(total);
   }
   const auto *p = static_cast<const std::byte *>(bytes);
   const std::size_t full_legs = total / chunk;
   for (std::size_t leg = 0; leg < full_legs; ++leg) {
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Coll, chunk,
+                           dest, tag);
     const int rc = next.Send(p + leg * chunk, static_cast<int>(chunk),
                              MPI_BYTE, dest, tag, comm);
     if (rc != MPI_SUCCESS) {
       return rc;
     }
-    pc.chunks.fetch_add(1, std::memory_order_relaxed);
+    pc.chunks.add();
   }
   // Final leg: the remainder (strictly smaller than `chunk`), or an empty
   // terminator on even division — also the whole message when total == 0.
   const std::size_t rem = total - full_legs * chunk;
-  const int rc = next.Send(p + full_legs * chunk, static_cast<int>(rem),
-                           MPI_BYTE, dest, tag, comm);
+  int rc;
+  {
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Coll, rem, dest,
+                           tag);
+    rc = next.Send(p + full_legs * chunk, static_cast<int>(rem), MPI_BYTE,
+                   dest, tag, comm);
+  }
   if (rc == MPI_SUCCESS) {
-    pc.chunks.fetch_add(1, std::memory_order_relaxed);
+    pc.chunks.add();
   }
   return rc;
 }
@@ -376,6 +430,7 @@ namespace {
 /// half-open capture when recording fails.
 int capture_on(vcuda::StreamHandle stream, vcuda::GraphHandle *graph,
                const std::function<int()> &record) {
+  trace::ScopedSpan span(trace::Phase::GraphCapture, trace::OpKind::Persistent);
   if (vcuda::GraphBeginCapture(stream) != vcuda::Error::Success) {
     return MPI_ERR_OTHER;
   }
@@ -474,12 +529,12 @@ int replay_pipelined_send(const PipelinedSendProgram &prog, int dest, int tag,
                                               f.blocks_per_leg)
                               : 0;
   PipelineCounters &pc = pipeline_counters();
-  pc.sends.fetch_add(1, std::memory_order_relaxed);
+  pc.sends.add();
   const std::size_t total =
       static_cast<std::size_t>(f.full_legs) * f.chunk +
       static_cast<std::size_t>(f.rem_blocks) * blk;
   if (total > wire_chunk_limit()) {
-    pc.over_ceiling_bytes.fetch_add(total, std::memory_order_relaxed);
+    pc.over_ceiling_bytes.add(total);
   }
   const auto launch_leg = [&](long long leg) {
     vcuda::GraphHandle g = prog.leg_graphs[static_cast<std::size_t>(leg)];
@@ -493,19 +548,29 @@ int replay_pipelined_send(const PipelinedSendProgram &prog, int dest, int tag,
   int rc = launch_leg(0) ? MPI_SUCCESS : MPI_ERR_OTHER;
   for (long long leg = 0; rc == MPI_SUCCESS && leg < f.legs; ++leg) {
     const int s = static_cast<int>(leg & 1);
-    vcuda::StreamFence(prog.stream[s]);
-    if (leg + 1 < f.legs && !launch_leg(leg + 1)) {
-      rc = MPI_ERR_OTHER;
+    {
+      trace::ScopedSpan replay(trace::Phase::GraphReplay,
+                               trace::OpKind::Persistent, 0, dest, tag);
+      vcuda::StreamFence(prog.stream[s]);
+      if (leg + 1 < f.legs && !launch_leg(leg + 1)) {
+        rc = MPI_ERR_OTHER;
+      }
+    }
+    if (rc != MPI_SUCCESS) {
       break;
     }
     const std::size_t leg_bytes =
         static_cast<std::size_t>(f.leg_blocks(leg)) * blk;
-    rc = next.Send(prog.slot[s].get(), static_cast<int>(leg_bytes), MPI_BYTE,
-                   dest, tag, comm);
+    {
+      trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Persistent,
+                             leg_bytes, dest, tag);
+      rc = next.Send(prog.slot[s].get(), static_cast<int>(leg_bytes),
+                     MPI_BYTE, dest, tag, comm);
+    }
     if (rc != MPI_SUCCESS) {
       break;
     }
-    pc.chunks.fetch_add(1, std::memory_order_relaxed);
+    pc.chunks.add();
   }
   // The slots are channel-pinned (not returning to the cache), but the
   // error path must still drain any replayed-but-unsent pack work.
@@ -517,7 +582,7 @@ int replay_pipelined_send(const PipelinedSendProgram &prog, int dest, int tag,
 PackedChunkRecv::PackedChunkRecv(void *dst, std::size_t expected, int source,
                                  int tag, MPI_Comm comm)
     : dst_(dst), expected_(expected), peer_(source), tag_(tag), comm_(comm) {
-  pipeline_counters().recvs.fetch_add(1, std::memory_order_relaxed);
+  pipeline_counters().recvs.add();
 }
 
 int PackedChunkRecv::step(const interpose::MpiTable &next) {
@@ -533,14 +598,18 @@ int PackedChunkRecv::step(const interpose::MpiTable &next) {
                : std::min(std::max<std::size_t>(expected_, 1),
                           wire_chunk_limit());
   MPI_Status st;
-  const int rc = next.Recv(static_cast<std::byte *>(dst_) + received_,
-                           static_cast<int>(cap), MPI_BYTE, peer_, tag_,
-                           comm_, &st);
+  int rc;
+  {
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Coll, cap,
+                           peer_, tag_);
+    rc = next.Recv(static_cast<std::byte *>(dst_) + received_,
+                   static_cast<int>(cap), MPI_BYTE, peer_, tag_, comm_, &st);
+  }
   if (rc != MPI_SUCCESS) {
     return rc;
   }
   const auto leg = static_cast<std::size_t>(st.count_bytes);
-  pipeline_counters().chunks.fetch_add(1, std::memory_order_relaxed);
+  pipeline_counters().chunks.add();
   if (!started_) {
     started_ = true;
     // Later legs belong to the same message: lock the match to the first
@@ -583,7 +652,7 @@ ChunkedRecv::ChunkedRecv(const Packer &packer, void *buf, int count,
       comm_(comm), expected_(packer.packed_bytes(count)) {
   stream_[0] = vcuda::next_pool_stream();
   stream_[1] = vcuda::next_pool_stream();
-  pipeline_counters().recvs.fetch_add(1, std::memory_order_relaxed);
+  pipeline_counters().recvs.add();
 }
 
 int ChunkedRecv::first_step(const interpose::MpiTable &next) {
@@ -593,12 +662,22 @@ int ChunkedRecv::first_step(const interpose::MpiTable &next) {
   // than we can unpack — the system MPI's truncation error reports it).
   const std::size_t cap =
       std::min(std::max<std::size_t>(expected_, 1), wire_chunk_limit());
-  slot_[0] = lease_buffer(vcuda::MemorySpace::Device, cap);
+  {
+    trace::ScopedSpan lease(trace::Phase::LeaseAcquire, trace::OpKind::None,
+                            cap);
+    slot_[0] = lease_buffer(vcuda::MemorySpace::Device, cap);
+  }
   if (lease_failed(slot_[0], cap)) {
     return MPI_ERR_OTHER;
   }
-  const int rc = next.Recv(slot_[0].get(), static_cast<int>(cap), MPI_BYTE,
-                           peer_, tag_, comm_, &first_status_);
+  int rc;
+  {
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Recv, cap,
+                           peer_, tag_,
+                           static_cast<std::int8_t>(Method::Pipelined));
+    rc = next.Recv(slot_[0].get(), static_cast<int>(cap), MPI_BYTE, peer_,
+                   tag_, comm_, &first_status_);
+  }
   if (rc != MPI_SUCCESS) {
     return rc;
   }
@@ -608,7 +687,7 @@ int ChunkedRecv::first_step(const interpose::MpiTable &next) {
   peer_ = first_status_.MPI_SOURCE;
   tag_ = first_status_.MPI_TAG;
   chunk_ = static_cast<std::size_t>(first_status_.count_bytes);
-  pipeline_counters().chunks.fetch_add(1, std::memory_order_relaxed);
+  pipeline_counters().chunks.add();
   legs_ = 1;
   if (chunk_ == 0) {
     done_ = true; // degenerate: an empty message
@@ -658,6 +737,9 @@ int ChunkedRecv::unpack_leg(std::size_t leg_bytes, int slot) {
   if (blocks_done_ + n > packer_.total_blocks(count_)) {
     return MPI_ERR_TRUNCATE;
   }
+  trace::ScopedSpan span(trace::Phase::Unpack, trace::OpKind::Recv, leg_bytes,
+                         peer_, tag_,
+                         static_cast<std::int8_t>(Method::Pipelined));
   const vcuda::Error e = packer_.unpack_range_async(
       buf_, slot_[slot].get(), blocks_done_, n, stream_[slot]);
   if (e != vcuda::Error::Success) {
@@ -690,8 +772,13 @@ int ChunkedRecv::step(const interpose::MpiTable &next) {
       if (lease_failed(scratch, room)) {
         return MPI_ERR_OTHER;
       }
-      rc = next.Recv(scratch.get(), static_cast<int>(room), MPI_BYTE, peer_,
-                     tag_, comm_, &leg_status);
+      {
+        trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Recv, room,
+                               peer_, tag_,
+                               static_cast<std::int8_t>(Method::Pipelined));
+        rc = next.Recv(scratch.get(), static_cast<int>(room), MPI_BYTE, peer_,
+                       tag_, comm_, &leg_status);
+      }
       if (rc != MPI_SUCCESS) {
         return rc;
       }
@@ -701,6 +788,9 @@ int ChunkedRecv::step(const interpose::MpiTable &next) {
                          vcuda::MemcpyKind::DeviceToDevice, stream_[0]);
       vcuda::StreamSynchronize(stream_[0]); // scratch returns to the cache
     } else {
+      trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Recv, chunk_,
+                             peer_, tag_,
+                             static_cast<std::int8_t>(Method::Pipelined));
       rc = next.Recv(static_cast<std::byte *>(slot_[0].get()) + received_,
                      static_cast<int>(chunk_), MPI_BYTE, peer_, tag_, comm_,
                      &leg_status);
@@ -709,9 +799,17 @@ int ChunkedRecv::step(const interpose::MpiTable &next) {
       }
     }
   } else {
-    // Before reusing this slot, its unpack from two legs ago must have
-    // drained; the other slot's unpack keeps overlapping this wire wait.
-    vcuda::StreamSynchronize(stream_[s]);
+    {
+      // Before reusing this slot, its unpack from two legs ago must have
+      // drained; the other slot's unpack keeps overlapping this wire wait.
+      trace::ScopedSpan drain(trace::Phase::Unpack, trace::OpKind::Recv, 0,
+                              peer_, tag_,
+                              static_cast<std::int8_t>(Method::Pipelined));
+      vcuda::StreamSynchronize(stream_[s]);
+    }
+    trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Recv, chunk_,
+                           peer_, tag_,
+                           static_cast<std::int8_t>(Method::Pipelined));
     rc = next.Recv(slot_[s].get(), static_cast<int>(chunk_), MPI_BYTE, peer_,
                    tag_, comm_, &leg_status);
     if (rc != MPI_SUCCESS) {
@@ -719,7 +817,7 @@ int ChunkedRecv::step(const interpose::MpiTable &next) {
     }
   }
   const auto leg_bytes = static_cast<std::size_t>(leg_status.count_bytes);
-  pipeline_counters().chunks.fetch_add(1, std::memory_order_relaxed);
+  pipeline_counters().chunks.add();
   ++legs_;
   if (received_ + leg_bytes > expected_) {
     return MPI_ERR_TRUNCATE;
@@ -773,6 +871,9 @@ void ChunkedRecv::append_streams(
 }
 
 void ChunkedRecv::synchronize() {
+  trace::ScopedSpan drain(trace::Phase::Unpack, trace::OpKind::Recv,
+                          received_, peer_, tag_,
+                          static_cast<std::int8_t>(Method::Pipelined));
   vcuda::StreamSynchronize(stream_[0]);
   vcuda::StreamSynchronize(stream_[1]);
 }

@@ -16,6 +16,7 @@
 #include "tempi/measure.hpp"
 #include "tempi/methods.hpp"
 #include "tempi/strided_block.hpp"
+#include "tempi/trace.hpp"
 #include "tempi/translate.hpp"
 #include "vcuda/runtime.hpp"
 
@@ -84,22 +85,25 @@ struct State {
   std::atomic<SendMode> mode{SendMode::Auto};
   std::atomic<bool> persistent_enabled{true};
 
-  std::atomic<std::uint64_t> method_memo_hits{0};
-  std::atomic<std::uint64_t> persistent_forwarded{0};
+  // Interposer counters live in the metrics registry (trace.hpp): each is
+  // a named self-registering atomic, and send_stats() below is a snapshot
+  // view over them rather than separate hand-maintained plumbing.
+  trace::Counter method_memo_hits{"tempi.model.memo_hits"};
+  trace::Counter persistent_forwarded{"tempi.persistent.forwarded"};
 
-  std::atomic<std::uint64_t> sends_oneshot{0};
-  std::atomic<std::uint64_t> sends_device{0};
-  std::atomic<std::uint64_t> sends_staged{0};
-  std::atomic<std::uint64_t> sends_pipelined{0};
-  std::atomic<std::uint64_t> sends_forwarded{0};
+  trace::Counter sends_oneshot{"tempi.send.oneshot"};
+  trace::Counter sends_device{"tempi.send.device"};
+  trace::Counter sends_staged{"tempi.send.staged"};
+  trace::Counter sends_pipelined{"tempi.send.pipelined"};
+  trace::Counter sends_forwarded{"tempi.send.forwarded"};
 
-  std::atomic<std::uint64_t> isends_oneshot{0};
-  std::atomic<std::uint64_t> isends_device{0};
-  std::atomic<std::uint64_t> isends_staged{0};
-  std::atomic<std::uint64_t> isends_pipelined{0};
-  std::atomic<std::uint64_t> isends_forwarded{0};
-  std::atomic<std::uint64_t> irecvs_accelerated{0};
-  std::atomic<std::uint64_t> irecvs_forwarded{0};
+  trace::Counter isends_oneshot{"tempi.isend.oneshot"};
+  trace::Counter isends_device{"tempi.isend.device"};
+  trace::Counter isends_staged{"tempi.isend.staged"};
+  trace::Counter isends_pipelined{"tempi.isend.pipelined"};
+  trace::Counter isends_forwarded{"tempi.isend.forwarded"};
+  trace::Counter irecvs_accelerated{"tempi.irecv.accelerated"};
+  trace::Counter irecvs_forwarded{"tempi.irecv.forwarded"};
 
   std::once_flag perf_loaded;
 };
@@ -253,6 +257,11 @@ int tempi_Init(int *argc, char ***argv) {
 int tempi_Finalize() {
   State &s = state();
   drain_buffer_cache(); // this rank's cached intermediates
+  // Observability fires here, not only at uninstall(): applications that
+  // never call tempi::uninstall() still get their trace file and stats
+  // report. flush() is idempotent, so every rank's Finalize re-writing
+  // the (complete-so-far) trace is cheap and the last one wins.
+  trace::flush();
   // Retired packers are NOT cleared here: Finalize is per rank, and other
   // ranks of this process may still be mid-send with raw packer pointers.
   // uninstall() is the process-wide quiescent point that destroys them.
@@ -515,14 +524,17 @@ std::optional<TransferChoice> acceleration_method(const Packer *packer,
       transfer_config_generation();
   if (const auto memo = packer->cached_transfer(count, gen)) {
     vcuda::this_thread_timeline().advance(kMethodMemoHitNs);
-    s.method_memo_hits.fetch_add(1, std::memory_order_relaxed);
+    s.method_memo_hits.add();
     return *memo;
   }
   TransferChoice choice;
   {
+    trace::ScopedSpan span(trace::Phase::ModelChoice, trace::OpKind::None,
+                           total);
     const std::shared_lock<std::shared_mutex> lock(s.model_mutex);
     choice = s.model.choose_transfer(
         static_cast<std::size_t>(packer->block().block_bytes()), total);
+    span.set_method(static_cast<std::int8_t>(choice.method));
   }
   packer->remember_transfer(count, gen, choice);
   return choice;
@@ -561,25 +573,25 @@ int tempi_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
           vcuda::Error::Success) {
         return MPI_ERR_OTHER;
       }
-      s.sends_device.fetch_add(1, std::memory_order_relaxed);
+      s.sends_device.add();
       return s.next.Send(dev.get(), static_cast<int>(bytes), MPI_BYTE, dest,
                          tag, comm);
     }
-    s.sends_forwarded.fetch_add(1, std::memory_order_relaxed);
+    s.sends_forwarded.add();
     return s.next.Send(buf, count, datatype, dest, tag, comm);
   }
   switch (method->method) {
   case Method::OneShot:
-    s.sends_oneshot.fetch_add(1, std::memory_order_relaxed);
+    s.sends_oneshot.add();
     break;
   case Method::Device:
-    s.sends_device.fetch_add(1, std::memory_order_relaxed);
+    s.sends_device.add();
     break;
   case Method::Staged:
-    s.sends_staged.fetch_add(1, std::memory_order_relaxed);
+    s.sends_staged.add();
     break;
   case Method::Pipelined:
-    s.sends_pipelined.fetch_add(1, std::memory_order_relaxed);
+    s.sends_pipelined.add();
     return send_pipelined(*packer, buf, count, dest, tag, comm,
                           method->chunk_bytes, s.next);
   }
@@ -683,25 +695,25 @@ int tempi_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
   const auto method = acceleration_method(packer, buf, count);
   if (!method) {
     if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
-      s.isends_device.fetch_add(1, std::memory_order_relaxed);
+      s.isends_device.add();
       return async::start_isend_blocklist(bl, buf, count, dest, tag, comm,
                                           s.next, request);
     }
-    s.isends_forwarded.fetch_add(1, std::memory_order_relaxed);
+    s.isends_forwarded.add();
     return s.next.Isend(buf, count, datatype, dest, tag, comm, request);
   }
   switch (method->method) {
   case Method::OneShot:
-    s.isends_oneshot.fetch_add(1, std::memory_order_relaxed);
+    s.isends_oneshot.add();
     break;
   case Method::Device:
-    s.isends_device.fetch_add(1, std::memory_order_relaxed);
+    s.isends_device.add();
     break;
   case Method::Staged:
-    s.isends_staged.fetch_add(1, std::memory_order_relaxed);
+    s.isends_staged.add();
     break;
   case Method::Pipelined:
-    s.isends_pipelined.fetch_add(1, std::memory_order_relaxed);
+    s.isends_pipelined.add();
     break;
   }
   return async::start_isend(packer, method->method, buf, count, dest, tag,
@@ -721,14 +733,14 @@ int tempi_Irecv(void *buf, int count, MPI_Datatype datatype, int source,
   const auto method = acceleration_method(packer, buf, count);
   if (!method) {
     if (const auto bl = blocklist_acceleration(datatype, buf, count)) {
-      s.irecvs_accelerated.fetch_add(1, std::memory_order_relaxed);
+      s.irecvs_accelerated.add();
       return async::start_irecv_blocklist(bl, buf, count, source, tag, comm,
                                           s.next, request);
     }
-    s.irecvs_forwarded.fetch_add(1, std::memory_order_relaxed);
+    s.irecvs_forwarded.add();
     return s.next.Irecv(buf, count, datatype, source, tag, comm, request);
   }
-  s.irecvs_accelerated.fetch_add(1, std::memory_order_relaxed);
+  s.irecvs_accelerated.add();
   return async::start_irecv(packer, method->method, buf, count, source, tag,
                             comm, s.next, request);
 }
@@ -816,6 +828,8 @@ std::optional<TransferChoice> persistent_choice(const Packer *packer,
   case SendMode::ForcePipelined: return forced(Method::Pipelined);
   case SendMode::Auto: break;
   }
+  trace::ScopedSpan span(trace::Phase::ModelChoice, trace::OpKind::Persistent,
+                         total);
   const std::shared_lock<std::shared_mutex> lock(s.model_mutex);
   return s.model.choose_persistent(
       static_cast<std::size_t>(packer->block().block_bytes()), total);
@@ -837,7 +851,7 @@ int tempi_Send_init(const void *buf, int count, MPI_Datatype datatype,
                               tag, comm, s.next, request);
     }
   }
-  s.persistent_forwarded.fetch_add(1, std::memory_order_relaxed);
+  s.persistent_forwarded.add();
   return s.next.Send_init(buf, count, datatype, dest, tag, comm, request);
 }
 
@@ -855,7 +869,7 @@ int tempi_Recv_init(void *buf, int count, MPI_Datatype datatype, int source,
                               tag, comm, s.next, request);
     }
   }
-  s.persistent_forwarded.fetch_add(1, std::memory_order_relaxed);
+  s.persistent_forwarded.add();
   return s.next.Recv_init(buf, count, datatype, source, tag, comm, request);
 }
 
@@ -1024,6 +1038,22 @@ void install() {
                                std::memory_order_relaxed);
     support::log_info("tempi: TEMPI_PERSISTENT=", env);
   }
+  // Observability: TEMPI_TRACE=<path> / TEMPI_STATS=1 arm the tracer and
+  // hook vcuda's device-op intervals; the perf-model choice cache keeps
+  // its own storage and is surfaced to the registry as gauges.
+  trace::configure_from_env();
+  trace::register_gauge("tempi.model.cache_hits",
+                        [] { return model_cache_stats().hits; });
+  trace::register_gauge("tempi.model.cache_misses",
+                        [] { return model_cache_stats().misses; });
+  if (trace::enabled()) {
+    support::log_info("tempi: tracing armed (TEMPI_TRACE=",
+                      trace::trace_path().empty()
+                          ? "<unset>"
+                          : trace::trace_path().c_str(),
+                      ", stats ", trace::stats_requested() ? "on" : "off",
+                      ")");
+  }
   interpose::install(table);
   s.installed = true;
   support::log_info("tempi: interposer installed (collectives engine ",
@@ -1057,6 +1087,7 @@ void uninstall() {
     s.retired_packers.clear(); // quiescent: the request pool was drained
     bump_handle_generation(s);
   }
+  trace::flush(); // trace file + stats report (no-op if already flushed)
   s.installed = false;
   support::log_info("tempi: interposer removed");
 }
@@ -1115,21 +1146,21 @@ SendStats send_stats() {
   const coll::CollStats coll = coll::coll_stats();
   const async::PersistentStats pers = async::persistent_stats();
   return SendStats{
-      s.sends_oneshot.load(std::memory_order_relaxed),
-      s.sends_device.load(std::memory_order_relaxed),
-      s.sends_staged.load(std::memory_order_relaxed),
-      s.sends_forwarded.load(std::memory_order_relaxed),
-      s.isends_oneshot.load(std::memory_order_relaxed),
-      s.isends_device.load(std::memory_order_relaxed),
-      s.isends_staged.load(std::memory_order_relaxed),
-      s.isends_forwarded.load(std::memory_order_relaxed),
-      s.irecvs_accelerated.load(std::memory_order_relaxed),
-      s.irecvs_forwarded.load(std::memory_order_relaxed),
+      s.sends_oneshot.value(),
+      s.sends_device.value(),
+      s.sends_staged.value(),
+      s.sends_forwarded.value(),
+      s.isends_oneshot.value(),
+      s.isends_device.value(),
+      s.isends_staged.value(),
+      s.isends_forwarded.value(),
+      s.irecvs_accelerated.value(),
+      s.irecvs_forwarded.value(),
       model_cache_stats().hits,
       model_cache_stats().misses,
-      s.method_memo_hits.load(std::memory_order_relaxed),
-      s.sends_pipelined.load(std::memory_order_relaxed),
-      s.isends_pipelined.load(std::memory_order_relaxed),
+      s.method_memo_hits.value(),
+      s.sends_pipelined.value(),
+      s.isends_pipelined.value(),
       pipe.chunks,
       pipe.over_ceiling_bytes,
       coll.alltoallv,
@@ -1140,26 +1171,26 @@ SendStats send_stats() {
       pers.starts,
       pers.replay_hits,
       pers.graph_launches,
-      s.persistent_forwarded.load(std::memory_order_relaxed),
+      s.persistent_forwarded.value(),
   };
 }
 
 void reset_send_stats() {
   State &s = state();
-  s.sends_oneshot.store(0, std::memory_order_relaxed);
-  s.sends_device.store(0, std::memory_order_relaxed);
-  s.sends_staged.store(0, std::memory_order_relaxed);
-  s.sends_pipelined.store(0, std::memory_order_relaxed);
-  s.sends_forwarded.store(0, std::memory_order_relaxed);
-  s.isends_oneshot.store(0, std::memory_order_relaxed);
-  s.isends_device.store(0, std::memory_order_relaxed);
-  s.isends_staged.store(0, std::memory_order_relaxed);
-  s.isends_pipelined.store(0, std::memory_order_relaxed);
-  s.isends_forwarded.store(0, std::memory_order_relaxed);
-  s.irecvs_accelerated.store(0, std::memory_order_relaxed);
-  s.irecvs_forwarded.store(0, std::memory_order_relaxed);
-  s.method_memo_hits.store(0, std::memory_order_relaxed);
-  s.persistent_forwarded.store(0, std::memory_order_relaxed);
+  s.sends_oneshot.reset();
+  s.sends_device.reset();
+  s.sends_staged.reset();
+  s.sends_pipelined.reset();
+  s.sends_forwarded.reset();
+  s.isends_oneshot.reset();
+  s.isends_device.reset();
+  s.isends_staged.reset();
+  s.isends_pipelined.reset();
+  s.isends_forwarded.reset();
+  s.irecvs_accelerated.reset();
+  s.irecvs_forwarded.reset();
+  s.method_memo_hits.reset();
+  s.persistent_forwarded.reset();
   reset_model_cache_stats();
   reset_pipeline_stats();
   coll::reset_coll_stats();

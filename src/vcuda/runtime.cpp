@@ -70,6 +70,18 @@ ThreadStreamPool &this_thread_stream_pool() {
 
 void host_advance(VirtualNs ns) { this_thread_timeline().advance(ns); }
 
+/// The observability hook (see runtime.hpp). Unset is the common case and
+/// costs one relaxed load per modeled device op.
+std::atomic<TraceHook> g_trace_hook{nullptr};
+
+/// Report a device op that completes at `end` after running `dur` ns.
+void note_device_op(TraceOp op, const Stream *stream, VirtualNs end,
+                    VirtualNs dur, std::size_t bytes) {
+  if (const TraceHook hook = g_trace_hook.load(std::memory_order_relaxed)) {
+    hook(op, end - dur, end, bytes, stream);
+  }
+}
+
 } // namespace
 
 /// One recorded stream operation. Kernel nodes keep their KernelCost so
@@ -453,8 +465,9 @@ Error MemcpyAsync(void *dst, const void *src, std::size_t bytes,
   }
   const VirtualNs dur =
       memcpy_duration(p, bytes, kind, touches_pageable(dst, src));
-  stream->enqueue(virtual_now(), dur);
+  const VirtualNs end = stream->enqueue(virtual_now(), dur);
   std::memcpy(dst, src, bytes); // payload really moves
+  note_device_op(TraceOp::Memcpy, stream, end, dur, bytes);
   return Error::Success;
 }
 
@@ -512,8 +525,9 @@ Error Memcpy2DAsync(void *dst, std::size_t dpitch, const void *src,
     capture_node(capture, Graph::Node{Graph::Node::Kind::Copy, {}, dur, body});
     return Error::Success;
   }
-  stream->enqueue(virtual_now(), dur);
+  const VirtualNs end = stream->enqueue(virtual_now(), dur);
   body();
+  note_device_op(TraceOp::Memcpy, stream, end, dur, total);
   return Error::Success;
 }
 
@@ -543,8 +557,9 @@ Error MemsetAsync(void *ptr, int value, std::size_t bytes,
   }
   const VirtualNs dur =
       memcpy_duration(p, bytes, MemcpyKind::DeviceToDevice, false);
-  stream->enqueue(virtual_now(), dur);
+  const VirtualNs end = stream->enqueue(virtual_now(), dur);
   std::memset(ptr, value, bytes);
+  note_device_op(TraceOp::Memcpy, stream, end, dur, bytes);
   return Error::Success;
 }
 
@@ -570,8 +585,9 @@ Error LaunchKernel(const LaunchConfig &cfg, const KernelCost &cost,
   host_advance(p.kernel_launch_ns);
   counters64().kernel_launches.fetch_add(1, std::memory_order_relaxed);
   const VirtualNs dur = kernel_duration(p, cost);
-  stream->enqueue(virtual_now(), dur);
+  const VirtualNs end = stream->enqueue(virtual_now(), dur);
   body();
+  note_device_op(TraceOp::Kernel, stream, end, dur, 0);
   return Error::Success;
 }
 
@@ -645,8 +661,11 @@ Error GraphLaunch(GraphHandle graph, StreamHandle stream) {
       // for the (smaller) in-graph scheduling cost.
       dur = live - std::min(live, p.kernel_fixed_ns) + p.graph_node_sched_ns;
     }
-    stream->enqueue(virtual_now(), dur);
+    const VirtualNs end = stream->enqueue(virtual_now(), dur);
     node.body();
+    note_device_op(node.kind == Graph::Node::Kind::Kernel ? TraceOp::Kernel
+                                                          : TraceOp::Memcpy,
+                   stream, end, dur, 0);
   }
   return Error::Success;
 }
@@ -669,6 +688,10 @@ Error StreamFence(StreamHandle stream) {
   tl.advance(cost_params().stream_fence_ns);
   counters64().stream_fences.fetch_add(1, std::memory_order_relaxed);
   return Error::Success;
+}
+
+void set_trace_hook(TraceHook hook) {
+  g_trace_hook.store(hook, std::memory_order_relaxed);
 }
 
 Counters counters() {

@@ -181,6 +181,22 @@ Error GraphDestroy(GraphHandle graph);
 /// recorded across replays.
 Error StreamFence(StreamHandle stream);
 
+// --- observability -----------------------------------------------------------
+
+/// Kind of device-side work reported to the trace hook.
+enum class TraceOp : std::uint8_t { Kernel, Memcpy };
+
+/// Observability hook: called after each modeled device operation (live
+/// launch, async copy/memset, or graph-replayed node) with its modeled
+/// device-side execution interval [t0, t1) and the stream it ran on. The
+/// hook must be cheap and safe to call from any rank thread; pass nullptr
+/// to remove it. Cost when unset: one relaxed atomic load per enqueue.
+/// vcuda stays independent of higher layers — tempi's tracer registers
+/// itself here.
+using TraceHook = void (*)(TraceOp op, VirtualNs t0, VirtualNs t1,
+                           std::size_t bytes, const Stream *stream);
+void set_trace_hook(TraceHook hook);
+
 // --- accounting --------------------------------------------------------------
 
 /// Counters for tests/ablations (per process, monotonically increasing).
