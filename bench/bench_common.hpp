@@ -9,6 +9,7 @@
 #include "support/stats.hpp"
 #include "sysmpi/mpi.hpp"
 #include "sysmpi/world.hpp"
+#include "tempi/perf_model.hpp"
 #include "tempi/tempi.hpp"
 #include "tempi/trace.hpp"
 #include "vcuda/runtime.hpp"
@@ -191,7 +192,18 @@ inline void emit_json(const std::string &name, const std::string &config,
                  ps.total_us);
     sep = ",\n";
   }
-  std::fprintf(f, "%s}\n}\n", sep[0] == ',' ? "\n  " : "");
+  std::fprintf(f, "%s},\n", sep[0] == ',' ? "\n  " : "");
+  // Self-tuning model provenance: where the calibration came from, which
+  // generation the tables ended the run on, and how much the tuner saw.
+  const tempi::tune::TunerStats tuner = tempi::tune::stats();
+  std::fprintf(f,
+               "  \"model\": {\"calibration\": \"%s\", \"generation\": %llu, "
+               "\"observations\": %llu, \"updates\": %llu}\n}\n",
+               tempi::model_calibration_source().c_str(),
+               static_cast<unsigned long long>(
+                   tempi::tune::refresh_generation()),
+               static_cast<unsigned long long>(tuner.observations),
+               static_cast<unsigned long long>(tuner.updates));
   std::fclose(f);
 }
 

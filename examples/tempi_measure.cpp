@@ -6,8 +6,10 @@
 //   default output: $TEMPI_PERF_FILE or ./tempi_perf.txt
 #include "tempi/measure.hpp"
 #include "tempi/perf_model.hpp"
+#include "tempi/tempi.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 int main(int argc, char **argv) {
   const std::string path = argc > 1 ? argv[1] : tempi::perf_file_path();
@@ -38,5 +40,18 @@ int main(int argc, char **argv) {
   std::printf("  %-22s %9.1fus %9.1fus  (4 MiB object)\n", "one-shot pack",
               perf.oneshot_pack.query(1.0, 4194304.0),
               perf.oneshot_pack.query(128.0, 4194304.0));
+
+  // Round-trip: install() must bootstrap its model from the file we just
+  // wrote — the same TEMPI_PERF_FILE path an application would use.
+  setenv("TEMPI_PERF_FILE", path.c_str(), 1);
+  tempi::install();
+  const std::string source = tempi::model_calibration_source();
+  tempi::uninstall();
+  std::printf("\ninstall() calibration source: %s\n", source.c_str());
+  if (source.rfind("file:", 0) != 0) {
+    std::fprintf(stderr,
+                 "error: install() did not load the measured tables\n");
+    return 1;
+  }
   return 0;
 }

@@ -81,6 +81,10 @@ struct PersistentChannel {
   PersistentProgram prog; ///< monolithic program (pinned leases + graph)
   std::unique_ptr<PipelinedSendProgram> pipeprog; ///< pipelined send only
   std::uint64_t leg_graph_count = 0; ///< pipelined: graphs per replay
+  std::size_t chunk_bytes = 0; ///< frozen Pipelined leg target (else 0)
+  /// tune::refresh_generation() snapshot this channel's plan was frozen
+  /// against; Start re-chooses lazily when the live value moves.
+  std::uint64_t frozen_gen = 0;
 
   /// Pipelined receive only: rebuilt per arming (the sender's first leg
   /// sizes its chunks, which cannot be frozen at init).
@@ -292,8 +296,22 @@ int complete_recv(AsyncOp &op, const interpose::MpiTable &next, bool sync) {
   trace::ScopedSpan unpack(trace::Phase::Unpack, trace::OpKind::Irecv,
                            op.pipe.bytes, op.peer, op.tag,
                            static_cast<std::int8_t>(op.method));
+  // Tuner harvest: only the synchronous completion path is a clean
+  // launch+sync sample (deferred batched syncs measure elsewhere), and
+  // only canonical-packer ops carry the {block, total} key.
+  tune::ScopedObservation obs(op.method == Method::OneShot
+                                  ? tune::Axis::OneshotUnpack
+                                  : tune::Axis::DeviceUnpack,
+                              op.packer != nullptr
+                                  ? static_cast<std::size_t>(
+                                        op.packer->wire_block_bytes())
+                                  : 0,
+                              op.pipe.bytes,
+                              sync && op.packer != nullptr &&
+                                  op.method != Method::Staged);
   const int urc = post_unpack(op);
   if (urc != MPI_SUCCESS) {
+    obs.disarm();
     return urc;
   }
   op.phase = OpPhase::UnpackPending;
@@ -688,6 +706,71 @@ int start_irecv_blocklist(std::shared_ptr<const BlockListPacker> packer,
   return MPI_SUCCESS;
 }
 
+namespace {
+
+std::atomic<RechooseFn> g_rechoose{nullptr};
+
+/// Lazy re-freeze (tentpole (c)): when a tuned model landed since this
+/// channel froze, re-run the exhaustive search once and re-record the
+/// program only if the plan actually changed. The no-bump hot path is a
+/// single relaxed generation load; the generation is consumed before the
+/// search so a channel re-chooses at most once per bump even when the
+/// search keeps the old plan.
+int maybe_refreeze(PersistentChannel &ch) {
+  const std::uint64_t gen = tune::refresh_generation();
+  if (gen == ch.frozen_gen) {
+    return MPI_SUCCESS;
+  }
+  ch.frozen_gen = gen;
+  const RechooseFn rechoose = g_rechoose.load(std::memory_order_acquire);
+  if (rechoose == nullptr || ch.packer == nullptr) {
+    return MPI_SUCCESS;
+  }
+  const void *buf = ch.is_send ? ch.send_buf : ch.recv_buf;
+  const std::optional<TransferChoice> choice =
+      rechoose(*ch.packer, buf, ch.count);
+  if (!choice ||
+      (choice->method == ch.method &&
+       (choice->method != Method::Pipelined ||
+        choice->chunk_bytes == ch.chunk_bytes))) {
+    return MPI_SUCCESS; // same plan: keep the recorded program
+  }
+  // The tuned tables changed the plan: drop the old program (graphs +
+  // pinned leases) and record a fresh one in place.
+  ch.prog.clear();
+  ch.pipeprog.reset();
+  ch.leg_graph_count = 0;
+  ch.method = choice->method;
+  ch.chunk_bytes = choice->chunk_bytes;
+  int rc = MPI_SUCCESS;
+  if (ch.is_send) {
+    if (choice->method == Method::Pipelined) {
+      ch.pipeprog = std::make_unique<PipelinedSendProgram>();
+      rc = record_pipelined_send(*ch.packer, ch.send_buf, ch.count,
+                                 choice->chunk_bytes, ch.pipeprog.get());
+      if (rc == MPI_SUCCESS) {
+        for (vcuda::GraphHandle g : ch.pipeprog->leg_graphs) {
+          ch.leg_graph_count += g != nullptr ? 1 : 0;
+        }
+      }
+    } else {
+      rc = record_persistent_send(*ch.packer, choice->method, ch.send_buf,
+                                  ch.count, &ch.prog);
+    }
+  } else if (choice->method != Method::Pipelined) {
+    rc = record_persistent_recv(*ch.packer, choice->method, ch.recv_buf,
+                                ch.count, &ch.prog);
+  } // a Pipelined receive records nothing: ChunkedRecv re-arms per Start
+  tune::note_refreeze();
+  return rc;
+}
+
+} // namespace
+
+void set_persistent_rechoose(RechooseFn fn) {
+  g_rechoose.store(fn, std::memory_order_release);
+}
+
 int send_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
               const void *buf, int count, int dest, int tag, MPI_Comm comm,
               const interpose::MpiTable & /*next*/, MPI_Request *request) {
@@ -700,6 +783,8 @@ int send_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
   ch->peer = dest;
   ch->tag = tag;
   ch->comm = comm;
+  ch->chunk_bytes = choice.chunk_bytes;
+  ch->frozen_gen = tune::refresh_generation();
   int rc = MPI_SUCCESS;
   if (choice.method == Method::Pipelined) {
     ch->pipeprog = std::make_unique<PipelinedSendProgram>();
@@ -736,6 +821,8 @@ int recv_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
   ch->peer = source;
   ch->tag = tag;
   ch->comm = comm;
+  ch->chunk_bytes = choice.chunk_bytes;
+  ch->frozen_gen = tune::refresh_generation();
   if (choice.method != Method::Pipelined) {
     const int rc = record_persistent_recv(*ch->packer, choice.method, buf,
                                           count, &ch->prog);
@@ -759,6 +846,9 @@ int start(MPI_Request *request, const interpose::MpiTable &next) {
   PersistentChannel *ch = find_channel(*request);
   if (ch == nullptr || ch->active) {
     return MPI_ERR_ARG; // not a channel, or Start on an armed channel
+  }
+  if (const int rc = maybe_refreeze(*ch); rc != MPI_SUCCESS) {
+    return rc;
   }
   Pool &p = pool();
   p.p_starts.add();

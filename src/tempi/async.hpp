@@ -47,6 +47,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 
 namespace tempi::async {
 
@@ -154,8 +155,24 @@ int recv_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
               const interpose::MpiTable &next, MPI_Request *request);
 
 /// Arm a channel (near-O(1) replay). Precondition: owns(*request) and the
-/// channel is inactive (double-Start is MPI_ERR_ARG).
+/// channel is inactive (double-Start is MPI_ERR_ARG). When a tuned model
+/// landed since the channel froze (tune::refresh_generation() moved), the
+/// arm first re-runs the exhaustive search through the rechoose callback
+/// below and re-records the program if the plan changed — at most one
+/// re-search per generation bump, and a single relaxed generation load on
+/// the unchanged hot path, so Start never blocks on model queries in
+/// steady state.
 int start(MPI_Request *request, const interpose::MpiTable &next);
+
+/// The re-freeze search: tempi.cpp's install() registers the same gate
+/// Send_init/Recv_init used (mode checks + PerfModel::choose_persistent),
+/// so a lazily re-frozen channel and a freshly created one always agree.
+/// nullopt means "would forward now": the channel keeps its frozen plan —
+/// a live channel cannot be demoted to the system path mid-lifetime.
+using RechooseFn = std::optional<TransferChoice> (*)(const Packer &packer,
+                                                     const void *buf,
+                                                     int count);
+void set_persistent_rechoose(RechooseFn fn);
 
 /// Arm a mixed array: TEMPI channels replay, system persistent requests
 /// forward to next.Start.

@@ -166,9 +166,15 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
     }
     trace::ScopedSpan pack(trace::Phase::PackLaunch, trace::OpKind::Coll,
                            stotal, -1, tag);
+    // Tuner harvest: the fused gather is a clean launch+sync device-pack
+    // sample at the collective's {block, total} key.
+    tune::ScopedObservation obs(
+        tune::Axis::DevicePack,
+        static_cast<std::size_t>(spk->wire_block_bytes()), stotal);
     vcuda::StreamHandle pack_stream = vcuda::next_pool_stream();
     if (spk->pack_spans_async(sstage.get(), sendbuf, spans, pack_stream) !=
         vcuda::Error::Success) {
+      obs.disarm();
       vcuda::StreamSynchronize(pack_stream);
       return MPI_ERR_OTHER;
     }
@@ -346,9 +352,15 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
     }
     trace::ScopedSpan unpack(trace::Phase::Unpack, trace::OpKind::Coll,
                              rtotal, -1, tag);
+    tune::ScopedObservation obs(
+        tune::Axis::DeviceUnpack,
+        static_cast<std::size_t>(rpk->wire_block_bytes()), rtotal);
     const vcuda::Error e =
         rpk->unpack_spans_async(recvbuf, rstage.get(), spans, tail_stream);
     vcuda::StreamSynchronize(tail_stream);
+    if (e != vcuda::Error::Success) {
+      obs.disarm();
+    }
     return e == vcuda::Error::Success ? MPI_SUCCESS : MPI_ERR_OTHER;
   }
   if (tail_stream != nullptr) {

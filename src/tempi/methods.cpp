@@ -136,19 +136,35 @@ int send_with_method(const Packer &packer, Method m, const void *buf,
   // Pool streams keep this message's legs off the default stream, so it
   // neither waits for nor delays unrelated work enqueued there.
   vcuda::StreamHandle stream = vcuda::next_pool_stream();
+  const auto blk = static_cast<std::size_t>(packer.wire_block_bytes());
   PackPipeline pipe;
   {
     trace::ScopedSpan span(trace::Phase::PackLaunch, trace::OpKind::Send, 0,
                            dest, tag, static_cast<std::int8_t>(m));
+    // Harvest the measured pack duration for the tuner (Staged packs into
+    // device staging and then copies D2H inside start_pack, so its span
+    // is not a clean kernel sample — skip it).
+    tune::ScopedObservation obs(m == Method::OneShot
+                                    ? tune::Axis::OneshotPack
+                                    : tune::Axis::DevicePack,
+                                blk, 0, m != Method::Staged);
     const int rc = start_pack(packer, m, buf, count, stream, &pipe);
     if (rc != MPI_SUCCESS) {
       return rc;
     }
     span.set_bytes(pipe.bytes);
+    obs.set_total(pipe.bytes);
     vcuda::StreamSynchronize(stream);
   }
   trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Send, pipe.bytes,
                          dest, tag, static_cast<std::int8_t>(m));
+  // Sender-side wire durations are only trustworthy for rendezvous-sized
+  // payloads (wire_observable); the Device method rides the CUDA-aware
+  // wire, the host-intermediate methods ride the CPU wire.
+  tune::ScopedObservation obs(m == Method::Device ? tune::Axis::GpuWire
+                                                  : tune::Axis::CpuWire,
+                              0, pipe.bytes,
+                              tune::wire_observable(pipe.bytes));
   return next.Send(pipe.wire.get(), pipe.wire_count(), MPI_BYTE, dest, tag,
                    comm);
 }
@@ -191,12 +207,19 @@ int recv_with_method(const Packer &packer, Method m, void *buf, int count,
   }
   trace::ScopedSpan span(trace::Phase::Unpack, trace::OpKind::Recv, pipe.bytes,
                          source, tag, static_cast<std::int8_t>(m));
+  tune::ScopedObservation obs(m == Method::OneShot
+                                  ? tune::Axis::OneshotUnpack
+                                  : tune::Axis::DeviceUnpack,
+                              static_cast<std::size_t>(
+                                  packer.wire_block_bytes()),
+                              pipe.bytes, m != Method::Staged);
   const int urc = start_unpack(packer, m, buf, count, pipe, stream);
   // Synchronize on the error path too: start_unpack may have enqueued the
   // staged H2D copy before failing, and the pipeline's buffers must not
   // return to the cache while stream work still references them.
   vcuda::StreamSynchronize(stream);
   if (urc != MPI_SUCCESS) {
+    obs.disarm(); // a failed unpack is not a duration sample
     return urc;
   }
   if (status != MPI_STATUS_IGNORE) {
@@ -321,10 +344,18 @@ int send_pipelined(const Packer &packer, const void *buf, int count,
   for (long long leg = 0; rc == MPI_SUCCESS && leg < f.legs; ++leg) {
     const int s = static_cast<int>(leg & 1);
     {
-      // The wire must not depart before this leg's pack completes.
+      // The wire must not depart before this leg's pack completes. The
+      // measured duration is the *residual* pack time after overlap with
+      // the previous leg's wire — exactly the effective per-chunk pack
+      // cost estimate_pipelined_us should use, so full (chunk-sized) legs
+      // feed the tuner at the chunk's {block, leg bytes} knot.
       trace::ScopedSpan pack(trace::Phase::PackLaunch, trace::OpKind::Send,
                              0, dest, tag,
                              static_cast<std::int8_t>(Method::Pipelined));
+      tune::ScopedObservation obs(
+          tune::Axis::DevicePack, blk,
+          static_cast<std::size_t>(f.leg_blocks(leg)) * blk,
+          leg < f.full_legs); // stay on-knot: full legs only
       vcuda::StreamSynchronize(stream[s]);
     }
     // Enqueue the next leg's pack *before* the blocking send: the stream
@@ -344,6 +375,8 @@ int send_pipelined(const Packer &packer, const void *buf, int count,
       trace::ScopedSpan wire(trace::Phase::Wire, trace::OpKind::Send,
                              leg_bytes, dest, tag,
                              static_cast<std::int8_t>(Method::Pipelined));
+      tune::ScopedObservation obs(tune::Axis::GpuWire, 0, leg_bytes,
+                                  tune::wire_observable(leg_bytes));
       rc = next.Send(slot[s].get(), static_cast<int>(leg_bytes), MPI_BYTE,
                      dest, tag, comm);
     }
@@ -414,6 +447,15 @@ PersistentProgram::~PersistentProgram() {
   if (graph != nullptr) {
     vcuda::GraphDestroy(graph);
   }
+}
+
+void PersistentProgram::clear() {
+  if (graph != nullptr) {
+    vcuda::GraphDestroy(graph);
+    graph = nullptr;
+  }
+  pipe = PackPipeline{}; // drops the pinned wire/stage leases
+  stream = nullptr;      // pool stream: not owned, just forgotten
 }
 
 PipelinedSendProgram::~PipelinedSendProgram() {
@@ -740,9 +782,15 @@ int ChunkedRecv::unpack_leg(std::size_t leg_bytes, int slot) {
   trace::ScopedSpan span(trace::Phase::Unpack, trace::OpKind::Recv, leg_bytes,
                          peer_, tag_,
                          static_cast<std::int8_t>(Method::Pipelined));
+  // Effective overlapped per-chunk unpack cost: the enqueue (launch)
+  // only — the kernel itself overlaps the next leg's wire time. Observe
+  // at the chunk knot so tuned pipelined estimates use overlapped costs.
+  tune::ScopedObservation obs(tune::Axis::DeviceUnpack, blk, leg_bytes,
+                              leg_bytes == chunk_);
   const vcuda::Error e = packer_.unpack_range_async(
       buf_, slot_[slot].get(), blocks_done_, n, stream_[slot]);
   if (e != vcuda::Error::Success) {
+    obs.disarm();
     return MPI_ERR_OTHER;
   }
   blocks_done_ += n;

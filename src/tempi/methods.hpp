@@ -286,6 +286,10 @@ struct PersistentProgram {
   PersistentProgram(const PersistentProgram &) = delete;
   PersistentProgram &operator=(const PersistentProgram &) = delete;
   ~PersistentProgram();
+  /// Release the recorded graph and the pinned leases, returning to the
+  /// freshly-constructed state — the re-freeze path (async.cpp) records a
+  /// new program in place after a tuned-model generation bump.
+  void clear();
 };
 
 /// Record the sender-side program: lease intermediates sized for `count`

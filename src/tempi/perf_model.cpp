@@ -2,6 +2,7 @@
 
 #include "sysmpi/netmodel.hpp"
 #include "tempi/kernels.hpp"
+#include "tempi/trace.hpp"
 #include "vcuda/costmodel.hpp"
 
 #include <algorithm>
@@ -11,6 +12,7 @@
 #include <cassert>
 #include <cmath>
 #include <fstream>
+#include <mutex>
 
 namespace tempi {
 
@@ -641,5 +643,364 @@ TransferChoice PerfModel::choose_leg(std::size_t leg_bytes,
              std::memory_order_release);
   return choice;
 }
+
+// --- self-tuning observation sink (Sec. 6.3 feedback) ------------------------
+
+namespace tune {
+
+namespace {
+
+// One EWMA per power-of-two cell. `state` packs [63:32] sample count and
+// [31:0] the float EWMA bits so a sample is a single-word CAS; `applied`
+// is the value the live tables last folded (<= 0: never folded), the
+// drift baseline for the hysteresis check.
+struct Cell {
+  std::atomic<std::uint64_t> state{0};
+  std::atomic<float> applied{-1.0f};
+};
+
+constexpr int kSizeCells = 32;  // message/total bytes 2^0 .. 2^31
+constexpr int kBlockCells = 21; // block bytes 2^0 .. 2^20
+constexpr std::size_t kAxes1D = 4;
+constexpr std::size_t kAxes2D = 4;
+constexpr float kEwmaAlpha = 0.5f; // weight of the newest sample
+constexpr std::uint32_t kMinSamples = 2;
+constexpr float kDriftThreshold = 0.25f; // relative drift forcing a refresh
+
+Cell g_cells_1d[kAxes1D][kSizeCells];
+Cell g_cells_2d[kAxes2D][kBlockCells][kSizeCells];
+
+std::atomic<bool> g_tune_enabled{true};
+std::atomic<bool> g_drift_pending{false};
+std::atomic<ApplyFn> g_apply_hook{nullptr};
+std::atomic<std::uint64_t> g_refresh_gen{1};
+std::mutex g_refresh_mutex;
+
+struct TuneCounters {
+  trace::Counter observations{"tempi.model.observations"};
+  trace::Counter updates{"tempi.model.updates"};
+  trace::Counter generation_bumps{"tempi.model.generation_bumps"};
+  trace::Counter refreezes{"tempi.model.refreezes"};
+};
+
+TuneCounters &counters() {
+  static TuneCounters c;
+  return c;
+}
+
+/// Nearest power-of-two cell index for `v` (geometric rounding via the
+/// 1.5x arithmetic midpoint), clamped to the grid; -1 drops the sample.
+int log2_cell(std::size_t v, int cells) {
+  if (v == 0) {
+    return -1;
+  }
+  int idx = std::bit_width(v) - 1;
+  if (idx >= 1 && (v >> (idx - 1)) >= 3) {
+    ++idx; // v >= 1.5 * 2^idx: round up
+  }
+  return std::min(idx, cells - 1);
+}
+
+Cell *cell_for(Axis axis, std::size_t block_bytes, std::size_t total_bytes) {
+  const auto a = static_cast<std::size_t>(axis);
+  const int ti = log2_cell(total_bytes, kSizeCells);
+  if (ti < 0) {
+    return nullptr;
+  }
+  if (a < kAxes1D) {
+    return &g_cells_1d[a][ti];
+  }
+  const int bi = log2_cell(block_bytes, kBlockCells);
+  if (bi < 0) {
+    return nullptr;
+  }
+  return &g_cells_2d[a - kAxes1D][bi][ti];
+}
+
+std::uint32_t count_of(std::uint64_t s) {
+  return static_cast<std::uint32_t>(s >> 32);
+}
+
+float ewma_of(std::uint64_t s) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(s));
+}
+
+std::uint64_t pack_state(std::uint32_t n, float ewma) {
+  return (static_cast<std::uint64_t>(n) << 32) |
+         std::bit_cast<std::uint32_t>(ewma);
+}
+
+bool drifted(float value, float applied) {
+  if (applied <= 0.0f) {
+    return true; // never folded: any converged value is news
+  }
+  return std::fabs(value - applied) > kDriftThreshold * applied;
+}
+
+/// Insert-or-overwrite an exact knot. Cell coordinates are powers of two,
+/// so the double equality against existing knots is exact.
+void set_knot_1d(Table1D &t, double x, double v) {
+  const auto it = std::lower_bound(t.bytes.begin(), t.bytes.end(), x);
+  const auto i = static_cast<std::size_t>(it - t.bytes.begin());
+  if (it != t.bytes.end() && *it == x) {
+    t.us[i] = v;
+    return;
+  }
+  t.bytes.insert(it, x);
+  t.us.insert(t.us.begin() + static_cast<std::ptrdiff_t>(i), v);
+}
+
+/// Ensure a block row exists, seeding new rows from the pre-insertion
+/// interpolation so untouched totals keep their modeled values.
+std::size_t ensure_block_row(Table2D &t, double block) {
+  const auto it =
+      std::lower_bound(t.block_bytes.begin(), t.block_bytes.end(), block);
+  const auto bi = static_cast<std::size_t>(it - t.block_bytes.begin());
+  if (it != t.block_bytes.end() && *it == block) {
+    return bi;
+  }
+  std::vector<double> row(t.total_bytes.size());
+  for (std::size_t ti = 0; ti < row.size(); ++ti) {
+    row[ti] = t.query(block, t.total_bytes[ti]);
+  }
+  t.block_bytes.insert(it, block);
+  t.us.insert(t.us.begin() +
+                  static_cast<std::ptrdiff_t>(bi * t.total_bytes.size()),
+              row.begin(), row.end());
+  return bi;
+}
+
+std::size_t ensure_total_col(Table2D &t, double total) {
+  const auto it =
+      std::lower_bound(t.total_bytes.begin(), t.total_bytes.end(), total);
+  const auto ti = static_cast<std::size_t>(it - t.total_bytes.begin());
+  if (it != t.total_bytes.end() && *it == total) {
+    return ti;
+  }
+  const std::size_t nb = t.block_bytes.size();
+  const std::size_t nt = t.total_bytes.size();
+  std::vector<double> col(nb);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    col[bi] = t.query(t.block_bytes[bi], total);
+  }
+  std::vector<double> us2;
+  us2.reserve(nb * (nt + 1));
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    for (std::size_t j = 0; j < nt; ++j) {
+      if (j == ti) {
+        us2.push_back(col[bi]);
+      }
+      us2.push_back(t.us[bi * nt + j]);
+    }
+    if (ti == nt) {
+      us2.push_back(col[bi]);
+    }
+  }
+  t.total_bytes.insert(it, total);
+  t.us = std::move(us2);
+  return ti;
+}
+
+bool fold_1d(Cell (&cells)[kSizeCells], Table1D &t, bool mark_applied) {
+  if (t.bytes.empty()) {
+    return false; // nothing to anchor the interpolation; leave it alone
+  }
+  bool changed = false;
+  for (int i = 0; i < kSizeCells; ++i) {
+    Cell &c = cells[i];
+    const std::uint64_t s = c.state.load(std::memory_order_relaxed);
+    if (count_of(s) < kMinSamples) {
+      continue;
+    }
+    const float v = ewma_of(s);
+    const bool moved = drifted(v, c.applied.load(std::memory_order_relaxed));
+    set_knot_1d(t, static_cast<double>(std::uint64_t{1} << i),
+                static_cast<double>(v));
+    if (moved) {
+      changed = true;
+      if (mark_applied) {
+        counters().updates.add();
+      }
+    }
+    if (mark_applied) {
+      c.applied.store(v, std::memory_order_relaxed);
+    }
+  }
+  return changed;
+}
+
+bool fold_2d(Cell (&cells)[kBlockCells][kSizeCells], Table2D &t,
+             bool mark_applied) {
+  if (t.block_bytes.empty() || t.total_bytes.empty()) {
+    return false;
+  }
+  bool changed = false;
+  for (int bi = 0; bi < kBlockCells; ++bi) {
+    for (int ti = 0; ti < kSizeCells; ++ti) {
+      Cell &c = cells[bi][ti];
+      const std::uint64_t s = c.state.load(std::memory_order_relaxed);
+      if (count_of(s) < kMinSamples) {
+        continue;
+      }
+      const float v = ewma_of(s);
+      const bool moved = drifted(v, c.applied.load(std::memory_order_relaxed));
+      const std::size_t row =
+          ensure_block_row(t, static_cast<double>(std::uint64_t{1} << bi));
+      const std::size_t col =
+          ensure_total_col(t, static_cast<double>(std::uint64_t{1} << ti));
+      t.at(row, col) = static_cast<double>(v);
+      if (moved) {
+        changed = true;
+        if (mark_applied) {
+          counters().updates.add();
+        }
+      }
+      if (mark_applied) {
+        c.applied.store(v, std::memory_order_relaxed);
+      }
+    }
+  }
+  return changed;
+}
+
+} // namespace
+
+bool enabled() { return g_tune_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_tune_enabled.store(on, std::memory_order_relaxed);
+}
+
+void observe(Axis axis, std::size_t block_bytes, std::size_t total_bytes,
+             vcuda::VirtualNs dur) {
+  if (!enabled()) {
+    return;
+  }
+  Cell *c = cell_for(axis, block_bytes, total_bytes);
+  if (c == nullptr) {
+    return;
+  }
+  const auto us = static_cast<float>(vcuda::ns_to_us(dur));
+  std::uint64_t old = c->state.load(std::memory_order_relaxed);
+  const std::uint32_t n = count_of(old);
+  const float next =
+      n == 0 ? us : ewma_of(old) + kEwmaAlpha * (us - ewma_of(old));
+  const std::uint32_t n1 = n == 0xffffffffu ? n : n + 1;
+  // Single CAS attempt: a contended sample is dropped, never retried —
+  // the observation path must stay wait-free.
+  c->state.compare_exchange_weak(old, pack_state(n1, next),
+                                 std::memory_order_relaxed,
+                                 std::memory_order_relaxed);
+  counters().observations.add();
+  if (n1 >= kMinSamples &&
+      drifted(next, c->applied.load(std::memory_order_relaxed))) {
+    g_drift_pending.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool wire_observable(std::size_t bytes) {
+  // enabled() first: the disabled path must stay one relaxed load.
+  return enabled() && bytes > sysmpi::net_params().eager_bytes;
+}
+
+bool fold_into(SystemPerf &perf, bool mark_applied) {
+  bool changed = false;
+  changed |= fold_1d(g_cells_1d[static_cast<std::size_t>(Axis::GpuWire)],
+                     perf.gpu_gpu, mark_applied);
+  changed |= fold_1d(g_cells_1d[static_cast<std::size_t>(Axis::CpuWire)],
+                     perf.cpu_cpu, mark_applied);
+  changed |= fold_1d(g_cells_1d[static_cast<std::size_t>(Axis::D2H)], perf.d2h,
+                     mark_applied);
+  changed |= fold_1d(g_cells_1d[static_cast<std::size_t>(Axis::H2D)], perf.h2d,
+                     mark_applied);
+  const auto grid2 = [](Axis a) -> Cell (&)[kBlockCells][kSizeCells] {
+    return g_cells_2d[static_cast<std::size_t>(a) - kAxes1D];
+  };
+  changed |= fold_2d(grid2(Axis::DevicePack), perf.device_pack, mark_applied);
+  changed |=
+      fold_2d(grid2(Axis::DeviceUnpack), perf.device_unpack, mark_applied);
+  changed |= fold_2d(grid2(Axis::OneshotPack), perf.oneshot_pack, mark_applied);
+  changed |=
+      fold_2d(grid2(Axis::OneshotUnpack), perf.oneshot_unpack, mark_applied);
+  return changed;
+}
+
+bool drift_pending() {
+  return g_drift_pending.load(std::memory_order_relaxed);
+}
+
+void set_apply_hook(ApplyFn fn) {
+  g_apply_hook.store(fn, std::memory_order_release);
+}
+
+bool refresh_now() {
+  const ApplyFn hook = g_apply_hook.load(std::memory_order_acquire);
+  if (hook == nullptr) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lk(g_refresh_mutex, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    return false; // another thread is already refreshing
+  }
+  g_drift_pending.store(false, std::memory_order_relaxed);
+  hook();
+  return true;
+}
+
+bool maybe_refresh() {
+  if (!g_drift_pending.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  return refresh_now();
+}
+
+std::uint64_t refresh_generation() {
+  return g_refresh_gen.load(std::memory_order_acquire);
+}
+
+void note_refresh_applied() {
+  g_transfer_config_gen.fetch_add(1, std::memory_order_release);
+  g_refresh_gen.fetch_add(1, std::memory_order_release);
+  counters().generation_bumps.add();
+}
+
+void note_refreeze() { counters().refreezes.add(); }
+
+TunerStats stats() {
+  TunerStats s;
+  s.observations = counters().observations.value();
+  s.updates = counters().updates.value();
+  s.generation_bumps = counters().generation_bumps.value();
+  s.refreezes = counters().refreezes.value();
+  return s;
+}
+
+void reset() {
+  for (auto &axis : g_cells_1d) {
+    for (Cell &c : axis) {
+      c.state.store(0, std::memory_order_relaxed);
+      c.applied.store(-1.0f, std::memory_order_relaxed);
+    }
+  }
+  for (auto &axis : g_cells_2d) {
+    for (auto &row : axis) {
+      for (Cell &c : row) {
+        c.state.store(0, std::memory_order_relaxed);
+        c.applied.store(-1.0f, std::memory_order_relaxed);
+      }
+    }
+  }
+  g_drift_pending.store(false, std::memory_order_relaxed);
+  reset_counters();
+}
+
+void reset_counters() {
+  counters().observations.reset();
+  counters().updates.reset();
+  counters().generation_bumps.reset();
+  counters().refreezes.reset();
+}
+
+} // namespace tune
 
 } // namespace tempi

@@ -225,4 +225,151 @@ struct ModelCacheStats {
 ModelCacheStats model_cache_stats();
 void reset_model_cache_stats();
 
+// ---------------------------------------------------------------------------
+// Closed-loop self-tuning (Sec. 6.3 feedback).
+//
+// The interposer's op-completion sites report measured pack/wire/unpack
+// durations here, keyed by the same {block, total} / {bytes} axes as the
+// interpolation tables above. Observations land in a fixed grid of
+// power-of-two cells (one EWMA per cell, lock-free); when a cell's value
+// drifts past a hysteresis threshold relative to what the live tables
+// last saw, a refresh is flagged. The refresh itself is deferred off the
+// completion path: the interposer folds the drifted cells into a copy of
+// the live SystemPerf, swaps the model, and bumps both the model and
+// transfer-config generations so the choice cache and per-packer memos
+// re-consult the tables. Persistent channels watch refresh_generation()
+// and lazily re-run their exhaustive search at the next MPI_Start.
+// ---------------------------------------------------------------------------
+namespace tune {
+
+/// Which table a measured duration feeds. The first four are 1-D (by
+/// message bytes); the rest are 2-D (by {block bytes, total bytes}).
+enum class Axis : std::uint8_t {
+  GpuWire,  ///< SystemPerf::gpu_gpu
+  CpuWire,  ///< SystemPerf::cpu_cpu
+  D2H,      ///< SystemPerf::d2h
+  H2D,      ///< SystemPerf::h2d
+  DevicePack,
+  DeviceUnpack,
+  OneshotPack,
+  OneshotUnpack,
+};
+
+/// Master switch (TEMPI_TUNE, default on). enabled() is one relaxed load:
+/// it is the entire per-op cost when tuning is off.
+bool enabled();
+void set_enabled(bool on);
+
+/// Record one measured duration. block_bytes is ignored (pass 0) for the
+/// 1-D axes; zero total_bytes (or zero block_bytes on a 2-D axis) drops
+/// the sample. Lock-free: one CAS attempt on the cell's EWMA word — a
+/// contended sample is dropped, never retried.
+void observe(Axis axis, std::size_t block_bytes, std::size_t total_bytes,
+             vcuda::VirtualNs dur);
+
+/// RAII observation around an op-completion region: stamps the virtual
+/// clock at construction and observe()s the elapsed virtual time at
+/// destruction. Construction with tuning disabled (or armed=false) costs
+/// exactly one relaxed load. total may be bound late via set_total()
+/// (e.g. once the pack pipeline reports its packed byte count); a still-
+/// zero total drops the sample.
+class ScopedObservation {
+public:
+  ScopedObservation(Axis axis, std::size_t block_bytes,
+                    std::size_t total_bytes, bool armed = true)
+      : armed_(armed && enabled()), axis_(axis), block_(block_bytes),
+        total_(total_bytes) {
+    if (armed_) {
+      t0_ = vcuda::virtual_now();
+    }
+  }
+  ~ScopedObservation() {
+    if (armed_) {
+      observe(axis_, block_, total_, vcuda::virtual_now() - t0_);
+    }
+  }
+  ScopedObservation(const ScopedObservation &) = delete;
+  ScopedObservation &operator=(const ScopedObservation &) = delete;
+  void set_total(std::size_t total_bytes) { total_ = total_bytes; }
+  void disarm() { armed_ = false; }
+
+private:
+  bool armed_;
+  Axis axis_;
+  std::size_t block_;
+  std::size_t total_;
+  vcuda::VirtualNs t0_ = 0;
+};
+
+/// True when sender-side wire durations for `bytes` are trustworthy: the
+/// system transport returns immediately from eager sends (the duration
+/// would measure host overhead, not the wire), so only rendezvous-sized
+/// payloads observe. Receiver-side wire durations are never observed —
+/// Recv waits include sender skew. Short-circuits on enabled() first so
+/// the disabled path stays one relaxed load.
+bool wire_observable(std::size_t bytes);
+
+/// Fold every converged cell into `perf` as an exact knot at the cell's
+/// power-of-two coordinates (inserting rows/columns seeded from the
+/// pre-insertion interpolation where needed). Returns true if any knot
+/// changed. With mark_applied (the live-model refresh path) the folded
+/// values become the new drift baseline and the updates counter advances;
+/// without it (TEMPI_TUNE_SAVE) the fold is a read-only export.
+bool fold_into(SystemPerf &perf, bool mark_applied = true);
+
+/// True when some cell has drifted past the hysteresis threshold since
+/// the last refresh.
+bool drift_pending();
+
+/// The interposer's refresh callback: fold observations into the live
+/// model, swap it, bump generations (install() registers it; it runs
+/// outside any tune-internal lock).
+using ApplyFn = void (*)();
+void set_apply_hook(ApplyFn fn);
+
+/// Hot-path refresh check: one relaxed load when nothing drifted. When a
+/// drift is pending (and a hook is registered), clears the flag and runs
+/// the hook; concurrent callers skip instead of queueing. Returns whether
+/// the hook ran.
+bool maybe_refresh();
+
+/// Unconditional refresh (benches/tests): runs the hook regardless of the
+/// drift flag. Returns whether the hook ran.
+bool refresh_now();
+
+/// Bumped (via note_refresh_applied) each time a tuned model is actually
+/// swapped in. Persistent channels snapshot this at freeze time and
+/// re-choose lazily when it moves — at most one re-search per bump.
+std::uint64_t refresh_generation();
+
+/// Called by the apply hook after a successful model swap: bumps
+/// refresh_generation(), the transfer-config generation, and the
+/// tempi.model.generation_bumps counter.
+void note_refresh_applied();
+
+/// Called by the persistent engine when a channel actually re-freezes
+/// (re-records its program) after a generation bump.
+void note_refreeze();
+
+/// Tuner counters (also exported as trace::Counters
+/// tempi.model.{observations,updates,generation_bumps,refreezes} and via
+/// tempi::SendStats).
+struct TunerStats {
+  std::uint64_t observations = 0;    ///< samples accepted by observe()
+  std::uint64_t updates = 0;         ///< knots (re)written into live tables
+  std::uint64_t generation_bumps = 0;///< tuned-model swaps
+  std::uint64_t refreezes = 0;       ///< persistent programs re-recorded
+};
+TunerStats stats();
+
+/// Clear every cell, the drift flag, and the counters (not the
+/// generations). Tests call this for isolation.
+void reset();
+
+/// Zero only the counters (tempi::reset_send_stats): learned cells and
+/// drift baselines survive.
+void reset_counters();
+
+} // namespace tune
+
 } // namespace tempi

@@ -105,12 +105,64 @@ struct State {
   trace::Counter irecvs_accelerated{"tempi.irecv.accelerated"};
   trace::Counter irecvs_forwarded{"tempi.irecv.forwarded"};
 
-  std::once_flag perf_loaded;
+  std::once_flag perf_loaded; ///< install(): TEMPI_PERF_FILE bootstrap
+  std::once_flag env_loaded;  ///< first Init: method/chunk env knobs
+
+  /// Self-tuning bootstrap state, written once under perf_loaded by
+  /// install() (before any interposed traffic) and read-only afterwards.
+  std::string calibration = "builtin";
+  std::string tune_save; ///< TEMPI_TUNE_SAVE target ("" = don't persist)
 };
 
 State &state() {
   static State s;
   return s;
+}
+
+// --- self-tuning loop glue (see perf_model.hpp, namespace tune) --------------
+
+/// tune:: apply hook: fold the converged observation cells into a copy of
+/// the live tables and swap the model. The PerfModel copy starts
+/// cache-cold, so every cached choice is invalidated by the swap itself;
+/// bumping model_gen + the transfer-config/refresh generations makes the
+/// per-packer memos and persistent channels re-consult it too.
+void apply_tuned_model() {
+  State &s = state();
+  SystemPerf perf;
+  {
+    const std::shared_lock<std::shared_mutex> lock(s.model_mutex);
+    perf = s.model.perf();
+  }
+  if (!tune::fold_into(perf)) {
+    return; // nothing converged or drifted: keep the live model
+  }
+  {
+    const std::unique_lock<std::shared_mutex> lock(s.model_mutex);
+    s.model = PerfModel(std::move(perf));
+    s.model_gen.fetch_add(1, std::memory_order_release);
+  }
+  tune::note_refresh_applied();
+}
+
+/// TEMPI_TUNE_SAVE: persist the live tables plus any not-yet-applied
+/// observations. The fold is read-only (mark_applied=false) so saving
+/// never changes the tuner's drift baselines — benches that save per
+/// MPI_Finalize must still see their later refresh_now() apply.
+void save_tuned_tables(State &s) {
+  if (s.tune_save.empty()) {
+    return;
+  }
+  SystemPerf perf;
+  {
+    const std::shared_lock<std::shared_mutex> lock(s.model_mutex);
+    perf = s.model.perf();
+  }
+  tune::fold_into(perf, /*mark_applied=*/false);
+  if (save_perf(perf, s.tune_save)) {
+    support::log_info("tempi: saved tuned tables to ", s.tune_save);
+  } else {
+    support::log_warn("tempi: could not save tuned tables to ", s.tune_save);
+  }
 }
 
 std::shared_ptr<const Packer> lookup_packer(MPI_Datatype dt) {
@@ -200,19 +252,11 @@ int tempi_Init(int *argc, char ***argv) {
   if (rc != MPI_SUCCESS) {
     return rc;
   }
-  // One-time process configuration: load the recorded system measurements
-  // (Sec. 6.3) and honor TEMPI_METHOD for no-recompile method forcing.
-  std::call_once(s.perf_loaded, [&s] {
-    if (auto perf = load_perf(perf_file_path())) {
-      const std::unique_lock<std::shared_mutex> lock(s.model_mutex);
-      s.model = PerfModel(std::move(*perf));
-      s.model_gen.fetch_add(1, std::memory_order_release);
-      support::log_info("tempi: loaded system measurements from ",
-                        perf_file_path());
-    } else {
-      support::log_info("tempi: no measurement file at ", perf_file_path(),
-                        "; using built-in calibration");
-    }
+  // One-time process configuration: honor TEMPI_METHOD for no-recompile
+  // method forcing. (The TEMPI_PERF_FILE measurement bootstrap happens
+  // earlier, at install(), so the model is calibrated before the first
+  // interposed call of any rank.)
+  std::call_once(s.env_loaded, [&s] {
     if (const char *env = std::getenv("TEMPI_METHOD")) {
       const std::string_view mode(env);
       if (mode == "oneshot") {
@@ -257,6 +301,7 @@ int tempi_Init(int *argc, char ***argv) {
 int tempi_Finalize() {
   State &s = state();
   drain_buffer_cache(); // this rank's cached intermediates
+  save_tuned_tables(s); // TEMPI_TUNE_SAVE (no-op unless requested)
   // Observability fires here, not only at uninstall(): applications that
   // never call tempi::uninstall() still get their trace file and stats
   // report. flush() is idempotent, so every rank's Finalize re-writing
@@ -557,6 +602,7 @@ blocklist_acceleration(MPI_Datatype datatype, const void *buf, int count) {
 int tempi_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
                int tag, MPI_Comm comm) {
   State &s = state();
+  tune::maybe_refresh(); // one relaxed load unless an observation drifted
   const Packer *packer = lookup_packer_fast(datatype);
   const auto method = acceleration_method(packer, buf, count);
   if (!method) {
@@ -602,6 +648,7 @@ int tempi_Send(const void *buf, int count, MPI_Datatype datatype, int dest,
 int tempi_Recv(void *buf, int count, MPI_Datatype datatype, int source,
                int tag, MPI_Comm comm, MPI_Status *status) {
   State &s = state();
+  tune::maybe_refresh(); // one relaxed load unless an observation drifted
   const Packer *packer = lookup_packer_fast(datatype);
   const auto method = acceleration_method(packer, buf, count);
   if (!method) {
@@ -685,6 +732,7 @@ int tempi_Sendrecv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
 int tempi_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
                 int tag, MPI_Comm comm, MPI_Request *request) {
   State &s = state();
+  tune::maybe_refresh(); // one relaxed load unless an observation drifted
   if (request == nullptr) {
     return MPI_ERR_ARG;
   }
@@ -723,6 +771,7 @@ int tempi_Isend(const void *buf, int count, MPI_Datatype datatype, int dest,
 int tempi_Irecv(void *buf, int count, MPI_Datatype datatype, int source,
                 int tag, MPI_Comm comm, MPI_Request *request) {
   State &s = state();
+  tune::maybe_refresh(); // one relaxed load unless an observation drifted
   if (request == nullptr) {
     return MPI_ERR_ARG;
   }
@@ -838,6 +887,7 @@ std::optional<TransferChoice> persistent_choice(const Packer *packer,
 int tempi_Send_init(const void *buf, int count, MPI_Datatype datatype,
                     int dest, int tag, MPI_Comm comm, MPI_Request *request) {
   State &s = state();
+  tune::maybe_refresh(); // freeze against the freshest tables
   if (request == nullptr) {
     return MPI_ERR_ARG;
   }
@@ -858,6 +908,7 @@ int tempi_Send_init(const void *buf, int count, MPI_Datatype datatype,
 int tempi_Recv_init(void *buf, int count, MPI_Datatype datatype, int source,
                     int tag, MPI_Comm comm, MPI_Request *request) {
   State &s = state();
+  tune::maybe_refresh(); // freeze against the freshest tables
   if (request == nullptr) {
     return MPI_ERR_ARG;
   }
@@ -1038,6 +1089,44 @@ void install() {
                                std::memory_order_relaxed);
     support::log_info("tempi: TEMPI_PERSISTENT=", env);
   }
+  // Sec. 6.3 bootstrap: calibrate the model from TEMPI_PERF_FILE before
+  // the first interposed call of any rank (same decided-and-logged-at-
+  // install pattern as the kill-switches above). Once per process: the
+  // loaded tables would otherwise clobber tuned ones on re-install.
+  std::call_once(s.perf_loaded, [&s] {
+    if (auto perf = load_perf(perf_file_path())) {
+      {
+        const std::unique_lock<std::shared_mutex> lock(s.model_mutex);
+        s.model = PerfModel(std::move(*perf));
+        s.model_gen.fetch_add(1, std::memory_order_release);
+      }
+      s.calibration = "file:" + perf_file_path();
+      support::log_info("tempi: loaded system measurements from ",
+                        perf_file_path());
+    } else {
+      s.calibration = "builtin";
+      support::log_info("tempi: no measurement file at ", perf_file_path(),
+                        "; using substrate-derived built-in calibration");
+    }
+    if (const char *env = std::getenv("TEMPI_TUNE")) {
+      tune::set_enabled(std::string_view(env) != "0");
+      support::log_info("tempi: TEMPI_TUNE=", env);
+    }
+    if (const char *env = std::getenv("TEMPI_TUNE_SAVE");
+        env != nullptr && env[0] != '\0') {
+      s.tune_save = env;
+      support::log_info("tempi: TEMPI_TUNE_SAVE=", env);
+    }
+  });
+  // Close the self-tuning loop: drifted observations fold into the live
+  // model (apply_tuned_model), and persistent channels re-run their
+  // exhaustive search through the same gate Send_init/Recv_init used.
+  tune::set_apply_hook(&apply_tuned_model);
+  async::set_persistent_rechoose(
+      [](const Packer &packer, const void *buf,
+         int count) -> std::optional<TransferChoice> {
+        return persistent_choice(&packer, buf, count);
+      });
   // Observability: TEMPI_TRACE=<path> / TEMPI_STATS=1 arm the tracer and
   // hook vcuda's device-op intervals; the perf-model choice cache keeps
   // its own storage and is surfaced to the registry as gauges.
@@ -1087,6 +1176,7 @@ void uninstall() {
     s.retired_packers.clear(); // quiescent: the request pool was drained
     bump_handle_generation(s);
   }
+  save_tuned_tables(s); // TEMPI_TUNE_SAVE (no-op unless requested)
   trace::flush(); // trace file + stats report (no-op if already flushed)
   s.installed = false;
   support::log_info("tempi: interposer removed");
@@ -1145,6 +1235,7 @@ SendStats send_stats() {
   const PipelineStats pipe = pipeline_stats();
   const coll::CollStats coll = coll::coll_stats();
   const async::PersistentStats pers = async::persistent_stats();
+  const tune::TunerStats tuner = tune::stats();
   return SendStats{
       s.sends_oneshot.value(),
       s.sends_device.value(),
@@ -1172,6 +1263,10 @@ SendStats send_stats() {
       pers.replay_hits,
       pers.graph_launches,
       s.persistent_forwarded.value(),
+      tuner.observations,
+      tuner.updates,
+      tuner.generation_bumps,
+      tuner.refreezes,
   };
 }
 
@@ -1195,6 +1290,9 @@ void reset_send_stats() {
   reset_pipeline_stats();
   coll::reset_coll_stats();
   async::reset_persistent_stats();
+  tune::reset_counters(); // counters only: learned cells survive
 }
+
+std::string model_calibration_source() { return state().calibration; }
 
 } // namespace tempi

@@ -181,8 +181,24 @@ struct SendStats {
   std::uint64_t persistent_replay_hits = 0;
   std::uint64_t persistent_graph_launches = 0;
   std::uint64_t persistent_forwarded = 0;
+
+  /// Self-tuning loop (perf_model.hpp tune::). Mirrors the
+  /// tempi.model.{observations,updates,generation_bumps,refreezes}
+  /// trace counters: samples harvested from completed ops, table knots
+  /// rewritten by refreshes, tuned-model swaps, and persistent programs
+  /// re-recorded after a swap.
+  std::uint64_t model_observations = 0;
+  std::uint64_t model_updates = 0;
+  std::uint64_t model_generation_bumps = 0;
+  std::uint64_t model_refreezes = 0;
 };
 SendStats send_stats();
 void reset_send_stats();
+
+/// Where the live model's tables came from: "builtin" (substrate-derived
+/// calibration) or "file:<path>" when install() loaded TEMPI_PERF_FILE.
+/// Bench sidecars record this so the perf trajectory shows whether a run
+/// was bootstrapped.
+std::string model_calibration_source();
 
 } // namespace tempi

@@ -4,7 +4,9 @@
 #include "sysmpi/mpi.hpp"
 #include "sysmpi/world.hpp"
 #include "tempi/tempi.hpp"
+#include "tempi/trace.hpp"
 #include "test_helpers.hpp"
+#include "vcuda/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -287,6 +289,63 @@ TEST(Interposer, PipelineCountersTrackChunkedSends) {
   EXPECT_EQ(cleared.pipelined, 0u);
   EXPECT_EQ(cleared.pipeline_chunks, 0u);
   tempi::set_send_mode(tempi::SendMode::Auto);
+}
+
+TEST(Interposer, ModelCountersTrackObservationsAndRefreshes) {
+  // The self-tuning loop is observable two ways — SendStats fields and
+  // the tempi.model.* trace counters — and they must agree.
+  tempi::ScopedInterposer guard;
+  tempi::tune::reset();
+  tempi::reset_send_stats();
+  tempi::set_send_mode(tempi::SendMode::ForceDevice);
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1;
+  sysmpi::run_ranks(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = committed_vector(512, 16, 48);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    SpaceBuffer buf(vcuda::MemorySpace::Device,
+                    static_cast<std::size_t>(extent) + 64);
+    if (rank == 0) {
+      fill_pattern(buf.get(), buf.size());
+      MPI_Send(buf.get(), 1, t, 1, 0, MPI_COMM_WORLD);
+    } else {
+      MPI_Recv(buf.get(), 1, t, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+  tempi::set_send_mode(tempi::SendMode::Auto);
+
+  // The Device exchange harvested at least the pack and the unpack span.
+  const tempi::SendStats s1 = tempi::send_stats();
+  EXPECT_GE(s1.model_observations, 2u);
+  EXPECT_EQ(s1.model_observations,
+            tempi::trace::counter_value("tempi.model.observations"));
+  EXPECT_EQ(s1.model_generation_bumps, 0u);
+  EXPECT_EQ(s1.model_refreezes, 0u);
+
+  // Two converged samples + an explicit refresh: one fold, one bump.
+  tempi::tune::observe(tempi::tune::Axis::D2H, 0, 1, vcuda::us_to_ns(50.0));
+  tempi::tune::observe(tempi::tune::Axis::D2H, 0, 1, vcuda::us_to_ns(50.0));
+  EXPECT_TRUE(tempi::tune::refresh_now());
+  const tempi::SendStats s2 = tempi::send_stats();
+  EXPECT_GE(s2.model_updates, 1u);
+  EXPECT_EQ(s2.model_generation_bumps, 1u);
+  EXPECT_EQ(s2.model_updates,
+            tempi::trace::counter_value("tempi.model.updates"));
+  EXPECT_EQ(tempi::trace::counter_value("tempi.model.generation_bumps"), 1u);
+  EXPECT_EQ(s2.model_refreezes,
+            tempi::trace::counter_value("tempi.model.refreezes"));
+
+  // Disabled: the sink drops samples without counting them.
+  tempi::tune::set_enabled(false);
+  tempi::tune::observe(tempi::tune::Axis::D2H, 0, 1, vcuda::us_to_ns(50.0));
+  EXPECT_EQ(tempi::send_stats().model_observations, s2.model_observations);
+  tempi::tune::set_enabled(true);
+  tempi::tune::reset();
 }
 
 TEST(Interposer, CollCountersTrackEngineAndFallback) {

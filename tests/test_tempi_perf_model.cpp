@@ -2,6 +2,8 @@
 // composition, method selection properties (Fig. 9b/10/11), query caching,
 // and measurement-file round trips.
 #include "tempi/perf_model.hpp"
+#include "tempi/tempi.hpp"
+#include "vcuda/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -241,6 +243,137 @@ TEST(PerfFile, SaveLoadRoundtrip) {
 
 TEST(PerfFile, MissingFileYieldsNullopt) {
   EXPECT_FALSE(tempi::load_perf("/nonexistent/path/perf.txt").has_value());
+}
+
+// --- the self-tuning observation sink (closed-loop model) -------------------
+
+TEST(Tuner, ObserveFoldsExactKnotsWithEwma) {
+  tempi::tune::reset();
+  tempi::tune::observe(tempi::tune::Axis::DevicePack, 8, 1 << 20,
+                       vcuda::us_to_ns(100.0));
+  tempi::tune::observe(tempi::tune::Axis::DevicePack, 8, 1 << 20,
+                       vcuda::us_to_ns(200.0));
+  const tempi::tune::TunerStats s = tempi::tune::stats();
+  EXPECT_EQ(s.observations, 2u);
+
+  tempi::SystemPerf perf = tempi::builtin_perf();
+  EXPECT_TRUE(tempi::tune::fold_into(perf));
+  // alpha = 0.5: 100 then 100 + 0.5 * (200 - 100) = 150, at the exact
+  // {8 B, 1 MiB} knot.
+  EXPECT_NEAR(perf.device_pack.query(8.0, 1048576.0), 150.0, 0.01);
+  EXPECT_GE(tempi::tune::stats().updates, 1u);
+  // Neighbouring monolithic knots keep their modeled values: the fold
+  // seeds new rows/columns from the pre-insertion interpolation.
+  const tempi::SystemPerf builtin = tempi::builtin_perf();
+  EXPECT_NEAR(perf.device_pack.query(128.0, 4.0 * 1024 * 1024),
+              builtin.device_pack.query(128.0, 4.0 * 1024 * 1024), 1e-6);
+  tempi::tune::reset();
+}
+
+TEST(Tuner, HysteresisSuppressesSmallDriftAfterFold) {
+  tempi::tune::reset();
+  for (int i = 0; i < 2; ++i) {
+    tempi::tune::observe(tempi::tune::Axis::CpuWire, 0, 1 << 16,
+                         vcuda::us_to_ns(100.0));
+  }
+  tempi::SystemPerf perf = tempi::builtin_perf();
+  ASSERT_TRUE(tempi::tune::fold_into(perf)); // first fold: always news
+  // Samples near the applied value must not force another refresh...
+  for (int i = 0; i < 4; ++i) {
+    tempi::tune::observe(tempi::tune::Axis::CpuWire, 0, 1 << 16,
+                         vcuda::us_to_ns(105.0));
+  }
+  EXPECT_FALSE(tempi::tune::fold_into(perf));
+  // ...but a real shift (> 25% relative) does.
+  for (int i = 0; i < 6; ++i) {
+    tempi::tune::observe(tempi::tune::Axis::CpuWire, 0, 1 << 16,
+                         vcuda::us_to_ns(400.0));
+  }
+  EXPECT_TRUE(tempi::tune::drift_pending());
+  EXPECT_TRUE(tempi::tune::fold_into(perf));
+  tempi::tune::reset();
+}
+
+TEST(Tuner, DisabledObservationIsANoop) {
+  tempi::tune::reset();
+  tempi::tune::set_enabled(false);
+  tempi::tune::observe(tempi::tune::Axis::DevicePack, 8, 65536,
+                       vcuda::us_to_ns(1000.0));
+  EXPECT_FALSE(tempi::tune::wire_observable(1 << 20));
+  tempi::tune::set_enabled(true);
+  EXPECT_EQ(tempi::tune::stats().observations, 0u);
+  EXPECT_FALSE(tempi::tune::drift_pending());
+  tempi::SystemPerf perf = tempi::builtin_perf();
+  EXPECT_FALSE(tempi::tune::fold_into(perf));
+  tempi::tune::reset();
+}
+
+TEST(Tuner, WireObservabilityFollowsEagerThreshold) {
+  // Eager sends return after host overhead — their duration is not the
+  // wire; only rendezvous-sized sends are trustworthy samples.
+  EXPECT_FALSE(tempi::tune::wire_observable(64 * 1024));
+  EXPECT_TRUE(tempi::tune::wire_observable(64 * 1024 + 1));
+}
+
+TEST(Tuner, ObservationsRaceChooseWithoutCorruption) {
+  // Observations never touch a live PerfModel (they fold on refresh), so
+  // concurrent choose() must keep returning the model's own argmin.
+  tempi::tune::reset();
+  const tempi::PerfModel model;
+  const tempi::Method expected = argmin_method(model, 8.0, 65536.0);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < 500; ++i) {
+        if ((w & 1) == 0) {
+          tempi::tune::observe(tempi::tune::Axis::DevicePack, 8, 65536,
+                               vcuda::us_to_ns(50.0 + i));
+        } else if (model.choose(8, 65536) != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread &t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(tempi::tune::stats().observations, 2u);
+  tempi::tune::reset();
+}
+
+TEST(Tuner, RefreshSwapsLiveModelAndNeverServesStaleChoice) {
+  tempi::ScopedInterposer guard; // install() wires the apply hook
+  tempi::tune::reset();
+  const std::uint64_t gen0 = tempi::tune::refresh_generation();
+  const std::uint64_t tgen0 = tempi::transfer_config_generation();
+  // Warm the live model's choice cache at the key we are about to poison.
+  const tempi::Method before = tempi::perf_model().choose(8, 1 << 20);
+  // Device packing at {8 B, 1 MiB} "measures" catastrophically slow.
+  for (int i = 0; i < 2; ++i) {
+    tempi::tune::observe(tempi::tune::Axis::DevicePack, 8, 1 << 20,
+                         vcuda::us_to_ns(1.0e6));
+  }
+  EXPECT_TRUE(tempi::tune::drift_pending());
+  EXPECT_TRUE(tempi::tune::refresh_now());
+  EXPECT_FALSE(tempi::tune::drift_pending());
+  EXPECT_EQ(tempi::tune::refresh_generation(), gen0 + 1);
+  EXPECT_GT(tempi::transfer_config_generation(), tgen0);
+  EXPECT_GE(tempi::tune::stats().generation_bumps, 1u);
+  // The swapped-in model must re-consult the tuned tables, not replay the
+  // cached pre-refresh choice: Device can no longer win this key.
+  const tempi::Method after = tempi::perf_model().choose(8, 1 << 20);
+  EXPECT_NE(after, tempi::Method::Device);
+  EXPECT_GT(tempi::perf_model().estimate_us(tempi::Method::Device, 8.0,
+                                            1048576.0),
+            1.0e5);
+  (void)before;
+  // A second refresh with nothing new folds nothing and bumps nothing.
+  const std::uint64_t gen1 = tempi::tune::refresh_generation();
+  EXPECT_TRUE(tempi::tune::refresh_now());
+  EXPECT_EQ(tempi::tune::refresh_generation(), gen1);
+  tempi::tune::reset();
 }
 
 TEST(PerfFile, CorruptFileYieldsNullopt) {

@@ -10,6 +10,7 @@
 #include "tempi/buffer_cache.hpp"
 #include "tempi/tempi.hpp"
 #include "test_helpers.hpp"
+#include "vcuda/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -37,11 +38,18 @@ protected:
     tempi::install();
     tempi::reset_send_stats();
     tempi::async::reset_engine_stats();
+    // The exact-count replay/launch assertions below depend on channels
+    // staying frozen; the tuner is re-enabled (and its cells cleared) in
+    // TearDown so each test opts in to refresh traffic explicitly.
+    tempi::tune::set_enabled(false);
   }
   void TearDown() override {
     tempi::set_send_mode(tempi::SendMode::Auto);
     tempi::set_persistent_enabled(true);
     tempi::set_wire_chunk_limit(tempi::kMaxWireBytes);
+    tempi::set_chunk_bytes_override(0);
+    tempi::tune::set_enabled(true);
+    tempi::tune::reset();
     tempi::uninstall();
   }
 };
@@ -387,6 +395,101 @@ TEST_F(TempiPersistent, PipelinedChannelUnderInjectedWireLimit) {
   EXPECT_EQ(stats.persistent_graph_launches, 6u);
   EXPECT_GT(stats.pipeline_chunks, 0u);
   tempi::set_wire_chunk_limit(tempi::kMaxWireBytes);
+}
+
+TEST_F(TempiPersistent, RefreezeFollowsModelGenerationExactlyOnce) {
+  // Frozen channels subscribe to the tuner's refresh generation, not the
+  // transfer-config generation: chunk-override churn alone must leave the
+  // recorded graphs untouched, one model refresh re-records each channel
+  // exactly once at its next Start (never blocking it), and every Start
+  // after that replays the new plan with no further re-search.
+  tempi::set_wire_chunk_limit(16 * 1024);
+  tempi::set_chunk_bytes_override(4096);
+  run2([&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(2048, 16, 48, MPI_BYTE, &t); // 32 KiB packed > limit
+    MPI_Type_commit(&t);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    SpaceBuffer buf(vcuda::MemorySpace::Device,
+                    static_cast<std::size_t>(extent) + 16);
+    MPI_Request req = MPI_REQUEST_NULL;
+    if (rank == 0) {
+      ASSERT_EQ(MPI_Send_init(buf.get(), 1, t, 1, 80, MPI_COMM_WORLD, &req),
+                MPI_SUCCESS);
+    } else {
+      ASSERT_EQ(MPI_Recv_init(buf.get(), 1, t, 0, 80, MPI_COMM_WORLD, &req),
+                MPI_SUCCESS);
+    }
+    std::vector<std::byte> raw(buf.size());
+    const auto exchange = [&](int it) {
+      if (rank == 0) {
+        fill_pattern(buf.get(), buf.size(), 90 + it);
+        ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        MPI_Send(buf.get(), static_cast<int>(buf.size()), MPI_BYTE, 1, 81,
+                 MPI_COMM_WORLD);
+      } else {
+        std::memset(buf.get(), 0, buf.size());
+        ASSERT_EQ(MPI_Start(&req), MPI_SUCCESS);
+        ASSERT_EQ(MPI_Wait(&req, MPI_STATUS_IGNORE), MPI_SUCCESS);
+        MPI_Recv(raw.data(), static_cast<int>(raw.size()), MPI_BYTE, 0, 81,
+                 MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        EXPECT_EQ(reference_pack(buf.get(), 1, *t),
+                  reference_pack(raw.data(), 1, *t))
+            << "iteration " << it;
+      }
+    };
+
+    // Frozen 4 KiB plan: arms replay, nothing re-records.
+    exchange(0);
+    exchange(1);
+    MPI_Barrier(MPI_COMM_WORLD);
+    EXPECT_EQ(tempi::send_stats().model_refreezes, 0u);
+
+    // Transfer-config churn only (no model refresh): still frozen.
+    if (rank == 0) {
+      tempi::set_chunk_bytes_override(8192);
+    }
+    MPI_Barrier(MPI_COMM_WORLD);
+    exchange(2);
+    MPI_Barrier(MPI_COMM_WORLD);
+    EXPECT_EQ(tempi::send_stats().model_refreezes, 0u);
+
+    // A real model refresh: fold two (harmless — Staged never wins)
+    // observations and bump the refresh generation.
+    if (rank == 0) {
+      tempi::tune::set_enabled(true);
+      tempi::tune::observe(tempi::tune::Axis::D2H, 0, 1,
+                           vcuda::us_to_ns(50.0));
+      tempi::tune::observe(tempi::tune::Axis::D2H, 0, 1,
+                           vcuda::us_to_ns(50.0));
+      EXPECT_TRUE(tempi::tune::refresh_now());
+      tempi::tune::set_enabled(false);
+    }
+    MPI_Barrier(MPI_COMM_WORLD);
+    exchange(3); // each side re-records onto the 8 KiB plan, once
+    MPI_Barrier(MPI_COMM_WORLD);
+    EXPECT_EQ(tempi::send_stats().model_refreezes, 2u);
+
+    // Steady state again: the generation was consumed, replays only.
+    exchange(4);
+    exchange(5);
+    MPI_Barrier(MPI_COMM_WORLD);
+    EXPECT_EQ(tempi::send_stats().model_refreezes, 2u);
+
+    ASSERT_EQ(MPI_Request_free(&req), MPI_SUCCESS);
+    MPI_Type_free(&t);
+    MPI_Finalize();
+  });
+  const tempi::SendStats stats = tempi::send_stats();
+  EXPECT_EQ(stats.persistent_init, 2u);
+  EXPECT_EQ(stats.persistent_start, 12u);
+  EXPECT_EQ(stats.model_refreezes, 2u);
+  EXPECT_GE(stats.model_generation_bumps, 1u);
+  tempi::set_wire_chunk_limit(tempi::kMaxWireBytes);
+  tempi::set_chunk_bytes_override(0);
 }
 
 TEST_F(TempiPersistent, TypeFreeWhileChannelLiveKeepsThePackerAlive) {

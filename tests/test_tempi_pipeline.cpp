@@ -47,9 +47,17 @@ private:
 
 class TempiPipeline : public ::testing::Test {
 protected:
-  void SetUp() override { tempi::install(); }
+  void SetUp() override {
+    tempi::install();
+    // The exact memo/leg-count assertions here require a quiescent model:
+    // with the tuner armed, per-leg observations from a cold send would
+    // (correctly) refresh the tables and invalidate the memo mid-test.
+    tempi::tune::set_enabled(false);
+  }
   void TearDown() override {
     tempi::set_send_mode(tempi::SendMode::Auto);
+    tempi::tune::set_enabled(true);
+    tempi::tune::reset();
     tempi::uninstall();
   }
 };
