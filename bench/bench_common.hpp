@@ -149,9 +149,12 @@ inline std::string results_dir() {
 /// the perf trajectory is tracked across PRs instead of living only in CI
 /// logs. When tracing is armed, a "phases" object adds the per-phase
 /// pack/wire/unpack breakdown (span count + trimean) from the tracer.
-/// Call once, at the end, with the bench's headline ratio.
+/// Call once, at the end, with the bench's headline ratio. `extra`, when
+/// non-empty, is spliced in verbatim as one additional top-level member
+/// (a `"key": {...}` fragment without the trailing comma) for bench-
+/// specific blocks like fig14's "schedule" or fig16's "reorder".
 inline void emit_json(const std::string &name, const std::string &config,
-                      double geomean_speedup) {
+                      double geomean_speedup, const std::string &extra = "") {
   std::string dir = results_dir();
   if (dir != ".") {
     std::error_code ec;
@@ -193,6 +196,9 @@ inline void emit_json(const std::string &name, const std::string &config,
     sep = ",\n";
   }
   std::fprintf(f, "%s},\n", sep[0] == ',' ? "\n  " : "");
+  if (!extra.empty()) {
+    std::fprintf(f, "  %s,\n", extra.c_str());
+  }
   // Self-tuning model provenance: where the calibration came from, which
   // generation the tables ended the run on, and how much the tuner saw.
   const tempi::tune::TunerStats tuner = tempi::tune::stats();

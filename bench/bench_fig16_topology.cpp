@@ -1,0 +1,274 @@
+// Fig. 16 (extension): topology- and congestion-aware communication.
+//
+// Two gates, both at cluster scale (256 ranks across 32 virtual nodes in
+// the full sweep):
+//
+//  1. NIC incast kill — a *fragmented* MPI_Neighbor_alltoallv where every
+//     rank ships one leg into each of `fanout` node bands (its j-th
+//     neighbor lives in band j). Neighbor collectives fan out in
+//     neighbor-list order and adjacency lists are ascending by rank, so
+//     the whole job's j-th departure wave converges on band j: every
+//     node in that band absorbs a synchronized many-source burst on its
+//     ejection port (the incast backlog in sysmpi/netmodel.hpp) while
+//     the other nodes' NICs sit idle. The node-aware schedule
+//     (tempi/topology.hpp) walks destination nodes round-robin from a
+//     rank-salted start, decorrelating the waves so every wave spreads
+//     over all NICs at their drain rate. Banded neighborhoods are the
+//     sparse-exchange shape of partitioned meshes and grid halos, where
+//     neighbor ranks cluster in narrow rank (= node) bands.
+//     Gate: node-aware >= 1.3x geomean over rank order across the sweep.
+//
+//  2. reorder=1 rank remapping — a periodic 2-D halo exchange on a
+//     communicator from MPI_Cart_create. With reorder=0 the row-major
+//     identity layout slices each node's ranks into a 1xN strip (long
+//     inter-node perimeter); reorder=1 re-places ranks into near-square
+//     bricks, converting perimeter edges into on-node traffic.
+//     Gate: reorder=1 strictly beats the identity mapping.
+//
+// A dense rotated MPI_Alltoallv is deliberately NOT used for gate 1: the
+// engine's pairwise rotation staggers senders by rank already, so at any
+// instant a destination node hears from at most one source node — only
+// list-ordered fan-outs (neighbor collectives, persistent fan-outs)
+// expose the incast.
+#include "bench_common.hpp"
+#include "tempi/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+/// targets[s] = the `fanout` peers rank s sends one leg to: one in each
+/// node band j = nodes [j*nnodes/fanout, (j+1)*nnodes/fanout), chosen by
+/// a fixed affine shuffle of the sender so in-degree stays == fanout
+/// (every NIC carries the same total load — the two issue policies
+/// differ only in WHEN each port's share arrives, not how much). Lists
+/// come out ascending, which IS the neighbor fan-out order: wave j of
+/// every rank targets band j simultaneously.
+std::vector<std::vector<int>> make_pattern(int ranks, int rpn, int fanout) {
+  const int nnodes = ranks / rpn;
+  std::vector<std::vector<int>> targets(static_cast<std::size_t>(ranks));
+  for (int s = 0; s < ranks; ++s) {
+    std::vector<int> &t = targets[static_cast<std::size_t>(s)];
+    for (int j = 0; j < fanout; ++j) {
+      const int lo = j * nnodes / fanout * rpn; // first rank of band j
+      const int band = (j + 1) * nnodes / fanout * rpn - lo;
+      int d = lo + (s * 5 + 1) % band;
+      if (d == s) {
+        d = lo + (s * 5 + 2) % band; // never self; can't collide twice
+      }
+      t.push_back(d);
+    }
+  }
+  return targets;
+}
+
+/// Max-across-ranks virtual latency (us) of one fragmented
+/// MPI_Neighbor_alltoallv (contiguous device legs, one per neighbor)
+/// under the given issue policy.
+double sparse_neighbor_us(bool node_aware, int ranks, int rpn,
+                          const std::vector<std::vector<int>> &targets,
+                          long long bytes, int rounds) {
+  tempi::topo::set_enabled(node_aware);
+  std::vector<double> per_rank(static_cast<std::size_t>(ranks), 0.0);
+  sysmpi::RunConfig cfg;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = rpn;
+  sysmpi::run_ranks(cfg, [&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    const std::vector<int> &dsts = targets[static_cast<std::size_t>(rank)];
+    std::vector<int> srcs; // in-neighbors, ascending like the out lists
+    for (int s = 0; s < ranks; ++s) {
+      const std::vector<int> &t = targets[static_cast<std::size_t>(s)];
+      if (std::find(t.begin(), t.end(), rank) != t.end()) {
+        srcs.push_back(s);
+      }
+    }
+    const std::vector<int> wone(
+        std::max(dsts.size(), srcs.size()), 1);
+    MPI_Comm graph = MPI_COMM_NULL;
+    MPI_Dist_graph_create_adjacent(
+        MPI_COMM_WORLD, static_cast<int>(srcs.size()), srcs.data(),
+        wone.data(), static_cast<int>(dsts.size()), dsts.data(), wone.data(),
+        MPI_INFO_NULL, /*reorder=*/0, &graph);
+    std::vector<int> scounts(dsts.size(), static_cast<int>(bytes));
+    std::vector<int> rcounts(srcs.size(), static_cast<int>(bytes));
+    std::vector<int> sdispls(dsts.size(), 0), rdispls(srcs.size(), 0);
+    for (std::size_t i = 0; i < dsts.size(); ++i) {
+      sdispls[i] = static_cast<int>(i * static_cast<std::size_t>(bytes));
+    }
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+      rdispls[i] = static_cast<int>(i * static_cast<std::size_t>(bytes));
+    }
+    void *sbuf = nullptr, *rbuf = nullptr;
+    vcuda::Malloc(&sbuf, dsts.size() * static_cast<std::size_t>(bytes) + 64);
+    vcuda::Malloc(&rbuf, srcs.size() * static_cast<std::size_t>(bytes) + 64);
+    support::Sampler sampler;
+    for (int round = 0; round <= rounds; ++round) {
+      // Re-synchronize virtual clocks: without this only the first round
+      // has the aligned departure waves the pattern is built around
+      // (banded receivers finish progressively later, smearing the next
+      // round's waves across their skew).
+      MPI_Barrier(MPI_COMM_WORLD);
+      const vcuda::VirtualNs t0 = vcuda::virtual_now();
+      MPI_Neighbor_alltoallv(sbuf, scounts.data(), sdispls.data(), MPI_BYTE,
+                             rbuf, rcounts.data(), rdispls.data(), MPI_BYTE,
+                             graph);
+      if (round > 0) { // discard the cache-cold warm-up round
+        sampler.add(vcuda::ns_to_us(vcuda::virtual_now() - t0));
+      }
+    }
+    per_rank[static_cast<std::size_t>(rank)] = sampler.trimean();
+    vcuda::Free(sbuf);
+    vcuda::Free(rbuf);
+    MPI_Comm_free(&graph);
+    MPI_Finalize();
+  });
+  tempi::topo::set_enabled(true);
+  return *std::max_element(per_rank.begin(), per_rank.end());
+}
+
+/// Max-across-ranks virtual latency (us) of one periodic 2-D halo round
+/// (4 neighbor legs each way) on an MPI_Cart_create communicator built
+/// with the given reorder flag.
+double halo_us(int reorder, int px, int py, int rpn, long long bytes,
+               int rounds) {
+  const int ranks = px * py;
+  std::vector<double> per_rank(static_cast<std::size_t>(ranks), 0.0);
+  sysmpi::RunConfig cfg;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = rpn;
+  sysmpi::run_ranks(cfg, [&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    const int dims[2] = {py, px};
+    const int periods[2] = {1, 1};
+    MPI_Comm cart = MPI_COMM_NULL;
+    MPI_Cart_create(MPI_COMM_WORLD, 2, dims, periods, reorder, &cart);
+    int nbr[4] = {0, 0, 0, 0}; // {up, down, left, right}
+    MPI_Cart_shift(cart, 0, 1, &nbr[0], &nbr[1]);
+    MPI_Cart_shift(cart, 1, 1, &nbr[2], &nbr[3]);
+    void *sbuf[4] = {nullptr, nullptr, nullptr, nullptr};
+    void *rbuf[4] = {nullptr, nullptr, nullptr, nullptr};
+    for (int i = 0; i < 4; ++i) {
+      vcuda::Malloc(&sbuf[i], static_cast<std::size_t>(bytes));
+      vcuda::Malloc(&rbuf[i], static_cast<std::size_t>(bytes));
+    }
+    support::Sampler sampler;
+    for (int round = 0; round <= rounds; ++round) {
+      MPI_Barrier(MPI_COMM_WORLD); // aligned rounds, as in the sparse gate
+      const vcuda::VirtualNs t0 = vcuda::virtual_now();
+      MPI_Request reqs[8];
+      for (int i = 0; i < 4; ++i) {
+        MPI_Irecv(rbuf[i], static_cast<int>(bytes), MPI_BYTE, nbr[i], round,
+                  cart, &reqs[i]);
+      }
+      for (int i = 0; i < 4; ++i) {
+        // Send up pairs with the neighbor's recv-from-down and vice
+        // versa: post sends toward the partner of each posted receive.
+        MPI_Isend(sbuf[i], static_cast<int>(bytes), MPI_BYTE, nbr[i ^ 1],
+                  round, cart, &reqs[4 + i]);
+      }
+      MPI_Waitall(8, reqs, MPI_STATUSES_IGNORE);
+      if (round > 0) { // discard the cache-cold warm-up round
+        sampler.add(vcuda::ns_to_us(vcuda::virtual_now() - t0));
+      }
+    }
+    per_rank[static_cast<std::size_t>(rank)] = sampler.trimean();
+    for (int i = 0; i < 4; ++i) {
+      vcuda::Free(sbuf[i]);
+      vcuda::Free(rbuf[i]);
+    }
+    MPI_Comm_free(&cart);
+    MPI_Finalize();
+  });
+  return *std::max_element(per_rank.begin(), per_rank.end());
+}
+
+} // namespace
+
+int main() {
+  tempi::install();
+  const bool smoke = bench::smoke_mode();
+  // Freeze the self-tuning model for the whole bench: both gates compare
+  // the SAME traffic under two issue policies, so a table refresh between
+  // the paired runs would change leg methods mid-comparison.
+  tempi::tune::set_enabled(false);
+
+  // Full sweep: Summit-scale fan-in (256 ranks over 32 nodes). Smoke
+  // keeps the node count high enough (8) that list-order issue still
+  // collides, at a fraction of the thread count.
+  const int ranks = smoke ? 64 : 256;
+  const int rpn = 8;
+  const int rounds = smoke ? 1 : 3;
+
+  struct SweepCfg {
+    int fanout;
+    long long bytes;
+  };
+  // Legs must be big enough that a band's drain dominates the fixed
+  // per-leg overheads, or the sweep measures latency, not incast.
+  const std::vector<SweepCfg> sweep =
+      smoke ? std::vector<SweepCfg>{{4, 16 * 1024}, {4, 32 * 1024}}
+            : std::vector<SweepCfg>{
+                  {4, 16 * 1024}, {6, 32 * 1024}, {8, 64 * 1024}};
+
+  std::printf("Fig. 16 — topology-aware scheduling and rank remapping "
+              "(virtual us, max across ranks)\n");
+  std::printf("fragmented neighbor alltoallv: %d ranks, %d per node "
+              "(%d nodes)\n\n",
+              ranks, rpn, ranks / rpn);
+  std::printf("%6s %8s | %12s %12s | %8s\n", "fanout", "leg",
+              "rank order", "node aware", "speedup");
+
+  std::vector<double> speedups;
+  for (const SweepCfg &c : sweep) {
+    const std::vector<std::vector<int>> targets =
+        make_pattern(ranks, rpn, c.fanout);
+    const double base =
+        sparse_neighbor_us(false, ranks, rpn, targets, c.bytes, rounds);
+    const double aware =
+        sparse_neighbor_us(true, ranks, rpn, targets, c.bytes, rounds);
+    const double speedup = base / aware;
+    speedups.push_back(speedup);
+    std::printf("%6d %7s | %12.1f %12.1f | %7.2fx\n", c.fanout,
+                bench::human_bytes(static_cast<double>(c.bytes)).c_str(),
+                base, aware, speedup);
+  }
+  const double geomean = support::geomean(speedups);
+  const bool incast_ok = geomean >= 1.3;
+  std::printf("\nnode-aware schedule geomean %.2fx over rank order "
+              "(gate: >= 1.30x) %s\n\n",
+              geomean, incast_ok ? "PASS" : "FAIL");
+
+  // reorder=1 gate: periodic 2-D halo; identity slices nodes into 1xN
+  // strips, the brick remap shortens each node's inter-node perimeter.
+  const int px = smoke ? 8 : 16;
+  const int py = smoke ? 8 : 16;
+  const long long halo_bytes = smoke ? 16 * 1024 : 64 * 1024;
+  const double identity = halo_us(0, px, py, rpn, halo_bytes, rounds);
+  const double remapped = halo_us(1, px, py, rpn, halo_bytes, rounds);
+  const bool reorder_ok = remapped < identity;
+  std::printf("%dx%d periodic halo, %s legs: reorder=0 %.1f us, "
+              "reorder=1 %.1f us (%.2fx, gate: strict improvement) %s\n",
+              px, py,
+              bench::human_bytes(static_cast<double>(halo_bytes)).c_str(),
+              identity, remapped, identity / remapped,
+              reorder_ok ? "PASS" : "FAIL");
+
+  char config[176];
+  std::snprintf(config, sizeof config,
+                "fragmented neighbor alltoallv %d ranks / %d nodes, "
+                "node-aware vs rank-order issue; %dx%d periodic halo "
+                "reorder=1 vs identity",
+                ranks, ranks / rpn, px, py);
+  char extra[160];
+  std::snprintf(extra, sizeof extra,
+                "\"reorder\": {\"identity_us\": %.3f, \"remapped_us\": %.3f, "
+                "\"speedup\": %.4f}",
+                identity, remapped, identity / remapped);
+  bench::emit_json("fig16_topology", config, geomean, extra);
+  tempi::tune::set_enabled(true);
+  tempi::uninstall();
+  return incast_ok && reorder_ok ? 0 : 1;
+}

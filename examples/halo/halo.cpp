@@ -29,12 +29,6 @@ std::vector<Direction> directions() {
   return dirs;
 }
 
-int wrap(int v, int n) { return (v % n + n) % n; }
-
-int rank_at(const Config &c, int x, int y, int z) {
-  return (wrap(z, c.pz) * c.py + wrap(y, c.py)) * c.px + wrap(x, c.px);
-}
-
 /// Subarray type for the halo region in direction `d`. `send` selects the
 /// interior face shipped out; otherwise the ghost shell filled on receive.
 MPI_Datatype region_type(const Config &c, Direction d, bool send) {
@@ -62,16 +56,28 @@ MPI_Datatype region_type(const Config &c, Direction d, bool send) {
 
 } // namespace
 
-Exchanger::Exchanger(const Config &cfg, MPI_Comm comm)
-    : cfg_(cfg), comm_(comm) {
-  MPI_Comm_rank(comm, &rank_);
+Exchanger::Exchanger(const Config &cfg, MPI_Comm comm) : cfg_(cfg) {
   int size = 0;
   MPI_Comm_size(comm, &size);
   assert(size == cfg.ranks() && "communicator size must match rank grid");
 
-  const int rx = rank_ % cfg.px;
-  const int ry = (rank_ / cfg.px) % cfg.py;
-  const int rz = rank_ / (cfg.px * cfg.py);
+  // Declare the process grid to MPI instead of hand-rolling the rank
+  // arithmetic: with reorder=1 the library may re-place ranks so grid
+  // neighbors share a node (TEMPI's brick remap). Row-major dims put x
+  // fastest, matching the coords -> rank convention used throughout.
+  const int dims[3] = {cfg.pz, cfg.py, cfg.px};
+  const int periods[3] = {1, 1, 1};
+  MPI_Cart_create(comm, 3, dims, periods, cfg.reorder, &cart_);
+  MPI_Comm_rank(cart_, &rank_);
+  int coords[3] = {0, 0, 0};
+  MPI_Cart_coords(cart_, rank_, 3, coords);
+  const int rz = coords[0], ry = coords[1], rx = coords[2];
+  const auto neighbor = [&](const Direction &d) {
+    const int at[3] = {rz + d.dz, ry + d.dy, rx + d.dx};
+    int peer = MPI_PROC_NULL;
+    MPI_Cart_rank(cart_, at, &peer); // periodic dims wrap out-of-range
+    return peer;
+  };
 
   const std::vector<Direction> dirs = directions();
   // Send slots in ascending direction order; receive slots in descending
@@ -79,7 +85,7 @@ Exchanger::Exchanger(const Config &cfg, MPI_Comm comm)
   // (see header comment).
   int offset = 0;
   for (const Direction &d : dirs) {
-    send_peers_.push_back(rank_at(cfg, rx + d.dx, ry + d.dy, rz + d.dz));
+    send_peers_.push_back(neighbor(d));
     send_types_.push_back(region_type(cfg, d, /*send=*/true));
     int bytes = 0;
     MPI_Type_size(send_types_.back(), &bytes);
@@ -91,7 +97,7 @@ Exchanger::Exchanger(const Config &cfg, MPI_Comm comm)
   offset = 0;
   for (auto it = dirs.rbegin(); it != dirs.rend(); ++it) {
     const Direction &d = *it;
-    recv_peers_.push_back(rank_at(cfg, rx + d.dx, ry + d.dy, rz + d.dz));
+    recv_peers_.push_back(neighbor(d));
     recv_types_.push_back(region_type(cfg, d, /*send=*/false));
     rdispls_.push_back(offset);
     int bytes = 0;
@@ -99,8 +105,9 @@ Exchanger::Exchanger(const Config &cfg, MPI_Comm comm)
     offset += bytes;
   }
 
+  // The graph's reorder=0: the cart create above already placed ranks.
   MPI_Dist_graph_create_adjacent(
-      comm, static_cast<int>(recv_peers_.size()), recv_peers_.data(), nullptr,
+      cart_, static_cast<int>(recv_peers_.size()), recv_peers_.data(), nullptr,
       static_cast<int>(send_peers_.size()), send_peers_.data(), nullptr,
       MPI_INFO_NULL, 0, &graph_);
 
@@ -119,6 +126,9 @@ Exchanger::~Exchanger() {
   }
   if (graph_ != MPI_COMM_NULL) {
     MPI_Comm_free(&graph_);
+  }
+  if (cart_ != MPI_COMM_NULL) {
+    MPI_Comm_free(&cart_);
   }
 }
 
@@ -140,12 +150,12 @@ PhaseTimes Exchanger::exchange_isend(void *grid) {
   for (int i = 0; i < n; ++i) {
     const int ghost = n - 1 - i;
     MPI_Irecv(grid, 1, recv_types_[static_cast<std::size_t>(ghost)],
-              send_peers_[static_cast<std::size_t>(i)], ghost, comm_,
+              send_peers_[static_cast<std::size_t>(i)], ghost, cart_,
               &reqs[static_cast<std::size_t>(i)]);
   }
   for (int i = 0; i < n; ++i) {
     MPI_Isend(grid, 1, send_types_[static_cast<std::size_t>(i)],
-              send_peers_[static_cast<std::size_t>(i)], i, comm_,
+              send_peers_[static_cast<std::size_t>(i)], i, cart_,
               &reqs[static_cast<std::size_t>(n + i)]);
   }
   times.pack_us = (MPI_Wtime() - t0) * 1e6;

@@ -29,6 +29,11 @@ struct Config {
   int vals = 8;                  ///< doubles per gridpoint (Astaroth: 8)
   int radius = 3;                ///< stencil radius (Astaroth: 3)
   int px = 1, py = 1, pz = 1;    ///< rank grid (periodic)
+  /// Passed to MPI_Cart_create: 1 lets the library re-place ranks into
+  /// node-local bricks (TEMPI's real reorder; identity under plain
+  /// sysmpi). The caller must key grid contents by Exchanger::rank() —
+  /// the Cartesian rank — not by the parent communicator's rank.
+  int reorder = 1;
 
   [[nodiscard]] int ranks() const { return px * py * pz; }
   /// Bytes of one rank's local array including ghost shells.
@@ -72,6 +77,9 @@ public:
   /// Waitall (wire + batched unpacks); unpack_us is always zero here.
   PhaseTimes exchange_isend(void *grid);
 
+  /// This process's rank in the Cartesian communicator — its position in
+  /// the rank grid. Differs from the parent comm's rank when reorder=1
+  /// found a better placement; grid ownership follows THIS rank.
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int neighbor_count() const {
     return static_cast<int>(send_peers_.size());
@@ -81,8 +89,8 @@ public:
 
 private:
   Config cfg_;
-  int rank_ = 0;
-  MPI_Comm comm_ = MPI_COMM_NULL; ///< constructor comm (point-to-point path)
+  int rank_ = 0;                  ///< Cartesian rank (post-reorder)
+  MPI_Comm cart_ = MPI_COMM_NULL; ///< owned; point-to-point path + parent
   MPI_Comm graph_ = MPI_COMM_NULL;
   std::vector<int> send_peers_, recv_peers_;
   std::vector<MPI_Datatype> send_types_, recv_types_;

@@ -105,6 +105,11 @@
   X(Dist_graph_create_adjacent, int,                                           \
     (MPI_Comm, int, const int *, const int *, int, const int *, const int *,   \
      int, int, MPI_Comm *))                                                    \
+  X(Cart_create, int,                                                          \
+    (MPI_Comm, int, const int *, const int *, int, MPI_Comm *))                \
+  X(Cart_coords, int, (MPI_Comm, int, int, int *))                             \
+  X(Cart_rank, int, (MPI_Comm, const int *, int *))                            \
+  X(Cart_shift, int, (MPI_Comm, int, int, int *, int *))                       \
   X(Neighbor_alltoallv, int,                                                   \
     (const void *, const int *, const int *, MPI_Datatype, void *,             \
      const int *, const int *, MPI_Datatype, MPI_Comm))                        \

@@ -847,6 +847,24 @@ int sys_Dist_graph_create_adjacent(MPI_Comm comm_old, int indegree,
                                          reorder, comm_dist_graph);
 }
 
+int sys_Cart_create(MPI_Comm comm_old, int ndims, const int *dims,
+                    const int *periods, int reorder, MPI_Comm *comm_cart) {
+  return cart_create_impl(comm_old, ndims, dims, periods, reorder, comm_cart);
+}
+
+int sys_Cart_coords(MPI_Comm comm, int rank, int maxdims, int *coords) {
+  return cart_coords_impl(comm, rank, maxdims, coords);
+}
+
+int sys_Cart_rank(MPI_Comm comm, const int *coords, int *rank) {
+  return cart_rank_impl(comm, coords, rank);
+}
+
+int sys_Cart_shift(MPI_Comm comm, int direction, int disp, int *rank_source,
+                   int *rank_dest) {
+  return cart_shift_impl(comm, direction, disp, rank_source, rank_dest);
+}
+
 int sys_Neighbor_alltoallv(const void *sendbuf, const int *sendcounts,
                            const int *sdispls, MPI_Datatype sendtype,
                            void *recvbuf, const int *recvcounts,
@@ -978,6 +996,10 @@ interpose::MpiTable make_system_table() {
   t.Allgather = sys_Allgather;
   t.Alltoallv = sys_Alltoallv;
   t.Dist_graph_create_adjacent = sys_Dist_graph_create_adjacent;
+  t.Cart_create = sys_Cart_create;
+  t.Cart_coords = sys_Cart_coords;
+  t.Cart_rank = sys_Cart_rank;
+  t.Cart_shift = sys_Cart_shift;
   t.Neighbor_alltoallv = sys_Neighbor_alltoallv;
   t.Pack = sys_Pack;
   t.Unpack = sys_Unpack;

@@ -1,10 +1,12 @@
 #include "sysmpi/collectives.hpp"
 
+#include "support/log.hpp"
 #include "sysmpi/netmodel.hpp"
 #include "sysmpi/pack_baseline.hpp"
 #include "sysmpi/transport.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstring>
@@ -442,6 +444,25 @@ int comm_split_impl(MPI_Comm comm, int color, int key, MPI_Comm *newcomm) {
   return MPI_SUCCESS;
 }
 
+namespace {
+
+/// The system MPI never remaps ranks itself; when a caller asks for
+/// reorder=1 and ends up on this identity path (no topology layer
+/// interposed, or the remap was rejected), say so once instead of
+/// silently dropping the request.
+void log_identity_reorder_once(const char *what) {
+  static std::atomic<bool> cart_logged{false};
+  static std::atomic<bool> graph_logged{false};
+  std::atomic<bool> &flag =
+      what[0] == 'C' ? cart_logged : graph_logged;
+  if (!flag.exchange(true)) {
+    support::log_info("sysmpi: ", what,
+                      "(reorder=1) falling back to identity rank mapping");
+  }
+}
+
+} // namespace
+
 int dist_graph_create_adjacent_impl(MPI_Comm comm_old, int indegree,
                                     const int *sources,
                                     const int *sourceweights, int outdegree,
@@ -451,7 +472,9 @@ int dist_graph_create_adjacent_impl(MPI_Comm comm_old, int indegree,
   (void)sourceweights;
   (void)destweights;
   (void)info;
-  (void)reorder;
+  if (reorder != 0) {
+    log_identity_reorder_once("MPI_Dist_graph_create_adjacent");
+  }
   if (comm_old == nullptr || comm_dist_graph == nullptr || indegree < 0 ||
       outdegree < 0) {
     return MPI_ERR_ARG;
@@ -468,6 +491,114 @@ int dist_graph_create_adjacent_impl(MPI_Comm comm_old, int indegree,
   comm->graph_destinations.assign(destinations, destinations + outdegree);
   *comm_dist_graph = comm;
   return MPI_SUCCESS;
+}
+
+int cart_create_impl(MPI_Comm comm_old, int ndims, const int *dims,
+                     const int *periods, int reorder, MPI_Comm *comm_cart) {
+  if (comm_old == nullptr || comm_cart == nullptr || ndims < 1 ||
+      dims == nullptr || periods == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  long long grid = 1;
+  for (int d = 0; d < ndims; ++d) {
+    if (dims[d] < 1) {
+      return MPI_ERR_ARG;
+    }
+    grid *= dims[d];
+  }
+  if (grid > comm_old->size()) {
+    return MPI_ERR_ARG;
+  }
+  if (reorder != 0) {
+    log_identity_reorder_once("MPI_Cart_create");
+  }
+  // Every rank consumes one ordinal for this construction so ids stay
+  // aligned, including ranks left out of the grid.
+  const std::uint64_t ordinal = comm_old->next_child_ordinal++;
+  if (comm_old->my_rank >= grid) {
+    *comm_cart = MPI_COMM_NULL;
+    return MPI_SUCCESS;
+  }
+  auto *c = new Comm();
+  c->world = comm_old->world;
+  c->id = comm_old->id * 1000003ull + ordinal * 8191ull + 7ull;
+  c->my_rank = comm_old->my_rank;
+  c->world_ranks.assign(comm_old->world_ranks.begin(),
+                        comm_old->world_ranks.begin() + grid);
+  c->is_cart = true;
+  c->cart_dims.assign(dims, dims + ndims);
+  c->cart_periods.assign(periods, periods + ndims);
+  *comm_cart = c;
+  return MPI_SUCCESS;
+}
+
+int cart_coords_impl(MPI_Comm comm, int rank, int maxdims, int *coords) {
+  if (comm == nullptr || !comm->is_cart || coords == nullptr || rank < 0 ||
+      rank >= comm->size() ||
+      maxdims < static_cast<int>(comm->cart_dims.size())) {
+    return MPI_ERR_ARG;
+  }
+  // Row-major: the last dimension varies fastest.
+  for (int d = static_cast<int>(comm->cart_dims.size()) - 1; d >= 0; --d) {
+    const int extent = comm->cart_dims[static_cast<std::size_t>(d)];
+    coords[d] = rank % extent;
+    rank /= extent;
+  }
+  return MPI_SUCCESS;
+}
+
+int cart_rank_impl(MPI_Comm comm, const int *coords, int *rank) {
+  if (comm == nullptr || !comm->is_cart || coords == nullptr ||
+      rank == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  int r = 0;
+  for (std::size_t d = 0; d < comm->cart_dims.size(); ++d) {
+    const int extent = comm->cart_dims[d];
+    int c = coords[d];
+    if (c < 0 || c >= extent) {
+      if (comm->cart_periods[d] == 0) {
+        return MPI_ERR_ARG; // out of range on a non-periodic dimension
+      }
+      c = ((c % extent) + extent) % extent;
+    }
+    r = r * extent + c;
+  }
+  *rank = r;
+  return MPI_SUCCESS;
+}
+
+int cart_shift_impl(MPI_Comm comm, int direction, int disp, int *rank_source,
+                    int *rank_dest) {
+  if (comm == nullptr || !comm->is_cart || rank_source == nullptr ||
+      rank_dest == nullptr || direction < 0 ||
+      direction >= static_cast<int>(comm->cart_dims.size())) {
+    return MPI_ERR_ARG;
+  }
+  std::vector<int> coords(comm->cart_dims.size());
+  int rc = cart_coords_impl(comm, comm->my_rank,
+                            static_cast<int>(coords.size()), coords.data());
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  const int extent = comm->cart_dims[static_cast<std::size_t>(direction)];
+  const bool periodic =
+      comm->cart_periods[static_cast<std::size_t>(direction)] != 0;
+  const int base = coords[static_cast<std::size_t>(direction)];
+  auto resolve = [&](int displacement, int *out) {
+    const int c = base + displacement;
+    if (!periodic && (c < 0 || c >= extent)) {
+      *out = MPI_PROC_NULL;
+      return MPI_SUCCESS;
+    }
+    coords[static_cast<std::size_t>(direction)] = c;
+    return cart_rank_impl(comm, coords.data(), out);
+  };
+  rc = resolve(-disp, rank_source);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  return resolve(disp, rank_dest);
 }
 
 int neighbor_alltoallv_impl(const void *sendbuf, const int *sendcounts,

@@ -32,6 +32,12 @@ int dist_graph_create_adjacent_impl(MPI_Comm comm_old, int indegree,
                                     int outdegree, const int *destinations,
                                     const int *destweights, int info,
                                     int reorder, MPI_Comm *comm_dist_graph);
+int cart_create_impl(MPI_Comm comm_old, int ndims, const int *dims,
+                     const int *periods, int reorder, MPI_Comm *comm_cart);
+int cart_coords_impl(MPI_Comm comm, int rank, int maxdims, int *coords);
+int cart_rank_impl(MPI_Comm comm, const int *coords, int *rank);
+int cart_shift_impl(MPI_Comm comm, int direction, int disp, int *rank_source,
+                    int *rank_dest);
 int neighbor_alltoallv_impl(const void *sendbuf, const int *sendcounts,
                             const int *sdispls, MPI_Datatype sendtype,
                             void *recvbuf, const int *recvcounts,

@@ -281,6 +281,23 @@ inline int MPI_Dist_graph_create_adjacent(
       comm_old, indegree, sources, sourceweights, outdegree, destinations,
       destweights, info, reorder, comm_dist_graph);
 }
+inline int MPI_Cart_create(MPI_Comm comm_old, int ndims, const int *dims,
+                           const int *periods, int reorder,
+                           MPI_Comm *comm_cart) {
+  return interpose::active_table().Cart_create(comm_old, ndims, dims, periods,
+                                               reorder, comm_cart);
+}
+inline int MPI_Cart_coords(MPI_Comm comm, int rank, int maxdims, int *coords) {
+  return interpose::active_table().Cart_coords(comm, rank, maxdims, coords);
+}
+inline int MPI_Cart_rank(MPI_Comm comm, const int *coords, int *rank) {
+  return interpose::active_table().Cart_rank(comm, coords, rank);
+}
+inline int MPI_Cart_shift(MPI_Comm comm, int direction, int disp,
+                          int *rank_source, int *rank_dest) {
+  return interpose::active_table().Cart_shift(comm, direction, disp,
+                                              rank_source, rank_dest);
+}
 inline int MPI_Neighbor_alltoallv(const void *sendbuf, const int *sendcounts,
                                   const int *sdispls, MPI_Datatype sendtype,
                                   void *recvbuf, const int *recvcounts,

@@ -37,6 +37,21 @@ struct NetParams {
 
   /// Per-message CPU overhead at the sender/receiver (matching, headers).
   double host_overhead_us = 0.4;
+
+  /// NIC ejection (receive-side) port model: like injection, each node's
+  /// NIC serializes *arriving* inter-node traffic. A message that finds the
+  /// ejection port busy queues behind `backlog` ns of earlier arrivals
+  /// (pure FIFO drain) and pays an extra nic_incast_penalty fraction of
+  /// its *own* occupancy — goodput lost to incast (switch buffering, PFC
+  /// pauses) when landing on a hot port. The penalty is charged on the
+  /// occupancy, not the backlog, so queueing never amplifies sender clock
+  /// skew by more than a constant per hop (a backlog-proportional penalty
+  /// compounds exponentially across dependency chains). Zero backlog (any
+  /// single-source stream, since the source NIC already spaced the
+  /// messages by their occupancy) costs nothing extra, so uncontended
+  /// transfers price identically to the injection-only model.
+  bool model_ejection = true;
+  double nic_incast_penalty = 1.0;
 };
 
 /// Process-wide parameters (Summit calibration).

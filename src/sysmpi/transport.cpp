@@ -96,7 +96,24 @@ int send_impl(const void *buf, int count, MPI_Datatype dt, int dest, int tag,
                           /*same_node=*/false) -
         vcuda::us_to_ns(e.src_gpu ? net.gpu_lat_inter_us
                                   : net.cpu_lat_inter_us);
-    e.send_time = world.reserve_nic(e.src_node, e.send_time, wire);
+    e.send_time = world.reserve_nic(e.src_node,
+                                    comm->world_rank_of(comm->my_rank),
+                                    e.send_time, wire);
+    // The receive-side ejection port serializes at the same rate; carry the
+    // residency so the receiver can price incast (see reserve_nic_eject).
+    e.eject_ns = wire;
+    // Eager transfers depart now, so their ejection-port arrival time is
+    // already known: reserve the destination port here (the receiver
+    // queries the settled queue when it completes — two-phase pricing,
+    // see World::nic_eject_insert). Rendezvous starts depend on when the
+    // receiver shows up, so those price at completion instead.
+    if (!e.rendezvous) {
+      const vcuda::VirtualNs latency = vcuda::us_to_ns(
+          e.src_gpu ? net.gpu_lat_inter_us : net.cpu_lat_inter_us);
+      e.eject_ready = e.send_time + latency;
+      e.eject_reserved = true;
+      world.nic_eject_insert(world.node_of(dst_world), e.eject_ready, wire);
+    }
   }
 
   // A blocking standard-mode send of a large message cannot complete before
@@ -140,7 +157,21 @@ int finish_recv(void *buf, int count, MPI_Datatype dt, MPI_Comm comm,
   const vcuda::VirtualNs start =
       e.rendezvous ? (tl.now() > e.send_time ? tl.now() : e.send_time)
                    : e.send_time;
-  tl.wait_until(start + wire);
+  // Inter-node arrivals serialize on this node's NIC ejection port. The
+  // message's first byte reaches the port one wire-minus-residency after
+  // departure; queueing behind other nodes' concurrent arrivals (incast)
+  // charges extra delay. A single sender's stream is already spaced by the
+  // injection port, so it never queues here and prices exactly as before.
+  vcuda::VirtualNs incast = 0;
+  if (!same_node && e.eject_ns > 0) {
+    // Eager messages were reserved at the sender under eject_ready (the
+    // pricing then sees every concurrent arrival, not just the ones this
+    // receiver has processed so far); rendezvous messages reserve here.
+    incast = world.reserve_nic_eject(
+        my_node, e.eject_reserved ? e.eject_ready : start + wire - e.eject_ns,
+        e.eject_ns);
+  }
+  tl.wait_until(start + wire + incast);
 
   unstage_recv(buf, count, *dt, e.payload);
 

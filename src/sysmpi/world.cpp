@@ -3,6 +3,7 @@
 #include "sysmpi/types.hpp"
 #include "vcuda/runtime.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <exception>
 #include <thread>
@@ -91,18 +92,125 @@ World::World(int size, int ranks_per_node)
   }
   const int nodes = (size + ranks_per_node_ - 1) / ranks_per_node_;
   nics_.reserve(static_cast<std::size_t>(nodes));
+  eject_nics_.reserve(static_cast<std::size_t>(nodes));
   for (int i = 0; i < nodes; ++i) {
     nics_.push_back(std::make_unique<NicPort>());
+    eject_nics_.push_back(std::make_unique<EjectPort>());
   }
 }
 
-vcuda::VirtualNs World::reserve_nic(int node, vcuda::VirtualNs ready,
+vcuda::VirtualNs World::reserve_nic(int node, int src_rank,
+                                    vcuda::VirtualNs ready,
                                     vcuda::VirtualNs occupancy) {
   NicPort &port = *nics_[static_cast<std::size_t>(node)];
   const std::lock_guard<std::mutex> lock(port.mutex);
-  const vcuda::VirtualNs start = std::max(ready, port.busy_until);
-  port.busy_until = start + occupancy;
+  // Static fair share: the port round-robins across the node's rank
+  // queues, so one rank's burst cannot grab consecutive wire slots. Each
+  // rank's pacing depends only on its own (virtual-time) history, which
+  // keeps the departure schedule independent of thread interleaving.
+  vcuda::VirtualNs &next = port.rank_next[src_rank];
+  const vcuda::VirtualNs start = std::max(ready, next);
+  next = start + occupancy * ranks_per_node_;
   return start;
+}
+
+namespace {
+
+/// Insert a (ready, occupancy) reservation into the ready-sorted drain
+/// queue, replaying the FIFO from the insertion point. Returns the index
+/// of the new entry. An out-of-order insert pushes the drain of every
+/// later-ready entry; prices already handed out stay as computed, but the
+/// queue state always reflects the full load for everyone priced later.
+std::size_t eject_drain_insert(World::EjectPort &port, vcuda::VirtualNs ready,
+                               vcuda::VirtualNs occupancy) {
+  std::vector<World::EjectPort::Entry> &q = port.entries;
+  const auto it = std::upper_bound(
+      q.begin(), q.end(), ready,
+      [](vcuda::VirtualNs r, const World::EjectPort::Entry &e) {
+        return r < e.ready;
+      });
+  const std::size_t idx = static_cast<std::size_t>(it - q.begin());
+  const vcuda::VirtualNs prior =
+      idx > 0 ? q[idx - 1].finish : port.pruned_finish;
+  const vcuda::VirtualNs start = std::max(ready, prior);
+  q.insert(it, World::EjectPort::Entry{ready, occupancy, start + occupancy,
+                                       false});
+  vcuda::VirtualNs t = start + occupancy;
+  for (std::size_t i = idx + 1; i < q.size(); ++i) {
+    t = std::max(q[i].ready, t) + q[i].occupancy;
+    q[i].finish = t;
+  }
+  return idx;
+}
+
+/// Price the entry at `idx` under the current drain: FIFO backlog plus an
+/// incast surcharge on the message's own occupancy (never on the backlog:
+/// that would amplify sender skew per hop and diverge across dependency
+/// chains — see netmodel.hpp).
+vcuda::VirtualNs eject_price(const World::EjectPort &port, std::size_t idx,
+                             const NetParams &p) {
+  const World::EjectPort::Entry &e = port.entries[idx];
+  const vcuda::VirtualNs backlog = e.finish - e.occupancy - e.ready;
+  if (backlog <= 0) {
+    return 0;
+  }
+  const double extra = static_cast<double>(backlog) +
+                       p.nic_incast_penalty * static_cast<double>(e.occupancy);
+  return static_cast<vcuda::VirtualNs>(extra);
+}
+
+void eject_prune(World::EjectPort &port) {
+  // Bound memory for long-lived worlds; everything pruned keeps gating
+  // future arrivals through pruned_finish. A pruned entry that is queried
+  // later falls back to insert-and-price (rare: its port has long since
+  // drained past it).
+  if (port.entries.size() > 4096) {
+    port.pruned_finish = port.entries[2047].finish;
+    port.entries.erase(port.entries.begin(), port.entries.begin() + 2048);
+  }
+}
+
+} // namespace
+
+void World::nic_eject_insert(int node, vcuda::VirtualNs ready,
+                             vcuda::VirtualNs occupancy) {
+  if (!net_params().model_ejection) {
+    return;
+  }
+  EjectPort &port = *eject_nics_[static_cast<std::size_t>(node)];
+  const std::lock_guard<std::mutex> lock(port.mutex);
+  eject_drain_insert(port, ready, occupancy);
+  eject_prune(port);
+}
+
+vcuda::VirtualNs World::reserve_nic_eject(int node, vcuda::VirtualNs ready,
+                                          vcuda::VirtualNs occupancy) {
+  const NetParams &p = net_params();
+  if (!p.model_ejection) {
+    return 0;
+  }
+  EjectPort &port = *eject_nics_[static_cast<std::size_t>(node)];
+  const std::lock_guard<std::mutex> lock(port.mutex);
+  std::vector<EjectPort::Entry> &q = port.entries;
+  // Claim the earliest unclaimed reservation with this key. Equal-key
+  // reservations drain serially, so their prices differ — but each query
+  // takes the next one in ready order, keeping the price SET independent
+  // of the order receivers run.
+  auto it = std::lower_bound(
+      q.begin(), q.end(), ready,
+      [](const EjectPort::Entry &e, vcuda::VirtualNs r) { return e.ready < r; });
+  for (; it != q.end() && it->ready == ready; ++it) {
+    if (!it->claimed && it->occupancy == occupancy) {
+      it->claimed = true;
+      return eject_price(port, static_cast<std::size_t>(it - q.begin()), p);
+    }
+  }
+  // No reservation (rendezvous, or pruned): insert and price on the spot.
+  const std::size_t idx = eject_drain_insert(port, ready, occupancy);
+  q[idx].claimed = true;
+  const vcuda::VirtualNs extra = eject_price(port, idx, p);
+  eject_prune(port);
+  return extra;
 }
 
 BarrierState &World::barrier_for(std::uint64_t comm_id) {

@@ -33,6 +33,15 @@ struct Envelope {
   bool src_gpu = false;           ///< wire source is GPU-resident
   bool rendezvous = false;        ///< transfer starts only once matched
   int src_node = 0;
+  /// Receive-side NIC residency (serialization term of the wire time),
+  /// computed at the sender so both ports price the same message equally.
+  /// Zero for intra-node or empty messages, which never touch a NIC.
+  vcuda::VirtualNs eject_ns = 0;
+  /// Eager transfers only: when the first byte reaches the destination
+  /// ejection port. The sender reserves the port at delivery under this
+  /// key; the receiver queries it (see World::nic_eject_insert).
+  vcuda::VirtualNs eject_ready = 0;
+  bool eject_reserved = false; ///< eject_ready reservation was made
 };
 
 /// Per-rank receive queue with (source, tag, comm) matching.
@@ -93,23 +102,74 @@ public:
   /// Barrier state for a communicator (created on first use).
   BarrierState &barrier_for(std::uint64_t comm_id);
 
-  /// Reserve the node's NIC for an inter-node message: the injection port
-  /// serializes traffic from all ranks of a node, so a message becoming
-  /// ready at `ready` starts at max(ready, port-free) and occupies the
-  /// port for `occupancy`. Returns the start time. This is what makes
-  /// alltoallv time grow with ranks-per-node and node count (Fig. 12a).
-  vcuda::VirtualNs reserve_nic(int node, vcuda::VirtualNs ready,
+  /// Reserve the node's NIC for an inter-node message from `src_rank`
+  /// (world rank): the injection port arbitrates round-robin across the
+  /// node's rank queues, so each rank's stream is paced at its static
+  /// fair share — consecutive legs from one rank depart at least
+  /// ranks_per_node * occupancy apart, keeping the aggregate at the port
+  /// rate. Returns the departure time: max(ready, the rank's next fair
+  /// slot). Pacing per rank (instead of one FIFO over the mutex order of
+  /// concurrent callers) makes departure schedules deterministic, and
+  /// with one rank per node it reduces exactly to the serial port. This
+  /// is what makes alltoallv time grow with ranks-per-node and node
+  /// count (Fig. 12a).
+  vcuda::VirtualNs reserve_nic(int node, int src_rank, vcuda::VirtualNs ready,
                                vcuda::VirtualNs occupancy);
+
+  /// The NIC *ejection* port serializes inter-node arrivals FIFO *in
+  /// ready order*: the port keeps reservations sorted by ready time and
+  /// prices each message's queueing delay against the drain of
+  /// earlier-ready arrivals. Pricing is two-phase so it reflects the
+  /// full arrival set, not the order receivers happen to process
+  /// completions: the SENDER inserts the reservation at delivery time
+  /// (when the eager departure schedule is known), and the receiver
+  /// later queries the settled queue for its message's delay. A queued
+  /// message pays its backlog plus a nic_incast_penalty fraction of its
+  /// own occupancy (see NetParams::model_ejection); a message reaching
+  /// the port while it is idle pays nothing, so uncontended traffic is
+  /// priced exactly as a serial wire.
+  void nic_eject_insert(int node, vcuda::VirtualNs ready,
+                        vcuda::VirtualNs occupancy);
+
+  /// Claim the reservation matching (ready, occupancy) and return its
+  /// extra delay under the current drain. Equal-key reservations are
+  /// interchangeable: each query claims the earliest unclaimed one, so
+  /// the SET of prices is deterministic even when claim order is not.
+  /// A message with no reservation (rendezvous transfers, whose start
+  /// depends on when the receiver shows up, or one pruned long ago) is
+  /// inserted and priced on the spot.
+  vcuda::VirtualNs reserve_nic_eject(int node, vcuda::VirtualNs ready,
+                                     vcuda::VirtualNs occupancy);
+
+  /// Ejection ports replay a ready-ordered FIFO: reservations sorted by
+  /// ready time with their simulated drain-finish times, so pricing does
+  /// not depend on the order receivers happen to process completions.
+  /// Public only so the drain helpers in world.cpp can name it.
+  struct EjectPort {
+    std::mutex mutex;
+    struct Entry {
+      vcuda::VirtualNs ready;
+      vcuda::VirtualNs occupancy;
+      vcuda::VirtualNs finish; ///< FIFO drain completion in ready order
+      bool claimed = false;    ///< queried by its receiver already
+    };
+    std::vector<Entry> entries;
+    /// Drain time at the prune boundary: entries dropped to bound memory
+    /// still gate everything priced after them.
+    vcuda::VirtualNs pruned_finish = 0;
+  };
 
 private:
   struct NicPort {
     std::mutex mutex;
-    vcuda::VirtualNs busy_until = 0;
+    /// Next fair departure slot per source world rank.
+    std::map<int, vcuda::VirtualNs> rank_next;
   };
   int size_;
   int ranks_per_node_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<NicPort>> nics_;
+  std::vector<std::unique_ptr<EjectPort>> eject_nics_;
   std::mutex barriers_mutex_;
   std::map<std::uint64_t, std::unique_ptr<BarrierState>> barriers_;
 };
@@ -124,6 +184,12 @@ struct Comm {
   bool is_graph = false;
   std::vector<int> graph_sources;      ///< comm ranks we receive from
   std::vector<int> graph_destinations; ///< comm ranks we send to
+
+  // Cartesian topology (MPI_Cart_create). Row-major: the last dimension
+  // varies fastest in the coords -> rank mapping, per the MPI standard.
+  bool is_cart = false;
+  std::vector<int> cart_dims;
+  std::vector<int> cart_periods;
 
   /// Per-rank counters that stay consistent because MPI requires identical
   /// collective/constructor ordering on every rank of a communicator.

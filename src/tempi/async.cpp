@@ -2,6 +2,7 @@
 
 #include "support/log.hpp"
 #include "sysmpi/mpi.hpp"
+#include "tempi/topology.hpp"
 #include "tempi/trace.hpp"
 #include "vcuda/runtime.hpp"
 
@@ -911,12 +912,49 @@ int startall(int count, MPI_Request *requests,
   if (count < 0 || (count > 0 && requests == nullptr)) {
     return MPI_ERR_ARG;
   }
+  // A persistent fan-out arms its send channels in node-aware order (see
+  // tempi/topology.*): array positions stay untouched — only the order the
+  // owned send channels hit the wire changes, and same-peer channels keep
+  // their relative order (per-(peer, tag) FIFO). Receives and non-pool
+  // requests arm at their original positions; their order carries no wire
+  // traffic. Identity when the kill-switch is off or the shape is trivial.
+  std::vector<std::size_t> send_pos;
+  std::vector<int> send_peers;
+  MPI_Comm fan_comm = nullptr;
+  bool uniform_comm = true;
+  for (int i = 0; i < count && uniform_comm; ++i) {
+    const PersistentChannel *ch =
+        owns(requests[i]) ? find_channel(requests[i]) : nullptr;
+    if (ch == nullptr || !ch->is_send) {
+      continue;
+    }
+    if (fan_comm == nullptr) {
+      fan_comm = ch->comm;
+    }
+    uniform_comm = ch->comm == fan_comm;
+    send_pos.push_back(static_cast<std::size_t>(i));
+    send_peers.push_back(ch->peer);
+  }
+  std::vector<std::size_t> arm = send_pos;
+  if (uniform_comm && fan_comm != nullptr && send_pos.size() > 1) {
+    const std::vector<std::size_t> order = topo::schedule(fan_comm,
+                                                          send_peers);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      arm[k] = send_pos[order[k]];
+    }
+  }
+  std::size_t next_send = 0;
   for (int i = 0; i < count; ++i) {
+    const bool is_sched_send =
+        next_send < send_pos.size() &&
+        send_pos[next_send] == static_cast<std::size_t>(i);
+    const int idx =
+        is_sched_send ? static_cast<int>(arm[next_send++]) : i;
     // owns(), not find_channel(): a plain pool ticket must fail cleanly in
     // start() (MPI_ERR_ARG), never reach next.Start, which would
     // reinterpret the AsyncOp pointer as a system request.
-    const int rc = owns(requests[i]) ? start(&requests[i], next)
-                                     : next.Start(&requests[i]);
+    const int rc = owns(requests[idx]) ? start(&requests[idx], next)
+                                       : next.Start(&requests[idx]);
     if (rc != MPI_SUCCESS) {
       return rc;
     }

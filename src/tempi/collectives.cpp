@@ -9,6 +9,7 @@
 #include "tempi/buffer_cache.hpp"
 #include "tempi/methods.hpp"
 #include "tempi/packer.hpp"
+#include "tempi/topology.hpp"
 #include "tempi/trace.hpp"
 #include "tempi/tempi.hpp"
 #include "vcuda/runtime.hpp"
@@ -215,13 +216,34 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
     return code;
   };
 
-  // Post every send leg eagerly, in slot order (per-(peer, tag) FIFO).
+  // Node-aware issue orders (tempi/topology.*): same-peer slots keep
+  // their relative order, so the per-(peer, tag) FIFO pairing the wire
+  // relies on is preserved; across peers the order is free, and walking
+  // destination nodes round-robin instead of rank order keeps any one
+  // NIC from being the whole fan-out's first target. Identity when the
+  // kill-switch is off.
+  std::vector<int> speers(sends.size()), rpeers(recvs.size());
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    speers[i] = sends[i].peer;
+  }
+  for (std::size_t i = 0; i < recvs.size(); ++i) {
+    rpeers[i] = recvs[i].peer;
+  }
+  const std::vector<std::size_t> sorder = topo::schedule(comm, speers);
+  const std::vector<std::size_t> rorder = topo::schedule(comm, rpeers);
+
+  // Post every send leg eagerly, in scheduled order. `queued` tracks the
+  // packed bytes this rank has already aimed at its injection port, so
+  // choose_leg can price the queue drain into each successive leg.
   int rc = MPI_SUCCESS;
-  for (std::size_t i = 0; i < sends.size() && rc == MPI_SUCCESS; ++i) {
+  std::size_t queued = 0;
+  for (std::size_t oi = 0; oi < sorder.size() && rc == MPI_SUCCESS; ++oi) {
+    const std::size_t i = sorder[oi];
     const Slot &s = sends[i];
     if (self_copy && s.peer == me) {
       continue;
     }
+    const bool same_node = peer_on_my_node(comm, s.peer);
     MPI_Request req = MPI_REQUEST_NULL;
     if (smode == SideMode::Forward) {
       rc = next.Isend(sbase + s.displ * sextent, s.count, sendtype, s.peer,
@@ -233,7 +255,11 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
       {
         trace::ScopedSpan choice(trace::Phase::ModelChoice,
                                  trace::OpKind::Coll, bytes, s.peer, tag);
-        c = model.choose_leg(bytes, peer_on_my_node(comm, s.peer));
+        // Queue-depth pricing is part of the topology feature: with the
+        // kill-switch off the baseline must choose legs exactly as it
+        // did before (TEMPI_TOPO=0 restores rank-order bit-for-bit).
+        c = model.choose_leg(bytes, same_node,
+                             (same_node || !topo::enabled()) ? 0 : queued);
         choice.set_method(static_cast<std::int8_t>(c.method));
       }
       rc = async::start_isend_packed(send_ptr(i), bytes, c.method,
@@ -242,15 +268,22 @@ int exchange(const void *sendbuf, MPI_Datatype sendtype,
     }
     if (rc == MPI_SUCCESS) {
       reqs.push_back(req);
+      if (!same_node) {
+        queued += static_cast<std::size_t>(s.count) *
+                  static_cast<std::size_t>(ssize);
+      }
     }
   }
   if (rc != MPI_SUCCESS) {
     return bail(rc);
   }
 
-  // Post every receive leg (matched lazily at the Waitall below), in slot
-  // order so repeated same-peer slots pair FIFO like the system path.
-  for (std::size_t i = 0; i < recvs.size() && rc == MPI_SUCCESS; ++i) {
+  // Post every receive leg (matched lazily at the Waitall below), in the
+  // scheduled order: same-peer slots still pair FIFO like the system
+  // path, and draining sources node-round-robin tracks the staggered
+  // arrival order the senders produce.
+  for (std::size_t oi = 0; oi < rorder.size() && rc == MPI_SUCCESS; ++oi) {
+    const std::size_t i = rorder[oi];
     const Slot &r = recvs[i];
     if (self_copy && r.peer == me) {
       continue;

@@ -586,18 +586,23 @@ TransferChoice PerfModel::choose_persistent(std::size_t block_bytes,
                         std::max<std::size_t>(best.chunk_bytes, 1)};
 }
 
-TransferChoice PerfModel::choose_leg(std::size_t leg_bytes,
-                                     bool same_node) const {
+TransferChoice PerfModel::choose_leg(std::size_t leg_bytes, bool same_node,
+                                     std::size_t queued_bytes) const {
   const std::size_t limit = wire_chunk_limit();
   // Leg entries share the choice-cache array under their own salt (never
   // colliding with choose()/choose_transfer tags) that folds in the peer's
-  // placement and the transfer config generation. Slot layout matches
-  // choose_transfer: bits [63:9] tag | [8:3] log2(chunk) | bit 2 valid |
-  // [1:0] method.
+  // placement, the injection-queue depth bucket, and the transfer config
+  // generation. Slot layout matches choose_transfer: bits [63:9] tag |
+  // [8:3] log2(chunk) | bit 2 valid | [1:0] method.
   constexpr std::uint64_t kLegSalt = 0x3CB5ECF3C7A1D52Bull;
+  const std::uint64_t queue_bucket =
+      queued_bytes == 0
+          ? 0
+          : static_cast<std::uint64_t>(std::bit_width(queued_bytes));
   const std::uint64_t h = mix64(
       mix64(leg_bytes ^ kLegSalt) ^
       (same_node ? 0x9E3779B97F4A7C15ull : 0x85EBCA6B0F1BBCDDull) ^
+      (queue_bucket * 0xC2B2AE3D27D4EB4Full) ^
       (transfer_config_generation() * 0xff51afd7ed558ccdull));
   std::atomic<std::uint64_t> &slot =
       cache_->slots[h & (ChoiceCache::kSlots - 1)];
@@ -623,10 +628,19 @@ TransferChoice PerfModel::choose_leg(std::size_t leg_bytes,
   } else {
     const sysmpi::NetParams &net = sysmpi::net_params();
     const auto b = static_cast<double>(leg_bytes);
-    const double device_us = vcuda::ns_to_us(
-        sysmpi::transfer_duration(net, leg_bytes, true, true, same_node));
+    // Injection-queue drain ahead of this leg (inter-node only): the
+    // device wire cannot start before the queue clears, while the staged
+    // path runs its D2H copy concurrently with the drain.
+    const double queue_us =
+        same_node || queued_bytes == 0
+            ? 0.0
+            : static_cast<double>(queued_bytes) / (net.gpu_gbps_inter * 1e3);
+    const double device_us =
+        queue_us +
+        vcuda::ns_to_us(
+            sysmpi::transfer_duration(net, leg_bytes, true, true, same_node));
     const double staged_us =
-        perf_.d2h.query(b) +
+        std::max(queue_us, perf_.d2h.query(b)) +
         vcuda::ns_to_us(sysmpi::transfer_duration(net, leg_bytes, false,
                                                   false, same_node)) +
         perf_.h2d.query(b);

@@ -188,8 +188,17 @@ public:
   /// TEMPI_CHUNK_BYTES override still applies at send time). Results are
   /// cached in the same lock-free choice cache under a leg-specific salt
   /// that folds in `same_node` and the transfer config generation.
-  [[nodiscard]] TransferChoice choose_leg(std::size_t leg_bytes,
-                                          bool same_node) const;
+  ///
+  /// `queued_bytes` is the NIC-occupancy term (tempi/topology.*): packed
+  /// bytes this rank already has queued on its injection port when the
+  /// leg is issued. The device wire waits behind the whole queue; the
+  /// staged path overlaps its D2H copy with the queue drain, so a deep
+  /// queue tilts the decision toward Staged. The queue's log2 bucket is
+  /// folded into the cache salt (0 buckets to 0, keeping the key — and
+  /// the decision — bit-identical to the queue-blind call).
+  [[nodiscard]] TransferChoice
+  choose_leg(std::size_t leg_bytes, bool same_node,
+             std::size_t queued_bytes = 0) const;
 
   /// The best pipelined chunk size and its estimate for this message
   /// (what choose_transfer uses above the limit; benches sweep it to

@@ -16,6 +16,7 @@
 #include "tempi/measure.hpp"
 #include "tempi/methods.hpp"
 #include "tempi/strided_block.hpp"
+#include "tempi/topology.hpp"
 #include "tempi/trace.hpp"
 #include "tempi/translate.hpp"
 #include "vcuda/runtime.hpp"
@@ -1016,6 +1017,29 @@ int tempi_Gatherv(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
                        displs, recvtype, root, comm, s.next);
 }
 
+// --- interposed communicator constructors (the topology layer) ---------------
+//
+// Only the reorder=1 creation paths are interposed: the topology layer
+// either realizes a strictly-better placement (tempi/topology.*) or falls
+// through to the system identity mapping, which logs the fallback once.
+
+int tempi_Cart_create(MPI_Comm comm_old, int ndims, const int *dims,
+                      const int *periods, int reorder, MPI_Comm *comm_cart) {
+  return topo::cart_create(comm_old, ndims, dims, periods, reorder, comm_cart,
+                           state().next);
+}
+
+int tempi_Dist_graph_create_adjacent(MPI_Comm comm_old, int indegree,
+                                     const int *sources,
+                                     const int *sourceweights, int outdegree,
+                                     const int *destinations,
+                                     const int *destweights, int info,
+                                     int reorder, MPI_Comm *comm_dist_graph) {
+  return topo::dist_graph_create_adjacent(
+      comm_old, indegree, sources, sourceweights, outdegree, destinations,
+      destweights, info, reorder, comm_dist_graph, state().next);
+}
+
 int tempi_Allgather(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
                     void *recvbuf, int recvcount, MPI_Datatype recvtype,
                     MPI_Comm comm) {
@@ -1074,6 +1098,8 @@ void install() {
   table.Neighbor_alltoallv = tempi_Neighbor_alltoallv;
   table.Gatherv = tempi_Gatherv;
   table.Allgather = tempi_Allgather;
+  table.Cart_create = tempi_Cart_create;
+  table.Dist_graph_create_adjacent = tempi_Dist_graph_create_adjacent;
   // The collectives engine's kill-switch (mirrors TEMPI_METHOD): decided
   // and logged at install time so a deployment can see — without
   // relinking — whether collectives ride the engine or the system path.
@@ -1088,6 +1114,13 @@ void install() {
     s.persistent_enabled.store(std::string_view(env) != "0",
                                std::memory_order_relaxed);
     support::log_info("tempi: TEMPI_PERSISTENT=", env);
+  }
+  // The topology layer's kill-switch (same pattern): node-aware leg
+  // scheduling and reorder=1 rank remapping, or the legacy rank-order /
+  // identity behavior.
+  if (const char *env = std::getenv("TEMPI_TOPO")) {
+    topo::set_enabled(std::string_view(env) != "0");
+    support::log_info("tempi: TEMPI_TOPO=", env);
   }
   // Sec. 6.3 bootstrap: calibrate the model from TEMPI_PERF_FILE before
   // the first interposed call of any rank (same decided-and-logged-at-
@@ -1150,7 +1183,7 @@ void install() {
                     s.persistent_enabled.load(std::memory_order_relaxed)
                         ? "on"
                         : "off",
-                    ")");
+                    ", topology ", topo::enabled() ? "on" : "off", ")");
 }
 
 void uninstall() {
@@ -1236,6 +1269,7 @@ SendStats send_stats() {
   const coll::CollStats coll = coll::coll_stats();
   const async::PersistentStats pers = async::persistent_stats();
   const tune::TunerStats tuner = tune::stats();
+  const topo::TopoStats topo = topo::topo_stats();
   return SendStats{
       s.sends_oneshot.value(),
       s.sends_device.value(),
@@ -1267,6 +1301,9 @@ SendStats send_stats() {
       tuner.updates,
       tuner.generation_bumps,
       tuner.refreezes,
+      topo.remaps,
+      topo.staggered_legs,
+      topo.intra_node_legs,
   };
 }
 
@@ -1291,6 +1328,7 @@ void reset_send_stats() {
   coll::reset_coll_stats();
   async::reset_persistent_stats();
   tune::reset_counters(); // counters only: learned cells survive
+  topo::reset_topo_stats();
 }
 
 std::string model_calibration_source() { return state().calibration; }

@@ -191,6 +191,15 @@ struct SendStats {
   std::uint64_t model_updates = 0;
   std::uint64_t model_generation_bumps = 0;
   std::uint64_t model_refreezes = 0;
+
+  /// Topology-aware scheduling (topology.hpp topo::). Mirrors the
+  /// tempi.topo.{remaps,staggered_legs,intra_node_legs} trace counters:
+  /// communicators adopted under a reorder=1 remap, legs issued at a
+  /// different position than rank order, and legs that stayed on-node
+  /// (and so never touched the NIC model).
+  std::uint64_t topo_remaps = 0;
+  std::uint64_t topo_staggered_legs = 0;
+  std::uint64_t topo_intra_node_legs = 0;
 };
 SendStats send_stats();
 void reset_send_stats();

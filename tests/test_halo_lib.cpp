@@ -85,20 +85,23 @@ std::vector<Grid> run_exchange(const halo::Config &cfg, bool with_tempi) {
   sysmpi::RunConfig rc;
   rc.ranks = cfg.ranks();
   rc.ranks_per_node = 6;
-  sysmpi::run_ranks(rc, [&](int rank) {
+  sysmpi::run_ranks(rc, [&](int) {
     MPI_Init(nullptr, nullptr);
-    Grid host;
-    init_grid(lay, rank, host);
     void *dev = nullptr;
     vcuda::Malloc(&dev, cfg.grid_bytes());
-    std::memcpy(dev, host.data(), cfg.grid_bytes());
     {
       halo::Exchanger ex(cfg, MPI_COMM_WORLD);
+      // Grid ownership follows the Cartesian rank: with reorder=1 the
+      // exchanger may have re-placed this process in the rank grid.
+      const int pos = ex.rank();
+      Grid host;
+      init_grid(lay, pos, host);
+      std::memcpy(dev, host.data(), cfg.grid_bytes());
       ex.exchange(dev);
+      grids[static_cast<std::size_t>(pos)].resize(lay.cells());
+      std::memcpy(grids[static_cast<std::size_t>(pos)].data(), dev,
+                  cfg.grid_bytes());
     }
-    grids[static_cast<std::size_t>(rank)].resize(lay.cells());
-    std::memcpy(grids[static_cast<std::size_t>(rank)].data(), dev,
-                cfg.grid_bytes());
     vcuda::Free(dev);
     MPI_Finalize();
   });

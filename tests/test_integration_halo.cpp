@@ -32,22 +32,24 @@ run_halo(const halo::Config &c, bool with_tempi, int iters = 1) {
   sysmpi::RunConfig cfg;
   cfg.ranks = ranks;
   cfg.ranks_per_node = 6;
-  sysmpi::run_ranks(cfg, [&](int rank) {
+  sysmpi::run_ranks(cfg, [&](int) {
     MPI_Init(nullptr, nullptr);
     const std::size_t bytes = c.grid_bytes();
     void *grid = nullptr;
     vcuda::Malloc(&grid, bytes);
     std::memset(grid, 0, bytes);
-    fill_pattern(grid, bytes, static_cast<std::uint32_t>(rank + 1));
+    int pos = 0; // Cartesian rank: grid ownership after reorder=1
     {
       halo::Exchanger ex(c, MPI_COMM_WORLD);
+      pos = ex.rank();
+      fill_pattern(grid, bytes, static_cast<std::uint32_t>(pos + 1));
       double total = 0.0;
       for (int i = 0; i < iters; ++i) {
         total += ex.exchange(grid).total_us();
       }
-      lat[static_cast<std::size_t>(rank)] = total;
+      lat[static_cast<std::size_t>(pos)] = total;
     }
-    grids[static_cast<std::size_t>(rank)].assign(
+    grids[static_cast<std::size_t>(pos)].assign(
         static_cast<std::byte *>(grid), static_cast<std::byte *>(grid) + bytes);
     vcuda::Free(grid);
     MPI_Finalize();

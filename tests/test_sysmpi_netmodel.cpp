@@ -69,14 +69,24 @@ TEST(NetModel, OverrideRestores) {
 
 TEST(NicContention, SharedInjectionPortSerializes) {
   sysmpi::World world(4, 2); // 2 nodes x 2 ranks
-  // Two messages from node 0, both ready at t=0, each occupying 1000 ns:
-  // the second starts when the first finishes.
-  EXPECT_EQ(world.reserve_nic(0, 0, 1000), 0u);
-  EXPECT_EQ(world.reserve_nic(0, 0, 1000), 1000u);
-  // A later-ready message starts at its ready time if the port is free.
-  EXPECT_EQ(world.reserve_nic(0, 5000, 1000), 5000u);
+  // Two messages from rank 0, both ready at t=0, each occupying 1000 ns:
+  // round-robin arbitration paces one rank's stream at its fair share of
+  // the port (ranks_per_node * occupancy apart).
+  EXPECT_EQ(world.reserve_nic(0, 0, 0, 1000), 0);
+  EXPECT_EQ(world.reserve_nic(0, 0, 0, 1000), 2000);
+  // The node's other rank owns the interleaved slots.
+  EXPECT_EQ(world.reserve_nic(0, 1, 0, 1000), 0);
+  // A later-ready message starts at its ready time if its queue is free.
+  EXPECT_EQ(world.reserve_nic(0, 0, 5000, 1000), 5000);
   // Other nodes' ports are independent.
-  EXPECT_EQ(world.reserve_nic(1, 0, 1000), 0u);
+  EXPECT_EQ(world.reserve_nic(1, 2, 0, 1000), 0);
+}
+
+TEST(NicContention, SingleRankNodeReducesToSerialPort) {
+  sysmpi::World world(2, 1); // 1 rank per node: fair share == whole port
+  EXPECT_EQ(world.reserve_nic(0, 0, 0, 1000), 0);
+  EXPECT_EQ(world.reserve_nic(0, 0, 0, 1000), 1000);
+  EXPECT_EQ(world.reserve_nic(0, 0, 5000, 1000), 5000);
 }
 
 TEST(NicContention, ManySendersFromOneNodeQueueUp) {
@@ -102,6 +112,55 @@ TEST(NicContention, ManySendersFromOneNodeQueueUp) {
           vcuda::ns_to_us(transfer_duration(net_params(), 1 << 20, false,
                                             false, false));
       EXPECT_GT(us, 2.5 * single_wire);
+    }
+  });
+}
+
+TEST(NicContention, EjectPortPricesFifoDrainBacklog) {
+  // Two-phase ejection pricing: senders insert reservations keyed by
+  // delivery time; receivers later query the settled ready-ordered queue.
+  // The price is the FIFO backlog ahead of the entry plus the incast
+  // surcharge on the entry's own occupancy.
+  sysmpi::World world(4, 2);
+  const double penalty = net_params().nic_incast_penalty;
+  world.nic_eject_insert(0, 0, 1000);
+  world.nic_eject_insert(0, 0, 1000);
+  // First arrival drains an idle port; the second queues behind it.
+  EXPECT_EQ(world.reserve_nic_eject(0, 0, 1000), 0u);
+  EXPECT_EQ(world.reserve_nic_eject(0, 0, 1000),
+            static_cast<vcuda::VirtualNs>(1000.0 + penalty * 1000.0));
+  // A later arrival pays the full backlog still draining ahead of it.
+  world.nic_eject_insert(0, 500, 1000);
+  EXPECT_EQ(world.reserve_nic_eject(0, 500, 1000),
+            static_cast<vcuda::VirtualNs>(1500.0 + penalty * 1000.0));
+  // An unreserved key inserts-and-prices on the spot: an idle port after
+  // the queue has drained is free.
+  EXPECT_EQ(world.reserve_nic_eject(0, 10000, 100), 0u);
+  // Other nodes' ejection ports are independent.
+  world.nic_eject_insert(1, 0, 1000);
+  EXPECT_EQ(world.reserve_nic_eject(1, 0, 1000), 0u);
+}
+
+TEST(NicContention, IntraNodeDeliveryIgnoresSaturatedEjectPort) {
+  // Node-local legs never touch the NIC: even with the node's ejection
+  // port saturated by a long phantom backlog, an intra-node send's
+  // delivery time stays at the plain intra-node wire cost.
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 2; // one node: all traffic is node-local
+  sysmpi::run_ranks(cfg, [](int rank) {
+    sysmpi::World &w = *MPI_COMM_WORLD->world;
+    w.nic_eject_insert(0, 0, vcuda::us_to_ns(100000.0));
+    std::vector<std::byte> buf(64 * 1024);
+    if (rank == 0) {
+      MPI_Send(buf.data(), static_cast<int>(buf.size()), MPI_BYTE, 1, 0,
+               MPI_COMM_WORLD);
+    } else {
+      const vcuda::VirtualNs t0 = vcuda::virtual_now();
+      MPI_Recv(buf.data(), static_cast<int>(buf.size()), MPI_BYTE, 0, 0,
+               MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      // The 100 ms phantom backlog must not leak into the delivery.
+      EXPECT_LT(vcuda::ns_to_us(vcuda::virtual_now() - t0), 1000.0);
     }
   });
 }

@@ -98,12 +98,13 @@ MPI_Datatype random_strided_type(Rng &rng, int levels) {
 /// engine ranks and system-path ranks can mix in one call.
 std::vector<std::vector<std::byte>>
 run_alltoallv(bool engine, int ranks, unsigned type_seed,
-              const std::function<vcuda::MemorySpace(int)> &space) {
+              const std::function<vcuda::MemorySpace(int)> &space,
+              int ranks_per_node = 2) {
   tempi::coll::set_enabled(engine);
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(ranks));
   sysmpi::RunConfig cfg;
   cfg.ranks = ranks;
-  cfg.ranks_per_node = 2;
+  cfg.ranks_per_node = ranks_per_node;
   sysmpi::run_ranks(cfg, [&](int rank) {
     MPI_Init(nullptr, nullptr);
     Rng rng(type_seed); // the same type on every rank
@@ -158,6 +159,19 @@ TEST_P(CollectivesRandomTypes, AlltoallvMatchesSystemPath) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CollectivesRandomTypes,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Collectives, EngineMatchesSystemPathAt256Ranks32Nodes) {
+  // The fig16 cluster scale: 256 ranks over 32 virtual nodes, so the
+  // node-aware schedule reorders many inter-node legs per rank. Engine
+  // and system path must still agree byte-for-byte.
+  tempi::ScopedInterposer guard;
+  const auto engine = run_alltoallv(true, 256, 11u, all_device, 8);
+  const auto system = run_alltoallv(false, 256, 11u, all_device, 8);
+  ASSERT_EQ(engine.size(), system.size());
+  for (std::size_t r = 0; r < engine.size(); ++r) {
+    ASSERT_EQ(engine[r], system[r]) << "rank " << r;
+  }
+}
 
 TEST(Collectives, SelfExchangeSingleRank) {
   // A one-rank alltoallv is all self-exchange: the engine short-circuits

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 namespace {
 
@@ -346,6 +347,56 @@ TEST(Interposer, ModelCountersTrackObservationsAndRefreshes) {
   EXPECT_EQ(tempi::send_stats().model_observations, s2.model_observations);
   tempi::tune::set_enabled(true);
   tempi::tune::reset();
+}
+
+TEST(Interposer, TopoCountersAgreeBetweenTraceAndSendStats) {
+  // The topology layer is observable two ways — SendStats fields and the
+  // tempi.topo.* trace counters — and they must agree.
+  tempi::ScopedInterposer guard;
+  tempi::reset_send_stats();
+  // A device alltoallv drives the node-aware schedule (staggered and
+  // intra-node legs)...
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 4;
+  cfg.ranks_per_node = 2;
+  sysmpi::run_ranks(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    SpaceBuffer sbuf(vcuda::MemorySpace::Device, 4 * 64);
+    SpaceBuffer rbuf(vcuda::MemorySpace::Device, 4 * 64);
+    fill_pattern(sbuf.get(), sbuf.size(), static_cast<unsigned>(rank) + 1);
+    std::vector<int> counts(4, 64), displs(4);
+    for (int p = 0; p < 4; ++p) {
+      displs[static_cast<std::size_t>(p)] = p * 64;
+    }
+    ASSERT_EQ(MPI_Alltoallv(sbuf.get(), counts.data(), displs.data(),
+                            MPI_BYTE, rbuf.get(), counts.data(),
+                            displs.data(), MPI_BYTE, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    MPI_Finalize();
+  });
+  // ...and a reorder=1 Cart_create on a brick-improvable grid drives the
+  // remap counter.
+  cfg.ranks = 64;
+  cfg.ranks_per_node = 8;
+  sysmpi::run_ranks(cfg, [](int) {
+    MPI_Init(nullptr, nullptr);
+    const int dims[2] = {8, 8};
+    const int periods[2] = {1, 1};
+    MPI_Comm cart = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Cart_create(MPI_COMM_WORLD, 2, dims, periods, 1, &cart),
+              MPI_SUCCESS);
+    MPI_Comm_free(&cart);
+    MPI_Finalize();
+  });
+  const tempi::SendStats s = tempi::send_stats();
+  EXPECT_GT(s.topo_remaps, 0u);
+  EXPECT_GT(s.topo_staggered_legs, 0u);
+  EXPECT_GT(s.topo_intra_node_legs, 0u);
+  EXPECT_EQ(s.topo_remaps, tempi::trace::counter_value("tempi.topo.remaps"));
+  EXPECT_EQ(s.topo_staggered_legs,
+            tempi::trace::counter_value("tempi.topo.staggered_legs"));
+  EXPECT_EQ(s.topo_intra_node_legs,
+            tempi::trace::counter_value("tempi.topo.intra_node_legs"));
 }
 
 TEST(Interposer, CollCountersTrackEngineAndFallback) {

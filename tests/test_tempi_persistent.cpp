@@ -9,6 +9,7 @@
 #include "tempi/async.hpp"
 #include "tempi/buffer_cache.hpp"
 #include "tempi/tempi.hpp"
+#include "tempi/topology.hpp"
 #include "test_helpers.hpp"
 #include "vcuda/clock.hpp"
 
@@ -488,6 +489,90 @@ TEST_F(TempiPersistent, RefreezeFollowsModelGenerationExactlyOnce) {
   EXPECT_EQ(stats.persistent_start, 12u);
   EXPECT_EQ(stats.model_refreezes, 2u);
   EXPECT_GE(stats.model_generation_bumps, 1u);
+  tempi::set_wire_chunk_limit(tempi::kMaxWireBytes);
+  tempi::set_chunk_bytes_override(0);
+}
+
+TEST_F(TempiPersistent, RefreezeSurvivesRemappedCartCommunicator) {
+  // Persistent channels on a communicator whose ranks were re-placed by
+  // MPI_Cart_create(reorder=1): freeze, replay with fresh payloads, and
+  // re-freeze after a model-generation bump — all under the permuted
+  // numbering (matching uses Cartesian ranks, not parent ranks). The
+  // wire limit forces Pipelined plans so the mid-stream chunk change
+  // makes every re-choice an actual re-record.
+  tempi::set_wire_chunk_limit(16 * 1024);
+  tempi::set_chunk_bytes_override(4096);
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 64;
+  cfg.ranks_per_node = 8; // 8x8 grid on 8 nodes: the brick remap engages
+  sysmpi::run_ranks(cfg, [](int) {
+    MPI_Init(nullptr, nullptr);
+    const int dims[2] = {8, 8};
+    const int periods[2] = {1, 1};
+    MPI_Comm cart = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Cart_create(MPI_COMM_WORLD, 2, dims, periods, 1, &cart),
+              MPI_SUCCESS);
+    int crank = -1;
+    MPI_Comm_rank(cart, &crank);
+    int left = MPI_PROC_NULL, right = MPI_PROC_NULL;
+    ASSERT_EQ(MPI_Cart_shift(cart, 1, 1, &left, &right), MPI_SUCCESS);
+
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(2048, 16, 48, MPI_BYTE, &t); // 32 KiB packed > limit
+    MPI_Type_commit(&t);
+    MPI_Aint lb = 0, extent = 0;
+    MPI_Type_get_extent(t, &lb, &extent);
+    SpaceBuffer sbuf(vcuda::MemorySpace::Device,
+                     static_cast<std::size_t>(extent) + 16);
+    SpaceBuffer rbuf(vcuda::MemorySpace::Device,
+                     static_cast<std::size_t>(extent) + 16);
+    std::vector<std::byte> want(rbuf.size());
+    MPI_Request reqs[2] = {MPI_REQUEST_NULL, MPI_REQUEST_NULL};
+    ASSERT_EQ(MPI_Send_init(sbuf.get(), 1, t, right, 9, cart, &reqs[0]),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Recv_init(rbuf.get(), 1, t, left, 9, cart, &reqs[1]),
+              MPI_SUCCESS);
+    for (int it = 0; it < 4; ++it) {
+      if (it == 2) {
+        // Change the plan and bump the model generation mid-stream: the
+        // next Start must re-record each channel onto the 8 KiB chunks.
+        MPI_Barrier(cart);
+        if (crank == 0) {
+          tempi::set_chunk_bytes_override(8192);
+          tempi::tune::set_enabled(true);
+          tempi::tune::observe(tempi::tune::Axis::D2H, 0, 1,
+                               vcuda::us_to_ns(50.0));
+          tempi::tune::observe(tempi::tune::Axis::D2H, 0, 1,
+                               vcuda::us_to_ns(50.0));
+          EXPECT_TRUE(tempi::tune::refresh_now());
+          tempi::tune::set_enabled(false);
+        }
+        MPI_Barrier(cart);
+      }
+      const auto seed = [&](int origin) {
+        return static_cast<std::uint32_t>(1000 * it + origin);
+      };
+      fill_pattern(sbuf.get(), sbuf.size(), seed(crank));
+      std::memset(rbuf.get(), 0, rbuf.size());
+      ASSERT_EQ(MPI_Startall(2, reqs), MPI_SUCCESS);
+      ASSERT_EQ(MPI_Waitall(2, reqs, MPI_STATUSES_IGNORE), MPI_SUCCESS);
+      // The payload must be the LEFT Cartesian neighbor's fresh pattern.
+      fill_pattern(want.data(), want.size(), seed(left));
+      EXPECT_EQ(reference_pack(rbuf.get(), 1, *t),
+                reference_pack(want.data(), 1, *t))
+          << "cart rank " << crank << " iteration " << it;
+    }
+    ASSERT_EQ(MPI_Request_free(&reqs[0]), MPI_SUCCESS);
+    ASSERT_EQ(MPI_Request_free(&reqs[1]), MPI_SUCCESS);
+    MPI_Type_free(&t);
+    MPI_Comm_free(&cart);
+    MPI_Finalize();
+  });
+  const tempi::SendStats stats = tempi::send_stats();
+  EXPECT_EQ(stats.persistent_init, 128u);  // one pair per rank
+  EXPECT_EQ(stats.persistent_start, 512u); // 4 rounds x 2 channels x 64
+  EXPECT_EQ(stats.model_refreezes, 128u);  // every channel re-recorded once
+  EXPECT_EQ(tempi::topo::topo_stats().remaps, 64u);
   tempi::set_wire_chunk_limit(tempi::kMaxWireBytes);
   tempi::set_chunk_bytes_override(0);
 }
