@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cassert>
+#include <cmath>
 
 namespace halo {
 
@@ -113,11 +114,13 @@ Exchanger::Exchanger(const Config &cfg, MPI_Comm comm) : cfg_(cfg) {
 
   vcuda::Malloc(&sendbuf_, total_bytes_);
   vcuda::Malloc(&recvbuf_, total_bytes_);
+  vcuda::Malloc(&scalar_, sizeof(double));
 }
 
 Exchanger::~Exchanger() {
   vcuda::Free(sendbuf_);
   vcuda::Free(recvbuf_);
+  vcuda::Free(scalar_);
   for (MPI_Datatype &t : send_types_) {
     MPI_Type_free(&t);
   }
@@ -130,6 +133,33 @@ Exchanger::~Exchanger() {
   if (cart_ != MPI_COMM_NULL) {
     MPI_Comm_free(&cart_);
   }
+}
+
+double Exchanger::residual_norm(const void *grid) {
+  // Local reduction over the owned interior; ghost shells are a neighbor's
+  // data and would be double-counted. Layout is [z][y][x][vals], C order.
+  const int r = cfg_.radius;
+  const int X = cfg_.nx + 2 * r, Y = cfg_.ny + 2 * r;
+  const int row_vals = cfg_.nx * cfg_.vals;
+  const double *g = static_cast<const double *>(grid);
+  double local = 0.0;
+  for (int z = r; z < cfg_.nz + r; ++z) {
+    for (int y = r; y < cfg_.ny + r; ++y) {
+      const double *row =
+          g + (static_cast<std::size_t>(z) * Y + static_cast<std::size_t>(y)) *
+                  X * cfg_.vals +
+          static_cast<std::size_t>(r) * cfg_.vals;
+      for (int i = 0; i < row_vals; ++i) {
+        local += row[i] * row[i];
+      }
+    }
+  }
+  // One device-resident double through the interposed allreduce; in-place
+  // so a single buffer carries both the contribution and the result.
+  double *s = static_cast<double *>(scalar_);
+  *s = local;
+  MPI_Allreduce(MPI_IN_PLACE, s, 1, MPI_DOUBLE, MPI_SUM, cart_);
+  return std::sqrt(*s);
 }
 
 PhaseTimes Exchanger::exchange_isend(void *grid) {

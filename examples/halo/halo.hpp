@@ -77,6 +77,14 @@ public:
   /// Waitall (wire + batched unpacks); unpack_us is always zero here.
   PhaseTimes exchange_isend(void *grid);
 
+  /// Global L2 norm over the interior gridpoints (ghost shells excluded):
+  /// each rank sums the squares of the doubles it owns, then a
+  /// device-resident single-double MPI_Allreduce(SUM) on the Cartesian
+  /// communicator combines them — the per-iteration convergence check a
+  /// real solver runs between exchanges. With TEMPI installed the
+  /// reduction is serviced by the collectives engine (tempi/reduce.*).
+  double residual_norm(const void *grid);
+
   /// This process's rank in the Cartesian communicator — its position in
   /// the rank grid. Differs from the parent comm's rank when reorder=1
   /// found a better placement; grid ownership follows THIS rank.
@@ -98,6 +106,7 @@ private:
   std::size_t total_bytes_ = 0;
   void *sendbuf_ = nullptr; ///< device intermediate
   void *recvbuf_ = nullptr;
+  void *scalar_ = nullptr; ///< device scratch for residual_norm()
 };
 
 } // namespace halo

@@ -19,20 +19,36 @@ namespace {
 
 struct Result {
   halo::PhaseTimes max_phase; ///< max across ranks, per the paper
+  double residual = 0.0;      ///< global L2 norm (identical on all ranks)
 };
+
+/// HALO_RESIDUAL=0 skips the per-iteration convergence reduction.
+bool residual_enabled() {
+  const char *env = std::getenv("HALO_RESIDUAL");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
 
 Result run(const halo::Config &cfg, int iters) {
   Result result;
+  const bool residual = residual_enabled();
   sysmpi::RunConfig rc;
   rc.ranks = cfg.ranks();
   rc.ranks_per_node = 6;
   std::vector<halo::PhaseTimes> per_rank(
       static_cast<std::size_t>(cfg.ranks()));
+  std::vector<double> per_rank_residual(
+      static_cast<std::size_t>(cfg.ranks()), 0.0);
   sysmpi::run_ranks(rc, [&](int rank) {
     MPI_Init(nullptr, nullptr);
     void *grid = nullptr;
     vcuda::Malloc(&grid, cfg.grid_bytes());
-    std::memset(grid, 0, cfg.grid_bytes());
+    // Unit field: the interior L2 norm is then sqrt(total interior
+    // doubles), a closed-form check that baseline and TEMPI runs agree.
+    double *g = static_cast<double *>(grid);
+    const std::size_t doubles = cfg.grid_bytes() / sizeof(double);
+    for (std::size_t i = 0; i < doubles; ++i) {
+      g[i] = 1.0;
+    }
     {
       halo::Exchanger ex(cfg, MPI_COMM_WORLD);
       ex.exchange(grid); // warm-up: populate TEMPI's resource caches
@@ -42,6 +58,12 @@ Result run(const halo::Config &cfg, int iters) {
         sum.pack_us += t.pack_us;
         sum.comm_us += t.comm_us;
         sum.unpack_us += t.unpack_us;
+        if (residual) {
+          // The per-iteration convergence check a real solver interleaves
+          // with its exchanges; one device double through MPI_Allreduce.
+          per_rank_residual[static_cast<std::size_t>(rank)] =
+              ex.residual_norm(grid);
+        }
       }
       per_rank[static_cast<std::size_t>(rank)] = {
           sum.pack_us / iters, sum.comm_us / iters, sum.unpack_us / iters};
@@ -49,6 +71,7 @@ Result run(const halo::Config &cfg, int iters) {
     vcuda::Free(grid);
     MPI_Finalize();
   });
+  result.residual = per_rank_residual[0];
   for (const halo::PhaseTimes &t : per_rank) {
     result.max_phase.pack_us = std::max(result.max_phase.pack_us, t.pack_us);
     result.max_phase.comm_us = std::max(result.max_phase.comm_us, t.comm_us);
@@ -81,6 +104,7 @@ int main(int argc, char **argv) {
               base.max_phase.pack_us, base.max_phase.comm_us,
               base.max_phase.unpack_us, base.max_phase.total_us());
 
+  int rc = 0;
   {
     tempi::ScopedInterposer guard;
     const Result fast = run(cfg, iters);
@@ -89,6 +113,17 @@ int main(int argc, char **argv) {
                 fast.max_phase.unpack_us, fast.max_phase.total_us());
     std::printf("\nhalo exchange speedup: %.0fx\n",
                 base.max_phase.total_us() / fast.max_phase.total_us());
+    if (base.residual != 0.0 || fast.residual != 0.0) {
+      // Unit field => norm is sqrt(interior doubles across all ranks);
+      // baseline (system reduction) and TEMPI (collectives engine) must
+      // agree on it bitwise — both run the same system linear association.
+      std::printf("residual L2 norm: %.6e (baseline) vs %.6e (TEMPI)\n",
+                  base.residual, fast.residual);
+      if (base.residual != fast.residual) {
+        std::printf("MISMATCH: interposed reduction diverged from system\n");
+        rc = 1;
+      }
+    }
   }
-  return 0;
+  return rc;
 }

@@ -88,6 +88,10 @@
     (const void *, void *, int, MPI_Datatype, MPI_Op, MPI_Comm))               \
   X(Reduce, int,                                                               \
     (const void *, void *, int, MPI_Datatype, MPI_Op, int, MPI_Comm))          \
+  X(Reduce_scatter, int,                                                       \
+    (const void *, void *, const int *, MPI_Datatype, MPI_Op, MPI_Comm))       \
+  X(Reduce_scatter_block, int,                                                 \
+    (const void *, void *, int, MPI_Datatype, MPI_Op, MPI_Comm))               \
   X(Gather, int,                                                               \
     (const void *, int, MPI_Datatype, void *, int, MPI_Datatype, int,          \
      MPI_Comm))                                                                \

@@ -799,6 +799,18 @@ int sys_Reduce(const void *sendbuf, void *recvbuf, int count,
   return reduce_impl(sendbuf, recvbuf, count, datatype, op, root, comm);
 }
 
+int sys_Reduce_scatter(const void *sendbuf, void *recvbuf,
+                       const int *recvcounts, MPI_Datatype datatype, MPI_Op op,
+                       MPI_Comm comm) {
+  return reduce_scatter_impl(sendbuf, recvbuf, recvcounts, datatype, op, comm);
+}
+
+int sys_Reduce_scatter_block(const void *sendbuf, void *recvbuf, int recvcount,
+                             MPI_Datatype datatype, MPI_Op op, MPI_Comm comm) {
+  return reduce_scatter_block_impl(sendbuf, recvbuf, recvcount, datatype, op,
+                                   comm);
+}
+
 int sys_Gather(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
                void *recvbuf, int recvcount, MPI_Datatype recvtype, int root,
                MPI_Comm comm) {
@@ -990,6 +1002,8 @@ interpose::MpiTable make_system_table() {
   t.Bcast = sys_Bcast;
   t.Allreduce = sys_Allreduce;
   t.Reduce = sys_Reduce;
+  t.Reduce_scatter = sys_Reduce_scatter;
+  t.Reduce_scatter_block = sys_Reduce_scatter_block;
   t.Gather = sys_Gather;
   t.Gatherv = sys_Gatherv;
   t.Scatter = sys_Scatter;

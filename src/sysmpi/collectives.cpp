@@ -9,7 +9,9 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <climits>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 namespace sysmpi {
@@ -22,81 +24,98 @@ int next_collective_tag(MPI_Comm comm) {
 namespace {
 
 template <typename T>
-void apply_op_typed(OpKind kind, T *inout, const T *in, int count) {
+bool apply_op_typed(OpKind kind, T *inout, const T *in, int count) {
   switch (kind) {
   case OpKind::Sum:
     for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(inout[i] + in[i]);
-    return;
+    return true;
   case OpKind::Max:
     for (int i = 0; i < count; ++i) inout[i] = std::max(inout[i], in[i]);
-    return;
+    return true;
   case OpKind::Min:
     for (int i = 0; i < count; ++i) inout[i] = std::min(inout[i], in[i]);
-    return;
-  }
-}
-
-/// Apply `op` elementwise: inout[i] = op(inout[i], in[i]).
-bool apply_op(OpKind kind, void *inout, const void *in, int count,
-              Named named) {
-  switch (named) {
-  case Named::Byte:
-  case Named::Char:
-  case Named::SignedChar:
-    apply_op_typed(kind, static_cast<signed char *>(inout),
-                   static_cast<const signed char *>(in), count);
     return true;
-  case Named::UnsignedChar:
-    apply_op_typed(kind, static_cast<unsigned char *>(inout),
-                   static_cast<const unsigned char *>(in), count);
+  case OpKind::Prod:
+    for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(inout[i] * in[i]);
     return true;
-  case Named::Short:
-    apply_op_typed(kind, static_cast<short *>(inout),
-                   static_cast<const short *>(in), count);
-    return true;
-  case Named::UnsignedShort:
-    apply_op_typed(kind, static_cast<unsigned short *>(inout),
-                   static_cast<const unsigned short *>(in), count);
-    return true;
-  case Named::Int:
-    apply_op_typed(kind, static_cast<int *>(inout),
-                   static_cast<const int *>(in), count);
-    return true;
-  case Named::Unsigned:
-    apply_op_typed(kind, static_cast<unsigned *>(inout),
-                   static_cast<const unsigned *>(in), count);
-    return true;
-  case Named::Long:
-    apply_op_typed(kind, static_cast<long *>(inout),
-                   static_cast<const long *>(in), count);
-    return true;
-  case Named::UnsignedLong:
-    apply_op_typed(kind, static_cast<unsigned long *>(inout),
-                   static_cast<const unsigned long *>(in), count);
-    return true;
-  case Named::LongLong:
-    apply_op_typed(kind, static_cast<long long *>(inout),
-                   static_cast<const long long *>(in), count);
-    return true;
-  case Named::UnsignedLongLong:
-    apply_op_typed(kind, static_cast<unsigned long long *>(inout),
-                   static_cast<const unsigned long long *>(in), count);
-    return true;
-  case Named::Float:
-    apply_op_typed(kind, static_cast<float *>(inout),
-                   static_cast<const float *>(in), count);
-    return true;
-  case Named::Double:
-    apply_op_typed(kind, static_cast<double *>(inout),
-                   static_cast<const double *>(in), count);
-    return true;
-  case Named::Count_:
+  default:
     break;
+  }
+  // Logical and bitwise ops are defined for integer types only (MPI leaves
+  // them undefined on floats; we reject them as a type error).
+  if constexpr (std::is_integral_v<T>) {
+    switch (kind) {
+    case OpKind::Lor:
+      for (int i = 0; i < count; ++i)
+        inout[i] = static_cast<T>((inout[i] != 0 || in[i] != 0) ? 1 : 0);
+      return true;
+    case OpKind::Land:
+      for (int i = 0; i < count; ++i)
+        inout[i] = static_cast<T>((inout[i] != 0 && in[i] != 0) ? 1 : 0);
+      return true;
+    case OpKind::Bor:
+      for (int i = 0; i < count; ++i)
+        inout[i] = static_cast<T>(inout[i] | in[i]);
+      return true;
+    case OpKind::Band:
+      for (int i = 0; i < count; ++i)
+        inout[i] = static_cast<T>(inout[i] & in[i]);
+      return true;
+    default:
+      break;
+    }
   }
   return false;
 }
 
 } // namespace
+
+bool apply_reduce(OpKind kind, void *inout, const void *in, int count,
+                  Named named) {
+  switch (named) {
+  case Named::Byte:
+  case Named::Char:
+  case Named::SignedChar:
+    return apply_op_typed(kind, static_cast<signed char *>(inout),
+                          static_cast<const signed char *>(in), count);
+  case Named::UnsignedChar:
+    return apply_op_typed(kind, static_cast<unsigned char *>(inout),
+                          static_cast<const unsigned char *>(in), count);
+  case Named::Short:
+    return apply_op_typed(kind, static_cast<short *>(inout),
+                          static_cast<const short *>(in), count);
+  case Named::UnsignedShort:
+    return apply_op_typed(kind, static_cast<unsigned short *>(inout),
+                          static_cast<const unsigned short *>(in), count);
+  case Named::Int:
+    return apply_op_typed(kind, static_cast<int *>(inout),
+                          static_cast<const int *>(in), count);
+  case Named::Unsigned:
+    return apply_op_typed(kind, static_cast<unsigned *>(inout),
+                          static_cast<const unsigned *>(in), count);
+  case Named::Long:
+    return apply_op_typed(kind, static_cast<long *>(inout),
+                          static_cast<const long *>(in), count);
+  case Named::UnsignedLong:
+    return apply_op_typed(kind, static_cast<unsigned long *>(inout),
+                          static_cast<const unsigned long *>(in), count);
+  case Named::LongLong:
+    return apply_op_typed(kind, static_cast<long long *>(inout),
+                          static_cast<const long long *>(in), count);
+  case Named::UnsignedLongLong:
+    return apply_op_typed(kind, static_cast<unsigned long long *>(inout),
+                          static_cast<const unsigned long long *>(in), count);
+  case Named::Float:
+    return apply_op_typed(kind, static_cast<float *>(inout),
+                          static_cast<const float *>(in), count);
+  case Named::Double:
+    return apply_op_typed(kind, static_cast<double *>(inout),
+                          static_cast<const double *>(in), count);
+  case Named::Count_:
+    break;
+  }
+  return false;
+}
 
 int barrier_impl(MPI_Comm comm) {
   if (comm == nullptr) {
@@ -180,8 +199,10 @@ int allreduce_impl(const void *sendbuf, void *recvbuf, int count,
   const int rank = comm->my_rank;
   const int tag = next_collective_tag(comm);
   const std::size_t bytes = static_cast<std::size_t>(dt->size) * count;
-  std::memcpy(recvbuf, sendbuf, bytes);
-  // Reduce to rank 0 (linear), then broadcast the result.
+  if (sendbuf != MPI_IN_PLACE && bytes > 0) {
+    std::memcpy(recvbuf, sendbuf, bytes);
+  }
+  // Reduce to rank 0 (linear, ascending source order), then broadcast.
   if (rank == 0) {
     std::vector<std::byte> tmp(bytes);
     for (int src = 1; src < size; ++src) {
@@ -190,7 +211,7 @@ int allreduce_impl(const void *sendbuf, void *recvbuf, int count,
       if (rc != MPI_SUCCESS) {
         return rc;
       }
-      if (!apply_op(op->kind, recvbuf, tmp.data(), count, dt->named)) {
+      if (!apply_reduce(op->kind, recvbuf, tmp.data(), count, dt->named)) {
         return MPI_ERR_TYPE;
       }
     }
@@ -249,10 +270,15 @@ int reduce_impl(const void *sendbuf, void *recvbuf, int count,
   }
   const int size = comm->size();
   const int rank = comm->my_rank;
+  if (sendbuf == MPI_IN_PLACE && rank != root) {
+    return MPI_ERR_ARG; // in-place reduce is root-only
+  }
   const int tag = next_collective_tag(comm);
   const std::size_t bytes = static_cast<std::size_t>(dt->size) * count;
   if (rank == root) {
-    std::memcpy(recvbuf, sendbuf, bytes);
+    if (sendbuf != MPI_IN_PLACE && bytes > 0) {
+      std::memcpy(recvbuf, sendbuf, bytes);
+    }
     std::vector<std::byte> tmp(bytes);
     for (int src = 0; src < size; ++src) {
       if (src == root) {
@@ -263,13 +289,100 @@ int reduce_impl(const void *sendbuf, void *recvbuf, int count,
       if (rc != MPI_SUCCESS) {
         return rc;
       }
-      if (!apply_op(op->kind, recvbuf, tmp.data(), count, dt->named)) {
+      if (!apply_reduce(op->kind, recvbuf, tmp.data(), count, dt->named)) {
         return MPI_ERR_TYPE;
       }
     }
     return MPI_SUCCESS;
   }
   return send_impl(sendbuf, count, dt, root, tag, comm);
+}
+
+int reduce_scatter_impl(const void *sendbuf, void *recvbuf,
+                        const int *recvcounts, MPI_Datatype dt, MPI_Op op,
+                        MPI_Comm comm) {
+  if (comm == nullptr || dt == nullptr || op == nullptr ||
+      recvcounts == nullptr || dt->combiner != MPI_COMBINER_NAMED) {
+    return MPI_ERR_ARG;
+  }
+  const int size = comm->size();
+  const int rank = comm->my_rank;
+  long long total = 0;
+  for (int r = 0; r < size; ++r) {
+    if (recvcounts[r] < 0) {
+      return MPI_ERR_COUNT;
+    }
+    total += recvcounts[r];
+  }
+  if (total > INT_MAX) {
+    return MPI_ERR_COUNT;
+  }
+  const int count = static_cast<int>(total);
+  // With MPI_IN_PLACE the full input vector is taken from recvbuf; the
+  // result still lands in the first recvcounts[rank] elements.
+  const void *in = sendbuf == MPI_IN_PLACE ? recvbuf : sendbuf;
+  // Phase 1 (one tag slot): linear reduce of the full vector to rank 0,
+  // ascending source order — same association order as allreduce/reduce.
+  const int tag_reduce = next_collective_tag(comm);
+  const std::size_t bytes = static_cast<std::size_t>(dt->size) * count;
+  std::vector<std::byte> acc;
+  if (rank == 0) {
+    acc.resize(bytes);
+    if (bytes > 0) {
+      std::memcpy(acc.data(), in, bytes);
+    }
+    std::vector<std::byte> tmp(bytes);
+    for (int src = 1; src < size; ++src) {
+      const int rc = recv_impl(tmp.data(), count, dt, src, tag_reduce, comm,
+                               MPI_STATUS_IGNORE);
+      if (rc != MPI_SUCCESS) {
+        return rc;
+      }
+      if (!apply_reduce(op->kind, acc.data(), tmp.data(), count, dt->named)) {
+        return MPI_ERR_TYPE;
+      }
+    }
+  } else {
+    const int rc = send_impl(in, count, dt, 0, tag_reduce, comm);
+    if (rc != MPI_SUCCESS) {
+      return rc;
+    }
+  }
+  // Phase 2 (one tag slot): rank 0 scatters each rank's segment.
+  const int tag_scatter = next_collective_tag(comm);
+  if (rank == 0) {
+    long long off = 0;
+    for (int dst = 0; dst < size; ++dst) {
+      const std::byte *seg = acc.data() + off * dt->size;
+      if (dst == 0) {
+        if (recvcounts[0] > 0) {
+          std::memmove(recvbuf, seg,
+                       static_cast<std::size_t>(recvcounts[0]) * dt->size);
+        }
+      } else {
+        const int rc =
+            send_impl(seg, recvcounts[dst], dt, dst, tag_scatter, comm);
+        if (rc != MPI_SUCCESS) {
+          return rc;
+        }
+      }
+      off += recvcounts[dst];
+    }
+    return MPI_SUCCESS;
+  }
+  return recv_impl(recvbuf, recvcounts[rank], dt, 0, tag_scatter, comm,
+                   MPI_STATUS_IGNORE);
+}
+
+int reduce_scatter_block_impl(const void *sendbuf, void *recvbuf,
+                              int recvcount, MPI_Datatype dt, MPI_Op op,
+                              MPI_Comm comm) {
+  if (comm == nullptr || recvcount < 0) {
+    return MPI_ERR_ARG;
+  }
+  const std::vector<int> counts(static_cast<std::size_t>(comm->size()),
+                                recvcount);
+  return reduce_scatter_impl(sendbuf, recvbuf, counts.data(), dt, op, comm);
 }
 
 int gather_impl(const void *sendbuf, int sendcount, MPI_Datatype sendtype,

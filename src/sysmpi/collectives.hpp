@@ -19,6 +19,14 @@ namespace sysmpi {
 /// one place.
 int next_collective_tag(MPI_Comm comm);
 
+/// Apply `kind` elementwise: inout[i] = op(inout[i], in[i]). Returns false
+/// for unsupported op/type combinations (logical/bitwise ops on floating
+/// point, or a non-reducible named type). Exported because TEMPI's
+/// reduction engine must combine host-resident contributions with exactly
+/// the semantics a system-path rank uses.
+bool apply_reduce(OpKind kind, void *inout, const void *in, int count,
+                  Named named);
+
 int barrier_impl(MPI_Comm comm);
 int bcast_impl(void *buf, int count, MPI_Datatype dt, int root, MPI_Comm comm);
 int allreduce_impl(const void *sendbuf, void *recvbuf, int count,
@@ -45,6 +53,12 @@ int neighbor_alltoallv_impl(const void *sendbuf, const int *sendcounts,
                             MPI_Comm comm);
 int reduce_impl(const void *sendbuf, void *recvbuf, int count,
                 MPI_Datatype dt, MPI_Op op, int root, MPI_Comm comm);
+int reduce_scatter_impl(const void *sendbuf, void *recvbuf,
+                        const int *recvcounts, MPI_Datatype dt, MPI_Op op,
+                        MPI_Comm comm);
+int reduce_scatter_block_impl(const void *sendbuf, void *recvbuf,
+                              int recvcount, MPI_Datatype dt, MPI_Op op,
+                              MPI_Comm comm);
 int gather_impl(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
                 void *recvbuf, int recvcount, MPI_Datatype recvtype, int root,
                 MPI_Comm comm);

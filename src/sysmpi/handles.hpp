@@ -43,6 +43,8 @@ inline constexpr int MPI_ANY_TAG = -1;
 inline constexpr int MPI_PROC_NULL = -2;
 inline MPI_Status *const MPI_STATUS_IGNORE = nullptr;
 inline MPI_Status *const MPI_STATUSES_IGNORE = nullptr;
+/// In-place reduction sentinel: pass as sendbuf to reduce out of recvbuf.
+inline void *const MPI_IN_PLACE = reinterpret_cast<void *>(-1);
 
 // Subarray ordering.
 inline constexpr int MPI_ORDER_C = 56;
@@ -88,8 +90,8 @@ MPI_Datatype named_type(Named n);
 /// The world communicator of the calling rank's current run.
 MPI_Comm comm_world();
 
-/// Reduction operator singletons.
-enum class OpKind : int { Sum, Max, Min };
+/// Reduction operator singletons. Logical/bitwise ops are integer-only.
+enum class OpKind : int { Sum, Max, Min, Prod, Lor, Land, Bor, Band };
 MPI_Op op_handle(OpKind k);
 
 } // namespace sysmpi
@@ -118,3 +120,8 @@ MPI_Op op_handle(OpKind k);
 #define MPI_SUM (::sysmpi::op_handle(::sysmpi::OpKind::Sum))
 #define MPI_MAX (::sysmpi::op_handle(::sysmpi::OpKind::Max))
 #define MPI_MIN (::sysmpi::op_handle(::sysmpi::OpKind::Min))
+#define MPI_PROD (::sysmpi::op_handle(::sysmpi::OpKind::Prod))
+#define MPI_LOR (::sysmpi::op_handle(::sysmpi::OpKind::Lor))
+#define MPI_LAND (::sysmpi::op_handle(::sysmpi::OpKind::Land))
+#define MPI_BOR (::sysmpi::op_handle(::sysmpi::OpKind::Bor))
+#define MPI_BAND (::sysmpi::op_handle(::sysmpi::OpKind::Band))

@@ -235,6 +235,18 @@ inline int MPI_Reduce(const void *sendbuf, void *recvbuf, int count,
   return interpose::active_table().Reduce(sendbuf, recvbuf, count, datatype,
                                           op, root, comm);
 }
+inline int MPI_Reduce_scatter(const void *sendbuf, void *recvbuf,
+                              const int *recvcounts, MPI_Datatype datatype,
+                              MPI_Op op, MPI_Comm comm) {
+  return interpose::active_table().Reduce_scatter(sendbuf, recvbuf, recvcounts,
+                                                  datatype, op, comm);
+}
+inline int MPI_Reduce_scatter_block(const void *sendbuf, void *recvbuf,
+                                    int recvcount, MPI_Datatype datatype,
+                                    MPI_Op op, MPI_Comm comm) {
+  return interpose::active_table().Reduce_scatter_block(
+      sendbuf, recvbuf, recvcount, datatype, op, comm);
+}
 inline int MPI_Gather(const void *sendbuf, int sendcount,
                       MPI_Datatype sendtype, void *recvbuf, int recvcount,
                       MPI_Datatype recvtype, int root, MPI_Comm comm) {

@@ -71,7 +71,14 @@ MPI_Datatype named_type(Named n) {
 }
 
 MPI_Op op_handle(OpKind k) {
-  static std::array<Op, 3> ops = {{{OpKind::Sum}, {OpKind::Max}, {OpKind::Min}}};
+  static std::array<Op, 8> ops = {{{OpKind::Sum},
+                                   {OpKind::Max},
+                                   {OpKind::Min},
+                                   {OpKind::Prod},
+                                   {OpKind::Lor},
+                                   {OpKind::Land},
+                                   {OpKind::Bor},
+                                   {OpKind::Band}}};
   return &ops[static_cast<std::size_t>(k)];
 }
 

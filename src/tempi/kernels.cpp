@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdint>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 namespace tempi {
@@ -513,6 +515,184 @@ vcuda::Error launch_unpack_spans(const PackPlan &plan, const StridedBlock &sb,
               [out, in, &s](long long so, long long d, long long n) {
                 std::memcpy(out + s.obj_offset + so, in + s.packed_offset + d,
                             static_cast<std::size_t>(n));
+              });
+        }
+      });
+}
+
+namespace {
+
+template <typename T>
+void combine_typed(ReduceOp op, T *inout, const T *in, std::size_t n) {
+  switch (op) {
+  case ReduceOp::Sum:
+    for (std::size_t i = 0; i < n; ++i)
+      inout[i] = static_cast<T>(inout[i] + in[i]);
+    return;
+  case ReduceOp::Prod:
+    for (std::size_t i = 0; i < n; ++i)
+      inout[i] = static_cast<T>(inout[i] * in[i]);
+    return;
+  case ReduceOp::Min:
+    for (std::size_t i = 0; i < n; ++i)
+      inout[i] = std::min(inout[i], in[i]);
+    return;
+  case ReduceOp::Max:
+    for (std::size_t i = 0; i < n; ++i)
+      inout[i] = std::max(inout[i], in[i]);
+    return;
+  default:
+    break;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    switch (op) {
+    case ReduceOp::Lor:
+      for (std::size_t i = 0; i < n; ++i)
+        inout[i] = static_cast<T>((inout[i] != 0 || in[i] != 0) ? 1 : 0);
+      return;
+    case ReduceOp::Land:
+      for (std::size_t i = 0; i < n; ++i)
+        inout[i] = static_cast<T>((inout[i] != 0 && in[i] != 0) ? 1 : 0);
+      return;
+    case ReduceOp::Bor:
+      for (std::size_t i = 0; i < n; ++i)
+        inout[i] = static_cast<T>(inout[i] | in[i]);
+      return;
+    case ReduceOp::Band:
+      for (std::size_t i = 0; i < n; ++i)
+        inout[i] = static_cast<T>(inout[i] & in[i]);
+      return;
+    default:
+      break;
+    }
+  }
+  assert(false && "op/word combination validated before launch");
+}
+
+/// Combine `bytes` of payload, reinterpreted as `word`-typed arrays.
+void combine_bytes(ReduceOp op, ReduceWord word, std::byte *inout,
+                   const std::byte *in, std::size_t bytes) {
+  const std::size_t n = bytes / reduce_word_bytes(word);
+  switch (word) {
+  case ReduceWord::I32:
+    combine_typed(op, reinterpret_cast<std::int32_t *>(inout),
+                  reinterpret_cast<const std::int32_t *>(in), n);
+    return;
+  case ReduceWord::I64:
+    combine_typed(op, reinterpret_cast<std::int64_t *>(inout),
+                  reinterpret_cast<const std::int64_t *>(in), n);
+    return;
+  case ReduceWord::F32:
+    combine_typed(op, reinterpret_cast<float *>(inout),
+                  reinterpret_cast<const float *>(in), n);
+    return;
+  case ReduceWord::F64:
+    combine_typed(op, reinterpret_cast<double *>(inout),
+                  reinterpret_cast<const double *>(in), n);
+    return;
+  }
+}
+
+bool reduce_op_valid(ReduceOp op, ReduceWord word) {
+  if (word == ReduceWord::F32 || word == ReduceWord::F64) {
+    return op == ReduceOp::Sum || op == ReduceOp::Prod ||
+           op == ReduceOp::Min || op == ReduceOp::Max;
+  }
+  return true;
+}
+
+} // namespace
+
+std::size_t reduce_word_bytes(ReduceWord word) {
+  switch (word) {
+  case ReduceWord::I32:
+  case ReduceWord::F32:
+    return 4;
+  case ReduceWord::I64:
+  case ReduceWord::F64:
+    return 8;
+  }
+  return 1;
+}
+
+vcuda::KernelCost reduce_cost(std::size_t bytes, std::size_t word_bytes,
+                              vcuda::MemorySpace src_space,
+                              vcuda::MemorySpace dst_space) {
+  vcuda::KernelCost cost;
+  cost.total_bytes = bytes;
+  const vcuda::MemorySpace gov = governing_space(src_space, dst_space);
+  cost.src = {0, /*is_write=*/false, gov};
+  // The accumulator side is read-modify-write; model it as the write side.
+  cost.dst = {0, /*is_write=*/true, gov};
+  cost.reduce_ops = word_bytes > 0 ? bytes / word_bytes : 0;
+  return cost;
+}
+
+vcuda::Error launch_reduce(ReduceOp op, ReduceWord word, void *inout,
+                           const void *in, std::size_t count,
+                           vcuda::StreamHandle stream) {
+  if (!reduce_op_valid(op, word)) {
+    return vcuda::Error::InvalidValue;
+  }
+  if (count == 0) {
+    return vcuda::Error::Success;
+  }
+  const std::size_t wb = reduce_word_bytes(word);
+  const std::size_t bytes = count * wb;
+  vcuda::LaunchConfig cfg;
+  cfg.block.x = 256;
+  cfg.grid.x = static_cast<unsigned>(
+      std::min<std::size_t>((count + 255) / 256,
+                            std::numeric_limits<unsigned>::max()));
+  const vcuda::KernelCost cost =
+      reduce_cost(bytes, wb, space_of(in), space_of(inout));
+  auto *acc = static_cast<std::byte *>(inout);
+  const auto *src = static_cast<const std::byte *>(in);
+  return vcuda::LaunchKernel(cfg, cost, stream, [op, word, acc, src, bytes] {
+    combine_bytes(op, word, acc, src, bytes);
+  });
+}
+
+vcuda::Error launch_reduce_spans(ReduceOp op, ReduceWord word,
+                                 const PackPlan &plan, const StridedBlock &sb,
+                                 long long extent, void *inout, const void *in,
+                                 std::span<const PackSpan> spans,
+                                 vcuda::StreamHandle stream) {
+  if (!reduce_op_valid(op, word)) {
+    return vcuda::Error::InvalidValue;
+  }
+  const std::size_t wb = reduce_word_bytes(word);
+  assert(sb.block_bytes() % static_cast<long long>(wb) == 0);
+  long long objects = 0;
+  std::size_t bytes = 0;
+  span_totals(sb, spans, &objects, &bytes);
+  if (objects == 0) {
+    return vcuda::Error::Success;
+  }
+  auto *out = static_cast<std::byte *>(inout);
+  const auto *src = static_cast<const std::byte *>(in);
+  const int eq_objs = static_cast<int>(
+      std::min<long long>(objects, std::numeric_limits<int>::max()));
+  const vcuda::LaunchConfig cfg =
+      plan.contiguous ? make_launch_config(sb, plan.word_size, eq_objs)
+                      : launch_config_for(plan, eq_objs);
+  vcuda::KernelCost cost = unpack_cost(sb, 1, space_of(in), space_of(inout));
+  cost.total_bytes = bytes;
+  cost.reduce_ops = bytes / wb;
+  // The table is copied into the launch closure: the kernel body must not
+  // reference caller-stack storage once enqueued.
+  std::vector<PackSpan> table(spans.begin(), spans.end());
+  return vcuda::LaunchKernel(
+      cfg, cost, stream,
+      [op, word, &sb, extent, out, src, table = std::move(table)] {
+        for (const PackSpan &s : table) {
+          for_each_kernel_block(
+              sb, extent, s.count,
+              [op, word, out, src, &s](long long so, long long d,
+                                       long long n) {
+                combine_bytes(op, word, out + s.obj_offset + so,
+                              src + s.packed_offset + d,
+                              static_cast<std::size_t>(n));
               });
         }
       });

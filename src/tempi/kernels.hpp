@@ -126,6 +126,45 @@ vcuda::Error launch_unpack_spans(const PackPlan &plan, const StridedBlock &sb,
                                  std::span<const PackSpan> spans,
                                  vcuda::StreamHandle stream);
 
+/// Reduction operators the device combine kernels specialize on (the MPI
+/// ops the reduction engine accelerates). Logical and bitwise ops are
+/// integer-only: requesting them on a floating-point word is rejected with
+/// Error::InvalidValue before any launch.
+enum class ReduceOp : int { Sum, Prod, Min, Max, Lor, Land, Bor, Band };
+
+/// Word type a combine kernel is specialized on. Signed integers only: the
+/// reduction engine restricts itself to base types with a native device
+/// word (int, long, long long, float, double).
+enum class ReduceWord : int { I32, I64, F32, F64 };
+
+/// Byte width of `word`.
+std::size_t reduce_word_bytes(ReduceWord word);
+
+/// Modeled cost descriptor for a combine touching `bytes` of accumulator
+/// (reads both operands, writes one; reduce_ops = bytes / word_bytes feeds
+/// the vcuda reduce cost terms).
+vcuda::KernelCost reduce_cost(std::size_t bytes, std::size_t word_bytes,
+                              vcuda::MemorySpace src_space,
+                              vcuda::MemorySpace dst_space);
+
+/// Contiguous elementwise combine over `count` words, asynchronous on
+/// `stream`: inout[i] = op(inout[i], in[i]). Operand order within one
+/// combine is fixed (accumulator on the left) so floating-point results
+/// are reproducible for a given association order.
+vcuda::Error launch_reduce(ReduceOp op, ReduceWord word, void *inout,
+                           const void *in, std::size_t count,
+                           vcuda::StreamHandle stream);
+
+/// Span variant (the reduce-flavored launch_unpack_spans): one fused kernel
+/// pass combines the packed contiguous stream `in` into the strided objects
+/// of `inout` — for each span, the packed bytes at `packed_offset` fold
+/// into the objects at `obj_offset`. Block bytes must be word-aligned.
+vcuda::Error launch_reduce_spans(ReduceOp op, ReduceWord word,
+                                 const PackPlan &plan, const StridedBlock &sb,
+                                 long long extent, void *inout, const void *in,
+                                 std::span<const PackSpan> spans,
+                                 vcuda::StreamHandle stream);
+
 /// Recompute-per-call variants (the pre-plan path): build the plan on the
 /// spot and launch. Kept as the reference the plan-driven launches are
 /// tested and benchmarked against.

@@ -15,6 +15,7 @@
 #include "tempi/collectives.hpp"
 #include "tempi/measure.hpp"
 #include "tempi/methods.hpp"
+#include "tempi/reduce.hpp"
 #include "tempi/strided_block.hpp"
 #include "tempi/topology.hpp"
 #include "tempi/trace.hpp"
@@ -528,6 +529,23 @@ bool fallthrough_to_sysmpi(const void *sendbuf, MPI_Datatype sendtype,
   }
   return !side_accelerable(sendbuf, sendtype, for_collectives) &&
          !side_accelerable(recvbuf, recvtype, for_collectives);
+}
+
+/// Shared gate for the reduction engine (tempi/reduce.*). Unlike the
+/// exchange collectives' gate above, every check here is process-uniform
+/// — not-installed, forced-system mode (both process-global), the
+/// TEMPI_RED kill-switch, and the (datatype, op) combine shape — so all
+/// interposed ranks agree on engine vs system path. Per-rank facts
+/// (buffer residency) are deliberately absent: the engine handles those
+/// itself for named datatypes, where it stays wire- and tag-compatible
+/// with system-path peers of the same call.
+bool reduction_fallthrough(MPI_Datatype datatype, MPI_Op op) {
+  State &s = state();
+  if (!s.installed ||
+      s.mode.load(std::memory_order_relaxed) == SendMode::System) {
+    return true;
+  }
+  return !red::enabled() || !red::engine_shape_ok(datatype, op);
 }
 
 /// Shared Send/Recv gate: TEMPI takes over only for non-contiguous,
@@ -1055,6 +1073,59 @@ int tempi_Allgather(const void *sendbuf, int sendcount, MPI_Datatype sendtype,
                          recvtype, comm, s.next);
 }
 
+// --- interposed reductions (the reduction engine, reduce.hpp) ----------------
+//
+// The gate is process-uniform (reduction_fallthrough above); host-only
+// named-datatype ranks that pass it are forwarded per-rank by the engine
+// itself, which speaks the system wire shape for named types.
+
+int tempi_Allreduce(const void *sendbuf, void *recvbuf, int count,
+                    MPI_Datatype datatype, MPI_Op op, MPI_Comm comm) {
+  State &s = state();
+  if (reduction_fallthrough(datatype, op)) {
+    red::note_fallback();
+    return s.next.Allreduce(sendbuf, recvbuf, count, datatype, op, comm);
+  }
+  return red::allreduce(sendbuf, recvbuf, count, datatype, op, comm, s.next);
+}
+
+int tempi_Reduce(const void *sendbuf, void *recvbuf, int count,
+                 MPI_Datatype datatype, MPI_Op op, int root, MPI_Comm comm) {
+  State &s = state();
+  if (reduction_fallthrough(datatype, op)) {
+    red::note_fallback();
+    return s.next.Reduce(sendbuf, recvbuf, count, datatype, op, root, comm);
+  }
+  return red::reduce(sendbuf, recvbuf, count, datatype, op, root, comm,
+                     s.next);
+}
+
+int tempi_Reduce_scatter(const void *sendbuf, void *recvbuf,
+                         const int *recvcounts, MPI_Datatype datatype,
+                         MPI_Op op, MPI_Comm comm) {
+  State &s = state();
+  if (reduction_fallthrough(datatype, op)) {
+    red::note_fallback();
+    return s.next.Reduce_scatter(sendbuf, recvbuf, recvcounts, datatype, op,
+                                 comm);
+  }
+  return red::reduce_scatter(sendbuf, recvbuf, recvcounts, datatype, op, comm,
+                             s.next);
+}
+
+int tempi_Reduce_scatter_block(const void *sendbuf, void *recvbuf,
+                               int recvcount, MPI_Datatype datatype, MPI_Op op,
+                               MPI_Comm comm) {
+  State &s = state();
+  if (reduction_fallthrough(datatype, op)) {
+    red::note_fallback();
+    return s.next.Reduce_scatter_block(sendbuf, recvbuf, recvcount, datatype,
+                                       op, comm);
+  }
+  return red::reduce_scatter_block(sendbuf, recvbuf, recvcount, datatype, op,
+                                   comm, s.next);
+}
+
 } // namespace
 
 bool device_resident(const void *p) {
@@ -1098,6 +1169,10 @@ void install() {
   table.Neighbor_alltoallv = tempi_Neighbor_alltoallv;
   table.Gatherv = tempi_Gatherv;
   table.Allgather = tempi_Allgather;
+  table.Allreduce = tempi_Allreduce;
+  table.Reduce = tempi_Reduce;
+  table.Reduce_scatter = tempi_Reduce_scatter;
+  table.Reduce_scatter_block = tempi_Reduce_scatter_block;
   table.Cart_create = tempi_Cart_create;
   table.Dist_graph_create_adjacent = tempi_Dist_graph_create_adjacent;
   // The collectives engine's kill-switch (mirrors TEMPI_METHOD): decided
@@ -1106,6 +1181,13 @@ void install() {
   if (const char *env = std::getenv("TEMPI_COLL")) {
     coll::set_enabled(std::string_view(env) != "0");
     support::log_info("tempi: TEMPI_COLL=", env);
+  }
+  // The reduction engine's kill-switch (same pattern as TEMPI_COLL):
+  // TEMPI_RED=0 forwards Allreduce/Reduce/Reduce_scatter(_block) to the
+  // system path.
+  if (const char *env = std::getenv("TEMPI_RED")) {
+    red::set_enabled(std::string_view(env) != "0");
+    support::log_info("tempi: TEMPI_RED=", env);
   }
   // The persistent fast path's kill-switch (same pattern as TEMPI_COLL):
   // decided and logged at install time so a deployment can see — without
@@ -1179,7 +1261,8 @@ void install() {
   interpose::install(table);
   s.installed = true;
   support::log_info("tempi: interposer installed (collectives engine ",
-                    coll::enabled() ? "on" : "off", ", persistent path ",
+                    coll::enabled() ? "on" : "off", ", reduction engine ",
+                    red::enabled() ? "on" : "off", ", persistent path ",
                     s.persistent_enabled.load(std::memory_order_relaxed)
                         ? "on"
                         : "off",
@@ -1270,6 +1353,7 @@ SendStats send_stats() {
   const async::PersistentStats pers = async::persistent_stats();
   const tune::TunerStats tuner = tune::stats();
   const topo::TopoStats topo = topo::topo_stats();
+  const red::RedStats red = red::red_stats();
   return SendStats{
       s.sends_oneshot.value(),
       s.sends_device.value(),
@@ -1304,6 +1388,12 @@ SendStats send_stats() {
       topo.remaps,
       topo.staggered_legs,
       topo.intra_node_legs,
+      red.allreduce,
+      red.reduce,
+      red.reduce_scatter,
+      red.fallback,
+      red.peer_legs,
+      red.kernel_launches,
   };
 }
 
@@ -1329,6 +1419,7 @@ void reset_send_stats() {
   async::reset_persistent_stats();
   tune::reset_counters(); // counters only: learned cells survive
   topo::reset_topo_stats();
+  red::reset_red_stats();
 }
 
 std::string model_calibration_source() { return state().calibration; }

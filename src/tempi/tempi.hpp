@@ -200,6 +200,20 @@ struct SendStats {
   std::uint64_t topo_remaps = 0;
   std::uint64_t topo_staggered_legs = 0;
   std::uint64_t topo_intra_node_legs = 0;
+
+  /// Reduction-collectives engine (tempi/reduce.*). Mirrors the
+  /// tempi.red.{allreduce,reduce,reduce_scatter,fallback,peer_legs,
+  /// kernel_launches} trace counters: engine-serviced calls per entry
+  /// point (`red_reduce_scatter` covers Reduce_scatter and
+  /// Reduce_scatter_block), reductions the gates forwarded to the system
+  /// path, wire legs posted by the schedules, and device combine kernels
+  /// launched.
+  std::uint64_t red_allreduce = 0;
+  std::uint64_t red_reduce = 0;
+  std::uint64_t red_reduce_scatter = 0;
+  std::uint64_t red_fallback = 0;
+  std::uint64_t red_peer_legs = 0;
+  std::uint64_t red_kernel_launches = 0;
 };
 SendStats send_stats();
 void reset_send_stats();

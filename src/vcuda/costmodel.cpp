@@ -102,7 +102,11 @@ VirtualNs kernel_duration(const CostParams &p, const KernelCost &cost) {
   const double utilization = s / (s + p.utilization_half_bytes);
   bw *= std::max(utilization, 0.02);
 
-  return p.kernel_fixed_ns + transfer_ns(cost.total_bytes, bw);
+  VirtualNs dur = p.kernel_fixed_ns + transfer_ns(cost.total_bytes, bw);
+  if (cost.reduce_ops > 0) {
+    dur += p.reduce_fixed_ns + transfer_ns(cost.reduce_ops, p.reduce_gops);
+  }
+  return dur;
 }
 
 } // namespace vcuda

@@ -57,6 +57,7 @@ struct KernelCost {
   std::size_t total_bytes = 0; ///< payload moved by the kernel
   AccessPattern src;           ///< gather side
   AccessPattern dst;           ///< scatter side
+  std::size_t reduce_ops = 0;  ///< elementwise combines (reduction kernels)
 };
 
 /// All tunable constants in one aggregate so tests/benches can construct
@@ -114,6 +115,13 @@ struct CostParams {
   /// EventQuery): folds the stream into the host clock without the cold
   /// cudaStreamSynchronize wake-up.
   VirtualNs stream_fence_ns = 600;
+
+  // --- reduction kernels ---
+  // Elementwise combines ride the same memory system as pack/unpack, but the
+  // ALU work and the read-modify-write on the accumulator add a fixed setup
+  // cost plus a throughput term on top of the bandwidth-bound transfer.
+  VirtualNs reduce_fixed_ns = 800;  ///< extra scheduling floor per reduce
+  double reduce_gops = 200.0;       ///< combine throughput (ops per ns)
 
   // --- misc ---
   VirtualNs host_touch_ns_per_byte = 0; ///< host loops cost real time instead

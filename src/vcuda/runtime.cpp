@@ -24,6 +24,7 @@ struct Counters64 {
   std::atomic<std::uint64_t> graph_nodes_replayed{0};
   std::atomic<std::uint64_t> graph_nodes_captured{0};
   std::atomic<std::uint64_t> stream_fences{0};
+  std::atomic<std::uint64_t> reduce_launches{0};
 };
 
 Counters64 &counters64() {
@@ -584,6 +585,9 @@ Error LaunchKernel(const LaunchConfig &cfg, const KernelCost &cost,
   }
   host_advance(p.kernel_launch_ns);
   counters64().kernel_launches.fetch_add(1, std::memory_order_relaxed);
+  if (cost.reduce_ops > 0) {
+    counters64().reduce_launches.fetch_add(1, std::memory_order_relaxed);
+  }
   const VirtualNs dur = kernel_duration(p, cost);
   const VirtualNs end = stream->enqueue(virtual_now(), dur);
   body();
@@ -706,6 +710,7 @@ Counters counters() {
       c.graph_nodes_replayed.load(std::memory_order_relaxed),
       c.graph_nodes_captured.load(std::memory_order_relaxed),
       c.stream_fences.load(std::memory_order_relaxed),
+      c.reduce_launches.load(std::memory_order_relaxed),
   };
 }
 
@@ -720,6 +725,7 @@ void reset_counters() {
   c.graph_nodes_replayed.store(0, std::memory_order_relaxed);
   c.graph_nodes_captured.store(0, std::memory_order_relaxed);
   c.stream_fences.store(0, std::memory_order_relaxed);
+  c.reduce_launches.store(0, std::memory_order_relaxed);
 }
 
 } // namespace vcuda

@@ -210,6 +210,7 @@ struct Counters {
   std::uint64_t graph_nodes_replayed = 0; ///< nodes executed by replays
   std::uint64_t graph_nodes_captured = 0; ///< nodes recorded by captures
   std::uint64_t stream_fences = 0;        ///< StreamFence completions
+  std::uint64_t reduce_launches = 0;      ///< kernels with reduce_ops > 0
 };
 Counters counters();
 void reset_counters();

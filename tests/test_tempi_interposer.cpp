@@ -452,6 +452,61 @@ TEST(Interposer, CollCountersTrackEngineAndFallback) {
   EXPECT_EQ(cleared.coll_peer_legs, 0u);
 }
 
+TEST(TempiTest, RedCountersAgree) {
+  // The reduction engine is observable two ways — SendStats red_* fields
+  // and the tempi.red.* trace counters — and they must agree, including
+  // across a mix of engine-serviced, fallback, and derived calls.
+  tempi::ScopedInterposer guard;
+  tempi::reset_send_stats();
+  sysmpi::RunConfig cfg;
+  cfg.ranks = 4;
+  cfg.ranks_per_node = 2;
+  sysmpi::run_ranks(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    SpaceBuffer dev_s(vcuda::MemorySpace::Device, 64 * sizeof(int));
+    SpaceBuffer dev_r(vcuda::MemorySpace::Device, 64 * sizeof(int));
+    std::vector<int> vals(64, rank + 1);
+    std::memcpy(dev_s.get(), vals.data(), 64 * sizeof(int));
+    // Named device reduction: engine-serviced on every rank.
+    MPI_Allreduce(dev_s.get(), dev_r.get(), 64, MPI_INT, MPI_SUM,
+                  MPI_COMM_WORLD);
+    // Derived uniform-base reduction: engine-serviced (no system path).
+    MPI_Datatype t = nullptr;
+    MPI_Type_vector(8, 2, 5, MPI_INT, &t);
+    MPI_Type_commit(&t);
+    SpaceBuffer obj_s(vcuda::MemorySpace::Device, 4096);
+    SpaceBuffer obj_r(vcuda::MemorySpace::Device, 4096);
+    std::memset(obj_s.get(), 0, obj_s.size());
+    MPI_Reduce(obj_s.get(), obj_r.get(), 2, t, MPI_SUM, 0, MPI_COMM_WORLD);
+    MPI_Type_free(&t);
+    // Host buffers on a named type: per-rank residency fallback.
+    std::vector<int> host_r(64);
+    MPI_Allreduce(vals.data(), host_r.data(), 64, MPI_INT, MPI_SUM,
+                  MPI_COMM_WORLD);
+    MPI_Finalize();
+  });
+  const tempi::SendStats s = tempi::send_stats();
+  EXPECT_EQ(s.red_allreduce, 4u);
+  EXPECT_EQ(s.red_reduce, 4u);
+  EXPECT_EQ(s.red_fallback, 4u);
+  EXPECT_GT(s.red_peer_legs, 0u);
+  EXPECT_GT(s.red_kernel_launches, 0u);
+  EXPECT_EQ(s.red_allreduce,
+            tempi::trace::counter_value("tempi.red.allreduce"));
+  EXPECT_EQ(s.red_reduce, tempi::trace::counter_value("tempi.red.reduce"));
+  EXPECT_EQ(s.red_reduce_scatter,
+            tempi::trace::counter_value("tempi.red.reduce_scatter"));
+  EXPECT_EQ(s.red_fallback,
+            tempi::trace::counter_value("tempi.red.fallback"));
+  EXPECT_EQ(s.red_peer_legs,
+            tempi::trace::counter_value("tempi.red.peer_legs"));
+  EXPECT_EQ(s.red_kernel_launches,
+            tempi::trace::counter_value("tempi.red.kernel_launches"));
+  tempi::reset_send_stats();
+  EXPECT_EQ(tempi::send_stats().red_allreduce, 0u);
+  EXPECT_EQ(tempi::send_stats().red_fallback, 0u);
+}
+
 TEST(Interposer, PersistentCountersTrackChannelsAndReplays) {
   tempi::ScopedInterposer guard;
   tempi::reset_send_stats();
