@@ -19,6 +19,7 @@
 #include <filesystem>
 #include <functional>
 #include <string>
+#include <string_view>
 
 namespace bench {
 
@@ -201,15 +202,30 @@ inline void emit_json(const std::string &name, const std::string &config,
   }
   // Self-tuning model provenance: where the calibration came from, which
   // generation the tables ended the run on, and how much the tuner saw.
+  // The "locks" object carries every audited-lock contention gauge
+  // (tempi.lock.*, prefix stripped) so contention regressions show up in
+  // the sidecar trajectory, not only in TEMPI_STATS output.
   const tempi::tune::TunerStats tuner = tempi::tune::stats();
   std::fprintf(f,
                "  \"model\": {\"calibration\": \"%s\", \"generation\": %llu, "
-               "\"observations\": %llu, \"updates\": %llu}\n}\n",
+               "\"observations\": %llu, \"updates\": %llu,\n"
+               "    \"locks\": {",
                tempi::model_calibration_source().c_str(),
                static_cast<unsigned long long>(
                    tempi::tune::refresh_generation()),
                static_cast<unsigned long long>(tuner.observations),
                static_cast<unsigned long long>(tuner.updates));
+  const char *lock_sep = "";
+  for (const auto &[cname, value] : tempi::trace::counter_snapshot()) {
+    constexpr std::string_view kPrefix = "tempi.lock.";
+    if (std::string_view(cname).substr(0, kPrefix.size()) == kPrefix) {
+      std::fprintf(f, "%s\"%s\": %llu", lock_sep,
+                   cname.c_str() + kPrefix.size(),
+                   static_cast<unsigned long long>(value));
+      lock_sep = ", ";
+    }
+  }
+  std::fprintf(f, "}}\n}\n");
   std::fclose(f);
 }
 

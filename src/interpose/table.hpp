@@ -21,8 +21,11 @@
 // X-macro over every interposable MPI entry point: X(name, return, args).
 #define SYSMPI_FOR_EACH_FN(X)                                                  \
   X(Init, int, (int *, char ***))                                              \
+  X(Init_thread, int, (int *, char ***, int, int *))                           \
   X(Finalize, int, (void))                                                     \
   X(Initialized, int, (int *))                                                 \
+  X(Query_thread, int, (int *))                                                \
+  X(Is_thread_main, int, (int *))                                              \
   X(Comm_rank, int, (MPI_Comm, int *))                                         \
   X(Comm_size, int, (MPI_Comm, int *))                                         \
   X(Comm_free, int, (MPI_Comm *))                                              \

@@ -1,0 +1,65 @@
+// A mutex that counts how often it is taken and how often the taker had
+// to wait. Lockable (works with lock_guard / unique_lock / scoped_lock);
+// lock() tries try_lock first so the uncontended fast path is one CAS,
+// and a failed attempt is recorded before falling back to the blocking
+// acquire. The counters are relaxed atomics: they order nothing, they
+// only make contention visible (TEMPI exports each audited lock as a
+// tempi.lock.<name>.{acquires,contended} counter pair).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace support {
+
+/// Cumulative acquire statistics for one ContendedMutex.
+struct LockStats {
+  std::uint64_t acquires = 0;  ///< total successful acquisitions
+  std::uint64_t contended = 0; ///< acquisitions that found the lock held
+};
+
+class ContendedMutex {
+public:
+  ContendedMutex() = default;
+  ContendedMutex(const ContendedMutex &) = delete;
+  ContendedMutex &operator=(const ContendedMutex &) = delete;
+
+  void lock() {
+    if (!m_.try_lock()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      m_.lock();
+    }
+    acquires_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool try_lock() {
+    if (m_.try_lock()) {
+      acquires_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void unlock() { m_.unlock(); }
+
+  [[nodiscard]] LockStats stats() const {
+    LockStats s;
+    s.acquires = acquires_.load(std::memory_order_relaxed);
+    s.contended = contended_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset_stats() {
+    acquires_.store(0, std::memory_order_relaxed);
+    contended_.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::mutex m_;
+  std::atomic<std::uint64_t> acquires_{0};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+} // namespace support

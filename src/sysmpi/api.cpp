@@ -28,7 +28,45 @@ int sys_Init(int *argc, char ***argv) {
   (void)argc;
   (void)argv;
   ensure_self_context();
-  this_rank().initialized = true;
+  RankCtx &ctx = this_rank();
+  ctx.initialized = true;
+  ctx.thread_level = MPI_THREAD_SINGLE;
+  ctx.thread_is_main = true;
+  return MPI_SUCCESS;
+}
+
+int sys_Init_thread(int *argc, char ***argv, int required, int *provided) {
+  (void)argc;
+  (void)argv;
+  if (required < MPI_THREAD_SINGLE || required > MPI_THREAD_MULTIPLE) {
+    return MPI_ERR_ARG;
+  }
+  ensure_self_context();
+  RankCtx &ctx = this_rank();
+  ctx.initialized = true;
+  // The engine is MULTIPLE-safe (mailboxes and NIC ports carry their own
+  // locks), so every requested level is granted exactly.
+  ctx.thread_level = required;
+  ctx.thread_is_main = true;
+  if (provided != nullptr) {
+    *provided = ctx.thread_level;
+  }
+  return MPI_SUCCESS;
+}
+
+int sys_Query_thread(int *provided) {
+  if (provided == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *provided = this_rank().thread_level;
+  return MPI_SUCCESS;
+}
+
+int sys_Is_thread_main(int *flag) {
+  if (flag == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *flag = this_rank().thread_is_main ? 1 : 0;
   return MPI_SUCCESS;
 }
 
@@ -954,8 +992,11 @@ int sys_Get_count(const MPI_Status *status, MPI_Datatype datatype,
 interpose::MpiTable make_system_table() {
   interpose::MpiTable t;
   t.Init = sys_Init;
+  t.Init_thread = sys_Init_thread;
   t.Finalize = sys_Finalize;
   t.Initialized = sys_Initialized;
+  t.Query_thread = sys_Query_thread;
+  t.Is_thread_main = sys_Is_thread_main;
   t.Comm_rank = sys_Comm_rank;
   t.Comm_size = sys_Comm_size;
   t.Comm_free = sys_Comm_free;

@@ -46,6 +46,12 @@ inline MPI_Status *const MPI_STATUSES_IGNORE = nullptr;
 /// In-place reduction sentinel: pass as sendbuf to reduce out of recvbuf.
 inline void *const MPI_IN_PLACE = reinterpret_cast<void *>(-1);
 
+// Thread-support levels (MPI_Init_thread / MPI_Query_thread).
+inline constexpr int MPI_THREAD_SINGLE = 0;
+inline constexpr int MPI_THREAD_FUNNELED = 1;
+inline constexpr int MPI_THREAD_SERIALIZED = 2;
+inline constexpr int MPI_THREAD_MULTIPLE = 3;
+
 // Subarray ordering.
 inline constexpr int MPI_ORDER_C = 56;
 inline constexpr int MPI_ORDER_FORTRAN = 57;

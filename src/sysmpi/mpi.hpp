@@ -13,9 +13,19 @@
 inline int MPI_Init(int *argc, char ***argv) {
   return interpose::active_table().Init(argc, argv);
 }
+inline int MPI_Init_thread(int *argc, char ***argv, int required,
+                           int *provided) {
+  return interpose::active_table().Init_thread(argc, argv, required, provided);
+}
 inline int MPI_Finalize() { return interpose::active_table().Finalize(); }
 inline int MPI_Initialized(int *flag) {
   return interpose::active_table().Initialized(flag);
+}
+inline int MPI_Query_thread(int *provided) {
+  return interpose::active_table().Query_thread(provided);
+}
+inline int MPI_Is_thread_main(int *flag) {
+  return interpose::active_table().Is_thread_main(flag);
 }
 inline int MPI_Comm_rank(MPI_Comm comm, int *rank) {
   return interpose::active_table().Comm_rank(comm, rank);

@@ -310,6 +310,15 @@ void ensure_self_context() {
   }
   auto world = std::make_shared<World>(1, 1);
   setup_rank(world, 0, /*reset_timeline=*/false);
+  // run_ranks tears its ranks down explicitly; a self-context has no such
+  // owner, so tear it down at thread exit — plain MPI_THREAD_MULTIPLE
+  // helper threads each get a world here and must not leak it. The guard
+  // is constructed after this_rank()'s RankCtx, so it destructs first and
+  // teardown_rank() still sees a live context.
+  struct SelfContextGuard {
+    ~SelfContextGuard() { teardown_rank(); }
+  };
+  thread_local SelfContextGuard guard;
 }
 
 } // namespace sysmpi

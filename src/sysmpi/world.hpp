@@ -211,6 +211,14 @@ struct RankCtx {
   MPI_Comm world_comm = nullptr;
   bool initialized = false;
   bool finalized = false;
+  /// Thread level granted by Init/Init_thread. Plain MPI_Init grants
+  /// MPI_THREAD_SINGLE per the standard, though sysmpi's engine is
+  /// MULTIPLE-safe regardless — the level is reporting, not enforcement.
+  int thread_level = MPI_THREAD_SINGLE;
+  /// The thread that called Init/Init_thread on this context is "main"
+  /// for MPI_Is_thread_main. Helper threads touching MPI lazily get a
+  /// fresh TLS context that never ran Init, so the flag stays false.
+  bool thread_is_main = false;
 };
 
 RankCtx &this_rank();

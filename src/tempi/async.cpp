@@ -1,12 +1,18 @@
 #include "tempi/async.hpp"
 
+#include "support/contended_mutex.hpp"
 #include "support/log.hpp"
 #include "sysmpi/mpi.hpp"
 #include "tempi/topology.hpp"
 #include "tempi/trace.hpp"
 #include "vcuda/runtime.hpp"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -98,11 +104,34 @@ struct PersistentChannel {
 
 namespace {
 
-struct Pool {
-  std::mutex mutex;
+/// One lock stripe of the request pool. A ticket hashes to exactly one
+/// shard, so per-request traffic serializes only with requests sharing its
+/// stripe, never with the whole rank. No code path ever holds two shard
+/// locks at once — every multi-shard walk (drain, in_flight, owns, the
+/// stats sums) takes shards one at a time in ascending index order — so
+/// lock ordering is trivially deadlock-free, including Waitall/Waitsome
+/// over arrays whose requests span shards.
+struct PoolShard {
+  support::ContendedMutex mutex;
   std::unordered_map<MPI_Request, std::unique_ptr<AsyncOp>> ops;
   std::unordered_map<MPI_Request, std::unique_ptr<PersistentChannel>>
       channels;
+};
+
+constexpr std::size_t kDefaultShards = 16;
+constexpr std::size_t kMaxShards = 256;
+
+struct Pool {
+  /// Rebuilt only by configure_shards() on an idle pool (the install-time
+  /// TEMPI_SHARDS read); steady-state traffic treats vector + mask as
+  /// immutable.
+  std::vector<std::unique_ptr<PoolShard>> shards;
+  std::size_t mask = 0;
+
+  /// Bumped whenever a channel may have been destroyed (request_free's
+  /// channel branch, drain, reconfiguration). Validates the per-thread
+  /// channel memo that keeps steady-state MPI_Start/Wait replay lock-free.
+  std::atomic<std::uint64_t> channel_gen{1};
 
   trace::Counter isends{"tempi.engine.isends"};
   trace::Counter irecvs{"tempi.engine.irecvs"};
@@ -113,11 +142,32 @@ struct Pool {
   trace::Counter p_starts{"tempi.persistent.starts"};
   trace::Counter p_replays{"tempi.persistent.replays"};
   trace::Counter p_graph_launches{"tempi.persistent.graph_launches"};
+
+  Pool() { resize(kDefaultShards); }
+
+  void resize(std::size_t n) {
+    shards.clear();
+    shards.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards.push_back(std::make_unique<PoolShard>());
+    }
+    mask = n - 1;
+  }
 };
 
 Pool &pool() {
   static Pool p;
   return p;
+}
+
+/// The shard a ticket lives in, derived from the ticket value alone
+/// (tickets are object addresses; the multiplicative hash spreads their
+/// low-entropy high bits and allocator-aligned low bits).
+PoolShard &shard_for(Pool &p, MPI_Request ticket) {
+  const auto bits =
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(ticket));
+  const auto h = static_cast<std::size_t>((bits * 0x9e3779b97f4a7c15ULL) >> 32);
+  return *p.shards[h & p.mask];
 }
 
 /// The opaque handle handed to the application is the op's own address; it
@@ -129,36 +179,72 @@ MPI_Request ticket_of(const AsyncOp *op) {
 MPI_Request insert(std::unique_ptr<AsyncOp> op) {
   Pool &p = pool();
   const MPI_Request ticket = ticket_of(op.get());
-  const std::lock_guard<std::mutex> lock(p.mutex);
-  p.ops.emplace(ticket, std::move(op));
+  PoolShard &s = shard_for(p, ticket);
+  const std::lock_guard<support::ContendedMutex> lock(s.mutex);
+  s.ops.emplace(ticket, std::move(op));
   return ticket;
 }
 
 AsyncOp *find(MPI_Request ticket) {
-  Pool &p = pool();
-  const std::lock_guard<std::mutex> lock(p.mutex);
-  const auto it = p.ops.find(ticket);
-  return it == p.ops.end() ? nullptr : it->second.get();
+  PoolShard &s = shard_for(pool(), ticket);
+  const std::lock_guard<support::ContendedMutex> lock(s.mutex);
+  const auto it = s.ops.find(ticket);
+  return it == s.ops.end() ? nullptr : it->second.get();
 }
+
+/// Shard-affine re-arm memo: the last few channel tickets this thread
+/// resolved, valid while no channel anywhere has been destroyed since
+/// (channel_gen). A steady-state persistent Start/Wait cycle replays
+/// through the memo without touching any shard lock; the MPI contract that
+/// freeing a request never races concurrent calls on the same request is
+/// what already made the unlocked raw-pointer return here safe.
+struct ChannelMemo {
+  std::uint64_t gen = 0;
+  std::array<std::pair<MPI_Request, PersistentChannel *>, 8> slots{};
+  std::size_t next = 0;
+};
+thread_local ChannelMemo t_channel_memo;
 
 PersistentChannel *find_channel(MPI_Request ticket) {
   Pool &p = pool();
-  const std::lock_guard<std::mutex> lock(p.mutex);
-  const auto it = p.channels.find(ticket);
-  return it == p.channels.end() ? nullptr : it->second.get();
+  ChannelMemo &memo = t_channel_memo;
+  const std::uint64_t gen = p.channel_gen.load(std::memory_order_acquire);
+  if (memo.gen == gen) {
+    for (const auto &[t, ch] : memo.slots) {
+      if (t == ticket) {
+        return ch;
+      }
+    }
+  } else {
+    memo.slots.fill({MPI_REQUEST_NULL, nullptr});
+    memo.next = 0;
+    memo.gen = gen;
+  }
+  PoolShard &s = shard_for(p, ticket);
+  PersistentChannel *ch = nullptr;
+  {
+    const std::lock_guard<support::ContendedMutex> lock(s.mutex);
+    const auto it = s.channels.find(ticket);
+    ch = it == s.channels.end() ? nullptr : it->second.get();
+  }
+  if (ch != nullptr) {
+    memo.slots[memo.next] = {ticket, ch};
+    memo.next = (memo.next + 1) % memo.slots.size();
+  }
+  return ch;
 }
 
 /// Remove the op from the pool; the unique_ptr keeps it alive until the
 /// caller finishes with it (buffers return to the cache on destruction).
 std::unique_ptr<AsyncOp> extract(MPI_Request ticket) {
-  Pool &p = pool();
-  const std::lock_guard<std::mutex> lock(p.mutex);
-  const auto it = p.ops.find(ticket);
-  if (it == p.ops.end()) {
+  PoolShard &s = shard_for(pool(), ticket);
+  const std::lock_guard<support::ContendedMutex> lock(s.mutex);
+  const auto it = s.ops.find(ticket);
+  if (it == s.ops.end()) {
     return nullptr;
   }
   std::unique_ptr<AsyncOp> op = std::move(it->second);
-  p.ops.erase(it);
+  s.ops.erase(it);
   return op;
 }
 
@@ -804,8 +890,9 @@ int send_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
   Pool &p = pool();
   p.p_inits.add();
   const MPI_Request ticket = reinterpret_cast<MPI_Request>(ch.get());
-  const std::lock_guard<std::mutex> lock(p.mutex);
-  p.channels.emplace(ticket, std::move(ch));
+  PoolShard &s = shard_for(p, ticket);
+  const std::lock_guard<support::ContendedMutex> lock(s.mutex);
+  s.channels.emplace(ticket, std::move(ch));
   *request = ticket;
   return MPI_SUCCESS;
 }
@@ -834,8 +921,9 @@ int recv_init(std::shared_ptr<const Packer> packer, TransferChoice choice,
   Pool &p = pool();
   p.p_inits.add();
   const MPI_Request ticket = reinterpret_cast<MPI_Request>(ch.get());
-  const std::lock_guard<std::mutex> lock(p.mutex);
-  p.channels.emplace(ticket, std::move(ch));
+  PoolShard &s = shard_for(p, ticket);
+  const std::lock_guard<support::ContendedMutex> lock(s.mutex);
+  s.channels.emplace(ticket, std::move(ch));
   *request = ticket;
   return MPI_SUCCESS;
 }
@@ -990,13 +1078,16 @@ int request_free(MPI_Request *request, const interpose::MpiTable &next) {
   std::unique_ptr<PersistentChannel> ch;
   {
     Pool &p = pool();
-    const std::lock_guard<std::mutex> lock(p.mutex);
-    const auto it = p.channels.find(*request);
-    if (it == p.channels.end()) {
+    PoolShard &s = shard_for(p, *request);
+    const std::lock_guard<support::ContendedMutex> lock(s.mutex);
+    const auto it = s.channels.find(*request);
+    if (it == s.channels.end()) {
       return MPI_ERR_ARG; // caller must check owns() first
     }
     ch = std::move(it->second);
-    p.channels.erase(it);
+    s.channels.erase(it);
+    // Invalidate every thread's channel memo before the channel dies.
+    p.channel_gen.fetch_add(1, std::memory_order_release);
   }
   // The channel is destroyed when `ch` leaves scope no matter what
   // happens below, so the handle must be nulled on every path — leaving
@@ -1030,8 +1121,12 @@ int request_free(MPI_Request *request, const interpose::MpiTable &next) {
 
 std::size_t persistent_open() {
   Pool &p = pool();
-  const std::lock_guard<std::mutex> lock(p.mutex);
-  return p.channels.size();
+  std::size_t n = 0;
+  for (const auto &s : p.shards) {
+    const std::lock_guard<support::ContendedMutex> lock(s->mutex);
+    n += s->channels.size();
+  }
+  return n;
 }
 
 PersistentStats persistent_stats() {
@@ -1056,9 +1151,11 @@ bool owns(MPI_Request request) {
   if (request == MPI_REQUEST_NULL) {
     return false;
   }
-  Pool &p = pool();
-  const std::lock_guard<std::mutex> lock(p.mutex);
-  return p.ops.contains(request) || p.channels.contains(request);
+  // A ticket can live in exactly one shard, so one stripe answers both
+  // maps' membership.
+  PoolShard &s = shard_for(pool(), request);
+  const std::lock_guard<support::ContendedMutex> lock(s.mutex);
+  return s.ops.contains(request) || s.channels.contains(request);
 }
 
 int wait(MPI_Request *request, MPI_Status *status,
@@ -1558,21 +1655,31 @@ int testany(int count, MPI_Request *requests, int *index, int *flag,
 
 std::size_t in_flight() {
   Pool &p = pool();
-  const std::lock_guard<std::mutex> lock(p.mutex);
-  return p.ops.size();
+  std::size_t n = 0;
+  for (const auto &s : p.shards) {
+    const std::lock_guard<support::ContendedMutex> lock(s->mutex);
+    n += s->ops.size();
+  }
+  return n;
 }
 
 std::size_t drain(const interpose::MpiTable &next) {
-  // Take the whole pool in one shot; uninstall runs with no MPI traffic in
-  // flight on other threads (see tempi::uninstall's contract).
+  // Empty every shard (ascending order, one lock at a time); uninstall
+  // runs with no MPI traffic in flight on other threads (see
+  // tempi::uninstall's contract).
   std::unordered_map<MPI_Request, std::unique_ptr<AsyncOp>> orphans;
   std::unordered_map<MPI_Request, std::unique_ptr<PersistentChannel>>
       orphan_channels;
   {
     Pool &p = pool();
-    const std::lock_guard<std::mutex> lock(p.mutex);
-    orphans.swap(p.ops);
-    orphan_channels.swap(p.channels);
+    for (const auto &s : p.shards) {
+      const std::lock_guard<support::ContendedMutex> lock(s->mutex);
+      orphans.merge(s->ops);
+      orphan_channels.merge(s->channels);
+      s->ops.clear();
+      s->channels.clear();
+    }
+    p.channel_gen.fetch_add(1, std::memory_order_release);
   }
   std::size_t dropped = 0;
   for (auto &[ticket, ch] : orphan_channels) {
@@ -1640,6 +1747,43 @@ void reset_engine_stats() {
   p.irecvs.reset();
   p.completions.reset();
   p.batched_syncs.reset();
+}
+
+bool configure_shards(std::size_t n) {
+  Pool &p = pool();
+  const std::size_t want =
+      std::bit_ceil(std::clamp<std::size_t>(n, 1, kMaxShards));
+  // The layout can only change while the pool is idle: an op or channel
+  // keyed under the old hash would be unreachable under the new one.
+  for (const auto &s : p.shards) {
+    const std::lock_guard<support::ContendedMutex> lock(s->mutex);
+    if (!s->ops.empty() || !s->channels.empty()) {
+      return false;
+    }
+  }
+  if (want != p.shards.size()) {
+    p.resize(want);
+  }
+  p.channel_gen.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+std::size_t shard_count() { return pool().shards.size(); }
+
+support::LockStats pool_lock_stats() {
+  support::LockStats total;
+  for (const auto &s : pool().shards) {
+    const support::LockStats ls = s->mutex.stats();
+    total.acquires += ls.acquires;
+    total.contended += ls.contended;
+  }
+  return total;
+}
+
+void reset_pool_lock_stats() {
+  for (const auto &s : pool().shards) {
+    s->mutex.reset_stats();
+  }
 }
 
 } // namespace tempi::async

@@ -41,6 +41,7 @@
 #pragma once
 
 #include "interpose/table.hpp"
+#include "support/contended_mutex.hpp"
 #include "tempi/blocklist_packer.hpp"
 #include "tempi/methods.hpp"
 #include "tempi/packer.hpp"
@@ -272,5 +273,32 @@ struct EngineStats {
 };
 EngineStats engine_stats();
 void reset_engine_stats();
+
+// --- lock-striped pool layout (thread-multiple hot path) ---------------------
+//
+// The pool is N lock stripes (shards); a ticket hashes to exactly one, so
+// concurrent callers on one rank serialize only when their requests share
+// a stripe. No engine path ever holds two shard locks at once, so the
+// layout is deadlock-free by construction even for Waitall/Waitsome over
+// arrays spanning shards. Persistent Start/Wait replay consults a
+// per-thread channel memo validated by a generation counter and is
+// lock-free in steady state (the memo invalidates whenever any channel is
+// destroyed).
+
+/// Rebuild the pool with `n` shards (clamped to [1, 256], rounded up to a
+/// power of two). Only legal while the pool is idle — no in-flight ops, no
+/// open channels — because tickets are keyed by the current hash; returns
+/// false (and changes nothing) otherwise. tempi::install() calls this with
+/// TEMPI_SHARDS; 1 restores the pre-shard single-lock layout (bisection
+/// kill switch).
+bool configure_shards(std::size_t n);
+
+/// Current number of lock stripes.
+std::size_t shard_count();
+
+/// Aggregate acquire/contention counts over every shard lock (exported as
+/// the tempi.lock.pool.* gauges).
+support::LockStats pool_lock_stats();
+void reset_pool_lock_stats();
 
 } // namespace tempi::async

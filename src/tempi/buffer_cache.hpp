@@ -5,9 +5,14 @@
 // intermediate buffers (and reuses the per-thread stream) so that repeated
 // requests in iterative applications are served in "tens or hundreds of
 // nanoseconds amortized" (paper Sec. 5). Buffers are bucketed by
-// power-of-two capacity and kept per thread (per rank), so no locking.
+// power-of-two capacity and kept in per-thread magazines (capped at a few
+// entries per bucket) backed by a mutex-guarded global depot: steady-state
+// lease/release never locks, and a thread that leases on one side of a
+// producer/consumer pattern and releases on the other amortizes the depot
+// lock over batched refills/flushes.
 #pragma once
 
+#include "support/contended_mutex.hpp"
 #include "vcuda/runtime.hpp"
 
 #include <cstddef>
@@ -50,7 +55,10 @@ private:
 /// the calling thread's cache, allocating through vcuda on a miss.
 CachedBuffer lease_buffer(vcuda::MemorySpace space, std::size_t bytes);
 
-/// Free everything in the calling thread's cache (MPI_Finalize).
+/// Free everything in the calling thread's magazines AND the shared depot
+/// (MPI_Finalize / uninstall). Other threads' magazines are freed by their
+/// own thread-exit destructors; anything they flushed to the depot is
+/// covered here, so the uninstall leak check still walks everything.
 void drain_buffer_cache();
 
 /// Disable/enable the calling thread's cache (ablation benches): when
@@ -74,5 +82,13 @@ struct BufferCacheStats {
 };
 BufferCacheStats buffer_cache_stats();
 void reset_buffer_cache_stats();
+
+/// Buffers currently shelved in the shared depot (all spaces, all
+/// buckets). Test/bench visibility into magazine flush behavior.
+std::size_t buffer_depot_size();
+
+/// Acquire/contention counters of the depot mutex, exported as the
+/// tempi.lock.depot.* gauges in TEMPI_STATS.
+support::LockStats buffer_depot_lock_stats();
 
 } // namespace tempi

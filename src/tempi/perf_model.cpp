@@ -1,5 +1,6 @@
 #include "tempi/perf_model.hpp"
 
+#include "support/contended_mutex.hpp"
 #include "sysmpi/netmodel.hpp"
 #include "tempi/kernels.hpp"
 #include "tempi/trace.hpp"
@@ -688,7 +689,10 @@ std::atomic<bool> g_tune_enabled{true};
 std::atomic<bool> g_drift_pending{false};
 std::atomic<ApplyFn> g_apply_hook{nullptr};
 std::atomic<std::uint64_t> g_refresh_gen{1};
-std::mutex g_refresh_mutex;
+/// Counted (tempi.lock.tune_refresh.*): refresh_now's try_to_lock means a
+/// contended count here is a refresh another thread already ran, not a
+/// stall — the loser returns immediately.
+support::ContendedMutex g_refresh_mutex;
 
 struct TuneCounters {
   trace::Counter observations{"tempi.model.observations"};
@@ -952,7 +956,8 @@ bool refresh_now() {
   if (hook == nullptr) {
     return false;
   }
-  std::unique_lock<std::mutex> lk(g_refresh_mutex, std::try_to_lock);
+  std::unique_lock<support::ContendedMutex> lk(g_refresh_mutex,
+                                               std::try_to_lock);
   if (!lk.owns_lock()) {
     return false; // another thread is already refreshing
   }
@@ -967,6 +972,8 @@ bool maybe_refresh() {
   }
   return refresh_now();
 }
+
+support::LockStats refresh_lock_stats() { return g_refresh_mutex.stats(); }
 
 std::uint64_t refresh_generation() {
   return g_refresh_gen.load(std::memory_order_acquire);

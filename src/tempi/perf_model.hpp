@@ -15,6 +15,7 @@
 // and surfaced through tempi::SendStats.
 #pragma once
 
+#include "support/contended_mutex.hpp"
 #include "vcuda/clock.hpp"
 
 #include <cstdint>
@@ -378,6 +379,12 @@ void reset();
 /// Zero only the counters (tempi::reset_send_stats): learned cells and
 /// drift baselines survive.
 void reset_counters();
+
+/// Acquire/contention counters of the refresh mutex. refresh_now() only
+/// try-locks it, so `contended` counts refreshes skipped because another
+/// thread was already folding — never a stall. Exported as the
+/// tempi.lock.tune_refresh.* gauges.
+support::LockStats refresh_lock_stats();
 
 } // namespace tune
 

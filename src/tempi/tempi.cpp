@@ -248,16 +248,11 @@ std::shared_ptr<const BlockListPacker> lookup_blocklist(MPI_Datatype dt) {
 
 // --- interposed entry points -------------------------------------------------
 
-int tempi_Init(int *argc, char ***argv) {
-  State &s = state();
-  const int rc = s.next.Init(argc, argv);
-  if (rc != MPI_SUCCESS) {
-    return rc;
-  }
-  // One-time process configuration: honor TEMPI_METHOD for no-recompile
-  // method forcing. (The TEMPI_PERF_FILE measurement bootstrap happens
-  // earlier, at install(), so the model is calibrated before the first
-  // interposed call of any rank.)
+// One-time process configuration shared by Init and Init_thread: honor
+// TEMPI_METHOD for no-recompile method forcing. (The TEMPI_PERF_FILE
+// measurement bootstrap happens earlier, at install(), so the model is
+// calibrated before the first interposed call of any rank.)
+void load_env_once(State &s) {
   std::call_once(s.env_loaded, [&s] {
     if (const char *env = std::getenv("TEMPI_METHOD")) {
       const std::string_view mode(env);
@@ -297,7 +292,39 @@ int tempi_Init(int *argc, char ***argv) {
       s.blocklist_fallback = std::string_view(env) == "1";
     }
   });
+}
+
+int tempi_Init(int *argc, char ***argv) {
+  State &s = state();
+  const int rc = s.next.Init(argc, argv);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  load_env_once(s);
   return MPI_SUCCESS;
+}
+
+/// Thread-level negotiation passes straight through to the system MPI
+/// (which grants `required`: the engine is MULTIPLE-safe), then runs the
+/// same once-only env configuration as MPI_Init. TEMPI itself adds no
+/// thread-level restriction: every interposed path is lock-striped or
+/// per-thread, so whatever the system grants holds with TEMPI in front.
+int tempi_Init_thread(int *argc, char ***argv, int required, int *provided) {
+  State &s = state();
+  const int rc = s.next.Init_thread(argc, argv, required, provided);
+  if (rc != MPI_SUCCESS) {
+    return rc;
+  }
+  load_env_once(s);
+  return MPI_SUCCESS;
+}
+
+int tempi_Query_thread(int *provided) {
+  return state().next.Query_thread(provided);
+}
+
+int tempi_Is_thread_main(int *flag) {
+  return state().next.Is_thread_main(flag);
 }
 
 int tempi_Finalize() {
@@ -1142,6 +1169,9 @@ void install() {
   interpose::MpiTable table = interpose::active_table();
   s.next = table; // the "dlsym(RTLD_NEXT)" snapshot
   table.Init = tempi_Init;
+  table.Init_thread = tempi_Init_thread;
+  table.Query_thread = tempi_Query_thread;
+  table.Is_thread_main = tempi_Is_thread_main;
   table.Finalize = tempi_Finalize;
   table.Type_commit = tempi_Type_commit;
   table.Type_free = tempi_Type_free;
@@ -1204,6 +1234,27 @@ void install() {
     topo::set_enabled(std::string_view(env) != "0");
     support::log_info("tempi: TEMPI_TOPO=", env);
   }
+  // Request-pool shard count (thread-multiple hot path). Re-read on every
+  // install — not once per process — so TEMPI_SHARDS=1 between an
+  // uninstall/install pair is a live kill-switch back to the single-lock
+  // layout. Rounded to a power of two by configure_shards; refused (and
+  // logged) if requests are somehow still in flight.
+  if (const char *env = std::getenv("TEMPI_SHARDS")) {
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      if (async::configure_shards(static_cast<std::size_t>(v))) {
+        support::log_info("tempi: TEMPI_SHARDS=", env, " (pool shards: ",
+                          async::shard_count(), ")");
+      } else {
+        support::log_warn("tempi: ignoring TEMPI_SHARDS=", env,
+                          " (request pool not idle)");
+      }
+    } else {
+      support::log_warn("tempi: ignoring TEMPI_SHARDS '", env,
+                        "' (want a positive shard count)");
+    }
+  }
   // Sec. 6.3 bootstrap: calibrate the model from TEMPI_PERF_FILE before
   // the first interposed call of any rank (same decided-and-logged-at-
   // install pattern as the kill-switches above). Once per process: the
@@ -1250,6 +1301,32 @@ void install() {
                         [] { return model_cache_stats().hits; });
   trace::register_gauge("tempi.model.cache_misses",
                         [] { return model_cache_stats().misses; });
+  // The audited-lock contention gauges (tempi.lock.*): each shared mutex
+  // the hot path can reach exports its acquire count and how many of
+  // those acquires found the lock held. A healthy thread-multiple run
+  // shows contended ~0 everywhere; anything else names the lock to fix.
+  trace::register_gauge("tempi.lock.pool.acquires",
+                        [] { return async::pool_lock_stats().acquires; });
+  trace::register_gauge("tempi.lock.pool.contended",
+                        [] { return async::pool_lock_stats().contended; });
+  trace::register_gauge("tempi.lock.depot.acquires",
+                        [] { return buffer_depot_lock_stats().acquires; });
+  trace::register_gauge("tempi.lock.depot.contended",
+                        [] { return buffer_depot_lock_stats().contended; });
+  trace::register_gauge("tempi.lock.vcuda_streams.acquires", [] {
+    return vcuda::stream_registry_lock_stats().acquires;
+  });
+  trace::register_gauge("tempi.lock.vcuda_streams.contended", [] {
+    return vcuda::stream_registry_lock_stats().contended;
+  });
+  trace::register_gauge("tempi.lock.trace_rings.acquires",
+                        [] { return trace::rings_lock_stats().acquires; });
+  trace::register_gauge("tempi.lock.trace_rings.contended",
+                        [] { return trace::rings_lock_stats().contended; });
+  trace::register_gauge("tempi.lock.tune_refresh.acquires",
+                        [] { return tune::refresh_lock_stats().acquires; });
+  trace::register_gauge("tempi.lock.tune_refresh.contended",
+                        [] { return tune::refresh_lock_stats().contended; });
   if (trace::enabled()) {
     support::log_info("tempi: tracing armed (TEMPI_TRACE=",
                       trace::trace_path().empty()

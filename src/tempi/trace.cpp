@@ -1,5 +1,6 @@
 #include "tempi/trace.hpp"
 
+#include "support/contended_mutex.hpp"
 #include "support/stats.hpp"
 #include "sysmpi/world.hpp"
 #include "tempi/perf_model.hpp"
@@ -39,7 +40,10 @@ struct Ring {
   std::vector<SpanRecord> slots;
 };
 
-std::mutex g_rings_mutex;
+/// Counted (tempi.lock.trace_rings.*): emits never take it — only lazy
+/// ring creation (once per rank thread per epoch) and the snapshot/reset
+/// walks do, so its contended count should stay ~0 even thread-multiple.
+support::ContendedMutex g_rings_mutex;
 std::vector<std::unique_ptr<Ring>> &rings() {
   static std::vector<std::unique_ptr<Ring>> r;
   return r;
@@ -54,7 +58,7 @@ thread_local std::uint64_t t_ring_epoch = 0;
 Ring &this_ring() {
   const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
   if (t_ring == nullptr || t_ring_epoch != epoch) {
-    const std::lock_guard<std::mutex> lock(g_rings_mutex);
+    const std::lock_guard<support::ContendedMutex> lock(g_rings_mutex);
     auto ring = std::make_unique<Ring>(
         sysmpi::this_rank().world_rank,
         g_ring_capacity.load(std::memory_order_relaxed));
@@ -132,19 +136,28 @@ std::string &trace_path_storage() {
 std::atomic<bool> g_stats_requested{false};
 
 // flush() idempotence: generation = spans emitted (retained + dropped) +
-// sum of counter values; re-flushing an unchanged world is a no-op.
+// sum of counter values; re-flushing an unchanged world is a no-op. The
+// tempi.lock.* gauges are excluded: computing the generation itself takes
+// the rings lock (and snapshot/report paths take others), so counting lock
+// acquires would perturb the generation on every read and defeat the
+// idempotence check.
 std::mutex g_flush_mutex;
 std::uint64_t g_last_flush_generation = ~std::uint64_t{0};
 
 std::uint64_t generation() {
   std::uint64_t gen = g_dropped.load(std::memory_order_relaxed);
   {
-    const std::lock_guard<std::mutex> lock(g_rings_mutex);
+    const std::lock_guard<support::ContendedMutex> lock(g_rings_mutex);
     for (const auto &ring : rings()) {
       gen += ring->size.load(std::memory_order_acquire);
     }
   }
   for (const auto &[name, value] : counter_snapshot()) {
+    constexpr std::string_view kLockPrefix = "tempi.lock.";
+    if (std::string_view(name).substr(0, kLockPrefix.size()) ==
+        kLockPrefix) {
+      continue;
+    }
     gen += value;
   }
   return gen;
@@ -301,7 +314,7 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot() {
 Snapshot snapshot() {
   Snapshot snap;
   {
-    const std::lock_guard<std::mutex> lock(g_rings_mutex);
+    const std::lock_guard<support::ContendedMutex> lock(g_rings_mutex);
     for (const auto &ring : rings()) {
       const std::size_t n = ring->size.load(std::memory_order_acquire);
       snap.spans.insert(snap.spans.end(), ring->slots.begin(),
@@ -401,7 +414,7 @@ void print_stats_report(std::FILE *out) {
   const Snapshot snap = snapshot();
   std::size_t nrings = 0;
   {
-    const std::lock_guard<std::mutex> lock(g_rings_mutex);
+    const std::lock_guard<support::ContendedMutex> lock(g_rings_mutex);
     nrings = rings().size();
   }
   std::fprintf(out, "== TEMPI stats "
@@ -494,7 +507,7 @@ void set_stats_requested(bool on) {
 }
 
 void reset() {
-  const std::lock_guard<std::mutex> lock(g_rings_mutex);
+  const std::lock_guard<support::ContendedMutex> lock(g_rings_mutex);
   rings().clear();
   g_epoch.fetch_add(1, std::memory_order_release);
   g_dropped.store(0, std::memory_order_relaxed);
@@ -506,7 +519,7 @@ void reset() {
 }
 
 std::size_t ring_count() {
-  const std::lock_guard<std::mutex> lock(g_rings_mutex);
+  const std::lock_guard<support::ContendedMutex> lock(g_rings_mutex);
   return rings().size();
 }
 
@@ -514,6 +527,8 @@ std::size_t set_default_ring_capacity(std::size_t cap) {
   return g_ring_capacity.exchange(cap == 0 ? 1 : cap,
                                   std::memory_order_relaxed);
 }
+
+support::LockStats rings_lock_stats() { return g_rings_mutex.stats(); }
 
 } // namespace tempi::trace
 

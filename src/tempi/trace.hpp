@@ -30,6 +30,7 @@
 // as a snapshot view over the registry, so its consumers are unchanged.
 #pragma once
 
+#include "support/contended_mutex.hpp"
 #include "vcuda/clock.hpp"
 
 #include <array>
@@ -256,6 +257,11 @@ std::size_t ring_count();
 /// Capacity for rings created after this call (tests exercise wraparound
 /// with tiny rings). Returns the previous value. Default: 16384 spans.
 std::size_t set_default_ring_capacity(std::size_t cap);
+
+/// Acquire/contention counters of the ring-registry mutex (taken at lazy
+/// ring creation and snapshot/reset — never on the emit path). Exported as
+/// the tempi.lock.trace_rings.* gauges.
+support::LockStats rings_lock_stats();
 
 } // namespace tempi::trace
 

@@ -1,5 +1,6 @@
 #include "vcuda/runtime.hpp"
 
+#include "support/contended_mutex.hpp"
 #include "support/log.hpp"
 
 #include <atomic>
@@ -36,9 +37,12 @@ std::atomic<int> g_device_count{6}; // one Summit node by default
 
 thread_local int t_current_device = 0;
 
-/// All live user-created streams, for DeviceSynchronize.
-std::mutex &streams_mutex() {
-  static std::mutex m;
+/// All live user-created streams, for DeviceSynchronize. Held only at
+/// stream create/destroy and device-wide sync — never per enqueue — and
+/// counted so TEMPI_STATS can prove it stays uncontended (the
+/// tempi.lock.vcuda_streams.* gauges read stream_registry_lock_stats()).
+support::ContendedMutex &streams_mutex() {
+  static support::ContendedMutex m;
   return m;
 }
 std::set<Stream *> &live_streams() {
@@ -228,7 +232,7 @@ Error DeviceSynchronize() {
   Timeline &tl = this_thread_timeline();
   VirtualNs latest = 0;
   {
-    const std::lock_guard<std::mutex> lock(streams_mutex());
+    const std::lock_guard<support::ContendedMutex> lock(streams_mutex());
     for (const Stream *s : live_streams()) {
       if (s->device() == t_current_device && s->ready_at() > latest) {
         latest = s->ready_at();
@@ -315,7 +319,7 @@ Error StreamCreate(StreamHandle *stream) {
   }
   auto *s = new Stream(t_current_device);
   {
-    const std::lock_guard<std::mutex> lock(streams_mutex());
+    const std::lock_guard<support::ContendedMutex> lock(streams_mutex());
     live_streams().insert(s);
   }
   *stream = s;
@@ -327,7 +331,7 @@ Error StreamDestroy(StreamHandle stream) {
     return Error::InvalidValue;
   }
   {
-    const std::lock_guard<std::mutex> lock(streams_mutex());
+    const std::lock_guard<support::ContendedMutex> lock(streams_mutex());
     live_streams().erase(stream);
   }
   delete stream;
@@ -696,6 +700,10 @@ Error StreamFence(StreamHandle stream) {
 
 void set_trace_hook(TraceHook hook) {
   g_trace_hook.store(hook, std::memory_order_relaxed);
+}
+
+support::LockStats stream_registry_lock_stats() {
+  return streams_mutex().stats();
 }
 
 Counters counters() {

@@ -12,6 +12,7 @@
 // so results are testable.
 #pragma once
 
+#include "support/contended_mutex.hpp"
 #include "vcuda/clock.hpp"
 #include "vcuda/costmodel.hpp"
 #include "vcuda/memory.hpp"
@@ -214,5 +215,11 @@ struct Counters {
 };
 Counters counters();
 void reset_counters();
+
+/// Acquire/contention counters of the live-stream registry mutex (held at
+/// stream create/destroy and DeviceSynchronize only). vcuda stays
+/// independent of higher layers — tempi registers this as the
+/// tempi.lock.vcuda_streams.* gauges.
+support::LockStats stream_registry_lock_stats();
 
 } // namespace vcuda
